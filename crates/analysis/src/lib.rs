@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Runtime software analysis — the paper's §5 future work, implemented.
+//!
+//! "In addition to this we will also examine the possibility of using
+//! runtime software analysis to automatically collect information about
+//! whether software has some unwanted behaviour, for instance if it shows
+//! advertisements or includes an incomplete uninstallation function. The
+//! results from such investigations could then be inserted into the
+//! reputation system as hard evidence on the behaviour for that specific
+//! software."
+//!
+//! * [`markers`] — the behaviour-marker convention of the synthetic
+//!   executable format: programs *do* things by containing marker
+//!   sequences in their body bytes; the sandbox observes them.
+//! * [`sandbox`] — the instrumented execution environment: "runs" a
+//!   binary under an instruction budget and records every behaviour it
+//!   exhibits, like a dynamic-analysis cuckoo box.
+//! * [`service`] — the submission pipeline: analyse a binary and push the
+//!   findings to the reputation server as authenticated evidence
+//!   (`Request::SubmitEvidence`), where they surface to clients as
+//!   *verified* behaviours.
+
+pub mod markers;
+pub mod sandbox;
+pub mod service;
+
+pub use sandbox::{AnalysisReport, Sandbox};
+pub use service::AnalysisService;

@@ -1,0 +1,131 @@
+//! Behaviour markers: how synthetic executables "do" things.
+//!
+//! A real dynamic analyzer observes API calls; our synthetic executables
+//! encode their behaviour as marker sequences in their body bytes. A
+//! marker is the 3-byte magic `B7 3A C5` followed by a tag byte. The
+//! corpus generator embeds one marker per true behaviour; the sandbox
+//! recovers them at "runtime". Random body bytes hit the 3-byte magic with
+//! probability 2⁻²⁴ per offset, so false positives are negligible at
+//! corpus scale (and deduplicated anyway).
+
+/// Marker magic prefix.
+pub const MARKER_MAGIC: [u8; 3] = [0xB7, 0x3A, 0xC5];
+
+/// (tag, behaviour name) pairs — the same names used by voters and the
+/// policy DSL.
+pub const TAGS: [(u8, &str); 7] = [
+    (0x01, "popup_ads"),
+    (0x02, "tracking"),
+    (0x03, "startup_registration"),
+    (0x04, "incomplete_uninstall"),
+    (0x05, "settings_change"),
+    (0x06, "keylogger"),
+    (0x07, "data_exfiltration"),
+];
+
+/// The behaviour name for a tag byte, if defined.
+pub fn behaviour_for_tag(tag: u8) -> Option<&'static str> {
+    TAGS.iter().find(|(t, _)| *t == tag).map(|(_, name)| *name)
+}
+
+/// The tag byte for a behaviour name, if defined.
+pub fn tag_for_behaviour(name: &str) -> Option<u8> {
+    TAGS.iter().find(|(_, n)| *n == name).map(|(t, _)| *t)
+}
+
+/// Append markers for `behaviours` to a program body. Unknown behaviour
+/// names are skipped (user-invented tags have no runtime signature).
+pub fn embed_markers(body: &mut Vec<u8>, behaviours: &[String]) {
+    for behaviour in behaviours {
+        if let Some(tag) = tag_for_behaviour(behaviour) {
+            body.extend_from_slice(&MARKER_MAGIC);
+            body.push(tag);
+        }
+    }
+}
+
+/// Scan a body for markers; returns deduplicated behaviour names in tag
+/// order.
+pub fn detect_markers(body: &[u8]) -> Vec<String> {
+    let mut found = [false; 256];
+    let mut i = 0;
+    while i + 4 <= body.len() {
+        if body[i..i + 3] == MARKER_MAGIC {
+            found[body[i + 3] as usize] = true;
+            i += 4;
+        } else {
+            i += 1;
+        }
+    }
+    TAGS.iter().filter(|(tag, _)| found[*tag as usize]).map(|(_, name)| name.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tags_and_names_are_bijective() {
+        for (tag, name) in TAGS {
+            assert_eq!(behaviour_for_tag(tag), Some(name));
+            assert_eq!(tag_for_behaviour(name), Some(tag));
+        }
+        assert_eq!(behaviour_for_tag(0xFF), None);
+        assert_eq!(tag_for_behaviour("made_up"), None);
+    }
+
+    #[test]
+    fn embed_then_detect_roundtrip() {
+        let mut body = vec![1, 2, 3, 4];
+        embed_markers(&mut body, &["tracking".into(), "popup_ads".into()]);
+        let detected = detect_markers(&body);
+        assert_eq!(detected, vec!["popup_ads".to_string(), "tracking".to_string()]);
+    }
+
+    #[test]
+    fn unknown_behaviours_are_skipped() {
+        let mut body = Vec::new();
+        embed_markers(&mut body, &["not_a_real_tag".into()]);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn duplicate_markers_deduplicate() {
+        let mut body = Vec::new();
+        embed_markers(&mut body, &["keylogger".into(), "keylogger".into()]);
+        assert_eq!(detect_markers(&body), vec!["keylogger".to_string()]);
+    }
+
+    #[test]
+    fn clean_bodies_detect_nothing() {
+        assert!(detect_markers(&[]).is_empty());
+        assert!(detect_markers(&[0u8; 1024]).is_empty());
+    }
+
+    #[test]
+    fn markers_survive_surrounding_noise() {
+        let mut body = vec![0xB7, 0x3A]; // truncated magic = noise
+        embed_markers(&mut body, &["settings_change".into()]);
+        body.extend_from_slice(&[0xB7, 0x3A, 0xC5]); // magic with no tag room? (3 bytes at end)
+        assert_eq!(detect_markers(&body), vec!["settings_change".to_string()]);
+    }
+
+    proptest! {
+        #[test]
+        fn detection_finds_all_embedded(
+            noise_prefix in proptest::collection::vec(any::<u8>(), 0..64),
+            noise_suffix in proptest::collection::vec(any::<u8>(), 0..64),
+            subset in proptest::sample::subsequence(
+                TAGS.iter().map(|(_, n)| n.to_string()).collect::<Vec<_>>(), 0..7),
+        ) {
+            let mut body = noise_prefix.clone();
+            embed_markers(&mut body, &subset);
+            body.extend_from_slice(&noise_suffix);
+            let detected = detect_markers(&body);
+            for name in &subset {
+                prop_assert!(detected.contains(name), "missing {name}");
+            }
+        }
+    }
+}

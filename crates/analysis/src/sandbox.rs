@@ -1,0 +1,127 @@
+//! The analysis sandbox: instrumented execution of synthetic binaries.
+//!
+//! Models the essentials of a dynamic-analysis environment: a budget (real
+//! sandboxes time out), partial coverage when the budget is exhausted
+//! (behaviour late in the program may go unobserved), and a structured
+//! report. Execution "interprets" the body one byte per instruction and
+//! observes behaviour markers as they are reached.
+
+use softrep_core::identity::SyntheticExecutable;
+
+use crate::markers::{behaviour_for_tag, MARKER_MAGIC};
+
+/// Result of analysing one binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Hex software id of the analysed binary (SHA-1, per the paper).
+    pub software_id: String,
+    /// Behaviours observed, in first-observation order.
+    pub behaviours: Vec<String>,
+    /// Instructions executed before the program ended or the budget ran
+    /// out.
+    pub instructions_executed: u64,
+    /// True if the budget expired before the program finished — later
+    /// behaviours may exist unobserved.
+    pub truncated: bool,
+}
+
+/// The sandbox.
+#[derive(Debug, Clone, Copy)]
+pub struct Sandbox {
+    /// Maximum body bytes interpreted per run.
+    pub instruction_budget: u64,
+}
+
+impl Default for Sandbox {
+    fn default() -> Self {
+        Sandbox { instruction_budget: 1 << 20 }
+    }
+}
+
+impl Sandbox {
+    /// A sandbox with an explicit budget.
+    pub fn with_budget(instruction_budget: u64) -> Self {
+        Sandbox { instruction_budget }
+    }
+
+    /// Run `exe` and report everything observed.
+    pub fn analyse(&self, exe: &SyntheticExecutable) -> AnalysisReport {
+        let body = &exe.body;
+        let limit = (self.instruction_budget as usize).min(body.len());
+        let mut behaviours: Vec<String> = Vec::new();
+        let mut i = 0usize;
+        while i < limit {
+            if i + 4 <= body.len() && body[i..i + 3] == MARKER_MAGIC {
+                if let Some(name) = behaviour_for_tag(body[i + 3]) {
+                    if !behaviours.iter().any(|b| b == name) {
+                        behaviours.push(name.to_string());
+                    }
+                }
+                i += 4;
+            } else {
+                i += 1;
+            }
+        }
+        AnalysisReport {
+            software_id: exe.id_sha1().to_hex(),
+            behaviours,
+            instructions_executed: i as u64,
+            truncated: limit < body.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers::embed_markers;
+
+    fn exe_with(behaviours: &[&str], padding: usize) -> SyntheticExecutable {
+        let mut body = vec![0u8; padding];
+        embed_markers(&mut body, &behaviours.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        SyntheticExecutable::new("sample.exe", "TestCo", "1.0", body)
+    }
+
+    #[test]
+    fn observes_embedded_behaviours_in_order() {
+        let exe = exe_with(&["tracking", "popup_ads"], 16);
+        let report = Sandbox::default().analyse(&exe);
+        assert_eq!(report.behaviours, vec!["tracking".to_string(), "popup_ads".to_string()]);
+        assert!(!report.truncated);
+        assert_eq!(report.software_id, exe.id_sha1().to_hex());
+    }
+
+    #[test]
+    fn clean_binaries_report_nothing() {
+        let exe = exe_with(&[], 256);
+        let report = Sandbox::default().analyse(&exe);
+        assert!(report.behaviours.is_empty());
+        assert_eq!(report.instructions_executed, 256);
+    }
+
+    #[test]
+    fn budget_exhaustion_truncates_coverage() {
+        // Marker sits beyond the budget: a real sandbox timing out before
+        // the adware's delayed payload fires.
+        let exe = exe_with(&["keylogger"], 1_000);
+        let report = Sandbox::with_budget(100).analyse(&exe);
+        assert!(report.behaviours.is_empty());
+        assert!(report.truncated);
+        assert_eq!(report.instructions_executed, 100);
+
+        // A generous budget sees it.
+        let report = Sandbox::with_budget(10_000).analyse(&exe);
+        assert_eq!(report.behaviours, vec!["keylogger".to_string()]);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn duplicate_markers_report_once() {
+        let mut body = Vec::new();
+        embed_markers(&mut body, &["popup_ads".into()]);
+        embed_markers(&mut body, &["popup_ads".into()]);
+        let exe = SyntheticExecutable::new("x.exe", "C", "1", body);
+        let report = Sandbox::default().analyse(&exe);
+        assert_eq!(report.behaviours.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! The evidence pipeline: analyse a binary, submit the findings to the
+//! reputation server as authenticated hard evidence.
+
+use softrep_core::identity::SyntheticExecutable;
+use softrep_proto::{Request, Response};
+
+use crate::sandbox::{AnalysisReport, Sandbox};
+
+/// An analyzer bound to a server endpoint.
+///
+/// Generic over the transport the same way the client is: anything that
+/// maps a [`Request`] to a [`Response`].
+pub struct AnalysisService<F: FnMut(&Request) -> Response> {
+    sandbox: Sandbox,
+    analyzer_name: String,
+    analyzer_token: String,
+    transport: F,
+    submitted: u64,
+    rejected: u64,
+}
+
+impl<F: FnMut(&Request) -> Response> AnalysisService<F> {
+    /// Create a service submitting through `transport`, authenticating
+    /// with `analyzer_token`.
+    pub fn new(
+        sandbox: Sandbox,
+        analyzer_name: impl Into<String>,
+        analyzer_token: impl Into<String>,
+        transport: F,
+    ) -> Self {
+        AnalysisService {
+            sandbox,
+            analyzer_name: analyzer_name.into(),
+            analyzer_token: analyzer_token.into(),
+            transport,
+            submitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Analyse `exe` and submit the evidence (registering the binary's
+    /// metadata first, in case the server has never seen it). Returns the
+    /// report; submission failures are counted, not fatal — analysis
+    /// pipelines must survive flaky servers.
+    pub fn analyse_and_submit(&mut self, exe: &SyntheticExecutable) -> AnalysisReport {
+        let report = self.sandbox.analyse(exe);
+        let _ = (self.transport)(&Request::RegisterSoftware {
+            software_id: report.software_id.clone(),
+            file_name: exe.file_name.clone(),
+            file_size: exe.file_size(),
+            company: exe.company.clone(),
+            version: exe.version.clone(),
+        });
+        let resp = (self.transport)(&Request::SubmitEvidence {
+            analyzer_token: self.analyzer_token.clone(),
+            software_id: report.software_id.clone(),
+            behaviours: report.behaviours.clone(),
+            analyzer: self.analyzer_name.clone(),
+        });
+        if resp == Response::Ok {
+            self.submitted += 1;
+        } else {
+            self.rejected += 1;
+        }
+        report
+    }
+
+    /// Evidence submissions accepted by the server.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Evidence submissions the server rejected.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markers::embed_markers;
+
+    fn exe(behaviours: &[&str]) -> SyntheticExecutable {
+        let mut body = vec![7u8; 32];
+        embed_markers(&mut body, &behaviours.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+        SyntheticExecutable::new("toolbar.exe", "AdCo", "3.0", body)
+    }
+
+    #[test]
+    fn submits_analysis_through_transport() {
+        let mut seen = Vec::new();
+        {
+            let transport = |req: &Request| {
+                seen.push(req.clone());
+                Response::Ok
+            };
+            let mut service =
+                AnalysisService::new(Sandbox::default(), "sandbox-v1", "secret", transport);
+            let report = service.analyse_and_submit(&exe(&["tracking"]));
+            assert_eq!(report.behaviours, vec!["tracking".to_string()]);
+            assert_eq!(service.submitted(), 1);
+            assert_eq!(service.rejected(), 0);
+        }
+        assert_eq!(seen.len(), 2, "register + evidence");
+        match &seen[1] {
+            Request::SubmitEvidence { analyzer_token, behaviours, analyzer, .. } => {
+                assert_eq!(analyzer_token, "secret");
+                assert_eq!(analyzer, "sandbox-v1");
+                assert_eq!(behaviours, &vec!["tracking".to_string()]);
+            }
+            other => panic!("unexpected second request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_are_counted_not_fatal() {
+        let transport = |req: &Request| match req {
+            Request::SubmitEvidence { .. } => Response::error("bad-analyzer-token", "nope"),
+            _ => Response::Ok,
+        };
+        let mut service = AnalysisService::new(Sandbox::default(), "s", "wrong", transport);
+        service.analyse_and_submit(&exe(&[]));
+        service.analyse_and_submit(&exe(&["popup_ads"]));
+        assert_eq!(service.submitted(), 0);
+        assert_eq!(service.rejected(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Client-side circuit construction: layered onion wrapping.
+
+use rand::RngCore;
+
+use softrep_crypto::stream::{seal, StreamKey};
+
+use crate::relay::{RelayId, LAYER_MAGIC, TAG_EXIT, TAG_FORWARD};
+
+/// A built circuit: an ordered relay path with the per-hop layer keys.
+///
+/// The first element is the entry (guard) relay, the last is the exit.
+#[derive(Clone)]
+pub struct Circuit {
+    hops: Vec<(RelayId, StreamKey)>,
+}
+
+impl Circuit {
+    /// Build a circuit over the given hops (entry first). Panics on an
+    /// empty path — a zero-hop circuit is a direct connection, which is
+    /// exactly what the caller is trying to avoid.
+    pub fn new(hops: Vec<(RelayId, StreamKey)>) -> Self {
+        assert!(!hops.is_empty(), "a circuit needs at least one hop");
+        Circuit { hops }
+    }
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True when the circuit has no hops (cannot occur after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The entry relay the client talks to directly.
+    pub fn entry(&self) -> &RelayId {
+        &self.hops[0].0
+    }
+
+    /// The exit relay that delivers to the destination.
+    pub fn exit(&self) -> &RelayId {
+        &self.hops[self.hops.len() - 1].0
+    }
+
+    /// The relay path, entry first.
+    pub fn path(&self) -> Vec<RelayId> {
+        self.hops.iter().map(|(id, _)| id.clone()).collect()
+    }
+
+    /// Wrap `payload` in one layer per hop; the result is handed to the
+    /// entry relay. Layers are applied innermost (exit) first.
+    pub fn wrap(&self, payload: &[u8], rng: &mut impl RngCore) -> Vec<u8> {
+        let (_, exit_key) = &self.hops[self.hops.len() - 1];
+        let mut layer = Vec::with_capacity(payload.len() + 5);
+        layer.extend_from_slice(LAYER_MAGIC);
+        layer.push(TAG_EXIT);
+        layer.extend_from_slice(payload);
+        let mut onion = seal(exit_key, &layer, rng);
+
+        // Walk back from the next-to-last hop to the entry, each layer
+        // naming its successor.
+        for window in self.hops.windows(2).rev() {
+            let (_, key) = &window[0];
+            let (next_id, _) = &window[1];
+            let mut layer = Vec::with_capacity(onion.len() + next_id.len() + 7);
+            layer.extend_from_slice(LAYER_MAGIC);
+            layer.push(TAG_FORWARD);
+            layer.extend_from_slice(&(next_id.len() as u16).to_be_bytes());
+            layer.extend_from_slice(next_id.as_bytes());
+            layer.extend_from_slice(&onion);
+            onion = seal(key, &layer, rng);
+        }
+        onion
+    }
+}
+
+impl std::fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Circuit({})", self.path().join(" → "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relay::{PeeledLayer, Relay};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relays(n: usize, rng: &mut StdRng) -> Vec<Relay> {
+        (0..n).map(|i| Relay::new(format!("relay-{i}"), StreamKey::random(rng))).collect()
+    }
+
+    fn circuit_over(relays: &[Relay]) -> Circuit {
+        Circuit::new(relays.iter().map(|r| (r.id().clone(), *r.key())).collect())
+    }
+
+    #[test]
+    fn three_hop_onion_peels_in_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let relays = relays(3, &mut rng);
+        let circuit = circuit_over(&relays);
+        assert_eq!(circuit.len(), 3);
+        assert_eq!(circuit.entry(), "relay-0");
+        assert_eq!(circuit.exit(), "relay-2");
+
+        let onion = circuit.wrap(b"GET /rating/abc", &mut rng);
+
+        let step1 = relays[0].peel(&onion).unwrap();
+        let PeeledLayer::Forward { next, onion } = step1 else { panic!("expected forward") };
+        assert_eq!(next, "relay-1");
+
+        let step2 = relays[1].peel(&onion).unwrap();
+        let PeeledLayer::Forward { next, onion } = step2 else { panic!("expected forward") };
+        assert_eq!(next, "relay-2");
+
+        let step3 = relays[2].peel(&onion).unwrap();
+        assert_eq!(step3, PeeledLayer::Exit { payload: b"GET /rating/abc".to_vec() });
+    }
+
+    #[test]
+    fn single_hop_circuit_is_just_an_exit() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let relays = relays(1, &mut rng);
+        let circuit = circuit_over(&relays);
+        let onion = circuit.wrap(b"payload", &mut rng);
+        assert_eq!(
+            relays[0].peel(&onion).unwrap(),
+            PeeledLayer::Exit { payload: b"payload".to_vec() }
+        );
+    }
+
+    #[test]
+    fn out_of_order_peeling_fails() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let relays = relays(3, &mut rng);
+        let circuit = circuit_over(&relays);
+        let onion = circuit.wrap(b"x", &mut rng);
+        // Middle and exit relays cannot peel the outer layer.
+        assert!(relays[1].peel(&onion).is_none());
+        assert!(relays[2].peel(&onion).is_none());
+    }
+
+    #[test]
+    fn layers_hide_payload_from_intermediate_relays() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let relays = relays(3, &mut rng);
+        let circuit = circuit_over(&relays);
+        let payload = b"very identifiable plaintext payload";
+        let onion = circuit.wrap(payload, &mut rng);
+
+        // Neither the outer onion nor the intermediate onions contain the
+        // plaintext.
+        fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+            haystack.windows(needle.len()).any(|w| w == needle)
+        }
+        assert!(!contains(&onion, payload));
+        let PeeledLayer::Forward { onion, .. } = relays[0].peel(&onion).unwrap() else { panic!() };
+        assert!(!contains(&onion, payload));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_circuit_panics() {
+        let _ = Circuit::new(Vec::new());
+    }
+
+    #[test]
+    fn debug_renders_path() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let relays = relays(2, &mut rng);
+        let circuit = circuit_over(&relays);
+        assert_eq!(format!("{circuit:?}"), "Circuit(relay-0 → relay-1)");
+    }
+}

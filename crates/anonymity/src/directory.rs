@@ -1,0 +1,118 @@
+//! The relay directory clients build circuits from.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use softrep_crypto::stream::StreamKey;
+
+use crate::circuit::Circuit;
+use crate::relay::{Relay, RelayId};
+
+/// A directory of available relays.
+#[derive(Default)]
+pub struct RelayDirectory {
+    relays: Vec<Relay>,
+}
+
+impl RelayDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        RelayDirectory::default()
+    }
+
+    /// Bootstrap a directory with `n` fresh relays.
+    pub fn with_relays(n: usize, rng: &mut impl RngCore) -> Self {
+        let mut dir = RelayDirectory::new();
+        for i in 0..n {
+            dir.register(Relay::new(format!("relay-{i:03}"), StreamKey::random(rng)));
+        }
+        dir
+    }
+
+    /// Add a relay. Replaces any previous relay with the same id.
+    pub fn register(&mut self, relay: Relay) {
+        self.relays.retain(|r| r.id() != relay.id());
+        self.relays.push(relay);
+    }
+
+    /// Number of registered relays.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// True when no relays are registered.
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// Look up a relay by id.
+    pub fn get(&self, id: &str) -> Option<&Relay> {
+        self.relays.iter().find(|r| r.id() == id)
+    }
+
+    /// All relay ids.
+    pub fn ids(&self) -> Vec<RelayId> {
+        self.relays.iter().map(|r| r.id().clone()).collect()
+    }
+
+    /// Build a circuit over `hops` distinct random relays (Tor's default
+    /// is 3). Returns `None` when the directory is too small.
+    pub fn build_circuit(&self, hops: usize, rng: &mut impl RngCore) -> Option<Circuit> {
+        if hops == 0 || self.relays.len() < hops {
+            return None;
+        }
+        let chosen: Vec<&Relay> = self.relays.choose_multiple(rng, hops).collect();
+        Some(Circuit::new(chosen.iter().map(|r| (r.id().clone(), *r.key())).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn with_relays_creates_distinct_ids() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dir = RelayDirectory::with_relays(10, &mut rng);
+        assert_eq!(dir.len(), 10);
+        let ids: HashSet<_> = dir.ids().into_iter().collect();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn build_circuit_uses_distinct_relays() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dir = RelayDirectory::with_relays(10, &mut rng);
+        for _ in 0..20 {
+            let circuit = dir.build_circuit(3, &mut rng).unwrap();
+            let path = circuit.path();
+            let distinct: HashSet<_> = path.iter().collect();
+            assert_eq!(distinct.len(), 3, "no relay may appear twice in a path");
+        }
+    }
+
+    #[test]
+    fn build_circuit_fails_when_too_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dir = RelayDirectory::with_relays(2, &mut rng);
+        assert!(dir.build_circuit(3, &mut rng).is_none());
+        assert!(dir.build_circuit(0, &mut rng).is_none());
+        assert!(dir.build_circuit(2, &mut rng).is_some());
+    }
+
+    #[test]
+    fn register_replaces_same_id() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dir = RelayDirectory::new();
+        assert!(dir.is_empty());
+        dir.register(Relay::new("a", StreamKey::random(&mut rng)));
+        let new_key = StreamKey::random(&mut rng);
+        dir.register(Relay::new("a", new_key));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.get("a").unwrap().key().as_bytes(), new_key.as_bytes());
+        assert!(dir.get("missing").is_none());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Tor-style anonymity substrate (§2.2 of the paper).
+//!
+//! "Protection of users' anonymity could be established by utilizing
+//! distributed anonymity services, such as Tor, for all communication
+//! between the client and the server. This would further increase users'
+//! privacy by \[hiding\] their IP address from the reputation system owner."
+//!
+//! The crate implements the onion-routing core needed to *demonstrate*
+//! that property end-to-end (experiment D8):
+//!
+//! * [`relay`] — a relay holds a symmetric layer key and can peel exactly
+//!   one layer off an onion, learning only its predecessor and successor.
+//! * [`circuit`] — the client-side builder: pick a path, wrap the payload
+//!   in one encryption layer per hop (innermost = exit).
+//! * [`directory`] — the relay directory clients choose paths from.
+//! * [`network`] — a simulated network that routes onions hop by hop and
+//!   records exactly what every party observed, so the linkability audit
+//!   can be run as an assertion rather than an argument.
+//!
+//! DESIGN.md invariant 9: only the designated relay can peel each layer;
+//! the exit message equals the original plaintext; relays learn
+//! predecessor and successor only.
+
+pub mod circuit;
+pub mod directory;
+pub mod network;
+pub mod relay;
+
+pub use circuit::Circuit;
+pub use directory::RelayDirectory;
+pub use network::{MixNetwork, Observation, RouteOutcome};
+pub use relay::{PeeledLayer, Relay, RelayId};

@@ -1,0 +1,233 @@
+//! A simulated routed network with full observation logging.
+//!
+//! Routes an onion from a named client through the relay path to the
+//! destination, recording what **every** party could observe: each relay
+//! sees its predecessor and successor; the destination sees only the exit
+//! relay and the plaintext. Experiment D8 asserts over these logs instead
+//! of arguing informally.
+
+use rand::RngCore;
+
+use crate::circuit::Circuit;
+use crate::directory::RelayDirectory;
+use crate::relay::{PeeledLayer, RelayId};
+
+/// One party's view of one message transit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The observing party ("relay-007" or "destination").
+    pub observer: String,
+    /// Who handed the observer the message (an address it can see).
+    pub previous_hop: String,
+    /// Where the observer sent it next (None for the destination).
+    pub next_hop: Option<String>,
+    /// Whether the observer could read the plaintext payload.
+    pub saw_plaintext: bool,
+}
+
+/// Result of routing one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// Plaintext delivered to the destination.
+    pub delivered_payload: Vec<u8>,
+    /// The source address as seen by the destination.
+    pub source_seen_by_destination: String,
+    /// Every party's observation, in transit order.
+    pub observations: Vec<Observation>,
+}
+
+/// Routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A named relay is not in the directory.
+    UnknownRelay(RelayId),
+    /// A relay failed to peel its layer (corruption or mis-addressing).
+    PeelFailed(RelayId),
+    /// The path exceeded the hop budget (routing loop).
+    TooManyHops,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownRelay(id) => write!(f, "unknown relay {id}"),
+            RouteError::PeelFailed(id) => write!(f, "relay {id} could not peel its layer"),
+            RouteError::TooManyHops => f.write_str("hop budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The simulated mix network.
+pub struct MixNetwork {
+    directory: RelayDirectory,
+    max_hops: usize,
+}
+
+impl MixNetwork {
+    /// Wrap a directory into a routable network.
+    pub fn new(directory: RelayDirectory) -> Self {
+        MixNetwork { directory, max_hops: 16 }
+    }
+
+    /// The relay directory (for circuit building).
+    pub fn directory(&self) -> &RelayDirectory {
+        &self.directory
+    }
+
+    /// Send `payload` from `client_address` through `circuit`; the exit
+    /// delivers to the destination. Returns the delivery plus the complete
+    /// observation log.
+    pub fn route(
+        &self,
+        client_address: &str,
+        circuit: &Circuit,
+        payload: &[u8],
+        rng: &mut impl RngCore,
+    ) -> Result<RouteOutcome, RouteError> {
+        let mut onion = circuit.wrap(payload, rng);
+        let mut current = circuit.entry().clone();
+        let mut previous = client_address.to_string();
+        let mut observations = Vec::new();
+
+        for _ in 0..self.max_hops {
+            let relay = self
+                .directory
+                .get(&current)
+                .ok_or_else(|| RouteError::UnknownRelay(current.clone()))?;
+            match relay.peel(&onion).ok_or_else(|| RouteError::PeelFailed(current.clone()))? {
+                PeeledLayer::Forward { next, onion: inner } => {
+                    observations.push(Observation {
+                        observer: current.clone(),
+                        previous_hop: previous.clone(),
+                        next_hop: Some(next.clone()),
+                        saw_plaintext: false,
+                    });
+                    previous = current;
+                    current = next;
+                    onion = inner;
+                }
+                PeeledLayer::Exit { payload: delivered } => {
+                    observations.push(Observation {
+                        observer: current.clone(),
+                        previous_hop: previous.clone(),
+                        next_hop: Some("destination".into()),
+                        // The exit relay forwards plaintext — Tor's known
+                        // property; the payload itself must not identify
+                        // the client.
+                        saw_plaintext: true,
+                    });
+                    observations.push(Observation {
+                        observer: "destination".into(),
+                        previous_hop: current.clone(),
+                        next_hop: None,
+                        saw_plaintext: true,
+                    });
+                    return Ok(RouteOutcome {
+                        delivered_payload: delivered,
+                        source_seen_by_destination: current,
+                        observations,
+                    });
+                }
+            }
+        }
+        Err(RouteError::TooManyHops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(relays: usize, seed: u64) -> (MixNetwork, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = RelayDirectory::with_relays(relays, &mut rng);
+        (MixNetwork::new(dir), rng)
+    }
+
+    #[test]
+    fn delivery_preserves_payload() {
+        let (net, mut rng) = network(8, 1);
+        let circuit = net.directory().build_circuit(3, &mut rng).unwrap();
+        let outcome =
+            net.route("10.0.0.42", &circuit, b"<request type=\"query\"/>", &mut rng).unwrap();
+        assert_eq!(outcome.delivered_payload, b"<request type=\"query\"/>");
+    }
+
+    #[test]
+    fn destination_never_sees_client_address() {
+        let (net, mut rng) = network(8, 2);
+        for _ in 0..10 {
+            let circuit = net.directory().build_circuit(3, &mut rng).unwrap();
+            let outcome = net.route("203.0.113.7", &circuit, b"payload", &mut rng).unwrap();
+            assert_eq!(&outcome.source_seen_by_destination, circuit.exit());
+            assert_ne!(outcome.source_seen_by_destination, "203.0.113.7");
+            // The client address appears only in the entry relay's view.
+            let seers: Vec<&Observation> =
+                outcome.observations.iter().filter(|o| o.previous_hop == "203.0.113.7").collect();
+            assert_eq!(seers.len(), 1);
+            assert_eq!(&seers[0].observer, circuit.entry());
+            assert!(!seers[0].saw_plaintext, "the entry relay cannot read the payload");
+        }
+    }
+
+    #[test]
+    fn only_exit_and_destination_see_plaintext() {
+        let (net, mut rng) = network(8, 3);
+        let circuit = net.directory().build_circuit(3, &mut rng).unwrap();
+        let outcome = net.route("client", &circuit, b"secret", &mut rng).unwrap();
+        let plaintext_seers: Vec<&str> = outcome
+            .observations
+            .iter()
+            .filter(|o| o.saw_plaintext)
+            .map(|o| o.observer.as_str())
+            .collect();
+        assert_eq!(plaintext_seers, vec![circuit.exit().as_str(), "destination"]);
+    }
+
+    #[test]
+    fn each_relay_sees_only_neighbours() {
+        let (net, mut rng) = network(8, 4);
+        let circuit = net.directory().build_circuit(3, &mut rng).unwrap();
+        let path = circuit.path();
+        let outcome = net.route("client", &circuit, b"x", &mut rng).unwrap();
+        // Middle relay: previous = entry, next = exit; never the client.
+        let middle = &outcome.observations[1];
+        assert_eq!(middle.observer, path[1]);
+        assert_eq!(middle.previous_hop, path[0]);
+        assert_eq!(middle.next_hop.as_deref(), Some(path[2].as_str()));
+    }
+
+    #[test]
+    fn unknown_relay_is_an_error() {
+        let (net, mut rng) = network(3, 5);
+        let mut bad_rng = StdRng::seed_from_u64(99);
+        let foreign_dir = RelayDirectory::with_relays(20, &mut bad_rng);
+        // Build a circuit over relays the network doesn't know (ids beyond
+        // relay-002 exist only in the foreign directory).
+        let circuit = foreign_dir.build_circuit(5, &mut bad_rng).unwrap();
+        let result = net.route("client", &circuit, b"x", &mut rng);
+        assert!(matches!(
+            result,
+            Err(RouteError::UnknownRelay(_)) | Err(RouteError::PeelFailed(_))
+        ));
+    }
+
+    #[test]
+    fn direct_connection_baseline_reveals_client() {
+        // The contrast case for experiment D8: without the mix network the
+        // destination sees the client address directly. Modelled here as a
+        // 1-hop "circuit" owned by the destination itself.
+        let (net, mut rng) = network(4, 6);
+        let circuit = net.directory().build_circuit(1, &mut rng).unwrap();
+        let outcome = net.route("198.51.100.9", &circuit, b"x", &mut rng).unwrap();
+        // With a single hop the entry == exit relay sees both the client
+        // address and the plaintext — the linkability the paper warns of.
+        let entry_view = &outcome.observations[0];
+        assert_eq!(entry_view.previous_hop, "198.51.100.9");
+        assert!(entry_view.saw_plaintext);
+    }
+}

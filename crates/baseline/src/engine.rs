@@ -1,0 +1,302 @@
+//! The anti-virus engine: lab + legal review + versioned signatures +
+//! client update lag, in one tickable component.
+
+use rand::Rng;
+
+use softrep_core::clock::Timestamp;
+use softrep_core::taxonomy::PisCategory;
+
+use crate::lab::AnalysisLab;
+use crate::legal::{LegalClimate, LegalOutcome};
+use crate::signature_db::{SignatureDb, Verdict};
+
+/// A software release as seen by the anti-virus vendor's telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Content digest.
+    pub software_id: String,
+    /// Vendor declared in the binary, if any.
+    pub vendor: Option<String>,
+    /// Ground-truth classification (labs are competent; their problem is
+    /// latency and lawyers).
+    pub category: PisCategory,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Delay between a release and the vendor's telemetry noticing it.
+    pub discovery_lag_secs: u64,
+    /// Lab analysis latency per sample.
+    pub analysis_latency_secs: u64,
+    /// Whether the vendor dares to flag grey-zone software at all.
+    pub detect_grey_zone: bool,
+    /// Probability a named vendor challenges a grey-zone detection.
+    pub legal_challenge_probability: f64,
+    /// How often clients sync their local definition copy.
+    pub client_update_interval_secs: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            discovery_lag_secs: 2 * 86_400,
+            analysis_latency_secs: 5 * 86_400,
+            detect_grey_zone: true,
+            legal_challenge_probability: 0.3,
+            client_update_interval_secs: 86_400,
+        }
+    }
+}
+
+/// What a client-side scan reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanVerdict {
+    /// The local definitions flag the file.
+    Malicious,
+    /// The local definitions do not know the file — reported as clean,
+    /// which is the §4.3 criticism: "an executable is either strictly
+    /// malicious or it is totally safe".
+    Clean,
+}
+
+/// The complete anti-virus pipeline.
+pub struct AntiVirusEngine {
+    config: EngineConfig,
+    lab: AnalysisLab,
+    legal: LegalClimate,
+    master: SignatureDb,
+    /// (software_id, detection published at) for time-to-protection stats.
+    detection_log: Vec<(String, Timestamp)>,
+}
+
+impl AntiVirusEngine {
+    /// Build an engine from `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        AntiVirusEngine {
+            lab: AnalysisLab::new(config.analysis_latency_secs, config.detect_grey_zone),
+            legal: LegalClimate::new(config.legal_challenge_probability),
+            master: SignatureDb::new(),
+            detection_log: Vec::new(),
+            config,
+        }
+    }
+
+    /// A release occurred at `now`; telemetry will deliver it to the lab
+    /// after the discovery lag.
+    pub fn observe_release(&mut self, sample: &Sample, now: Timestamp) {
+        self.lab.submit(
+            &sample.software_id,
+            sample.vendor.clone(),
+            sample.category,
+            now.plus_secs(self.config.discovery_lag_secs),
+        );
+    }
+
+    /// Advance the pipeline to `now`: completed analyses go through legal
+    /// review and (if they survive) become published signatures.
+    pub fn tick(&mut self, now: Timestamp, rng: &mut impl Rng) {
+        for finding in self.lab.collect_findings(now) {
+            if !finding.flag {
+                continue;
+            }
+            match self.legal.review(finding.category, finding.vendor.as_deref(), rng) {
+                LegalOutcome::Stands => {
+                    self.master.add_signature(&finding.software_id);
+                    self.detection_log.push((finding.software_id, finding.completed_at));
+                }
+                LegalOutcome::Withdrawn => {
+                    // The signature shipped, the lawsuit landed, the
+                    // signature was pulled: net effect is a brief window
+                    // of protection we conservatively model as none.
+                    self.master.add_signature(&finding.software_id);
+                    self.master.withdraw_signature(&finding.software_id);
+                }
+                LegalOutcome::Suppressed => {}
+            }
+        }
+    }
+
+    /// Scan with a client whose definitions were last synced at
+    /// `client_synced_at` (the engine translates that to a database
+    /// version via the update interval — clients only ever see whole
+    /// published versions).
+    ///
+    /// For simplicity the client's copy is the master as of its last sync;
+    /// `now`-fresh clients see the current master.
+    pub fn client_scan(&self, software_id: &str, fresh: bool) -> ScanVerdict {
+        let verdict = if fresh {
+            self.master.scan(software_id)
+        } else {
+            // A maximally stale client (never synced) — the pessimistic
+            // end used by experiment D6's update-lag sweep.
+            self.master.scan_as_of(software_id, 0)
+        };
+        match verdict {
+            Verdict::Malicious => ScanVerdict::Malicious,
+            Verdict::Clean => ScanVerdict::Clean,
+        }
+    }
+
+    /// Scan against the master as of an explicit version.
+    pub fn scan_as_of_version(&self, software_id: &str, version: u64) -> ScanVerdict {
+        match self.master.scan_as_of(software_id, version) {
+            Verdict::Malicious => ScanVerdict::Malicious,
+            Verdict::Clean => ScanVerdict::Clean,
+        }
+    }
+
+    /// Current master database version (clients record this at sync time).
+    pub fn master_version(&self) -> u64 {
+        self.master.version()
+    }
+
+    /// When protection for `software_id` was first published, if ever.
+    pub fn protection_published_at(&self, software_id: &str) -> Option<Timestamp> {
+        self.detection_log.iter().find(|(id, _)| id == software_id).map(|(_, t)| *t)
+    }
+
+    /// Signature-count view (active, withdrawn).
+    pub fn signature_counts(&self) -> (usize, usize) {
+        (self.master.active_signatures(), self.master.withdrawn_signatures())
+    }
+
+    /// Vendors shielded by litigation.
+    pub fn protected_vendors(&self) -> usize {
+        self.legal.protected_vendors()
+    }
+
+    /// Lawsuits absorbed so far.
+    pub fn lawsuits(&self) -> u64 {
+        self.legal.lawsuits()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use softrep_core::taxonomy::{ConsentLevel, ConsequenceLevel};
+
+    fn malware_sample(id: &str) -> Sample {
+        Sample {
+            software_id: id.into(),
+            vendor: None,
+            category: PisCategory::classify(ConsentLevel::Low, ConsequenceLevel::Severe),
+        }
+    }
+
+    fn grey_sample(id: &str, vendor: &str) -> Sample {
+        Sample {
+            software_id: id.into(),
+            vendor: Some(vendor.into()),
+            category: PisCategory::classify(ConsentLevel::Medium, ConsequenceLevel::Moderate),
+        }
+    }
+
+    fn legit_sample(id: &str) -> Sample {
+        Sample {
+            software_id: id.into(),
+            vendor: Some("Honest Co".into()),
+            category: PisCategory::classify(ConsentLevel::High, ConsequenceLevel::Tolerable),
+        }
+    }
+
+    fn config_fast() -> EngineConfig {
+        EngineConfig {
+            discovery_lag_secs: 100,
+            analysis_latency_secs: 200,
+            detect_grey_zone: true,
+            legal_challenge_probability: 0.0,
+            client_update_interval_secs: 50,
+        }
+    }
+
+    #[test]
+    fn protection_appears_after_discovery_plus_analysis() {
+        let mut engine = AntiVirusEngine::new(config_fast());
+        let mut rng = StdRng::seed_from_u64(1);
+        engine.observe_release(&malware_sample("bad"), Timestamp(0));
+
+        engine.tick(Timestamp(299), &mut rng);
+        assert_eq!(engine.client_scan("bad", true), ScanVerdict::Clean, "still in the pipeline");
+
+        engine.tick(Timestamp(300), &mut rng);
+        assert_eq!(engine.client_scan("bad", true), ScanVerdict::Malicious);
+        assert_eq!(engine.protection_published_at("bad"), Some(Timestamp(300)));
+    }
+
+    #[test]
+    fn legitimate_software_is_never_flagged() {
+        let mut engine = AntiVirusEngine::new(config_fast());
+        let mut rng = StdRng::seed_from_u64(2);
+        engine.observe_release(&legit_sample("good"), Timestamp(0));
+        engine.tick(Timestamp(10_000), &mut rng);
+        assert_eq!(engine.client_scan("good", true), ScanVerdict::Clean);
+        assert_eq!(engine.signature_counts(), (0, 0));
+    }
+
+    #[test]
+    fn conservative_engine_misses_grey_zone_entirely() {
+        let mut config = config_fast();
+        config.detect_grey_zone = false;
+        let mut engine = AntiVirusEngine::new(config);
+        let mut rng = StdRng::seed_from_u64(3);
+        engine.observe_release(&grey_sample("adware", "AdCo"), Timestamp(0));
+        engine.tick(Timestamp(10_000), &mut rng);
+        assert_eq!(engine.client_scan("adware", true), ScanVerdict::Clean);
+    }
+
+    #[test]
+    fn lawsuits_withdraw_grey_zone_protection() {
+        let mut config = config_fast();
+        config.legal_challenge_probability = 1.0;
+        let mut engine = AntiVirusEngine::new(config);
+        let mut rng = StdRng::seed_from_u64(4);
+
+        engine.observe_release(&grey_sample("adware1", "Gator"), Timestamp(0));
+        engine.tick(Timestamp(10_000), &mut rng);
+        assert_eq!(engine.client_scan("adware1", true), ScanVerdict::Clean);
+        assert_eq!(engine.lawsuits(), 1);
+        assert_eq!(engine.protected_vendors(), 1);
+        assert_eq!(engine.signature_counts(), (0, 1));
+
+        // The vendor's next release is suppressed without a lawsuit.
+        engine.observe_release(&grey_sample("adware2", "Gator"), Timestamp(20_000));
+        engine.tick(Timestamp(40_000), &mut rng);
+        assert_eq!(engine.client_scan("adware2", true), ScanVerdict::Clean);
+        assert_eq!(engine.lawsuits(), 1);
+    }
+
+    #[test]
+    fn malware_is_immune_to_lawsuits() {
+        let mut config = config_fast();
+        config.legal_challenge_probability = 1.0;
+        let mut engine = AntiVirusEngine::new(config);
+        let mut rng = StdRng::seed_from_u64(5);
+        engine.observe_release(&malware_sample("trojan"), Timestamp(0));
+        engine.tick(Timestamp(10_000), &mut rng);
+        assert_eq!(engine.client_scan("trojan", true), ScanVerdict::Malicious);
+        assert_eq!(engine.lawsuits(), 0);
+    }
+
+    #[test]
+    fn stale_clients_scan_clean() {
+        let mut engine = AntiVirusEngine::new(config_fast());
+        let mut rng = StdRng::seed_from_u64(6);
+        engine.observe_release(&malware_sample("bad"), Timestamp(0));
+        engine.tick(Timestamp(10_000), &mut rng);
+        assert_eq!(engine.client_scan("bad", false), ScanVerdict::Clean);
+        assert_eq!(engine.client_scan("bad", true), ScanVerdict::Malicious);
+        // Versioned scans interpolate.
+        let v = engine.master_version();
+        assert_eq!(engine.scan_as_of_version("bad", v), ScanVerdict::Malicious);
+        assert_eq!(engine.scan_as_of_version("bad", 0), ScanVerdict::Clean);
+    }
+}

@@ -1,0 +1,207 @@
+//! The central analysis lab.
+//!
+//! §4.3: "the organization behind the countermeasure must investigate every
+//! software before being able to offer a protection against it." Samples
+//! queue for a configurable analysis latency; when a sample's turn
+//! completes, the lab issues a finding. The lab classifies with the
+//! paper's black-and-white rule: unambiguous malware (low consent or
+//! severe consequences — the cells anti-virus software targets) is flagged;
+//! clear legitimate software is not. Grey-zone software is flagged only
+//! when `detect_grey_zone` is set — the aggressive stance that invites the
+//! lawsuits modelled in [`crate::legal`].
+
+use std::collections::VecDeque;
+
+use softrep_core::clock::Timestamp;
+use softrep_core::taxonomy::PisCategory;
+
+/// A completed analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabFinding {
+    /// The analysed software.
+    pub software_id: String,
+    /// Vendor, if declared (needed for the legal model).
+    pub vendor: Option<String>,
+    /// The category the analysts established (= ground truth; labs are
+    /// assumed competent, their weakness is latency and legal exposure).
+    pub category: PisCategory,
+    /// Whether the lab recommends a detection signature.
+    pub flag: bool,
+    /// When the analysis completed.
+    pub completed_at: Timestamp,
+}
+
+struct QueuedSample {
+    software_id: String,
+    vendor: Option<String>,
+    category: PisCategory,
+    ready_at: Timestamp,
+}
+
+/// The lab: a FIFO of samples with a fixed analysis latency.
+pub struct AnalysisLab {
+    queue: VecDeque<QueuedSample>,
+    analysis_latency_secs: u64,
+    detect_grey_zone: bool,
+    analysed: u64,
+}
+
+impl AnalysisLab {
+    /// A lab with the given per-sample latency, optionally flagging
+    /// grey-zone (spyware) software too.
+    pub fn new(analysis_latency_secs: u64, detect_grey_zone: bool) -> Self {
+        AnalysisLab { queue: VecDeque::new(), analysis_latency_secs, detect_grey_zone, analysed: 0 }
+    }
+
+    /// Submit a sample discovered at `now`.
+    pub fn submit(
+        &mut self,
+        software_id: &str,
+        vendor: Option<String>,
+        category: PisCategory,
+        now: Timestamp,
+    ) {
+        self.queue.push_back(QueuedSample {
+            software_id: software_id.to_string(),
+            vendor,
+            category,
+            ready_at: now.plus_secs(self.analysis_latency_secs),
+        });
+    }
+
+    /// Drain every sample whose analysis has completed by `now`.
+    pub fn collect_findings(&mut self, now: Timestamp) -> Vec<LabFinding> {
+        let mut findings = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.ready_at > now {
+                break;
+            }
+            let sample = self.queue.pop_front().expect("front checked");
+            self.analysed += 1;
+            let flag = Self::should_flag(sample.category, self.detect_grey_zone);
+            findings.push(LabFinding {
+                software_id: sample.software_id,
+                vendor: sample.vendor,
+                category: sample.category,
+                flag,
+                completed_at: sample.ready_at,
+            });
+        }
+        findings
+    }
+
+    fn should_flag(category: PisCategory, detect_grey_zone: bool) -> bool {
+        if category.is_malware() {
+            return true;
+        }
+        detect_grey_zone && category.is_spyware()
+    }
+
+    /// Samples still in the queue.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total samples analysed so far.
+    pub fn analysed(&self) -> u64 {
+        self.analysed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrep_core::taxonomy::{ConsentLevel, ConsequenceLevel};
+
+    fn cat(consent: ConsentLevel, consequence: ConsequenceLevel) -> PisCategory {
+        PisCategory::classify(consent, consequence)
+    }
+
+    #[test]
+    fn samples_complete_after_latency() {
+        let mut lab = AnalysisLab::new(3_600, false);
+        lab.submit("aaa", None, cat(ConsentLevel::Low, ConsequenceLevel::Severe), Timestamp(0));
+        assert!(lab.collect_findings(Timestamp(3_599)).is_empty());
+        assert_eq!(lab.backlog(), 1);
+        let findings = lab.collect_findings(Timestamp(3_600));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].flag);
+        assert_eq!(findings[0].completed_at, Timestamp(3_600));
+        assert_eq!(lab.backlog(), 0);
+        assert_eq!(lab.analysed(), 1);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut lab = AnalysisLab::new(100, false);
+        for (i, t) in [(0u64, 0u64), (1, 10), (2, 20)] {
+            lab.submit(
+                &format!("sw{i}"),
+                None,
+                cat(ConsentLevel::Low, ConsequenceLevel::Severe),
+                Timestamp(t),
+            );
+        }
+        let findings = lab.collect_findings(Timestamp(1_000));
+        let ids: Vec<&str> = findings.iter().map(|f| f.software_id.as_str()).collect();
+        assert_eq!(ids, vec!["sw0", "sw1", "sw2"]);
+    }
+
+    #[test]
+    fn conservative_lab_ignores_grey_zone() {
+        let mut lab = AnalysisLab::new(0, false);
+        lab.submit(
+            "adware",
+            None,
+            cat(ConsentLevel::Medium, ConsequenceLevel::Moderate),
+            Timestamp(0),
+        );
+        lab.submit(
+            "legit",
+            None,
+            cat(ConsentLevel::High, ConsequenceLevel::Tolerable),
+            Timestamp(0),
+        );
+        lab.submit(
+            "trojan",
+            None,
+            cat(ConsentLevel::Low, ConsequenceLevel::Moderate),
+            Timestamp(0),
+        );
+        let flags: Vec<bool> = lab.collect_findings(Timestamp(0)).iter().map(|f| f.flag).collect();
+        assert_eq!(flags, vec![false, false, true]);
+    }
+
+    #[test]
+    fn aggressive_lab_flags_grey_zone() {
+        let mut lab = AnalysisLab::new(0, true);
+        lab.submit(
+            "adware",
+            Some("Gator".into()),
+            cat(ConsentLevel::Medium, ConsequenceLevel::Moderate),
+            Timestamp(0),
+        );
+        lab.submit(
+            "legit",
+            None,
+            cat(ConsentLevel::High, ConsequenceLevel::Tolerable),
+            Timestamp(0),
+        );
+        let findings = lab.collect_findings(Timestamp(0));
+        assert!(findings[0].flag, "grey zone flagged under the aggressive stance");
+        assert!(!findings[1].flag, "legitimate software never flagged");
+        assert_eq!(findings[0].vendor.as_deref(), Some("Gator"));
+    }
+
+    #[test]
+    fn all_malware_cells_are_flagged_conservatively() {
+        let mut lab = AnalysisLab::new(0, false);
+        for category in PisCategory::all() {
+            lab.submit(category.name(), None, category, Timestamp(0));
+        }
+        let findings = lab.collect_findings(Timestamp(0));
+        for f in &findings {
+            assert_eq!(f.flag, f.category.is_malware(), "{}", f.category);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The legal-challenge model.
+//!
+//! §1: "this requires a classification of some software as 'harmful to the
+//! user' which is legally problematic … Such legal disputes have already
+//! proved to be costly for anti-spyware software companies. As a result …
+//! they may be forced to remove certain software from their list of
+//! targeted spyware to avoid future legal actions, and hence deliver an
+//! incomplete product."
+//!
+//! Model: each *grey-zone* detection (the software is spyware, not clear
+//! malware) is challenged by its vendor with probability
+//! `challenge_probability` — but only by vendors that declare themselves
+//! in their binaries (an anonymous vendor cannot sue without outing
+//! itself). A successful challenge forces the signature's withdrawal and
+//! puts the vendor on the anti-virus company's *do-not-detect* list: all
+//! future grey-zone findings against that vendor are suppressed before
+//! they even become signatures. Clear malware is never protected by the
+//! courts.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use softrep_core::taxonomy::PisCategory;
+
+/// Outcome of putting one finding through legal review.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegalOutcome {
+    /// The detection stands.
+    Stands,
+    /// The vendor sued; the signature must be withdrawn.
+    Withdrawn,
+    /// The vendor is already on the do-not-detect list; the signature is
+    /// suppressed before publication.
+    Suppressed,
+}
+
+/// The anti-virus company's legal environment.
+pub struct LegalClimate {
+    challenge_probability: f64,
+    do_not_detect: HashSet<String>,
+    lawsuits: u64,
+}
+
+impl LegalClimate {
+    /// A climate where each grey-zone detection of a named vendor is
+    /// challenged with `challenge_probability`.
+    pub fn new(challenge_probability: f64) -> Self {
+        LegalClimate {
+            challenge_probability: challenge_probability.clamp(0.0, 1.0),
+            do_not_detect: HashSet::new(),
+            lawsuits: 0,
+        }
+    }
+
+    /// Put a (prospective or published) grey-zone detection through legal
+    /// review. `category` is the software's classification; `vendor` the
+    /// name declared in its binary.
+    pub fn review(
+        &mut self,
+        category: PisCategory,
+        vendor: Option<&str>,
+        rng: &mut impl Rng,
+    ) -> LegalOutcome {
+        // Clear malware enjoys no legal protection.
+        if category.is_malware() || category.is_legitimate() {
+            return LegalOutcome::Stands;
+        }
+        let Some(vendor) = vendor else {
+            // Anonymous vendors cannot sue without identifying themselves
+            // (§3.3 notes stripped binaries are themselves a PIS signal).
+            return LegalOutcome::Stands;
+        };
+        if self.do_not_detect.contains(vendor) {
+            return LegalOutcome::Suppressed;
+        }
+        if rng.gen_bool(self.challenge_probability) {
+            self.lawsuits += 1;
+            self.do_not_detect.insert(vendor.to_string());
+            return LegalOutcome::Withdrawn;
+        }
+        LegalOutcome::Stands
+    }
+
+    /// Vendors currently protected by litigation threat.
+    pub fn protected_vendors(&self) -> usize {
+        self.do_not_detect.len()
+    }
+
+    /// Lawsuits filed so far.
+    pub fn lawsuits(&self) -> u64 {
+        self.lawsuits
+    }
+
+    /// Is this vendor on the do-not-detect list?
+    pub fn is_protected(&self, vendor: &str) -> bool {
+        self.do_not_detect.contains(vendor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use softrep_core::taxonomy::{ConsentLevel, ConsequenceLevel};
+
+    fn grey() -> PisCategory {
+        PisCategory::classify(ConsentLevel::Medium, ConsequenceLevel::Moderate)
+    }
+
+    fn malware() -> PisCategory {
+        PisCategory::classify(ConsentLevel::Low, ConsequenceLevel::Severe)
+    }
+
+    #[test]
+    fn malware_detections_always_stand() {
+        let mut climate = LegalClimate::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(climate.review(malware(), Some("EvilCorp"), &mut rng), LegalOutcome::Stands);
+        }
+        assert_eq!(climate.lawsuits(), 0);
+    }
+
+    #[test]
+    fn certain_challenge_withdraws_then_suppresses() {
+        let mut climate = LegalClimate::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(climate.review(grey(), Some("Gator"), &mut rng), LegalOutcome::Withdrawn);
+        assert!(climate.is_protected("Gator"));
+        assert_eq!(climate.lawsuits(), 1);
+        // From now on, the company pre-emptively suppresses.
+        assert_eq!(climate.review(grey(), Some("Gator"), &mut rng), LegalOutcome::Suppressed);
+        assert_eq!(climate.lawsuits(), 1, "suppression avoids a second lawsuit");
+    }
+
+    #[test]
+    fn anonymous_vendors_cannot_sue() {
+        let mut climate = LegalClimate::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(climate.review(grey(), None, &mut rng), LegalOutcome::Stands);
+        assert_eq!(climate.protected_vendors(), 0);
+    }
+
+    #[test]
+    fn zero_probability_climate_never_withdraws() {
+        let mut climate = LegalClimate::new(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..50 {
+            let vendor = format!("v{i}");
+            assert_eq!(climate.review(grey(), Some(&vendor), &mut rng), LegalOutcome::Stands);
+        }
+        assert_eq!(climate.lawsuits(), 0);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let climate = LegalClimate::new(7.5);
+        assert_eq!(climate.challenge_probability, 1.0);
+        let climate = LegalClimate::new(-1.0);
+        assert_eq!(climate.challenge_probability, 0.0);
+    }
+
+    #[test]
+    fn intermediate_probability_withdraws_sometimes() {
+        let mut climate = LegalClimate::new(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut outcomes = Vec::new();
+        for i in 0..100 {
+            let vendor = format!("v{i}");
+            outcomes.push(climate.review(grey(), Some(&vendor), &mut rng));
+        }
+        let withdrawn = outcomes.iter().filter(|o| **o == LegalOutcome::Withdrawn).count();
+        assert!((20..=80).contains(&withdrawn), "got {withdrawn}");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The anti-virus / anti-spyware baseline of §4.3.
+//!
+//! The paper contrasts the reputation system with "currently available
+//! countermeasures against PIS, such as anti-spyware and anti-virus
+//! applications", and identifies four structural properties, all of which
+//! are modelled here:
+//!
+//! 1. **Central investigation**: "the organization behind the
+//!    countermeasure must investigate every software before being able to
+//!    offer a protection against it" — the [`lab`] with a per-sample
+//!    analysis latency.
+//! 2. **Local definition databases**: "a vendor database that must be
+//!    updated locally on the client" — [`engine`] separates the vendor's
+//!    master database from what clients have synced.
+//! 3. **Binary verdicts**: "a black and white world where an executable is
+//!    branded as either a virus or not" — [`signature_db::Verdict`] has no
+//!    grey zone.
+//! 4. **Legal exposure**: grey-zone detections risk lawsuits ("legal
+//!    disputes have already proved to be costly for anti-spyware software
+//!    companies … they may be forced to remove certain software from their
+//!    list") — the [`legal`] model withdraws challenged detections and
+//!    suppresses future detections of litigious vendors.
+//!
+//! Experiment D6 runs this engine side by side with the reputation system
+//! over the same synthetic release stream.
+
+pub mod engine;
+pub mod lab;
+pub mod legal;
+pub mod signature_db;
+
+pub use engine::{AntiVirusEngine, EngineConfig, Sample, ScanVerdict};
+pub use lab::{AnalysisLab, LabFinding};
+pub use legal::{LegalClimate, LegalOutcome};
+pub use signature_db::{SignatureDb, Verdict};

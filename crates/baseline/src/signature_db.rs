@@ -1,0 +1,173 @@
+//! The signature (definition) database.
+//!
+//! Versioned so the engine can model client-side update lag: a client that
+//! last synced at version `v` scans with the database as it existed at
+//! `v`, not with the vendor's current master copy.
+
+use std::collections::BTreeMap;
+
+/// The binary verdict of the black-and-white world (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Flagged by a definition.
+    Malicious,
+    /// Not in the database (which the industry markets as "clean").
+    Clean,
+}
+
+/// A versioned set of detection signatures keyed by software id.
+///
+/// Every mutation bumps the version; queries can be evaluated *as of* any
+/// historical version, which is how client update lag is simulated without
+/// copying databases around.
+#[derive(Debug, Default)]
+pub struct SignatureDb {
+    /// software_id → activity intervals `(version added, version removed)`,
+    /// newest last. Keeping the full history lets stale-client scans see
+    /// the database exactly as it was at their sync version.
+    entries: BTreeMap<String, Vec<(u64, Option<u64>)>>,
+    version: u64,
+}
+
+impl SignatureDb {
+    /// Empty database at version 0.
+    pub fn new() -> Self {
+        SignatureDb::default()
+    }
+
+    /// Current master version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Add a detection signature. Returns the new version. Re-adding a
+    /// withdrawn signature re-activates it.
+    pub fn add_signature(&mut self, software_id: &str) -> u64 {
+        self.version += 1;
+        let intervals = self.entries.entry(software_id.to_string()).or_default();
+        match intervals.last_mut() {
+            Some(last) if last.1.is_none() => last.0 = last.0.min(self.version),
+            _ => intervals.push((self.version, None)),
+        }
+        self.version
+    }
+
+    /// Withdraw a signature (the lawsuit path). Returns the new version,
+    /// or `None` if no active signature existed.
+    pub fn withdraw_signature(&mut self, software_id: &str) -> Option<u64> {
+        let intervals = self.entries.get_mut(software_id)?;
+        let last = intervals.last_mut()?;
+        if last.1.is_some() {
+            return None; // already withdrawn
+        }
+        self.version += 1;
+        last.1 = Some(self.version);
+        Some(self.version)
+    }
+
+    /// Verdict as of the master's current version.
+    pub fn scan(&self, software_id: &str) -> Verdict {
+        self.scan_as_of(software_id, self.version)
+    }
+
+    /// Verdict as of a historical `version` (a stale client copy).
+    pub fn scan_as_of(&self, software_id: &str, version: u64) -> Verdict {
+        let active = self.entries.get(software_id).is_some_and(|intervals| {
+            intervals.iter().any(|(added, removed)| {
+                *added <= version && removed.is_none_or(|rem| rem > version)
+            })
+        });
+        if active {
+            Verdict::Malicious
+        } else {
+            Verdict::Clean
+        }
+    }
+
+    /// Number of *active* signatures at the current version.
+    pub fn active_signatures(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|intervals| intervals.last().is_some_and(|(_, removed)| removed.is_none()))
+            .count()
+    }
+
+    /// Number of withdrawn signatures (the incomplete-product measure the
+    /// paper describes).
+    pub fn withdrawn_signatures(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|intervals| intervals.last().is_some_and(|(_, removed)| removed.is_some()))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_software_scans_clean() {
+        let db = SignatureDb::new();
+        assert_eq!(db.scan("deadbeef"), Verdict::Clean);
+        assert_eq!(db.active_signatures(), 0);
+    }
+
+    #[test]
+    fn added_signature_detects_and_versions_advance() {
+        let mut db = SignatureDb::new();
+        let v1 = db.add_signature("aaa");
+        assert_eq!(v1, 1);
+        assert_eq!(db.scan("aaa"), Verdict::Malicious);
+        let v2 = db.add_signature("bbb");
+        assert_eq!(v2, 2);
+        assert_eq!(db.active_signatures(), 2);
+    }
+
+    #[test]
+    fn stale_clients_miss_new_signatures() {
+        let mut db = SignatureDb::new();
+        db.add_signature("aaa"); // v1
+        db.add_signature("bbb"); // v2
+                                 // A client synced at v1 misses bbb.
+        assert_eq!(db.scan_as_of("aaa", 1), Verdict::Malicious);
+        assert_eq!(db.scan_as_of("bbb", 1), Verdict::Clean);
+        // A client that never synced misses everything.
+        assert_eq!(db.scan_as_of("aaa", 0), Verdict::Clean);
+    }
+
+    #[test]
+    fn withdrawal_removes_protection_going_forward() {
+        let mut db = SignatureDb::new();
+        db.add_signature("gator"); // v1
+        let v2 = db.withdraw_signature("gator").unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(db.scan("gator"), Verdict::Clean, "the incomplete product");
+        // A stale client that synced before the lawsuit still detects.
+        assert_eq!(db.scan_as_of("gator", 1), Verdict::Malicious);
+        assert_eq!(db.active_signatures(), 0);
+        assert_eq!(db.withdrawn_signatures(), 1);
+    }
+
+    #[test]
+    fn double_withdrawal_is_rejected() {
+        let mut db = SignatureDb::new();
+        db.add_signature("x");
+        assert!(db.withdraw_signature("x").is_some());
+        assert!(db.withdraw_signature("x").is_none());
+        assert!(db.withdraw_signature("never-added").is_none());
+    }
+
+    #[test]
+    fn readding_after_withdrawal_reactivates() {
+        let mut db = SignatureDb::new();
+        db.add_signature("x"); // v1
+        db.withdraw_signature("x"); // v2
+        db.add_signature("x"); // v3
+        assert_eq!(db.scan("x"), Verdict::Malicious);
+        // History: detected at v1, clean at v2, detected again at v3.
+        assert_eq!(db.scan_as_of("x", 1), Verdict::Malicious);
+        assert_eq!(db.scan_as_of("x", 2), Verdict::Clean);
+        assert_eq!(db.scan_as_of("x", 3), Verdict::Malicious);
+    }
+}

@@ -1,0 +1,83 @@
+//! D10 (client): the per-execution overhead the §3.1 client adds — the
+//! number the paper's users actually feel at every double-click.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softrep_client::{InProcessConnector, ReputationClient};
+use softrep_core::clock::{SimClock, Timestamp};
+use softrep_core::db::ReputationDb;
+use softrep_core::identity::SyntheticExecutable;
+use softrep_proto::message::SoftwareInfo;
+use softrep_server::{ReputationServer, ServerConfig};
+
+struct AlwaysAllow;
+impl UserAgent for AlwaysAllow {
+    fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+        UserChoice::AllowOnce
+    }
+    fn rate(&mut self, _f: &str, _r: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+        None
+    }
+}
+
+fn setup() -> (ReputationClient<InProcessConnector>, SyntheticExecutable) {
+    let clock = SimClock::new();
+    let db = ReputationDb::in_memory("client-bench");
+    let mut rng = StdRng::seed_from_u64(1);
+    // Seed one rated program.
+    let exe = SyntheticExecutable::new("bench.exe", "Acme", "1.0", vec![0xAB; 256]);
+    let id = exe.id_sha1().to_hex();
+    let token = db.register_user("seeder", "pw", "s@b.example", Timestamp(0), &mut rng).unwrap();
+    db.activate_user("seeder", &token).unwrap();
+    db.register_software(&id, "bench.exe", 256, Some("Acme".into()), None, Timestamp(0)).unwrap();
+    db.submit_vote("seeder", &id, 8, vec!["startup_registration".into()], Timestamp(1)).unwrap();
+    db.force_aggregation(Timestamp(2)).unwrap();
+
+    let server = Arc::new(ReputationServer::new(
+        db,
+        Arc::new(clock.clone()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        2,
+    ));
+    let client =
+        ReputationClient::new(InProcessConnector::new(server, "bench-host"), Arc::new(clock));
+    (client, exe)
+}
+
+fn bench_execution_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_execution");
+
+    // Whitelisted: the invariant-8 fast path — no server, no policy.
+    let (mut client, exe) = setup();
+    client.lists_mut().whitelist(&exe.id_sha1().to_hex());
+    group.bench_function("whitelisted_fast_path", |b| {
+        b.iter(|| client.handle_execution(black_box(&exe), None, &mut AlwaysAllow))
+    });
+
+    // Cached report + policy decision: the common warm path.
+    let (mut client, exe) = setup();
+    client.set_policy_text("allow if rating >= 6\ndeny otherwise").unwrap();
+    client.handle_execution(&exe, None, &mut AlwaysAllow); // warm the cache
+    group.bench_function("policy_with_cached_report", |b| {
+        b.iter(|| client.handle_execution(black_box(&exe), None, &mut AlwaysAllow))
+    });
+
+    // Fingerprinting cost alone, for scale (1 MiB binary).
+    let big = SyntheticExecutable::new("big.exe", "Acme", "1.0", vec![0x5A; 1 << 20]);
+    group.bench_function("sha1_fingerprint_1MiB_binary", |b| b.iter(|| black_box(&big).id_sha1()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution_pipeline);
+criterion_main!(benches);

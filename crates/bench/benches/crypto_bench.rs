@@ -1,0 +1,127 @@
+//! D10 (crypto): digest, HMAC, password-hash, puzzle and OTS throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_crypto::ots::{LamportKeypair, WinternitzKeypair};
+use softrep_crypto::puzzle::Challenge;
+use softrep_crypto::salted::{PasswordHash, SecretPepper};
+use softrep_crypto::sha1::Sha1;
+use softrep_crypto::sha256::Sha256;
+
+fn bench_digests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    for size in [1_024usize, 65_536, 1_048_576] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, data| {
+            b.iter(|| Sha1::digest(black_box(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| Sha256::digest(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac_and_pepper(c: &mut Criterion) {
+    let pepper = SecretPepper::new("bench-pepper");
+    c.bench_function("email_digest_peppered", |b| {
+        b.iter(|| pepper.email_digest(black_box("someone@example.com")))
+    });
+    c.bench_function("hmac_sha256_64B", |b| {
+        b.iter(|| softrep_crypto::hmac::hmac_sha256(black_box(b"key"), black_box(&[0u8; 64])))
+    });
+}
+
+fn bench_password_hash(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hash = PasswordHash::create(black_box("correct horse"), &mut rng);
+    c.bench_function("password_hash_create_1000_iters", |b| {
+        b.iter(|| PasswordHash::create(black_box("correct horse"), &mut rng))
+    });
+    c.bench_function("password_hash_verify", |b| {
+        b.iter(|| hash.verify(black_box("correct horse")))
+    });
+}
+
+fn bench_puzzle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("puzzle_solve");
+    group.sample_size(10);
+    for difficulty in [4u8, 8, 12] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(difficulty),
+            &difficulty,
+            |b, &difficulty| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| Challenge::issue(difficulty, &mut rng).solve())
+            },
+        );
+    }
+    group.finish();
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let challenge = Challenge::issue(12, &mut rng);
+    let (solution, _) = challenge.solve();
+    c.bench_function("puzzle_verify", |b| b.iter(|| challenge.verify(black_box(solution))));
+}
+
+fn bench_ots(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let message = vec![0x42u8; 4_096];
+
+    let mut group = c.benchmark_group("ots");
+    group.sample_size(20);
+    group.bench_function("winternitz_keygen", |b| b.iter(|| WinternitzKeypair::generate(&mut rng)));
+    let wkp = WinternitzKeypair::generate(&mut rng);
+    group.bench_function("winternitz_sign", |b| b.iter(|| wkp.sign(black_box(&message))));
+    let wsig = wkp.sign(&message);
+    group.bench_function("winternitz_verify", |b| {
+        b.iter(|| wkp.public_key().verify(black_box(&message), &wsig))
+    });
+    let lkp = LamportKeypair::generate(&mut rng);
+    group.bench_function("lamport_sign", |b| b.iter(|| lkp.sign(black_box(&message))));
+    let lsig = lkp.sign(&message);
+    group.bench_function("lamport_verify", |b| {
+        b.iter(|| lkp.public_key().verify(black_box(&message), &lsig))
+    });
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    use softrep_crypto::bignum::BigUint;
+    use softrep_crypto::rsa::{BlindingSession, RsaKeypair};
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("rsa_1024");
+    group.sample_size(10);
+    group.bench_function("keygen", |b| b.iter(|| RsaKeypair::generate(1024, &mut rng)));
+
+    let keypair = RsaKeypair::generate(1024, &mut rng);
+    let token = [0x42u8; 32];
+    group.bench_function("sign", |b| b.iter(|| keypair.sign(black_box(&token))));
+    let signature = keypair.sign(&token);
+    group.bench_function("verify", |b| {
+        b.iter(|| keypair.public_key().verify(black_box(&token), &signature))
+    });
+    group.bench_function("blind_sign_roundtrip", |b| {
+        b.iter(|| {
+            let (session, blinded) = BlindingSession::blind(&token, keypair.public_key(), &mut rng);
+            let blind_sig: BigUint = keypair.sign_raw(&blinded);
+            session.unblind(&blind_sig).expect("valid")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digests,
+    bench_hmac_and_pepper,
+    bench_password_hash,
+    bench_puzzle,
+    bench_ots,
+    bench_rsa
+);
+criterion_main!(benches);

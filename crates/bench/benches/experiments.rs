@@ -1,0 +1,136 @@
+//! The experiment harness: regenerates every table and figure of
+//! EXPERIMENTS.md (paper tables T1–T2 and derived figures D1–D9).
+//!
+//! Run with `cargo bench -p softrep-bench --bench experiments`; set
+//! `SOFTREP_SCALE=quick` for the test-sized configurations.
+
+use softrep_bench::{print_tables, timed, use_quick_scale};
+use softrep_sim::experiments::*;
+
+fn main() {
+    let quick = use_quick_scale();
+    println!(
+        "softwareputation experiment harness — scale: {}",
+        if quick { "quick" } else { "full" }
+    );
+
+    let t1 = timed("T1", || {
+        t1_taxonomy::run(&if quick {
+            t1_taxonomy::Config::quick()
+        } else {
+            t1_taxonomy::Config::full()
+        })
+    });
+    print_tables("T1 — Table 1: PIS classification", &t1.tables);
+
+    let t2 = timed("T2", || {
+        t2_transform::run(&if quick {
+            t2_transform::Config::quick()
+        } else {
+            t2_transform::Config::full()
+        })
+    });
+    print_tables("T2 — Table 2: grey-zone collapse", &t2.tables);
+
+    let d1 = timed("D1", || {
+        d1_coldstart::run(&if quick {
+            d1_coldstart::Config::quick()
+        } else {
+            d1_coldstart::Config::full()
+        })
+    });
+    print_tables("D1 — cold start & mitigations", &d1.tables);
+
+    let d2 = timed("D2", || {
+        d2_trust_weighting::run(&if quick {
+            d2_trust_weighting::Config::quick()
+        } else {
+            d2_trust_weighting::Config::full()
+        })
+    });
+    print_tables("D2 — trust-weighted vs unweighted aggregation", &d2.tables);
+
+    let d3 = timed("D3", || {
+        d3_attacks::run(&if quick {
+            d3_attacks::Config::quick()
+        } else {
+            d3_attacks::Config::full()
+        })
+    });
+    print_tables("D3 — Sybil & flooding resilience", &d3.tables);
+
+    let d4 = timed("D4", || {
+        d4_trust_growth::run(&if quick {
+            d4_trust_growth::Config::quick()
+        } else {
+            d4_trust_growth::Config::full()
+        })
+    });
+    print_tables("D4 — trust growth schedule", &d4.tables);
+
+    let d5 = timed("D5", || {
+        d5_interruption::run(&if quick {
+            d5_interruption::Config::quick()
+        } else {
+            d5_interruption::Config::full()
+        })
+    });
+    print_tables("D5 — rating-prompt interruption", &d5.tables);
+
+    let d6 = timed("D6", || {
+        d6_baseline::run(&if quick {
+            d6_baseline::Config::quick()
+        } else {
+            d6_baseline::Config::full()
+        })
+    });
+    print_tables("D6 — reputation system vs anti-virus baseline", &d6.tables);
+
+    let d7 = timed("D7", || {
+        d7_identity::run(&if quick {
+            d7_identity::Config::quick()
+        } else {
+            d7_identity::Config::full()
+        })
+    });
+    print_tables("D7 — hash identity under polymorphism", &d7.tables);
+
+    let d8 = timed("D8", || {
+        d8_privacy::run(&if quick {
+            d8_privacy::Config::quick()
+        } else {
+            d8_privacy::Config::full()
+        })
+    });
+    print_tables("D8 — participant privacy audit", &d8.tables);
+
+    let d9 = timed("D9", || {
+        d9_policy::run(&if quick { d9_policy::Config::quick() } else { d9_policy::Config::full() })
+    });
+    print_tables("D9 — policy manager automation", &d9.tables);
+
+    let x1 = timed("X1", || {
+        x1_evidence::run(&if quick {
+            x1_evidence::Config::quick()
+        } else {
+            x1_evidence::Config::full()
+        })
+    });
+    print_tables("X1 — extension: runtime-analysis evidence", &x1.tables);
+
+    let x2 = timed("X2", || {
+        x2_feeds::run(&if quick { x2_feeds::Config::quick() } else { x2_feeds::Config::full() })
+    });
+    print_tables("X2 — extension: expert-group rating feeds", &x2.tables);
+
+    let x3 = timed("X3", || {
+        x3_pseudonyms::run(&if quick {
+            x3_pseudonyms::Config::quick()
+        } else {
+            x3_pseudonyms::Config::full()
+        })
+    });
+    print_tables("X3 — extension: pseudonymous participation", &x3.tables);
+
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,68 @@
+//! D10 (policy + anonymity): policy compile/evaluate cost and onion
+//! wrap/route cost — the per-execution and per-request overheads a client
+//! adds on top of the server round-trip.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_anonymity::{MixNetwork, RelayDirectory};
+use softrep_policy::{evaluate, parse_policy, ExecutionContext};
+
+const CORPORATE_POLICY: &str = r#"
+allow if signed_by_trusted
+deny  if behaviour("keylogger") or behaviour("data_exfiltration")
+deny  if behaviour("popup_ads") or vendor_stripped
+deny  if not has_rating
+allow if rating >= 6.5 and vote_count >= 3
+deny otherwise
+"#;
+
+fn bench_policy(c: &mut Criterion) {
+    c.bench_function("policy_parse_corporate", |b| {
+        b.iter(|| parse_policy(black_box(CORPORATE_POLICY)).unwrap())
+    });
+
+    let policy = parse_policy(CORPORATE_POLICY).unwrap();
+    let ctx = ExecutionContext {
+        rating: Some(7.2),
+        vote_count: 40,
+        vendor_rating: Some(6.8),
+        file_size: 2_000_000,
+        behaviours: vec!["startup_registration".into()],
+        verified_behaviours: vec![],
+        feed_rating: None,
+        vendor: Some("Acme Software".into()),
+        signed: false,
+        signed_by_trusted: false,
+        known: true,
+    };
+    c.bench_function("policy_evaluate_corporate", |b| {
+        b.iter(|| evaluate(black_box(&policy), black_box(&ctx)))
+    });
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let directory = RelayDirectory::with_relays(30, &mut rng);
+    let network = MixNetwork::new(directory);
+    let payload = vec![0x5au8; 512];
+
+    let mut group = c.benchmark_group("onion");
+    for hops in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("wrap", hops), &hops, |b, &hops| {
+            let circuit = network.directory().build_circuit(hops, &mut rng).unwrap();
+            b.iter(|| circuit.wrap(black_box(&payload), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("route_end_to_end", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let circuit = network.directory().build_circuit(hops, &mut rng).unwrap();
+                network.route("bench-client", &circuit, black_box(&payload), &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy, bench_onion);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! D10 (protocol): XML encode/decode and frame round-trips.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use softrep_proto::framing::{read_frame, write_frame};
+use softrep_proto::message::{CommentInfo, SoftwareInfo};
+use softrep_proto::{Request, Response, XmlNode};
+
+fn sample_software_response() -> Response {
+    Response::Software(SoftwareInfo {
+        software_id: "ab".repeat(20),
+        file_name: Some("weatherbar.exe".into()),
+        company: Some("Acme Software".into()),
+        version: Some("2.1.0".into()),
+        rating: Some(3.4567),
+        vote_count: 1_245,
+        behaviours: vec!["popup_ads".into(), "tracking".into(), "incomplete_uninstall".into()],
+        verified_behaviours: vec!["tracking".into()],
+        comments: (0..10)
+            .map(|i| CommentInfo {
+                id: i,
+                author: format!("user{i:04}"),
+                text: "Bundles a tracker & shows \"ads\"; the uninstaller leaves it behind.".into(),
+                remark_score: (i as i64) - 3,
+            })
+            .collect(),
+    })
+}
+
+fn bench_message_codec(c: &mut Criterion) {
+    let request = Request::SubmitVote {
+        session: "0123456789abcdef0123456789abcdef".into(),
+        software_id: "cd".repeat(20),
+        score: 7,
+        behaviours: vec!["popup_ads".into()],
+    };
+    let response = sample_software_response();
+    let request_doc = request.encode();
+    let response_doc = response.encode();
+
+    let mut group = c.benchmark_group("proto");
+    group.throughput(Throughput::Bytes(request_doc.len() as u64));
+    group.bench_function("request_encode", |b| b.iter(|| black_box(&request).encode()));
+    group.bench_function("request_decode", |b| {
+        b.iter(|| Request::decode(black_box(&request_doc)).unwrap())
+    });
+    group.throughput(Throughput::Bytes(response_doc.len() as u64));
+    group.bench_function("software_response_encode", |b| b.iter(|| black_box(&response).encode()));
+    group.bench_function("software_response_decode", |b| {
+        b.iter(|| Response::decode(black_box(&response_doc)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_xml_parser(c: &mut Criterion) {
+    // A deep + wide document stressing the parser.
+    let mut node = XmlNode::new("root");
+    for i in 0..50 {
+        node = node.child(
+            XmlNode::new(format!("item{i}"))
+                .attr("idx", i.to_string())
+                .with_text("text & entities <escaped> 'everywhere'"),
+        );
+    }
+    let doc = node.to_document();
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("parse_50_children", |b| {
+        b.iter(|| XmlNode::parse(black_box(&doc)).unwrap())
+    });
+    group.bench_function("serialise_50_children", |b| b.iter(|| black_box(&node).to_document()));
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let body = sample_software_response().encode();
+    c.bench_function("frame_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(body.len() + 4);
+            write_frame(&mut buf, black_box(&body)).unwrap();
+            read_frame(&mut std::io::Cursor::new(buf)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_message_codec, bench_xml_parser, bench_framing);
+criterion_main!(benches);

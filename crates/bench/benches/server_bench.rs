@@ -1,0 +1,151 @@
+//! D10 (server): request throughput and the 24 h aggregation batch cost as
+//! the database grows — the numbers behind the claim that a single modest
+//! server sustains the paper's deployment.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use softrep_core::clock::{SimClock, Timestamp};
+use softrep_core::db::ReputationDb;
+use softrep_proto::{Request, Response};
+use softrep_server::{ReputationServer, ServerConfig};
+
+fn sw_id(i: u64) -> String {
+    format!("{:040x}", i)
+}
+
+/// Seed a database with `users` members, `programs` titles and `votes`
+/// ballots via the direct DB API (setup cost, not the measured path).
+fn seeded_db(users: usize, programs: usize, votes: usize, seed: u64) -> ReputationDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = ReputationDb::in_memory("bench");
+    for u in 0..users {
+        let name = format!("user{u:05}");
+        let token = db
+            .register_user(&name, "pw", &format!("{name}@b.example"), Timestamp(0), &mut rng)
+            .unwrap();
+        db.activate_user(&name, &token).unwrap();
+    }
+    for p in 0..programs {
+        db.register_software(
+            &sw_id(p as u64),
+            "app.exe",
+            1_000,
+            Some("Acme".into()),
+            None,
+            Timestamp(0),
+        )
+        .unwrap();
+    }
+    for v in 0..votes {
+        let user = format!("user{:05}", v % users);
+        let program = sw_id(rng.gen_range(0..programs) as u64);
+        let score = rng.gen_range(1..=10);
+        db.submit_vote(&user, &program, score, vec!["popup_ads".into()], Timestamp(1)).unwrap();
+    }
+    db
+}
+
+fn server_over(db: ReputationDb) -> ReputationServer {
+    ReputationServer::new(
+        db,
+        Arc::new(SimClock::new()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        9,
+    )
+}
+
+fn bench_request_throughput(c: &mut Criterion) {
+    let db = seeded_db(200, 500, 5_000, 1);
+    db.force_aggregation(Timestamp(2)).unwrap();
+    let server = server_over(db);
+
+    // A live session for the vote path.
+    let Response::Session { token } = server.handle(
+        &Request::Login { username: "user00000".into(), password: "pw".into() },
+        "bench-client",
+    ) else {
+        panic!("login failed")
+    };
+
+    let mut group = c.benchmark_group("server_requests");
+    group.throughput(Throughput::Elements(1));
+    let query = Request::QuerySoftware { software_id: sw_id(7) };
+    group.bench_function("query_software", |b| {
+        b.iter(|| server.handle(black_box(&query), "bench-client"))
+    });
+    let vendor = Request::QueryVendor { vendor: "Acme".into() };
+    group.bench_function("query_vendor", |b| {
+        b.iter(|| server.handle(black_box(&vendor), "bench-client"))
+    });
+    let mut i = 0u64;
+    group.bench_function("submit_vote", |b| {
+        b.iter(|| {
+            i += 1;
+            let vote = Request::SubmitVote {
+                session: token.clone(),
+                software_id: sw_id(i % 500),
+                score: ((i % 10) + 1) as u8,
+                behaviours: vec![],
+            };
+            server.handle(&vote, "bench-client")
+        })
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_batch");
+    group.sample_size(10);
+    for votes in [1_000usize, 10_000, 50_000] {
+        let users = 200.min(votes);
+        let programs = 500;
+        let db = seeded_db(users, programs, votes, 2);
+        group.throughput(Throughput::Elements(votes as u64));
+        group.bench_with_input(BenchmarkId::new("force_aggregation", votes), &db, |b, db| {
+            b.iter(|| db.force_aggregation(black_box(Timestamp(10))).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_registration_path(c: &mut Criterion) {
+    let server = server_over(ReputationDb::in_memory("reg-bench"));
+    let mut group = c.benchmark_group("server_registration");
+    group.sample_size(20);
+    let mut i = 0u64;
+    group.bench_function("register_activate_login", |b| {
+        b.iter(|| {
+            i += 1;
+            let name = format!("bench{i:08}");
+            let resp = server.handle(
+                &Request::Register {
+                    username: name.clone(),
+                    password: "pw".into(),
+                    email: format!("{name}@b.example"),
+                    puzzle_challenge: String::new(),
+                    puzzle_solution: 0,
+                },
+                "bench-client",
+            );
+            let Response::Registered { activation_token } = resp else { panic!("{resp:?}") };
+            server.handle(
+                &Request::Activate { username: name.clone(), token: activation_token },
+                "c",
+            );
+            server.handle(&Request::Login { username: name, password: "pw".into() }, "c")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_throughput, bench_aggregation, bench_registration_path);
+criterion_main!(benches);

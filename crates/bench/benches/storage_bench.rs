@@ -1,0 +1,91 @@
+//! D10 (storage): WAL append/replay, store writes, scans and recovery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use softrep_storage::{Store, WriteBatch};
+
+fn bench_store_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_put");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("in_memory_single_put", |b| {
+        let store = Store::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.put("bench", i.to_be_bytes().to_vec(), vec![0u8; 64]).unwrap();
+        })
+    });
+    group.bench_function("in_memory_batch_100", |b| {
+        let store = Store::in_memory();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut batch = WriteBatch::new();
+            for _ in 0..100 {
+                i += 1;
+                batch.put("bench", i.to_be_bytes().to_vec(), vec![0u8; 64]);
+            }
+            store.apply(&batch).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_durable_store(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("softrep-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let mut group = c.benchmark_group("store_durable");
+    group.sample_size(20);
+    group.bench_function("wal_backed_put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.put("bench", i.to_be_bytes().to_vec(), vec![0u8; 64]).unwrap();
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let store = Store::in_memory();
+    for i in 0..10_000u64 {
+        let key = format!("{:02}:{i:08}", i % 16);
+        store.put("scan", key.into_bytes(), vec![0u8; 32]).unwrap();
+    }
+    let mut group = c.benchmark_group("store_scan");
+    group.bench_function("prefix_1_of_16", |b| {
+        b.iter(|| store.scan_prefix("scan", black_box(b"07:")))
+    });
+    group.bench_function("full_scan_10k", |b| b.iter(|| store.scan_all("scan")));
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_recovery");
+    group.sample_size(10);
+    for entries in [1_000usize, 10_000] {
+        let dir = std::env::temp_dir()
+            .join(format!("softrep-bench-recover-{entries}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            for i in 0..entries as u64 {
+                store.put("t", i.to_be_bytes().to_vec(), vec![0u8; 48]).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        group.throughput(Throughput::Elements(entries as u64));
+        group.bench_with_input(BenchmarkId::new("wal_replay", entries), &dir, |b, dir| {
+            b.iter(|| {
+                let store = Store::open(dir).unwrap();
+                black_box(store.tree_len("t"));
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_writes, bench_durable_store, bench_scans, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Transport abstraction between client and server.
+//!
+//! The agent simulations run thousands of clients against one in-process
+//! server; the networked examples speak framed XML over TCP. Both paths
+//! carry the identical [`Request`]/[`Response`] messages, so the client
+//! logic is transport-blind.
+
+use std::sync::Arc;
+
+use softrep_proto::{Request, Response};
+use softrep_server::ReputationServer;
+
+/// Anything that can deliver a request and return the response.
+pub trait Connector {
+    /// Perform one request/response exchange.
+    fn call(&mut self, request: &Request) -> Response;
+}
+
+/// Direct in-process calls into a shared server instance.
+///
+/// `source` is the transport identity handed to the server's flood guard —
+/// for simulations this is the simulated client address, mirroring what a
+/// TCP peer address provides in deployment.
+pub struct InProcessConnector {
+    server: Arc<ReputationServer>,
+    source: String,
+}
+
+impl InProcessConnector {
+    /// Connect "from" `source`.
+    pub fn new(server: Arc<ReputationServer>, source: impl Into<String>) -> Self {
+        InProcessConnector { server, source: source.into() }
+    }
+
+    /// The shared server (for test inspection).
+    pub fn server(&self) -> &Arc<ReputationServer> {
+        &self.server
+    }
+}
+
+impl Connector for InProcessConnector {
+    fn call(&mut self, request: &Request) -> Response {
+        self.server.handle(request, &self.source)
+    }
+}
+
+impl<F: FnMut(&Request) -> Response> Connector for F {
+    fn call(&mut self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrep_core::clock::SimClock;
+    use softrep_core::db::ReputationDb;
+    use softrep_server::ServerConfig;
+
+    #[test]
+    fn in_process_connector_round_trips() {
+        let server = Arc::new(ReputationServer::new(
+            ReputationDb::in_memory("p"),
+            Arc::new(SimClock::new()),
+            ServerConfig::default(),
+            1,
+        ));
+        let mut conn = InProcessConnector::new(server, "10.0.0.1");
+        let resp = conn.call(&Request::QuerySoftware { software_id: "ab".repeat(20) });
+        assert!(matches!(resp, Response::UnknownSoftware { .. }));
+        assert_eq!(conn.server().flood_guard().rejected_count(), 0);
+    }
+
+    #[test]
+    fn closures_are_connectors() {
+        let mut conn = |_req: &Request| Response::Ok;
+        assert_eq!(Connector::call(&mut conn, &Request::GetPuzzle), Response::Ok);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! The desktop client of §3.1.
+//!
+//! "The most important functionality of the client is the ability to allow
+//! its users to decide exactly what software is allowed to run on the
+//! computer … Whenever software is trying to execute, the hooking device
+//! informs the client about the pending execution, which in turn asks the
+//! user for confirmation before actually running the software."
+//!
+//! * [`os`] — the simulated operating system + execution-hook substrate
+//!   standing in for the `NtCreateSection` kernel driver, including the
+//!   §4.2 hazard: blocking an essential system component crashes the OS.
+//! * [`lists`] — checksum-keyed white/black lists; listed software never
+//!   causes a server round-trip or a prompt (DESIGN.md invariant 8).
+//! * [`signature`] — vendor code-signature verification against a
+//!   trusted-vendor registry (§4.2's enhanced white listing).
+//! * [`prompt`] — the rating-prompt policy: ask only after 50 executions,
+//!   at most 2 prompts per week (§3.1).
+//! * [`connector`] — the transport abstraction (in-process or framed TCP)
+//!   the client talks to the server through.
+//! * [`client`] — [`client::ReputationClient`]: the full execution-time
+//!   flow: lists → signatures → server query → policy → user dialog, plus
+//!   the rate-your-software flow.
+
+pub mod client;
+pub mod connector;
+pub mod lists;
+pub mod os;
+pub mod prompt;
+pub mod signature;
+
+pub use client::{
+    ClientHook, ClientStats, DecisionSource, ExecOutcome, ReputationClient, UserAgent, UserChoice,
+};
+pub use connector::{Connector, InProcessConnector};
+pub use lists::WhiteBlackLists;
+pub use os::{HookVerdict, LaunchOutcome, SimOs};
+pub use prompt::RatingPromptPolicy;
+pub use signature::{CodeSignature, SignatureStatus, TrustedVendorRegistry};

@@ -1,0 +1,159 @@
+//! Checksum-keyed white and black lists (§3.1).
+//!
+//! "The client uses different lists to keep track of which software have
+//! been marked as safe (the white list) and which have been marked as
+//! unsafe (the black list). These two lists are then used for
+//! automatically allowing or denying software to run, without asking for
+//! the user's permission every time." Lookups key on the content digest,
+//! so a modified binary never inherits a listing (§3.3).
+
+use std::collections::HashSet;
+
+/// Which list (if any) an executable is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListEntry {
+    /// On the white list: auto-allow.
+    White,
+    /// On the black list: auto-deny.
+    Black,
+    /// Unlisted: the full decision flow runs.
+    Unlisted,
+}
+
+/// The client's persistent allow/deny state.
+#[derive(Debug, Default, Clone)]
+pub struct WhiteBlackLists {
+    white: HashSet<String>,
+    black: HashSet<String>,
+}
+
+impl WhiteBlackLists {
+    /// Empty lists.
+    pub fn new() -> Self {
+        WhiteBlackLists::default()
+    }
+
+    /// Look up an executable by hex digest.
+    pub fn lookup(&self, software_id_hex: &str) -> ListEntry {
+        if self.white.contains(software_id_hex) {
+            ListEntry::White
+        } else if self.black.contains(software_id_hex) {
+            ListEntry::Black
+        } else {
+            ListEntry::Unlisted
+        }
+    }
+
+    /// Whitelist an executable (removing any blacklisting).
+    pub fn whitelist(&mut self, software_id_hex: &str) {
+        self.black.remove(software_id_hex);
+        self.white.insert(software_id_hex.to_string());
+    }
+
+    /// Blacklist an executable (removing any whitelisting).
+    pub fn blacklist(&mut self, software_id_hex: &str) {
+        self.white.remove(software_id_hex);
+        self.black.insert(software_id_hex.to_string());
+    }
+
+    /// Remove an executable from both lists.
+    pub fn unlist(&mut self, software_id_hex: &str) {
+        self.white.remove(software_id_hex);
+        self.black.remove(software_id_hex);
+    }
+
+    /// (whitelisted, blacklisted) counts.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.white.len(), self.black.len())
+    }
+
+    /// Export for persistence: `(id, is_white)` pairs, whites first, each
+    /// group sorted.
+    pub fn export(&self) -> Vec<(String, bool)> {
+        let mut out: Vec<(String, bool)> = Vec::with_capacity(self.white.len() + self.black.len());
+        let mut whites: Vec<&String> = self.white.iter().collect();
+        whites.sort();
+        out.extend(whites.into_iter().map(|id| (id.clone(), true)));
+        let mut blacks: Vec<&String> = self.black.iter().collect();
+        blacks.sort();
+        out.extend(blacks.into_iter().map(|id| (id.clone(), false)));
+        out
+    }
+
+    /// Rebuild from an [`export`](Self::export) dump.
+    pub fn import(entries: &[(String, bool)]) -> Self {
+        let mut lists = WhiteBlackLists::new();
+        for (id, is_white) in entries {
+            if *is_white {
+                lists.whitelist(id);
+            } else {
+                lists.blacklist(id);
+            }
+        }
+        lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lookup_reflects_listing() {
+        let mut lists = WhiteBlackLists::new();
+        assert_eq!(lists.lookup("aa"), ListEntry::Unlisted);
+        lists.whitelist("aa");
+        assert_eq!(lists.lookup("aa"), ListEntry::White);
+        lists.blacklist("bb");
+        assert_eq!(lists.lookup("bb"), ListEntry::Black);
+        assert_eq!(lists.counts(), (1, 1));
+    }
+
+    #[test]
+    fn lists_are_mutually_exclusive() {
+        let mut lists = WhiteBlackLists::new();
+        lists.whitelist("aa");
+        lists.blacklist("aa");
+        assert_eq!(lists.lookup("aa"), ListEntry::Black);
+        lists.whitelist("aa");
+        assert_eq!(lists.lookup("aa"), ListEntry::White);
+        assert_eq!(lists.counts(), (1, 0));
+    }
+
+    #[test]
+    fn unlist_removes_from_both() {
+        let mut lists = WhiteBlackLists::new();
+        lists.whitelist("aa");
+        lists.unlist("aa");
+        assert_eq!(lists.lookup("aa"), ListEntry::Unlisted);
+        lists.blacklist("aa");
+        lists.unlist("aa");
+        assert_eq!(lists.lookup("aa"), ListEntry::Unlisted);
+    }
+
+    #[test]
+    fn export_import_roundtrip_shape() {
+        let mut lists = WhiteBlackLists::new();
+        lists.whitelist("w2");
+        lists.whitelist("w1");
+        lists.blacklist("b1");
+        let dump = lists.export();
+        assert_eq!(dump, vec![("w1".into(), true), ("w2".into(), true), ("b1".into(), false)]);
+        let rebuilt = WhiteBlackLists::import(&dump);
+        assert_eq!(rebuilt.lookup("w1"), ListEntry::White);
+        assert_eq!(rebuilt.lookup("b1"), ListEntry::Black);
+    }
+
+    proptest! {
+        #[test]
+        fn import_export_identity(
+            entries in proptest::collection::btree_map("[a-f0-9]{8}", any::<bool>(), 0..20)
+        ) {
+            let entries: Vec<(String, bool)> = entries.into_iter().collect();
+            let lists = WhiteBlackLists::import(&entries);
+            let rebuilt = WhiteBlackLists::import(&lists.export());
+            prop_assert_eq!(lists.export(), rebuilt.export());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The simulated operating system and execution-hook substrate.
+//!
+//! Stands in for the paper's kernel driver (Anton Bassov's "Soviet
+//! Protector", hooking `NtCreateSection`): every process launch is paused
+//! at the hook point, the registered hook decides, and the OS enforces the
+//! verdict. The substitution preserves the driver's full observable
+//! contract, including its sharpest edge (§4.2): "As we give the users the
+//! ability to deny the execution of important system components, we also
+//! handed them the ability to crash the entire system in a single mouse
+//! click."
+
+use std::collections::HashSet;
+
+use softrep_core::identity::SyntheticExecutable;
+
+/// The hook's verdict on a pending execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookVerdict {
+    /// Let the process run.
+    Allow,
+    /// Block the process.
+    Deny,
+}
+
+/// Anything that can sit at the hook point. The reputation client's
+/// execution flow implements this via [`crate::client::ReputationClient`].
+pub trait ExecutionHook {
+    /// Decide the fate of `image`, which is about to execute.
+    fn on_execute(&mut self, image: &SyntheticExecutable) -> HookVerdict;
+}
+
+/// Outcome of a launch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchOutcome {
+    /// The process ran.
+    Ran,
+    /// The hook blocked it.
+    Blocked,
+    /// The hook blocked an essential system component — the OS crashed.
+    Crashed,
+    /// The OS is down (a previous crash without reboot).
+    SystemDown,
+}
+
+/// The simulated OS.
+#[derive(Debug, Default)]
+pub struct SimOs {
+    /// Hex software ids of essential system components.
+    essential: HashSet<String>,
+    crashed: bool,
+    launches: u64,
+    blocked: u64,
+    crashes: u64,
+}
+
+impl SimOs {
+    /// A fresh, healthy OS.
+    pub fn new() -> Self {
+        SimOs::default()
+    }
+
+    /// Mark an executable as an essential system component (blocking it
+    /// brings the system down).
+    pub fn mark_essential(&mut self, software_id_hex: &str) {
+        self.essential.insert(software_id_hex.to_string());
+    }
+
+    /// Is the id registered as essential?
+    pub fn is_essential(&self, software_id_hex: &str) -> bool {
+        self.essential.contains(software_id_hex)
+    }
+
+    /// Attempt to launch `image`, routing the decision through `hook`.
+    pub fn launch(
+        &mut self,
+        image: &SyntheticExecutable,
+        hook: &mut dyn ExecutionHook,
+    ) -> LaunchOutcome {
+        if self.crashed {
+            return LaunchOutcome::SystemDown;
+        }
+        self.launches += 1;
+        match hook.on_execute(image) {
+            HookVerdict::Allow => LaunchOutcome::Ran,
+            HookVerdict::Deny => {
+                self.blocked += 1;
+                if self.essential.contains(&image.id_sha1().to_hex()) {
+                    self.crashed = true;
+                    self.crashes += 1;
+                    LaunchOutcome::Crashed
+                } else {
+                    LaunchOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    /// Launch with no hook installed (the pre-client baseline: everything
+    /// runs).
+    pub fn launch_unprotected(&mut self, _image: &SyntheticExecutable) -> LaunchOutcome {
+        if self.crashed {
+            return LaunchOutcome::SystemDown;
+        }
+        self.launches += 1;
+        LaunchOutcome::Ran
+    }
+
+    /// Bring a crashed system back up.
+    pub fn reboot(&mut self) {
+        self.crashed = false;
+    }
+
+    /// Is the system currently down?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Total launch attempts (excluding those refused while down).
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Launches blocked by the hook.
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Crashes caused by blocking essential components.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysDeny;
+    impl ExecutionHook for AlwaysDeny {
+        fn on_execute(&mut self, _image: &SyntheticExecutable) -> HookVerdict {
+            HookVerdict::Deny
+        }
+    }
+
+    struct AlwaysAllow;
+    impl ExecutionHook for AlwaysAllow {
+        fn on_execute(&mut self, _image: &SyntheticExecutable) -> HookVerdict {
+            HookVerdict::Allow
+        }
+    }
+
+    fn exe(name: &str) -> SyntheticExecutable {
+        SyntheticExecutable::new(name, "Vendor", "1.0", name.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn allowed_processes_run() {
+        let mut os = SimOs::new();
+        assert_eq!(os.launch(&exe("app.exe"), &mut AlwaysAllow), LaunchOutcome::Ran);
+        assert_eq!(os.launches(), 1);
+        assert_eq!(os.blocked(), 0);
+    }
+
+    #[test]
+    fn denied_processes_are_blocked() {
+        let mut os = SimOs::new();
+        assert_eq!(os.launch(&exe("spy.exe"), &mut AlwaysDeny), LaunchOutcome::Blocked);
+        assert_eq!(os.blocked(), 1);
+        assert!(!os.is_crashed());
+    }
+
+    #[test]
+    fn blocking_essential_component_crashes_the_system() {
+        let mut os = SimOs::new();
+        let system_file = exe("csrss.exe");
+        os.mark_essential(&system_file.id_sha1().to_hex());
+        assert!(os.is_essential(&system_file.id_sha1().to_hex()));
+
+        assert_eq!(os.launch(&system_file, &mut AlwaysDeny), LaunchOutcome::Crashed);
+        assert!(os.is_crashed());
+        assert_eq!(os.crashes(), 1);
+
+        // Everything fails while down — even allowed programs.
+        assert_eq!(os.launch(&exe("app.exe"), &mut AlwaysAllow), LaunchOutcome::SystemDown);
+
+        os.reboot();
+        assert_eq!(os.launch(&exe("app.exe"), &mut AlwaysAllow), LaunchOutcome::Ran);
+    }
+
+    #[test]
+    fn allowing_essential_components_is_fine() {
+        let mut os = SimOs::new();
+        let system_file = exe("winlogon.exe");
+        os.mark_essential(&system_file.id_sha1().to_hex());
+        assert_eq!(os.launch(&system_file, &mut AlwaysAllow), LaunchOutcome::Ran);
+        assert!(!os.is_crashed());
+    }
+
+    #[test]
+    fn unprotected_baseline_runs_everything() {
+        let mut os = SimOs::new();
+        assert_eq!(os.launch_unprotected(&exe("anything.exe")), LaunchOutcome::Ran);
+        assert_eq!(os.blocked(), 0);
+    }
+}

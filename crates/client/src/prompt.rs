@@ -1,0 +1,183 @@
+//! The rating-prompt policy (§3.1).
+//!
+//! "The user is only asked to rate software which he has executed more
+//! than a predefined number of times, currently 50 times. … To minimize
+//! the user interruption there is also a threshold on the number of
+//! software the user is asked to rate each week, currently two ratings per
+//! week. So, when the user has executed a specific software 50 times she
+//! will be asked to rate it the next time it is started, unless two
+//! software already has been rated that week."
+//!
+//! Experiment D5 sweeps both parameters.
+
+use std::collections::{HashMap, HashSet};
+
+use softrep_core::clock::Timestamp;
+
+/// The paper's execution-count threshold.
+pub const DEFAULT_EXECUTION_THRESHOLD: u64 = 50;
+/// The paper's weekly prompt cap.
+pub const DEFAULT_WEEKLY_PROMPT_CAP: u32 = 2;
+
+/// Per-user rating-prompt state machine.
+#[derive(Debug, Clone)]
+pub struct RatingPromptPolicy {
+    execution_threshold: u64,
+    weekly_cap: u32,
+    executions: HashMap<String, u64>,
+    rated: HashSet<String>,
+    current_week: u64,
+    prompts_this_week: u32,
+    total_prompts: u64,
+}
+
+impl Default for RatingPromptPolicy {
+    fn default() -> Self {
+        Self::new(DEFAULT_EXECUTION_THRESHOLD, DEFAULT_WEEKLY_PROMPT_CAP)
+    }
+}
+
+impl RatingPromptPolicy {
+    /// A policy with explicit parameters.
+    pub fn new(execution_threshold: u64, weekly_cap: u32) -> Self {
+        RatingPromptPolicy {
+            execution_threshold,
+            weekly_cap,
+            executions: HashMap::new(),
+            rated: HashSet::new(),
+            current_week: 0,
+            prompts_this_week: 0,
+            total_prompts: 0,
+        }
+    }
+
+    /// Record one execution of `software_id` at `now`; returns `true` when
+    /// the client should ask the user to rate it at this start.
+    pub fn on_execution(&mut self, software_id: &str, now: Timestamp) -> bool {
+        let week = now.week_index();
+        if week != self.current_week {
+            self.current_week = week;
+            self.prompts_this_week = 0;
+        }
+
+        let count = self.executions.entry(software_id.to_string()).or_insert(0);
+        *count += 1;
+
+        let should_prompt = *count > self.execution_threshold
+            && !self.rated.contains(software_id)
+            && self.prompts_this_week < self.weekly_cap;
+        if should_prompt {
+            self.prompts_this_week += 1;
+            self.total_prompts += 1;
+        }
+        should_prompt
+    }
+
+    /// Record that the user rated (or explicitly declined to ever rate)
+    /// `software_id`; it will not be prompted for again.
+    pub fn mark_rated(&mut self, software_id: &str) {
+        self.rated.insert(software_id.to_string());
+    }
+
+    /// Executions recorded for a software.
+    pub fn execution_count(&self, software_id: &str) -> u64 {
+        self.executions.get(software_id).copied().unwrap_or(0)
+    }
+
+    /// Prompts issued over this policy's lifetime.
+    pub fn total_prompts(&self) -> u64 {
+        self.total_prompts
+    }
+
+    /// The configured execution threshold.
+    pub fn execution_threshold(&self) -> u64 {
+        self.execution_threshold
+    }
+
+    /// The configured weekly cap.
+    pub fn weekly_cap(&self) -> u32 {
+        self.weekly_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrep_core::clock::WEEK_SECS;
+
+    #[test]
+    fn no_prompt_until_threshold_exceeded() {
+        let mut policy = RatingPromptPolicy::new(50, 2);
+        for i in 0..50 {
+            assert!(!policy.on_execution("sw", Timestamp(i)), "execution {i}");
+        }
+        // §3.1: "when the user has executed a specific software 50 times
+        // she will be asked to rate it the next time it is started".
+        assert!(policy.on_execution("sw", Timestamp(50)));
+        assert_eq!(policy.execution_count("sw"), 51);
+    }
+
+    #[test]
+    fn rated_software_is_never_prompted_again() {
+        let mut policy = RatingPromptPolicy::new(2, 10);
+        for _ in 0..2 {
+            policy.on_execution("sw", Timestamp(0));
+        }
+        assert!(policy.on_execution("sw", Timestamp(1)));
+        policy.mark_rated("sw");
+        for i in 0..20 {
+            assert!(!policy.on_execution("sw", Timestamp(2 + i)));
+        }
+    }
+
+    #[test]
+    fn weekly_cap_limits_prompts() {
+        let mut policy = RatingPromptPolicy::new(2, 2);
+        // Three different programs reach (but do not exceed) the threshold
+        // in week 0 — no prompts yet.
+        for sw in ["a", "b", "c"] {
+            assert!(!policy.on_execution(sw, Timestamp(0)));
+            assert!(!policy.on_execution(sw, Timestamp(0)));
+        }
+        // Each next start would prompt, but only two fit this week.
+        assert!(policy.on_execution("a", Timestamp(10)));
+        assert!(policy.on_execution("b", Timestamp(11)));
+        assert!(!policy.on_execution("c", Timestamp(12)), "cap reached");
+
+        // Next week the third prompt goes out.
+        assert!(policy.on_execution("c", Timestamp(WEEK_SECS + 1)));
+        assert_eq!(policy.total_prompts(), 3);
+    }
+
+    #[test]
+    fn unrated_over_threshold_prompts_on_every_start_within_cap() {
+        // The paper prompts "the next time it is started"; if the user
+        // dismisses without rating, the next start asks again (subject to
+        // the weekly cap).
+        let mut policy = RatingPromptPolicy::new(1, 10);
+        policy.on_execution("sw", Timestamp(0));
+        policy.on_execution("sw", Timestamp(0));
+        assert!(policy.on_execution("sw", Timestamp(1)));
+        assert!(policy.on_execution("sw", Timestamp(2)));
+    }
+
+    #[test]
+    fn counters_are_per_software() {
+        let mut policy = RatingPromptPolicy::new(3, 10);
+        for _ in 0..3 {
+            policy.on_execution("a", Timestamp(0));
+        }
+        assert!(!policy.on_execution("b", Timestamp(0)), "b is at 1 execution");
+        assert!(policy.on_execution("a", Timestamp(0)));
+        assert_eq!(policy.execution_count("a"), 4);
+        assert_eq!(policy.execution_count("b"), 1);
+        assert_eq!(policy.execution_count("never-run"), 0);
+    }
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let policy = RatingPromptPolicy::default();
+        assert_eq!(policy.execution_threshold(), 50);
+        assert_eq!(policy.weekly_cap(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Vendor code-signature verification (§4.2's enhanced white listing).
+//!
+//! "An enhanced white listing system … could examine the file about to
+//! execute, to determine if it has been digitally signed by a trusted
+//! vendor e.g., Microsoft or Adobe. In case the certificate is present and
+//! valid, the file is automatically allowed to proceed with the
+//! execution." Signatures are Winternitz one-time signatures over the file
+//! bytes; the registry maps vendor names to the public-key fingerprints
+//! they have published (one key per signed release, as OTS requires).
+
+use std::collections::{HashMap, HashSet};
+
+use softrep_crypto::ots::{WinternitzPublicKey, WinternitzSignature};
+
+/// A detached code signature shipped alongside a release.
+pub struct CodeSignature {
+    /// The claimed signing vendor.
+    pub vendor: String,
+    /// The verifying key for this release.
+    pub public_key: WinternitzPublicKey,
+    /// Signature over the exact file bytes.
+    pub signature: WinternitzSignature,
+}
+
+/// What signature verification concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureStatus {
+    /// No signature shipped with the file.
+    Unsigned,
+    /// A signature exists but fails verification or key-registry checks.
+    Invalid,
+    /// Valid signature from a vendor the user has not marked trusted.
+    SignedUntrusted,
+    /// Valid signature from a trusted vendor — auto-allow material.
+    SignedTrusted,
+}
+
+/// The client's registry of vendor keys and the user's trust choices.
+///
+/// §4.2 also proposes "a signature handling interface … that allows the
+/// user to white list and blacklist different companies through their
+/// digital signatures" — [`trust_vendor`](Self::trust_vendor) /
+/// [`distrust_vendor`](Self::distrust_vendor) are that interface.
+#[derive(Default)]
+pub struct TrustedVendorRegistry {
+    /// vendor → fingerprints of release keys published by that vendor.
+    vendor_keys: HashMap<String, HashSet<[u8; 32]>>,
+    /// Vendors the user auto-allows.
+    trusted: HashSet<String>,
+}
+
+impl TrustedVendorRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        TrustedVendorRegistry::default()
+    }
+
+    /// Record that `vendor` published the release key `public_key`
+    /// (distribution channel: vendor website, OS update, …).
+    pub fn publish_key(&mut self, vendor: &str, public_key: &WinternitzPublicKey) {
+        self.vendor_keys.entry(vendor.to_string()).or_default().insert(public_key.fingerprint());
+    }
+
+    /// Mark a vendor as trusted (auto-allow its valid signatures).
+    pub fn trust_vendor(&mut self, vendor: &str) {
+        self.trusted.insert(vendor.to_string());
+    }
+
+    /// Remove a vendor from the trusted set.
+    pub fn distrust_vendor(&mut self, vendor: &str) {
+        self.trusted.remove(vendor);
+    }
+
+    /// Is the vendor currently trusted?
+    pub fn is_trusted(&self, vendor: &str) -> bool {
+        self.trusted.contains(vendor)
+    }
+
+    /// Verify `signature` over `file_bytes` and classify the result.
+    pub fn verify(&self, file_bytes: &[u8], signature: Option<&CodeSignature>) -> SignatureStatus {
+        let Some(sig) = signature else { return SignatureStatus::Unsigned };
+        // The key must be registered to the claimed vendor: a valid
+        // signature under an unregistered key is an impersonation attempt.
+        let registered = self
+            .vendor_keys
+            .get(&sig.vendor)
+            .is_some_and(|keys| keys.contains(&sig.public_key.fingerprint()));
+        if !registered || !sig.public_key.verify(file_bytes, &sig.signature) {
+            return SignatureStatus::Invalid;
+        }
+        if self.trusted.contains(&sig.vendor) {
+            SignatureStatus::SignedTrusted
+        } else {
+            SignatureStatus::SignedUntrusted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use softrep_crypto::ots::WinternitzKeypair;
+
+    fn signed_release(
+        vendor: &str,
+        file: &[u8],
+        rng: &mut StdRng,
+    ) -> (CodeSignature, WinternitzKeypair) {
+        let keypair = WinternitzKeypair::generate(rng);
+        let signature = keypair.sign(file);
+        (
+            CodeSignature {
+                vendor: vendor.into(),
+                public_key: keypair.public_key().clone(),
+                signature,
+            },
+            keypair,
+        )
+    }
+
+    #[test]
+    fn unsigned_files_classify_as_unsigned() {
+        let registry = TrustedVendorRegistry::new();
+        assert_eq!(registry.verify(b"bytes", None), SignatureStatus::Unsigned);
+    }
+
+    #[test]
+    fn trusted_vendor_signature_auto_allows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let file = b"microsoft-update.exe contents";
+        let (sig, _kp) = signed_release("Microsoft", file, &mut rng);
+
+        let mut registry = TrustedVendorRegistry::new();
+        registry.publish_key("Microsoft", &sig.public_key);
+        registry.trust_vendor("Microsoft");
+
+        assert_eq!(registry.verify(file, Some(&sig)), SignatureStatus::SignedTrusted);
+        assert!(registry.is_trusted("Microsoft"));
+    }
+
+    #[test]
+    fn valid_but_untrusted_vendor_is_flagged_separately() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let file = b"shareware.exe";
+        let (sig, _kp) = signed_release("SmallCo", file, &mut rng);
+        let mut registry = TrustedVendorRegistry::new();
+        registry.publish_key("SmallCo", &sig.public_key);
+        assert_eq!(registry.verify(file, Some(&sig)), SignatureStatus::SignedUntrusted);
+    }
+
+    #[test]
+    fn tampered_file_invalidates_signature() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let file = b"original bytes";
+        let (sig, _kp) = signed_release("Adobe", file, &mut rng);
+        let mut registry = TrustedVendorRegistry::new();
+        registry.publish_key("Adobe", &sig.public_key);
+        registry.trust_vendor("Adobe");
+        assert_eq!(
+            registry.verify(b"original bytes + adware", Some(&sig)),
+            SignatureStatus::Invalid
+        );
+    }
+
+    #[test]
+    fn impersonation_with_unregistered_key_is_invalid() {
+        // Attacker signs their malware with their own key but claims to be
+        // Microsoft.
+        let mut rng = StdRng::seed_from_u64(4);
+        let file = b"malware.exe";
+        let (sig, _kp) = signed_release("Microsoft", file, &mut rng);
+        let mut registry = TrustedVendorRegistry::new();
+        registry.trust_vendor("Microsoft"); // trusted, but key never published
+        assert_eq!(registry.verify(file, Some(&sig)), SignatureStatus::Invalid);
+    }
+
+    #[test]
+    fn distrusting_a_vendor_downgrades_its_signatures() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let file = b"toolbar.exe";
+        let (sig, _kp) = signed_release("AdCo", file, &mut rng);
+        let mut registry = TrustedVendorRegistry::new();
+        registry.publish_key("AdCo", &sig.public_key);
+        registry.trust_vendor("AdCo");
+        assert_eq!(registry.verify(file, Some(&sig)), SignatureStatus::SignedTrusted);
+        registry.distrust_vendor("AdCo");
+        assert_eq!(registry.verify(file, Some(&sig)), SignatureStatus::SignedUntrusted);
+    }
+}

@@ -1,0 +1,148 @@
+//! Bootstrapping the program database — the second mitigation of §2.1.
+//!
+//! "The second approach is to use bootstrapping of the program database at
+//! an early stage … copying the information from an existing, more or less
+//! reliable, software rating database … That way, it would be possible to
+//! ensure that no common program has few or zero votes, and in the event of
+//! novice users giving the software unfair positive or negative ratings …
+//! the number of existing votes would make their votes one out of many."
+//!
+//! A [`BootstrapEntry`] carries an external aggregate (rating + vote
+//! count); [`expand_entry`] converts it into concrete seed votes cast by
+//! reserved `__bootstrap_N` identities, because the reputation database
+//! only understands votes. The expansion is deterministic and its mean is
+//! the closest achievable integer-score mixture to the imported rating.
+
+use crate::clock::Timestamp;
+use crate::model::{VoteRecord, MAX_SCORE, MIN_SCORE};
+
+/// Prefix of the reserved seed identities. Real usernames are validated
+/// against starting with `__`, so these can never collide with a member.
+pub const BOOTSTRAP_USER_PREFIX: &str = "__bootstrap_";
+
+/// One row imported from an external rating database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapEntry {
+    /// Hex software id the rating applies to.
+    pub software_id: String,
+    /// Imported aggregate rating (1.0–10.0).
+    pub rating: f64,
+    /// Number of seed votes to materialise.
+    pub vote_count: u32,
+    /// Behaviours the external source reported, copied onto every seed
+    /// vote so behaviour tallies are also bootstrapped.
+    pub behaviours: Vec<String>,
+}
+
+/// Deterministically expand an entry into seed votes whose unweighted mean
+/// is as close to `entry.rating` as integer scores allow.
+///
+/// With target rating `r` and `n` votes, the expansion uses scores
+/// `floor(r)` and `floor(r)+1` in the unique mixture whose mean is nearest
+/// `r`. Returns an empty vector for `vote_count == 0`.
+pub fn expand_entry(entry: &BootstrapEntry, now: Timestamp) -> Vec<VoteRecord> {
+    let n = entry.vote_count as usize;
+    if n == 0 {
+        return Vec::new();
+    }
+    let r = entry.rating.clamp(f64::from(MIN_SCORE), f64::from(MAX_SCORE));
+    let lo = (r.floor() as u8).clamp(MIN_SCORE, MAX_SCORE);
+    let hi = (lo + 1).min(MAX_SCORE);
+    // Number of `hi` votes that brings the mean closest to r.
+    let hi_count = if hi == lo { 0 } else { ((r - f64::from(lo)) * n as f64).round() as usize };
+    let hi_count = hi_count.min(n);
+
+    (0..n)
+        .map(|i| VoteRecord {
+            username: format!("{BOOTSTRAP_USER_PREFIX}{i}"),
+            software_id: entry.software_id.clone(),
+            score: if i < hi_count { hi } else { lo },
+            behaviours: entry.behaviours.clone(),
+            cast_at: now,
+        })
+        .collect()
+}
+
+/// True if `username` is a reserved bootstrap identity.
+pub fn is_bootstrap_user(username: &str) -> bool {
+    username.starts_with(BOOTSTRAP_USER_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::unweighted_mean;
+    use proptest::prelude::*;
+
+    fn entry(rating: f64, votes: u32) -> BootstrapEntry {
+        BootstrapEntry {
+            software_id: "ab".repeat(20),
+            rating,
+            vote_count: votes,
+            behaviours: vec!["popup_ads".into()],
+        }
+    }
+
+    #[test]
+    fn expansion_mean_approximates_rating() {
+        for rating in [1.0, 2.5, 6.8, 7.25, 9.99, 10.0] {
+            let votes = expand_entry(&entry(rating, 40), Timestamp(0));
+            let mean = unweighted_mean(votes.iter().map(|v| v.score)).unwrap();
+            assert!(
+                (mean - rating).abs() <= 0.5 / 40.0 + 0.025 + 1e-9,
+                "rating {rating} produced mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let a = expand_entry(&entry(6.8, 25), Timestamp(5));
+        let b = expand_entry(&entry(6.8, 25), Timestamp(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_votes_expand_to_nothing() {
+        assert!(expand_entry(&entry(5.0, 0), Timestamp(0)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ratings_are_clamped() {
+        let votes = expand_entry(&entry(15.0, 10), Timestamp(0));
+        assert!(votes.iter().all(|v| v.score == 10));
+        let votes = expand_entry(&entry(-3.0, 10), Timestamp(0));
+        assert!(votes.iter().all(|v| v.score == 1));
+    }
+
+    #[test]
+    fn seed_identities_are_reserved() {
+        let votes = expand_entry(&entry(5.0, 3), Timestamp(0));
+        for v in &votes {
+            assert!(is_bootstrap_user(&v.username));
+        }
+        assert!(!is_bootstrap_user("alice"));
+        assert!(!is_bootstrap_user("bootstrap_fan"));
+    }
+
+    #[test]
+    fn behaviours_are_copied_to_every_seed_vote() {
+        let votes = expand_entry(&entry(4.0, 5), Timestamp(0));
+        assert!(votes.iter().all(|v| v.behaviours == vec!["popup_ads".to_string()]));
+    }
+
+    proptest! {
+        #[test]
+        fn all_scores_legal_and_mean_close(rating in 1.0f64..=10.0, n in 1u32..200) {
+            let votes = expand_entry(&entry(rating, n), Timestamp(0));
+            prop_assert_eq!(votes.len(), n as usize);
+            for v in &votes {
+                prop_assert!((MIN_SCORE..=MAX_SCORE).contains(&v.score));
+            }
+            let mean = unweighted_mean(votes.iter().map(|v| v.score)).unwrap();
+            // Mixture granularity is 1/n.
+            prop_assert!((mean - rating).abs() <= 0.5 / n as f64 + 0.5 + 1e-9);
+            prop_assert!((mean - rating).abs() <= 1.0, "never off by a whole unit");
+        }
+    }
+}

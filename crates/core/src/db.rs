@@ -1,0 +1,1483 @@
+//! The reputation database: every table of §3.2/3.3 bound to a
+//! `softrep-storage` store, with the paper's constraints enforced
+//! transactionally.
+//!
+//! Enforced invariants (DESIGN.md §5):
+//!
+//! 1. one vote per (user, software) — structural, via the composite key;
+//! 2. trust bounds and weekly growth cap — via [`TrustEngine`];
+//! 4. privacy-minimal user schema — via [`UserRecord`] + the peppered
+//!    e-mail digest, with uniqueness from a unique secondary index;
+//! 5. deterministic 24 h aggregation — via [`crate::aggregate`].
+//!
+//! The struct is deliberately clock-free: every mutating method takes
+//! `now: Timestamp`, so the same call sequence is exactly reproducible —
+//! which the experiment harnesses rely on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use softrep_crypto::hex;
+use softrep_crypto::salted::{PasswordHash, SecretPepper};
+use softrep_crypto::sha256::Sha256;
+use softrep_storage::index::{IndexDef, IndexKind, IndexedTable};
+use softrep_storage::table::{Table, TableSchema};
+use softrep_storage::{Store, StoreStats};
+
+use crate::aggregate;
+use crate::bootstrap::{expand_entry, BootstrapEntry, BOOTSTRAP_USER_PREFIX};
+use crate::clock::Timestamp;
+use crate::error::{CoreError, CoreResult};
+use crate::extensions::{EvidenceRecord, FeedEntryRecord, FeedRecord};
+use crate::model::{
+    CommentRecord, CommentStatus, RatingRecord, RemarkRecord, SoftwareRecord, TrustRecord,
+    UserRecord, VoteRecord, MAX_SCORE, MIN_SCORE,
+};
+use crate::moderation::{apply_decision, ModerationDecision, ModerationPolicy, ModerationStats};
+use crate::trust::{deltas, TrustEngine};
+
+static VOTES: TableSchema<(String, String), VoteRecord> = TableSchema::new("votes");
+static REMARKS: TableSchema<(u64, String), RemarkRecord> = TableSchema::new("remarks");
+static RATINGS: TableSchema<String, RatingRecord> = TableSchema::new("ratings");
+static TRUST: TableSchema<String, TrustRecord> = TableSchema::new("trust");
+static EVIDENCE: TableSchema<String, EvidenceRecord> = TableSchema::new("evidence");
+static FEEDS: TableSchema<String, FeedRecord> = TableSchema::new("feeds");
+static FEED_ENTRIES: TableSchema<(String, String), FeedEntryRecord> =
+    TableSchema::new("feed_entries");
+
+const META_TREE: &str = "meta";
+const SPENT_PSEUDONYM_TOKENS_TREE: &str = "spent_pseudonym_tokens";
+const META_NEXT_COMMENT_ID: &[u8] = b"next_comment_id";
+const META_LAST_AGGREGATION: &[u8] = b"last_aggregation";
+
+/// Trust factor granted to the reserved bootstrap identities. Above a new
+/// member (1) but far below a proven expert (up to 100): the imported
+/// database is "more or less reliable" (§2.1).
+pub const BOOTSTRAP_SEED_TRUST: f64 = 10.0;
+
+/// A published comment together with its net remark score, as shown to
+/// clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishedComment {
+    /// The underlying record.
+    pub comment: CommentRecord,
+    /// Positive minus negative remarks.
+    pub remark_score: i64,
+}
+
+/// Everything a client needs to render the execution-time dialog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftwareReport {
+    /// Stored metadata.
+    pub software: SoftwareRecord,
+    /// Last published aggregate, if any batch has covered this software.
+    pub rating: Option<RatingRecord>,
+    /// Published comments, highest remark score first.
+    pub comments: Vec<PublishedComment>,
+    /// Analyzer-verified behaviour evidence (§5 future work), if any.
+    pub evidence: Option<EvidenceRecord>,
+}
+
+/// Derived vendor view (§3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VendorReport {
+    /// Vendor (company) name.
+    pub vendor: String,
+    /// Mean over the vendor's rated software.
+    pub rating: Option<f64>,
+    /// Number of software titles attributed to the vendor.
+    pub software_count: u64,
+}
+
+/// Aggregate deployment counters for the web front page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentStats {
+    /// Registered accounts.
+    pub users: u64,
+    /// Known executables.
+    pub software: u64,
+    /// Ballots cast.
+    pub votes: u64,
+    /// Comments stored (all statuses).
+    pub comments: u64,
+    /// Executables with a published rating.
+    pub rated_software: u64,
+}
+
+/// The reputation database.
+pub struct ReputationDb {
+    store: Arc<Store>,
+    users: IndexedTable<String, UserRecord>,
+    software: IndexedTable<String, SoftwareRecord>,
+    comments: IndexedTable<u64, CommentRecord>,
+    votes: Table<(String, String), VoteRecord>,
+    remarks: Table<(u64, String), RemarkRecord>,
+    ratings: Table<String, RatingRecord>,
+    trust: Table<String, TrustRecord>,
+    evidence: Table<String, EvidenceRecord>,
+    feeds: Table<String, FeedRecord>,
+    feed_entries: Table<(String, String), FeedEntryRecord>,
+    pepper: SecretPepper,
+    moderation_policy: ModerationPolicy,
+    moderation_stats: Mutex<ModerationStats>,
+    /// Serialises multi-step mutations (check-then-act sequences such as
+    /// the duplicate-username check, the unique e-mail index check, and
+    /// the comment-id counter) against concurrent callers. Reads and
+    /// single-key writes don't need it — the store itself is internally
+    /// synchronised.
+    write_gate: Mutex<()>,
+}
+
+impl ReputationDb {
+    /// Open over an existing store (durable or in-memory).
+    pub fn new(store: Arc<Store>, pepper: SecretPepper) -> Self {
+        Self::with_moderation(store, pepper, ModerationPolicy::Open)
+    }
+
+    /// Open with an explicit moderation policy.
+    pub fn with_moderation(
+        store: Arc<Store>,
+        pepper: SecretPepper,
+        moderation_policy: ModerationPolicy,
+    ) -> Self {
+        let users = IndexedTable::new(
+            Arc::clone(&store),
+            "users",
+            vec![IndexDef {
+                tree: "users_by_email",
+                kind: IndexKind::Unique,
+                // Pseudonym accounts store no e-mail digest at all; an
+                // empty digest must not become a colliding index key.
+                extract: |_, u: &UserRecord| {
+                    if u.email_digest.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![u.email_digest.as_bytes().to_vec()]
+                    }
+                },
+            }],
+        );
+        let software = IndexedTable::new(
+            Arc::clone(&store),
+            "software",
+            vec![IndexDef {
+                tree: "software_by_company",
+                kind: IndexKind::NonUnique,
+                extract: |_, s: &SoftwareRecord| {
+                    s.company.as_deref().map(|c| vec![c.as_bytes().to_vec()]).unwrap_or_default()
+                },
+            }],
+        );
+        let comments = IndexedTable::new(
+            Arc::clone(&store),
+            "comments",
+            vec![IndexDef {
+                tree: "comments_by_software",
+                kind: IndexKind::NonUnique,
+                extract: |_, c: &CommentRecord| vec![c.software_id.as_bytes().to_vec()],
+            }],
+        );
+        ReputationDb {
+            votes: Table::bind(Arc::clone(&store), &VOTES),
+            remarks: Table::bind(Arc::clone(&store), &REMARKS),
+            ratings: Table::bind(Arc::clone(&store), &RATINGS),
+            trust: Table::bind(Arc::clone(&store), &TRUST),
+            evidence: Table::bind(Arc::clone(&store), &EVIDENCE),
+            feeds: Table::bind(Arc::clone(&store), &FEEDS),
+            feed_entries: Table::bind(Arc::clone(&store), &FEED_ENTRIES),
+            users,
+            software,
+            comments,
+            store,
+            pepper,
+            moderation_policy,
+            moderation_stats: Mutex::new(ModerationStats::default()),
+            write_gate: Mutex::new(()),
+        }
+    }
+
+    /// Convenience: fresh in-memory database for tests and simulations.
+    pub fn in_memory(pepper_secret: &str) -> Self {
+        Self::new(
+            Arc::new(Store::in_memory()),
+            SecretPepper::new(pepper_secret.as_bytes().to_vec()),
+        )
+    }
+
+    /// The underlying store (for stats, compaction, sync).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    // -----------------------------------------------------------------
+    // Accounts (§3.2)
+    // -----------------------------------------------------------------
+
+    /// Register a new account. Returns the activation token, which the
+    /// deployment e-mails to the address (and which we hand back to the
+    /// simulated mail system).
+    pub fn register_user(
+        &self,
+        username: &str,
+        password: &str,
+        email: &str,
+        now: Timestamp,
+        rng: &mut impl RngCore,
+    ) -> CoreResult<String> {
+        validate_username(username)?;
+        if password.is_empty() {
+            return Err(CoreError::InvalidInput("password must not be empty".into()));
+        }
+        if !email.contains('@') || email.len() > 254 {
+            return Err(CoreError::InvalidInput("invalid e-mail address".into()));
+        }
+        let _write = self.write_gate.lock();
+        if self.users.contains(&username.to_string()) {
+            return Err(CoreError::DuplicateUsername(username.to_string()));
+        }
+
+        let mut token_bytes = [0u8; 16];
+        rng.fill_bytes(&mut token_bytes);
+        let token = hex::encode(&token_bytes);
+
+        let record = UserRecord {
+            username: username.to_string(),
+            password_hash: PasswordHash::create(password, rng).encode(),
+            email_digest: self.pepper.email_digest(email).to_hex(),
+            signed_up: now,
+            last_login: now,
+            activated: false,
+            activation_digest: Some(hex::encode(&Sha256::digest(token.as_bytes()))),
+            pseudonym: false,
+            pseudonym_credential_issued: false,
+        };
+        // The unique e-mail index rejects duplicate addresses here.
+        self.users.put(&username.to_string(), &record)?;
+        self.trust.put(&username.to_string(), &TrustEngine::new_user(username, now))?;
+        Ok(token)
+    }
+
+    /// Redeem an activation token.
+    pub fn activate_user(&self, username: &str, token: &str) -> CoreResult<()> {
+        let _write = self.write_gate.lock();
+        let key = username.to_string();
+        let mut user =
+            self.users.get(&key)?.ok_or_else(|| CoreError::UnknownUser(username.into()))?;
+        if user.activated {
+            return Ok(()); // idempotent
+        }
+        let expected = user.activation_digest.as_deref().ok_or(CoreError::BadActivationToken)?;
+        let candidate = hex::encode(&Sha256::digest(token.as_bytes()));
+        if !softrep_crypto::hmac::constant_time_eq(candidate.as_bytes(), expected.as_bytes()) {
+            return Err(CoreError::BadActivationToken);
+        }
+        user.activated = true;
+        user.activation_digest = None;
+        self.users.put(&key, &user)?;
+        Ok(())
+    }
+
+    /// Check credentials and record the login instant.
+    pub fn login(&self, username: &str, password: &str, now: Timestamp) -> CoreResult<()> {
+        let key = username.to_string();
+        let mut user = self.users.get(&key)?.ok_or(CoreError::BadCredentials)?;
+        let hash = PasswordHash::decode(&user.password_hash)
+            .ok_or_else(|| CoreError::InvalidInput("stored password hash corrupt".into()))?;
+        if !hash.verify(password) {
+            return Err(CoreError::BadCredentials);
+        }
+        if !user.activated {
+            return Err(CoreError::NotActivated(username.into()));
+        }
+        user.last_login = now;
+        self.users.put(&key, &user)?;
+        Ok(())
+    }
+
+    /// Fetch a user record.
+    pub fn user(&self, username: &str) -> CoreResult<Option<UserRecord>> {
+        Ok(self.users.get(&username.to_string())?)
+    }
+
+    /// Number of registered accounts.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Is this e-mail address already bound to an account? (Duplicate
+    /// detection works on digests only — the address itself is never
+    /// stored.)
+    pub fn email_in_use(&self, email: &str) -> CoreResult<bool> {
+        let digest = self.pepper.email_digest(email).to_hex();
+        Ok(!self.users.lookup("users_by_email", digest.as_bytes())?.is_empty())
+    }
+
+    /// Current trust factor of a user (None if unknown).
+    pub fn trust_of(&self, username: &str) -> CoreResult<Option<f64>> {
+        Ok(self.trust.get(&username.to_string())?.map(|t| t.trust))
+    }
+
+    fn require_active_user(&self, username: &str) -> CoreResult<UserRecord> {
+        let user = self
+            .users
+            .get(&username.to_string())?
+            .ok_or_else(|| CoreError::UnknownUser(username.into()))?;
+        if !user.activated {
+            return Err(CoreError::NotActivated(username.into()));
+        }
+        Ok(user)
+    }
+
+    // -----------------------------------------------------------------
+    // Software metadata (§3.3)
+    // -----------------------------------------------------------------
+
+    /// Record an executable the first time any client reports it. The
+    /// first report wins; later reports of the same digest are no-ops
+    /// (metadata is derived from the file bytes, so honest reports agree).
+    pub fn register_software(
+        &self,
+        software_id: &str,
+        file_name: &str,
+        file_size: u64,
+        company: Option<String>,
+        version: Option<String>,
+        now: Timestamp,
+    ) -> CoreResult<bool> {
+        validate_software_id(software_id)?;
+        let _write = self.write_gate.lock();
+        let key = software_id.to_string();
+        if self.software.contains(&key) {
+            return Ok(false);
+        }
+        let record = SoftwareRecord {
+            software_id: key.clone(),
+            file_name: file_name.to_string(),
+            file_size,
+            company,
+            version,
+            first_seen: now,
+        };
+        self.software.put(&key, &record)?;
+        Ok(true)
+    }
+
+    /// Fetch software metadata.
+    pub fn software(&self, software_id: &str) -> CoreResult<Option<SoftwareRecord>> {
+        Ok(self.software.get(&software_id.to_string())?)
+    }
+
+    /// Number of known executables.
+    pub fn software_count(&self) -> usize {
+        self.software.len()
+    }
+
+    // -----------------------------------------------------------------
+    // Votes, comments, remarks (§3.1–3.2)
+    // -----------------------------------------------------------------
+
+    /// Submit (or replace) `username`'s vote. Invariant 1: the composite
+    /// key makes a second submission an overwrite, never a second ballot.
+    pub fn submit_vote(
+        &self,
+        username: &str,
+        software_id: &str,
+        score: u8,
+        behaviours: Vec<String>,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        if !(MIN_SCORE..=MAX_SCORE).contains(&score) {
+            return Err(CoreError::InvalidScore(score));
+        }
+        self.require_active_user(username)?;
+        if !self.software.contains(&software_id.to_string()) {
+            return Err(CoreError::UnknownSoftware(software_id.into()));
+        }
+        let record = VoteRecord {
+            username: username.to_string(),
+            software_id: software_id.to_string(),
+            score,
+            behaviours,
+            cast_at: now,
+        };
+        self.votes.put(&(software_id.to_string(), username.to_string()), &record)?;
+        Ok(())
+    }
+
+    /// The caller's current vote for a software, if any.
+    pub fn vote_of(&self, username: &str, software_id: &str) -> CoreResult<Option<VoteRecord>> {
+        Ok(self.votes.get(&(software_id.to_string(), username.to_string()))?)
+    }
+
+    /// All votes for one software.
+    pub fn votes_for(&self, software_id: &str) -> CoreResult<Vec<VoteRecord>> {
+        let pairs = self.votes.scan_key_prefix(&software_id.to_string())?;
+        Ok(pairs.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// Total number of votes in the system.
+    pub fn vote_count(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Submit a comment; returns its id. Under
+    /// [`ModerationPolicy::PreApproval`] the comment is queued, not shown.
+    pub fn submit_comment(
+        &self,
+        username: &str,
+        software_id: &str,
+        text: &str,
+        now: Timestamp,
+    ) -> CoreResult<u64> {
+        self.require_active_user(username)?;
+        if !self.software.contains(&software_id.to_string()) {
+            return Err(CoreError::UnknownSoftware(software_id.into()));
+        }
+        let text = text.trim();
+        if text.is_empty() || text.len() > 4096 {
+            return Err(CoreError::InvalidInput("comment must be 1–4096 characters".into()));
+        }
+        let _write = self.write_gate.lock();
+        let id = self.next_comment_id()?;
+        let status = self.moderation_policy.initial_status();
+        let record = CommentRecord {
+            id,
+            author: username.to_string(),
+            software_id: software_id.to_string(),
+            text: text.to_string(),
+            written_at: now,
+            status,
+        };
+        self.comments.put(&id, &record)?;
+        if status == CommentStatus::PendingReview {
+            self.moderation_stats.lock().on_enqueue();
+        }
+        Ok(id)
+    }
+
+    /// Remark on a comment: `positive = true` raises the author's trust,
+    /// `false` lowers it (per [`deltas`]), both through the weekly cap.
+    /// One remark per (rater, comment); re-remarking flips the previous
+    /// one rather than stacking.
+    pub fn remark_comment(
+        &self,
+        rater: &str,
+        comment_id: u64,
+        positive: bool,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        self.require_active_user(rater)?;
+        let comment =
+            self.comments.get(&comment_id)?.ok_or(CoreError::UnknownComment(comment_id))?;
+        if comment.status != CommentStatus::Published {
+            return Err(CoreError::CommentNotPublished(comment_id));
+        }
+        if comment.author == rater {
+            return Err(CoreError::SelfRemark);
+        }
+
+        let _write = self.write_gate.lock();
+        let key = (comment_id, rater.to_string());
+        let previous = self.remarks.get(&key)?;
+        let delta = match &previous {
+            Some(prev) if prev.positive == positive => 0.0, // idempotent
+            Some(_) => {
+                // Flip: retract the old effect and apply the new one.
+                if positive {
+                    deltas::POSITIVE_REMARK - deltas::NEGATIVE_REMARK
+                } else {
+                    deltas::NEGATIVE_REMARK - deltas::POSITIVE_REMARK
+                }
+            }
+            None => {
+                if positive {
+                    deltas::POSITIVE_REMARK
+                } else {
+                    deltas::NEGATIVE_REMARK
+                }
+            }
+        };
+
+        self.remarks.put(
+            &key,
+            &RemarkRecord { rater: rater.to_string(), comment_id, positive, made_at: now },
+        )?;
+
+        if delta != 0.0 {
+            self.adjust_trust_locked(&comment.author, delta, now)?;
+        }
+        Ok(())
+    }
+
+    /// Net remark score of a comment.
+    pub fn remark_score(&self, comment_id: u64) -> CoreResult<i64> {
+        let remarks = self.remarks.scan_key_prefix(&comment_id)?;
+        Ok(remarks.iter().map(|(_, r)| if r.positive { 1 } else { -1 }).sum())
+    }
+
+    /// Published comments for a software, highest remark score first.
+    pub fn comments_for(&self, software_id: &str) -> CoreResult<Vec<PublishedComment>> {
+        let rows = self.comments.lookup_records("comments_by_software", software_id.as_bytes())?;
+        let mut out = Vec::with_capacity(rows.len());
+        for (id, comment) in rows {
+            if comment.status == CommentStatus::Published {
+                out.push(PublishedComment { remark_score: self.remark_score(id)?, comment });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.remark_score.cmp(&a.remark_score).then(a.comment.id.cmp(&b.comment.id))
+        });
+        Ok(out)
+    }
+
+    /// Adjust a user's trust factor through the engine (cap + clamp).
+    pub fn adjust_trust(&self, username: &str, delta: f64, now: Timestamp) -> CoreResult<f64> {
+        let _write = self.write_gate.lock();
+        self.adjust_trust_locked(username, delta, now)
+    }
+
+    /// [`adjust_trust`](Self::adjust_trust) body, for callers already
+    /// holding the write gate (the gate is not re-entrant).
+    fn adjust_trust_locked(&self, username: &str, delta: f64, now: Timestamp) -> CoreResult<f64> {
+        let key = username.to_string();
+        let mut record =
+            self.trust.get(&key)?.unwrap_or_else(|| TrustEngine::new_user(username, now));
+        let applied = TrustEngine::apply_delta(&mut record, delta, now);
+        self.trust.put(&key, &record)?;
+        Ok(applied)
+    }
+
+    // -----------------------------------------------------------------
+    // Moderation (§2.1, third mitigation)
+    // -----------------------------------------------------------------
+
+    /// Comments awaiting review, oldest first.
+    pub fn pending_comments(&self) -> CoreResult<Vec<CommentRecord>> {
+        let mut pending: Vec<CommentRecord> = self
+            .comments
+            .scan()?
+            .into_iter()
+            .map(|(_, c)| c)
+            .filter(|c| c.status == CommentStatus::PendingReview)
+            .collect();
+        pending.sort_by_key(|c| (c.written_at, c.id));
+        Ok(pending)
+    }
+
+    /// Apply an administrator decision.
+    pub fn moderate_comment(
+        &self,
+        comment_id: u64,
+        decision: ModerationDecision,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        let _write = self.write_gate.lock();
+        let mut comment =
+            self.comments.get(&comment_id)?.ok_or(CoreError::UnknownComment(comment_id))?;
+        if !apply_decision(&mut comment, decision) {
+            return Err(CoreError::InvalidInput(format!("comment {comment_id} is not pending")));
+        }
+        self.moderation_stats.lock().on_decision(decision, comment.written_at, now);
+        self.comments.put(&comment_id, &comment)?;
+        Ok(())
+    }
+
+    /// Moderation workload counters.
+    pub fn moderation_stats(&self) -> ModerationStats {
+        *self.moderation_stats.lock()
+    }
+
+    // -----------------------------------------------------------------
+    // Aggregation (§3.2) and reports
+    // -----------------------------------------------------------------
+
+    /// Run the batch job if 24 h have passed since the last run. Returns
+    /// the number of software ratings recomputed (0 if not due).
+    pub fn run_aggregation_if_due(&self, now: Timestamp) -> CoreResult<usize> {
+        if !aggregate::aggregation_due(self.last_aggregation()?, now) {
+            return Ok(0);
+        }
+        self.force_aggregation(now)
+    }
+
+    /// Unconditionally recompute every software rating from the current
+    /// votes and trust snapshot.
+    pub fn force_aggregation(&self, now: Timestamp) -> CoreResult<usize> {
+        // Snapshot trust once: aggregation within a batch sees one
+        // consistent trust state (determinism, invariant 5).
+        let trust_snapshot: HashMap<String, f64> =
+            self.trust.scan()?.into_iter().map(|(user, rec)| (user, rec.trust)).collect();
+
+        let mut recomputed = 0;
+        for (software_id, _) in self.software.scan()? {
+            let votes = self.votes_for(&software_id)?;
+            if let Some(rating) = aggregate::aggregate_software(
+                &software_id,
+                &votes,
+                |user| trust_snapshot.get(user).copied(),
+                now,
+            ) {
+                self.ratings.put(&software_id, &rating)?;
+                recomputed += 1;
+            }
+        }
+        self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
+        Ok(recomputed)
+    }
+
+    /// Instant of the last completed batch, if any.
+    pub fn last_aggregation(&self) -> CoreResult<Option<Timestamp>> {
+        Ok(self.store.get(META_TREE, META_LAST_AGGREGATION).map(|raw| {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&raw[..8]);
+            Timestamp(u64::from_be_bytes(bytes))
+        }))
+    }
+
+    /// Published rating for one software, if a batch has covered it.
+    pub fn rating(&self, software_id: &str) -> CoreResult<Option<RatingRecord>> {
+        Ok(self.ratings.get(&software_id.to_string())?)
+    }
+
+    /// The full execution-time report for a software.
+    pub fn software_report(&self, software_id: &str) -> CoreResult<Option<SoftwareReport>> {
+        let Some(software) = self.software(software_id)? else { return Ok(None) };
+        Ok(Some(SoftwareReport {
+            rating: self.rating(software_id)?,
+            comments: self.comments_for(software_id)?,
+            evidence: self.evidence(software_id)?,
+            software,
+        }))
+    }
+
+    /// Derived vendor reputation: mean of the vendor's published software
+    /// ratings (§3.3).
+    pub fn vendor_report(&self, vendor: &str) -> CoreResult<VendorReport> {
+        let titles = self.software.lookup("software_by_company", vendor.as_bytes())?;
+        let mut ratings = Vec::new();
+        for software_id in &titles {
+            if let Some(r) = self.rating(software_id)? {
+                ratings.push(r.rating);
+            }
+        }
+        Ok(VendorReport {
+            vendor: vendor.to_string(),
+            rating: aggregate::vendor_rating(ratings),
+            software_count: titles.len() as u64,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Bootstrap (§2.1, second mitigation)
+    // -----------------------------------------------------------------
+
+    /// Import external aggregates as seed votes under reserved identities
+    /// with [`BOOTSTRAP_SEED_TRUST`]. Creates placeholder software records
+    /// for ids the database has not seen.
+    pub fn bootstrap(&self, entries: &[BootstrapEntry], now: Timestamp) -> CoreResult<usize> {
+        let _write = self.write_gate.lock();
+        let mut seeded = 0;
+        for entry in entries {
+            validate_software_id(&entry.software_id)?;
+            let key = entry.software_id.clone();
+            if !self.software.contains(&key) {
+                self.software.put(
+                    &key,
+                    &SoftwareRecord {
+                        software_id: key.clone(),
+                        file_name: String::new(),
+                        file_size: 0,
+                        company: None,
+                        version: None,
+                        first_seen: now,
+                    },
+                )?;
+            }
+            for vote in expand_entry(entry, now) {
+                // Seed identities get a trust record on first use.
+                if self.trust.get(&vote.username)?.is_none() {
+                    self.trust.put(
+                        &vote.username,
+                        &TrustRecord {
+                            username: vote.username.clone(),
+                            trust: BOOTSTRAP_SEED_TRUST,
+                            week: now.week_index(),
+                            growth_this_week: 0.0,
+                        },
+                    )?;
+                }
+                self.votes.put(&(vote.software_id.clone(), vote.username.clone()), &vote)?;
+                seeded += 1;
+            }
+        }
+        Ok(seeded)
+    }
+
+    // -----------------------------------------------------------------
+    // Pseudonyms (§5 future work: unlinkable membership)
+    // -----------------------------------------------------------------
+
+    /// Mark that `username` has drawn their one pseudonym credential.
+    /// Fails if it was already drawn — one unlinkable identity per
+    /// verified member keeps the §2.1 Sybil economics intact.
+    pub fn mark_pseudonym_credential_issued(&self, username: &str) -> CoreResult<()> {
+        let _write = self.write_gate.lock();
+        let key = username.to_string();
+        let mut user =
+            self.users.get(&key)?.ok_or_else(|| CoreError::UnknownUser(username.into()))?;
+        if !user.activated {
+            return Err(CoreError::NotActivated(username.into()));
+        }
+        if user.pseudonym {
+            return Err(CoreError::InvalidInput(
+                "pseudonym accounts cannot draw further credentials".into(),
+            ));
+        }
+        if user.pseudonym_credential_issued {
+            return Err(CoreError::InvalidInput("pseudonym credential already issued".into()));
+        }
+        user.pseudonym_credential_issued = true;
+        self.users.put(&key, &user)?;
+        Ok(())
+    }
+
+    /// Create a pseudonym account: no e-mail, activated immediately —
+    /// membership was proven by the blind-signed token, whose digest is
+    /// recorded to prevent double-spending. The caller (the server layer)
+    /// is responsible for verifying the token's signature first.
+    pub fn register_pseudonym(
+        &self,
+        username: &str,
+        password: &str,
+        token_digest: &str,
+        now: Timestamp,
+        rng: &mut impl RngCore,
+    ) -> CoreResult<()> {
+        validate_username(username)?;
+        if password.is_empty() {
+            return Err(CoreError::InvalidInput("password must not be empty".into()));
+        }
+        let _write = self.write_gate.lock();
+        if self.users.contains(&username.to_string()) {
+            return Err(CoreError::DuplicateUsername(username.to_string()));
+        }
+        if self.store.contains(SPENT_PSEUDONYM_TOKENS_TREE, token_digest.as_bytes()) {
+            return Err(CoreError::InvalidInput("pseudonym token already spent".into()));
+        }
+        let record = UserRecord {
+            username: username.to_string(),
+            password_hash: PasswordHash::create(password, rng).encode(),
+            email_digest: String::new(),
+            signed_up: now,
+            last_login: now,
+            activated: true,
+            activation_digest: None,
+            pseudonym: true,
+            pseudonym_credential_issued: true,
+        };
+        self.users.put(&username.to_string(), &record)?;
+        self.trust.put(&username.to_string(), &TrustEngine::new_user(username, now))?;
+        self.store.put(
+            SPENT_PSEUDONYM_TOKENS_TREE,
+            token_digest.as_bytes().to_vec(),
+            Vec::new(),
+        )?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Browse & search (the §3 web interface's queries)
+    // -----------------------------------------------------------------
+
+    /// Case-insensitive substring search over file names and vendor
+    /// names, capped at `limit` results in id order.
+    pub fn search_software(&self, query: &str, limit: usize) -> CoreResult<Vec<SoftwareRecord>> {
+        let needle = query.to_ascii_lowercase();
+        let mut out = Vec::new();
+        for (_, record) in self.software.scan()? {
+            let hit = record.file_name.to_ascii_lowercase().contains(&needle)
+                || record
+                    .company
+                    .as_deref()
+                    .is_some_and(|c| c.to_ascii_lowercase().contains(&needle));
+            if hit {
+                out.push(record);
+                if out.len() == limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `limit` best-rated programs (highest first; ties by id).
+    pub fn top_rated(&self, limit: usize) -> CoreResult<Vec<RatingRecord>> {
+        let mut all: Vec<RatingRecord> = self.ratings.scan()?.into_iter().map(|(_, r)| r).collect();
+        all.sort_by(|a, b| {
+            b.rating
+                .partial_cmp(&a.rating)
+                .expect("ratings are never NaN")
+                .then(a.software_id.cmp(&b.software_id))
+        });
+        all.truncate(limit);
+        Ok(all)
+    }
+
+    /// The `limit` worst-rated programs (lowest first; ties by id) — the
+    /// web interface's warning list.
+    pub fn bottom_rated(&self, limit: usize) -> CoreResult<Vec<RatingRecord>> {
+        let mut all: Vec<RatingRecord> = self.ratings.scan()?.into_iter().map(|(_, r)| r).collect();
+        all.sort_by(|a, b| {
+            a.rating
+                .partial_cmp(&b.rating)
+                .expect("ratings are never NaN")
+                .then(a.software_id.cmp(&b.software_id))
+        });
+        all.truncate(limit);
+        Ok(all)
+    }
+
+    /// Deployment-level counters shown on the web front page ("run
+    /// statistics", §3.1).
+    pub fn deployment_stats(&self) -> DeploymentStats {
+        DeploymentStats {
+            users: self.users.len() as u64,
+            software: self.software.len() as u64,
+            votes: self.votes.len() as u64,
+            comments: self.comments.len() as u64,
+            rated_software: self.ratings.len() as u64,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Extensions: analyzer evidence (§5) and rating feeds (§4.2)
+    // -----------------------------------------------------------------
+
+    /// Store runtime-analysis evidence for an executable. The latest
+    /// analysis wins ("hard evidence on the behaviour for that specific
+    /// software", §5); authentication of the analyzer is the server
+    /// layer's job.
+    pub fn record_evidence(
+        &self,
+        software_id: &str,
+        behaviours: Vec<String>,
+        analyzer: &str,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        if !self.software.contains(&software_id.to_string()) {
+            return Err(CoreError::UnknownSoftware(software_id.into()));
+        }
+        self.evidence.put(
+            &software_id.to_string(),
+            &EvidenceRecord {
+                software_id: software_id.to_string(),
+                behaviours,
+                analyzer: analyzer.to_string(),
+                analyzed_at: now,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// The stored evidence for an executable, if any analysis ran.
+    pub fn evidence(&self, software_id: &str) -> CoreResult<Option<EvidenceRecord>> {
+        Ok(self.evidence.get(&software_id.to_string())?)
+    }
+
+    /// Create a rating feed owned by `publisher` (§4.2: organisations
+    /// "publish their software ratings … within the reputation system").
+    pub fn create_feed(&self, name: &str, publisher: &str, now: Timestamp) -> CoreResult<()> {
+        validate_feed_name(name)?;
+        self.require_active_user(publisher)?;
+        let _write = self.write_gate.lock();
+        if self.feeds.contains(&name.to_string()) {
+            return Err(CoreError::FeedExists(name.into()));
+        }
+        self.feeds.put(
+            &name.to_string(),
+            &FeedRecord {
+                name: name.to_string(),
+                publisher: publisher.to_string(),
+                created_at: now,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Look up a feed.
+    pub fn feed(&self, name: &str) -> CoreResult<Option<FeedRecord>> {
+        Ok(self.feeds.get(&name.to_string())?)
+    }
+
+    /// Publish (or update) a feed's verdict on one executable. Only the
+    /// feed's owner may publish — subscribers trust the publisher, so the
+    /// server must guarantee provenance.
+    pub fn publish_feed_entry(
+        &self,
+        publisher: &str,
+        feed: &str,
+        software_id: &str,
+        rating: f64,
+        behaviours: Vec<String>,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        self.require_active_user(publisher)?;
+        let record = self.feed(feed)?.ok_or_else(|| CoreError::UnknownFeed(feed.to_string()))?;
+        if record.publisher != publisher {
+            return Err(CoreError::NotFeedOwner { feed: feed.into(), user: publisher.into() });
+        }
+        if !(1.0..=10.0).contains(&rating) {
+            return Err(CoreError::InvalidInput(format!("feed rating {rating} outside 1..=10")));
+        }
+        if !self.software.contains(&software_id.to_string()) {
+            return Err(CoreError::UnknownSoftware(software_id.into()));
+        }
+        self.feed_entries.put(
+            &(feed.to_string(), software_id.to_string()),
+            &FeedEntryRecord {
+                feed: feed.to_string(),
+                software_id: software_id.to_string(),
+                rating,
+                behaviours,
+                published_at: now,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// A feed's verdict on one executable, if published.
+    pub fn feed_entry(&self, feed: &str, software_id: &str) -> CoreResult<Option<FeedEntryRecord>> {
+        Ok(self.feed_entries.get(&(feed.to_string(), software_id.to_string()))?)
+    }
+
+    /// Every entry a feed has published, in software-id order.
+    pub fn feed_entries(&self, feed: &str) -> CoreResult<Vec<FeedEntryRecord>> {
+        let rows = self.feed_entries.scan_key_prefix(&feed.to_string())?;
+        Ok(rows.into_iter().map(|(_, v)| v).collect())
+    }
+
+    // -----------------------------------------------------------------
+    // Plumbing
+    // -----------------------------------------------------------------
+
+    fn next_comment_id(&self) -> CoreResult<u64> {
+        let next = self
+            .store
+            .get(META_TREE, META_NEXT_COMMENT_ID)
+            .map(|raw| {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&raw[..8]);
+                u64::from_be_bytes(bytes)
+            })
+            .unwrap_or(1);
+        self.store.put(
+            META_TREE,
+            META_NEXT_COMMENT_ID.to_vec(),
+            (next + 1).to_be_bytes().to_vec(),
+        )?;
+        Ok(next)
+    }
+
+    /// Storage-level counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+}
+
+fn validate_username(username: &str) -> CoreResult<()> {
+    let ok_chars = username.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if !(3..=32).contains(&username.len()) || !ok_chars {
+        return Err(CoreError::InvalidInput("username must be 3–32 chars of [A-Za-z0-9_-]".into()));
+    }
+    if username.starts_with(BOOTSTRAP_USER_PREFIX) || username.starts_with("__") {
+        return Err(CoreError::InvalidInput("usernames starting with __ are reserved".into()));
+    }
+    Ok(())
+}
+
+fn validate_feed_name(name: &str) -> CoreResult<()> {
+    let ok_chars = name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+    if !(3..=32).contains(&name.len()) || !ok_chars {
+        return Err(CoreError::InvalidInput("feed name must be 3-32 chars of [a-z0-9-]".into()));
+    }
+    Ok(())
+}
+
+fn validate_software_id(software_id: &str) -> CoreResult<()> {
+    let is_hex = !software_id.is_empty() && software_id.chars().all(|c| c.is_ascii_hexdigit());
+    let ok_len = software_id.len() == 40 || software_id.len() == 64;
+    if !is_hex || !ok_len {
+        return Err(CoreError::InvalidInput(
+            "software id must be a 40- or 64-char hex digest".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{DAY_SECS, WEEK_SECS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn sw_id(tag: u8) -> String {
+        format!("{:02x}", tag).repeat(20)
+    }
+
+    /// Register + activate a user in one step.
+    fn member(db: &ReputationDb, name: &str, now: Timestamp) {
+        let token =
+            db.register_user(name, "pw", &format!("{name}@example.com"), now, &mut rng()).unwrap();
+        db.activate_user(name, &token).unwrap();
+    }
+
+    fn db_with_member() -> ReputationDb {
+        let db = ReputationDb::in_memory("pepper");
+        member(&db, "alice", Timestamp(0));
+        db
+    }
+
+    #[test]
+    fn registration_activation_login_flow() {
+        let db = ReputationDb::in_memory("pepper");
+        let token = db.register_user("alice", "pw", "a@x.com", Timestamp(0), &mut rng()).unwrap();
+
+        // Login before activation fails.
+        assert!(matches!(db.login("alice", "pw", Timestamp(1)), Err(CoreError::NotActivated(_))));
+        // Wrong token fails; right token succeeds; idempotent after.
+        assert!(matches!(db.activate_user("alice", "wrong"), Err(CoreError::BadActivationToken)));
+        db.activate_user("alice", &token).unwrap();
+        db.activate_user("alice", &token).unwrap();
+
+        db.login("alice", "pw", Timestamp(5)).unwrap();
+        assert!(matches!(db.login("alice", "nope", Timestamp(6)), Err(CoreError::BadCredentials)));
+        assert!(matches!(db.login("ghost", "pw", Timestamp(6)), Err(CoreError::BadCredentials)));
+        assert_eq!(db.user("alice").unwrap().unwrap().last_login, Timestamp(5));
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_email_is_rejected_even_with_case_tricks() {
+        let db = ReputationDb::in_memory("pepper");
+        db.register_user("alice", "pw", "same@x.com", Timestamp(0), &mut rng()).unwrap();
+        let err = db.register_user("bob", "pw", " SAME@X.COM ", Timestamp(0), &mut rng());
+        assert!(matches!(err, Err(CoreError::DuplicateEmail)));
+        assert!(db.email_in_use("same@x.com").unwrap());
+        assert!(!db.email_in_use("other@x.com").unwrap());
+        // The failed registration left no partial state behind.
+        assert!(db.user("bob").unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_username_is_rejected() {
+        let db = ReputationDb::in_memory("pepper");
+        db.register_user("alice", "pw", "a@x.com", Timestamp(0), &mut rng()).unwrap();
+        assert!(matches!(
+            db.register_user("alice", "pw", "b@x.com", Timestamp(0), &mut rng()),
+            Err(CoreError::DuplicateUsername(_))
+        ));
+    }
+
+    #[test]
+    fn username_validation() {
+        let db = ReputationDb::in_memory("pepper");
+        let mut r = rng();
+        for bad in ["ab", "x".repeat(33).as_str(), "has space", "__bootstrap_1", "__x_y", "emoji😀"]
+        {
+            assert!(
+                matches!(
+                    db.register_user(bad, "pw", "e@x.com", Timestamp(0), &mut r),
+                    Err(CoreError::InvalidInput(_))
+                ),
+                "{bad:?} should be rejected"
+            );
+        }
+        db.register_user("ok_name-1", "pw", "ok@x.com", Timestamp(0), &mut r).unwrap();
+    }
+
+    #[test]
+    fn one_vote_per_user_per_software() {
+        let db = db_with_member();
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+        db.submit_vote("alice", &sw_id(1), 3, vec![], Timestamp(1)).unwrap();
+        db.submit_vote("alice", &sw_id(1), 9, vec!["tracking".into()], Timestamp(2)).unwrap();
+        assert_eq!(db.vote_count(), 1, "re-voting replaces, never duplicates");
+        let vote = db.vote_of("alice", &sw_id(1)).unwrap().unwrap();
+        assert_eq!(vote.score, 9);
+        assert_eq!(vote.behaviours, vec!["tracking".to_string()]);
+    }
+
+    #[test]
+    fn votes_require_active_user_known_software_and_legal_score() {
+        let db = db_with_member();
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+        assert!(matches!(
+            db.submit_vote("alice", &sw_id(1), 0, vec![], Timestamp(1)),
+            Err(CoreError::InvalidScore(0))
+        ));
+        assert!(matches!(
+            db.submit_vote("alice", &sw_id(1), 11, vec![], Timestamp(1)),
+            Err(CoreError::InvalidScore(11))
+        ));
+        assert!(matches!(
+            db.submit_vote("ghost", &sw_id(1), 5, vec![], Timestamp(1)),
+            Err(CoreError::UnknownUser(_))
+        ));
+        assert!(matches!(
+            db.submit_vote("alice", &sw_id(9), 5, vec![], Timestamp(1)),
+            Err(CoreError::UnknownSoftware(_))
+        ));
+
+        // Registered but unactivated users cannot vote.
+        let mut r = rng();
+        db.register_user("newbie", "pw", "n@x.com", Timestamp(0), &mut r).unwrap();
+        assert!(matches!(
+            db.submit_vote("newbie", &sw_id(1), 5, vec![], Timestamp(1)),
+            Err(CoreError::NotActivated(_))
+        ));
+    }
+
+    #[test]
+    fn software_registration_first_report_wins() {
+        let db = ReputationDb::in_memory("pepper");
+        assert!(db
+            .register_software(&sw_id(2), "a.exe", 10, Some("Acme".into()), None, Timestamp(0))
+            .unwrap());
+        assert!(!db
+            .register_software(&sw_id(2), "b.exe", 99, Some("Evil".into()), None, Timestamp(1))
+            .unwrap());
+        let rec = db.software(&sw_id(2)).unwrap().unwrap();
+        assert_eq!(rec.file_name, "a.exe");
+        assert_eq!(rec.company.as_deref(), Some("Acme"));
+    }
+
+    #[test]
+    fn software_id_validation() {
+        let db = ReputationDb::in_memory("pepper");
+        for bad in ["", "xyz", "12345", &"g".repeat(40)] {
+            assert!(db.register_software(bad, "f", 0, None, None, Timestamp(0)).is_err());
+        }
+        // 64-char (SHA-256) ids are also accepted.
+        db.register_software(&"ab".repeat(32), "f", 0, None, None, Timestamp(0)).unwrap();
+    }
+
+    #[test]
+    fn aggregation_respects_24h_schedule_and_trust() {
+        let db = db_with_member();
+        member(&db, "expert", Timestamp(0));
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+        db.submit_vote("alice", &sw_id(1), 10, vec![], Timestamp(10)).unwrap();
+        db.submit_vote("expert", &sw_id(1), 2, vec![], Timestamp(10)).unwrap();
+        // Give the expert a big trust factor (cap allows +5 in week 0).
+        db.adjust_trust("expert", 5.0, Timestamp(20)).unwrap();
+
+        assert_eq!(db.run_aggregation_if_due(Timestamp(100)).unwrap(), 1);
+        let r1 = db.rating(&sw_id(1)).unwrap().unwrap();
+        // weighted: (10*1 + 2*6) / 7 = 22/7 ≈ 3.14
+        assert!((r1.rating - 22.0 / 7.0).abs() < 1e-12);
+        assert_eq!(r1.vote_count, 2);
+
+        // Not due again until +24 h.
+        assert_eq!(db.run_aggregation_if_due(Timestamp(200)).unwrap(), 0);
+        assert_eq!(db.run_aggregation_if_due(Timestamp(100 + DAY_SECS)).unwrap(), 1);
+    }
+
+    #[test]
+    fn comments_and_remarks_drive_trust() {
+        let db = db_with_member();
+        member(&db, "bob", Timestamp(0));
+        member(&db, "carol", Timestamp(0));
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+
+        let id = db.submit_comment("alice", &sw_id(1), "shows pop-ups", Timestamp(1)).unwrap();
+        assert!(matches!(
+            db.remark_comment("alice", id, true, Timestamp(2)),
+            Err(CoreError::SelfRemark)
+        ));
+
+        db.remark_comment("bob", id, true, Timestamp(2)).unwrap();
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 2.0);
+        // Idempotent repeat.
+        db.remark_comment("bob", id, true, Timestamp(3)).unwrap();
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 2.0);
+        assert_eq!(db.remark_score(id).unwrap(), 1);
+
+        db.remark_comment("carol", id, false, Timestamp(4)).unwrap();
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 1.0);
+        assert_eq!(db.remark_score(id).unwrap(), 0);
+
+        // Bob flips his remark: -2 relative, floored at 1.
+        db.remark_comment("bob", id, false, Timestamp(5)).unwrap();
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 1.0);
+        assert_eq!(db.remark_score(id).unwrap(), -2);
+
+        let comments = db.comments_for(&sw_id(1)).unwrap();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].remark_score, -2);
+    }
+
+    #[test]
+    fn trust_growth_cap_applies_through_remarks() {
+        let db = db_with_member();
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+        let id = db.submit_comment("alice", &sw_id(1), "useful info", Timestamp(1)).unwrap();
+        // 20 distinct fans this week — growth still capped at +5.
+        for i in 0..20 {
+            let fan = format!("fan{i:02}");
+            member(&db, &fan, Timestamp(0));
+            db.remark_comment(&fan, id, true, Timestamp(10 + i)).unwrap();
+        }
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 6.0);
+        // Next week another 20 fans: +5 more.
+        for i in 20..40 {
+            let fan = format!("fan{i:02}");
+            member(&db, &fan, Timestamp(0));
+            db.remark_comment(&fan, id, true, Timestamp(WEEK_SECS + i)).unwrap();
+        }
+        assert_eq!(db.trust_of("alice").unwrap().unwrap(), 11.0);
+    }
+
+    #[test]
+    fn moderation_queue_flow() {
+        let store = Arc::new(Store::in_memory());
+        let db = ReputationDb::with_moderation(
+            store,
+            SecretPepper::new("p"),
+            ModerationPolicy::PreApproval,
+        );
+        member(&db, "alice", Timestamp(0));
+        member(&db, "bob", Timestamp(0));
+        db.register_software(&sw_id(1), "app.exe", 100, None, None, Timestamp(0)).unwrap();
+
+        let id = db.submit_comment("alice", &sw_id(1), "pending text", Timestamp(10)).unwrap();
+        assert!(db.comments_for(&sw_id(1)).unwrap().is_empty(), "not yet published");
+        assert!(matches!(
+            db.remark_comment("bob", id, true, Timestamp(11)),
+            Err(CoreError::CommentNotPublished(_))
+        ));
+        assert_eq!(db.pending_comments().unwrap().len(), 1);
+
+        db.moderate_comment(id, ModerationDecision::Approve, Timestamp(100)).unwrap();
+        assert_eq!(db.comments_for(&sw_id(1)).unwrap().len(), 1);
+        let stats = db.moderation_stats();
+        assert_eq!(stats.approved, 1);
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.total_review_latency_secs, 90);
+
+        // Second comment rejected: never visible.
+        let id2 = db.submit_comment("alice", &sw_id(1), "spam", Timestamp(200)).unwrap();
+        db.moderate_comment(id2, ModerationDecision::Reject, Timestamp(300)).unwrap();
+        assert_eq!(db.comments_for(&sw_id(1)).unwrap().len(), 1);
+        // Double moderation is invalid.
+        assert!(db.moderate_comment(id2, ModerationDecision::Approve, Timestamp(301)).is_err());
+    }
+
+    #[test]
+    fn vendor_report_averages_software_ratings() {
+        let db = db_with_member();
+        for (tag, score) in [(1u8, 4u8), (2, 8)] {
+            db.register_software(&sw_id(tag), "t.exe", 10, Some("Acme".into()), None, Timestamp(0))
+                .unwrap();
+            db.submit_vote("alice", &sw_id(tag), score, vec![], Timestamp(1)).unwrap();
+        }
+        db.register_software(&sw_id(3), "o.exe", 10, Some("Other".into()), None, Timestamp(0))
+            .unwrap();
+        db.force_aggregation(Timestamp(10)).unwrap();
+
+        let report = db.vendor_report("Acme").unwrap();
+        assert_eq!(report.software_count, 2);
+        assert_eq!(report.rating.unwrap(), 6.0);
+
+        let unknown = db.vendor_report("Nobody").unwrap();
+        assert_eq!(unknown.software_count, 0);
+        assert_eq!(unknown.rating, None);
+    }
+
+    #[test]
+    fn bootstrap_seeds_votes_with_seed_trust() {
+        let db = ReputationDb::in_memory("pepper");
+        let entries = vec![BootstrapEntry {
+            software_id: sw_id(7),
+            rating: 8.0,
+            vote_count: 25,
+            behaviours: vec![],
+        }];
+        assert_eq!(db.bootstrap(&entries, Timestamp(0)).unwrap(), 25);
+        assert_eq!(db.vote_count(), 25);
+        assert!(db.software(&sw_id(7)).unwrap().is_some());
+        db.force_aggregation(Timestamp(1)).unwrap();
+        let rating = db.rating(&sw_id(7)).unwrap().unwrap();
+        assert!((rating.rating - 8.0).abs() < 0.05);
+        assert_eq!(db.trust_of("__bootstrap_0").unwrap().unwrap(), BOOTSTRAP_SEED_TRUST);
+    }
+
+    #[test]
+    fn software_report_combines_everything() {
+        let db = db_with_member();
+        db.register_software(
+            &sw_id(1),
+            "app.exe",
+            10,
+            Some("Acme".into()),
+            Some("1.0".into()),
+            Timestamp(0),
+        )
+        .unwrap();
+        db.submit_vote("alice", &sw_id(1), 7, vec!["popup_ads".into()], Timestamp(1)).unwrap();
+        db.submit_comment("alice", &sw_id(1), "it's fine", Timestamp(2)).unwrap();
+        db.force_aggregation(Timestamp(3)).unwrap();
+
+        let report = db.software_report(&sw_id(1)).unwrap().unwrap();
+        assert_eq!(report.software.file_name, "app.exe");
+        assert_eq!(report.rating.as_ref().unwrap().vote_count, 1);
+        assert_eq!(report.rating.unwrap().behaviours[0].0, "popup_ads");
+        assert_eq!(report.comments.len(), 1);
+
+        assert!(db.software_report(&sw_id(9)).unwrap().is_none());
+    }
+
+    #[test]
+    fn evidence_records_and_surfaces_in_reports() {
+        let db = db_with_member();
+        db.register_software(&sw_id(1), "app.exe", 10, None, None, Timestamp(0)).unwrap();
+        // Evidence for unknown software is rejected.
+        assert!(matches!(
+            db.record_evidence(&sw_id(9), vec!["tracking".into()], "sandbox", Timestamp(1)),
+            Err(CoreError::UnknownSoftware(_))
+        ));
+        db.record_evidence(&sw_id(1), vec!["tracking".into()], "sandbox-v1", Timestamp(1)).unwrap();
+        let ev = db.evidence(&sw_id(1)).unwrap().unwrap();
+        assert_eq!(ev.behaviours, vec!["tracking".to_string()]);
+        assert_eq!(ev.analyzer, "sandbox-v1");
+        // Latest analysis wins.
+        db.record_evidence(&sw_id(1), vec!["popup_ads".into()], "sandbox-v2", Timestamp(2))
+            .unwrap();
+        let report = db.software_report(&sw_id(1)).unwrap().unwrap();
+        assert_eq!(report.evidence.unwrap().behaviours, vec!["popup_ads".to_string()]);
+    }
+
+    #[test]
+    fn feeds_enforce_ownership_and_validation() {
+        let db = db_with_member();
+        member(&db, "rival", Timestamp(0));
+        db.register_software(&sw_id(1), "app.exe", 10, None, None, Timestamp(0)).unwrap();
+
+        // Name validation.
+        assert!(db.create_feed("x", "alice", Timestamp(0)).is_err());
+        assert!(db.create_feed("Has Caps", "alice", Timestamp(0)).is_err());
+        db.create_feed("av-lab", "alice", Timestamp(0)).unwrap();
+        assert!(matches!(
+            db.create_feed("av-lab", "rival", Timestamp(0)),
+            Err(CoreError::FeedExists(_))
+        ));
+        assert_eq!(db.feed("av-lab").unwrap().unwrap().publisher, "alice");
+
+        // Only the owner publishes.
+        assert!(matches!(
+            db.publish_feed_entry("rival", "av-lab", &sw_id(1), 2.0, vec![], Timestamp(1)),
+            Err(CoreError::NotFeedOwner { .. })
+        ));
+        // Rating range enforced.
+        assert!(db
+            .publish_feed_entry("alice", "av-lab", &sw_id(1), 0.5, vec![], Timestamp(1))
+            .is_err());
+        assert!(db
+            .publish_feed_entry("alice", "av-lab", &sw_id(1), 11.0, vec![], Timestamp(1))
+            .is_err());
+        // Unknown feed / unknown software.
+        assert!(matches!(
+            db.publish_feed_entry("alice", "ghost", &sw_id(1), 5.0, vec![], Timestamp(1)),
+            Err(CoreError::UnknownFeed(_))
+        ));
+        assert!(matches!(
+            db.publish_feed_entry("alice", "av-lab", &sw_id(9), 5.0, vec![], Timestamp(1)),
+            Err(CoreError::UnknownSoftware(_))
+        ));
+
+        db.publish_feed_entry(
+            "alice",
+            "av-lab",
+            &sw_id(1),
+            2.5,
+            vec!["tracking".into()],
+            Timestamp(1),
+        )
+        .unwrap();
+        let entry = db.feed_entry("av-lab", &sw_id(1)).unwrap().unwrap();
+        assert_eq!(entry.rating, 2.5);
+        // Re-publishing replaces.
+        db.publish_feed_entry("alice", "av-lab", &sw_id(1), 3.0, vec![], Timestamp(2)).unwrap();
+        assert_eq!(db.feed_entry("av-lab", &sw_id(1)).unwrap().unwrap().rating, 3.0);
+        assert_eq!(db.feed_entries("av-lab").unwrap().len(), 1);
+        assert!(db.feed_entry("av-lab", &sw_id(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn search_and_browse_queries() {
+        let db = db_with_member();
+        db.register_software(
+            &sw_id(1),
+            "WeatherBar.exe",
+            10,
+            Some("Acme".into()),
+            None,
+            Timestamp(0),
+        )
+        .unwrap();
+        db.register_software(&sw_id(2), "codec.exe", 10, Some("BadCo".into()), None, Timestamp(0))
+            .unwrap();
+        db.register_software(&sw_id(3), "player.exe", 10, Some("Acme".into()), None, Timestamp(0))
+            .unwrap();
+        db.submit_vote("alice", &sw_id(1), 9, vec![], Timestamp(1)).unwrap();
+        db.submit_vote("alice", &sw_id(2), 2, vec![], Timestamp(1)).unwrap();
+        db.force_aggregation(Timestamp(2)).unwrap();
+
+        // Case-insensitive search over names and vendors.
+        let hits = db.search_software("weather", 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].file_name, "WeatherBar.exe");
+        assert_eq!(db.search_software("acme", 10).unwrap().len(), 2);
+        assert_eq!(db.search_software("acme", 1).unwrap().len(), 1, "limit respected");
+        assert!(db.search_software("nothing", 10).unwrap().is_empty());
+
+        // Top/bottom rated.
+        let top = db.top_rated(5).unwrap();
+        assert_eq!(top[0].software_id, sw_id(1));
+        let bottom = db.bottom_rated(5).unwrap();
+        assert_eq!(bottom[0].software_id, sw_id(2));
+
+        let stats = db.deployment_stats();
+        assert_eq!(stats.users, 1);
+        assert_eq!(stats.software, 3);
+        assert_eq!(stats.votes, 2);
+        assert_eq!(stats.rated_software, 2);
+    }
+
+    #[test]
+    fn persisted_db_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("softrep-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Arc::new(Store::open(&dir).unwrap());
+            let db = ReputationDb::new(store, SecretPepper::new("p"));
+            member(&db, "alice", Timestamp(0));
+            db.register_software(&sw_id(1), "app.exe", 10, None, None, Timestamp(0)).unwrap();
+            db.submit_vote("alice", &sw_id(1), 6, vec![], Timestamp(1)).unwrap();
+            db.force_aggregation(Timestamp(2)).unwrap();
+            db.store().sync().unwrap();
+        }
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let db = ReputationDb::new(store, SecretPepper::new("p"));
+        assert_eq!(db.vote_count(), 1);
+        assert_eq!(db.rating(&sw_id(1)).unwrap().unwrap().rating, 6.0);
+        db.login("alice", "pw", Timestamp(10)).unwrap();
+    }
+}

@@ -1,0 +1,163 @@
+//! Error type for the reputation system core.
+
+use softrep_storage::StorageError;
+
+/// Any failure raised by the reputation database or its domain logic.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage layer failure.
+    Storage(StorageError),
+    /// The e-mail (by digest) is already bound to an account (§3.2: "it is
+    /// possible to sign up only once per e-mail address").
+    DuplicateEmail,
+    /// The username is already taken.
+    DuplicateUsername(String),
+    /// No such user.
+    UnknownUser(String),
+    /// No such software id.
+    UnknownSoftware(String),
+    /// No such comment id.
+    UnknownComment(u64),
+    /// Account exists but has not redeemed its activation token.
+    NotActivated(String),
+    /// Wrong username/password pair.
+    BadCredentials,
+    /// Wrong or stale activation token.
+    BadActivationToken,
+    /// Vote score outside 1..=10.
+    InvalidScore(u8),
+    /// Users may not remark on their own comments.
+    SelfRemark,
+    /// The comment is not published (pending review or rejected).
+    CommentNotPublished(u64),
+    /// Free-form validation failure (empty username, oversized text, …).
+    InvalidInput(String),
+    /// A feed with this name already exists.
+    FeedExists(String),
+    /// No such feed.
+    UnknownFeed(String),
+    /// Only the feed's owner may publish into it.
+    NotFeedOwner {
+        /// The feed.
+        feed: String,
+        /// The offending user.
+        user: String,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::DuplicateEmail => f.write_str("e-mail address already registered"),
+            CoreError::DuplicateUsername(u) => write!(f, "username '{u}' already taken"),
+            CoreError::UnknownUser(u) => write!(f, "unknown user '{u}'"),
+            CoreError::UnknownSoftware(id) => write!(f, "unknown software '{id}'"),
+            CoreError::UnknownComment(id) => write!(f, "unknown comment {id}"),
+            CoreError::NotActivated(u) => write!(f, "account '{u}' is not activated"),
+            CoreError::BadCredentials => f.write_str("invalid username or password"),
+            CoreError::BadActivationToken => f.write_str("invalid activation token"),
+            CoreError::InvalidScore(s) => write!(f, "score {s} outside 1..=10"),
+            CoreError::SelfRemark => f.write_str("users may not remark on their own comments"),
+            CoreError::CommentNotPublished(id) => write!(f, "comment {id} is not published"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::FeedExists(name) => write!(f, "feed '{name}' already exists"),
+            CoreError::UnknownFeed(name) => write!(f, "unknown feed '{name}'"),
+            CoreError::NotFeedOwner { feed, user } => {
+                write!(f, "user '{user}' does not own feed '{feed}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        // A unique-index violation on the e-mail index is the domain-level
+        // duplicate-email error; everything else passes through.
+        match &e {
+            StorageError::UniqueViolation { index, .. } if index.contains("email") => {
+                CoreError::DuplicateEmail
+            }
+            _ => CoreError::Storage(e),
+        }
+    }
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Machine-readable error codes used on the wire.
+impl CoreError {
+    /// Stable protocol error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Storage(_) => "storage",
+            CoreError::DuplicateEmail => "duplicate-email",
+            CoreError::DuplicateUsername(_) => "duplicate-username",
+            CoreError::UnknownUser(_) => "unknown-user",
+            CoreError::UnknownSoftware(_) => "unknown-software",
+            CoreError::UnknownComment(_) => "unknown-comment",
+            CoreError::NotActivated(_) => "not-activated",
+            CoreError::BadCredentials => "bad-credentials",
+            CoreError::BadActivationToken => "bad-activation-token",
+            CoreError::InvalidScore(_) => "invalid-score",
+            CoreError::SelfRemark => "self-remark",
+            CoreError::CommentNotPublished(_) => "comment-not-published",
+            CoreError::InvalidInput(_) => "invalid-input",
+            CoreError::FeedExists(_) => "feed-exists",
+            CoreError::UnknownFeed(_) => "unknown-feed",
+            CoreError::NotFeedOwner { .. } => "not-feed-owner",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_unique_violation_maps_to_duplicate_email() {
+        let e = CoreError::from(StorageError::UniqueViolation {
+            index: "users_by_email".into(),
+            key: "ab".into(),
+        });
+        assert!(matches!(e, CoreError::DuplicateEmail));
+    }
+
+    #[test]
+    fn other_unique_violations_pass_through() {
+        let e = CoreError::from(StorageError::UniqueViolation {
+            index: "other_index".into(),
+            key: "ab".into(),
+        });
+        assert!(matches!(e, CoreError::Storage(_)));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let codes = [
+            CoreError::DuplicateEmail.code(),
+            CoreError::DuplicateUsername(String::new()).code(),
+            CoreError::BadCredentials.code(),
+            CoreError::SelfRemark.code(),
+            CoreError::InvalidScore(0).code(),
+        ];
+        let unique: std::collections::HashSet<_> = codes.iter().collect();
+        assert_eq!(unique.len(), codes.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::UnknownUser("bob".into()).to_string().contains("bob"));
+        assert!(CoreError::InvalidScore(42).to_string().contains("42"));
+    }
+}

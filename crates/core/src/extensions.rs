@@ -1,0 +1,183 @@
+//! Records for the paper's proposed extensions (§4.2 improvements and §5
+//! future work), implemented as first-class features:
+//!
+//! * [`EvidenceRecord`] — §5: "the possibility of using runtime software
+//!   analysis to automatically collect information about whether software
+//!   has some unwanted behaviour … The results from such investigations
+//!   could then be inserted into the reputation system as **hard evidence**
+//!   on the behaviour for that specific software." Evidence rows are
+//!   produced by the `softrep-analysis` sandbox and displayed to clients
+//!   as *verified* behaviours, distinct from user-reported ones.
+//!
+//! * [`FeedRecord`] / [`FeedEntryRecord`] — §4.2: "allowing for instance
+//!   organisations or groups of technically skilled individuals to publish
+//!   their software ratings and other feedback within the reputation
+//!   system … Allowing computer users to subscribe to information from
+//!   organisations or groups that they find trustworthy."
+
+use softrep_storage::codec::{get_seq, put_seq, Decode, Encode, Reader, Writer};
+use softrep_storage::error::StorageResult;
+
+use crate::clock::Timestamp;
+
+/// Analyzer-verified behaviour evidence for one executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvidenceRecord {
+    /// Hex software id.
+    pub software_id: String,
+    /// Behaviours the runtime analysis observed.
+    pub behaviours: Vec<String>,
+    /// Identifier of the analyzer that produced the evidence.
+    pub analyzer: String,
+    /// When the analysis completed.
+    pub analyzed_at: Timestamp,
+}
+
+impl Encode for EvidenceRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.software_id);
+        put_seq(w, &self.behaviours);
+        w.put_str(&self.analyzer);
+        self.analyzed_at.encode(w);
+    }
+}
+
+impl Decode for EvidenceRecord {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(EvidenceRecord {
+            software_id: r.get_str()?,
+            behaviours: get_seq(r)?,
+            analyzer: r.get_str()?,
+            analyzed_at: Timestamp::decode(r)?,
+        })
+    }
+}
+
+/// A published rating feed (an organisation's channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedRecord {
+    /// Feed name (unique; also the table key).
+    pub name: String,
+    /// The member account that owns the feed. Only the owner may publish
+    /// into it — subscribers chose the feed because they trust *this*
+    /// publisher.
+    pub publisher: String,
+    /// Creation instant.
+    pub created_at: Timestamp,
+}
+
+impl Encode for FeedRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_str(&self.publisher);
+        self.created_at.encode(w);
+    }
+}
+
+impl Decode for FeedRecord {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(FeedRecord {
+            name: r.get_str()?,
+            publisher: r.get_str()?,
+            created_at: Timestamp::decode(r)?,
+        })
+    }
+}
+
+/// One feed's verdict on one executable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedEntryRecord {
+    /// Owning feed.
+    pub feed: String,
+    /// Hex software id.
+    pub software_id: String,
+    /// The feed's rating (1.0–10.0).
+    pub rating: f64,
+    /// Behaviours the feed reports.
+    pub behaviours: Vec<String>,
+    /// Publication instant.
+    pub published_at: Timestamp,
+}
+
+impl Encode for FeedEntryRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.feed);
+        w.put_str(&self.software_id);
+        w.put_f64(self.rating);
+        put_seq(w, &self.behaviours);
+        self.published_at.encode(w);
+    }
+}
+
+impl Decode for FeedEntryRecord {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(FeedEntryRecord {
+            feed: r.get_str()?,
+            software_id: r.get_str()?,
+            rating: r.get_f64()?,
+            behaviours: get_seq(r)?,
+            published_at: Timestamp::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evidence_roundtrip() {
+        let rec = EvidenceRecord {
+            software_id: "ab".repeat(20),
+            behaviours: vec!["popup_ads".into(), "keylogger".into()],
+            analyzer: "sandbox-v1".into(),
+            analyzed_at: Timestamp(77),
+        };
+        assert_eq!(EvidenceRecord::decode_from_bytes(&rec.encode_to_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn feed_records_roundtrip() {
+        let feed = FeedRecord {
+            name: "av-lab".into(),
+            publisher: "lab_head".into(),
+            created_at: Timestamp(1),
+        };
+        assert_eq!(FeedRecord::decode_from_bytes(&feed.encode_to_bytes()).unwrap(), feed);
+        let entry = FeedEntryRecord {
+            feed: "av-lab".into(),
+            software_id: "cd".repeat(20),
+            rating: 2.5,
+            behaviours: vec!["tracking".into()],
+            published_at: Timestamp(2),
+        };
+        assert_eq!(FeedEntryRecord::decode_from_bytes(&entry.encode_to_bytes()).unwrap(), entry);
+    }
+
+    proptest! {
+        #[test]
+        fn evidence_roundtrip_arbitrary(
+            id in "[0-9a-f]{40}",
+            behaviours in proptest::collection::vec("[a-z_]{1,16}", 0..6),
+            analyzer in "[a-z0-9-]{1,12}",
+            ts: u64,
+        ) {
+            let rec = EvidenceRecord { software_id: id, behaviours, analyzer, analyzed_at: Timestamp(ts) };
+            prop_assert_eq!(EvidenceRecord::decode_from_bytes(&rec.encode_to_bytes()).unwrap(), rec);
+        }
+
+        #[test]
+        fn feed_entry_roundtrip_arbitrary(
+            feed in "[a-z-]{1,12}",
+            id in "[0-9a-f]{40}",
+            rating in 1.0f64..=10.0,
+            ts: u64,
+        ) {
+            let rec = FeedEntryRecord {
+                feed, software_id: id, rating, behaviours: vec![], published_at: Timestamp(ts),
+            };
+            prop_assert_eq!(FeedEntryRecord::decode_from_bytes(&rec.encode_to_bytes()).unwrap(), rec);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! The collaborative software reputation system of Boldt et al. (SDM 2007).
+//!
+//! This crate is the paper's primary contribution: a reputation system in
+//! which computer users collaboratively rate the software they run, and the
+//! aggregated, trust-weighted ratings guide other users' allow/deny
+//! decisions at execution time.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`clock`] — simulated and wall-clock time sources; the 24 h
+//!   aggregation schedule and weekly trust caps are defined against it.
+//! * [`identity`] — software identity: SHA-1/SHA-256 file fingerprints
+//!   (§3.3) and the synthetic executable format used across the workspace.
+//! * [`model`] — persisted records: users (exactly the privacy-minimal
+//!   schema of §3.2), software metadata, votes, comments, remarks, ratings.
+//! * [`taxonomy`] — the 3×3 PIS classification of Table 1 and the Table 2
+//!   grey-zone transformation.
+//! * [`trust`] — user trust factors: minimum 1, maximum 100, growth capped
+//!   at +5 per week (§3.2).
+//! * [`aggregate`] — trust-weighted rating aggregation on the 24 h batch
+//!   schedule, behaviour tallies, and vendor ratings (§3.2–3.3).
+//! * [`bootstrap`] — seeding the database from an existing rating corpus,
+//!   the second cold-start mitigation of §2.1.
+//! * [`moderation`] — the third mitigation of §2.1: an administrator queue
+//!   that verifies comments before publication.
+//! * [`extensions`] — the §4.2/§5 extension records: analyzer evidence
+//!   and published rating feeds.
+//! * [`db`] — [`db::ReputationDb`]: all tables bound to a
+//!   `softrep-storage` store, with the domain invariants (one vote per
+//!   user/software, unique hashed e-mails, remark dedup) enforced
+//!   transactionally.
+//! * [`error`] — crate-wide error type.
+
+pub mod aggregate;
+pub mod bootstrap;
+pub mod clock;
+pub mod db;
+pub mod error;
+pub mod extensions;
+pub mod identity;
+pub mod model;
+pub mod moderation;
+pub mod taxonomy;
+pub mod trust;
+
+pub use clock::{SimClock, Timestamp, DAY_SECS, WEEK_SECS};
+pub use db::ReputationDb;
+pub use error::{CoreError, CoreResult};
+pub use identity::{SoftwareId, SyntheticExecutable};
+pub use taxonomy::{ConsentLevel, ConsequenceLevel, PisCategory};
+pub use trust::{TrustEngine, MAX_TRUST, MIN_TRUST, WEEKLY_TRUST_GROWTH_CAP};

@@ -1,0 +1,167 @@
+//! Comment moderation — the third cold-start mitigation of §2.1.
+//!
+//! "The third approach would be to have one or more administrators keeping
+//! track of all ratings and comments going into the system, verifying the
+//! validity and quality of the comments prior to allowing other users to
+//! view them." The paper also notes the cost: "once the number of users has
+//! reached a certain level, this would require a lot of manual work …
+//! as well as seriously decrease the frequency of vote updates."
+//!
+//! This module defines the policy switch and the bookkeeping that lets
+//! experiment D1 measure exactly that trade-off (publication latency and
+//! administrator workload vs. information quality).
+
+use crate::clock::Timestamp;
+use crate::model::{CommentRecord, CommentStatus};
+
+/// Whether comments publish immediately or queue for review.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModerationPolicy {
+    /// Comments publish immediately (the deployed proof-of-concept's mode).
+    #[default]
+    Open,
+    /// Comments wait for an administrator decision before appearing.
+    PreApproval,
+}
+
+impl ModerationPolicy {
+    /// Status a fresh comment receives under this policy.
+    pub fn initial_status(self) -> CommentStatus {
+        match self {
+            ModerationPolicy::Open => CommentStatus::Published,
+            ModerationPolicy::PreApproval => CommentStatus::PendingReview,
+        }
+    }
+}
+
+/// An administrator decision on a pending comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModerationDecision {
+    /// Publish the comment.
+    Approve,
+    /// Reject it (kept for audit, never shown).
+    Reject,
+}
+
+/// Workload metrics for the administrator model (experiment D1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModerationStats {
+    /// Comments currently awaiting review.
+    pub pending: u64,
+    /// Total decisions made.
+    pub decided: u64,
+    /// Total approvals.
+    pub approved: u64,
+    /// Total rejections.
+    pub rejected: u64,
+    /// Sum of (decision time − submission time) over all decisions, secs.
+    pub total_review_latency_secs: u64,
+}
+
+impl ModerationStats {
+    /// Mean seconds a reviewed comment waited for its decision.
+    pub fn mean_review_latency_secs(&self) -> f64 {
+        if self.decided == 0 {
+            0.0
+        } else {
+            self.total_review_latency_secs as f64 / self.decided as f64
+        }
+    }
+
+    /// Record a comment entering the queue.
+    pub fn on_enqueue(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Record a decision over a comment submitted at `written_at`.
+    pub fn on_decision(
+        &mut self,
+        decision: ModerationDecision,
+        written_at: Timestamp,
+        now: Timestamp,
+    ) {
+        self.pending = self.pending.saturating_sub(1);
+        self.decided += 1;
+        match decision {
+            ModerationDecision::Approve => self.approved += 1,
+            ModerationDecision::Reject => self.rejected += 1,
+        }
+        self.total_review_latency_secs += now.since(written_at);
+    }
+}
+
+/// Apply a decision to a comment record. Returns `false` (and leaves the
+/// record untouched) if the comment was not pending.
+pub fn apply_decision(comment: &mut CommentRecord, decision: ModerationDecision) -> bool {
+    if comment.status != CommentStatus::PendingReview {
+        return false;
+    }
+    comment.status = match decision {
+        ModerationDecision::Approve => CommentStatus::Published,
+        ModerationDecision::Reject => CommentStatus::Rejected,
+    };
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(status: CommentStatus) -> CommentRecord {
+        CommentRecord {
+            id: 1,
+            author: "a".into(),
+            software_id: "s".into(),
+            text: "t".into(),
+            written_at: Timestamp(100),
+            status,
+        }
+    }
+
+    #[test]
+    fn open_policy_publishes_immediately() {
+        assert_eq!(ModerationPolicy::Open.initial_status(), CommentStatus::Published);
+        assert_eq!(ModerationPolicy::PreApproval.initial_status(), CommentStatus::PendingReview);
+    }
+
+    #[test]
+    fn approve_and_reject_transition_pending_comments() {
+        let mut c = comment(CommentStatus::PendingReview);
+        assert!(apply_decision(&mut c, ModerationDecision::Approve));
+        assert_eq!(c.status, CommentStatus::Published);
+
+        let mut c = comment(CommentStatus::PendingReview);
+        assert!(apply_decision(&mut c, ModerationDecision::Reject));
+        assert_eq!(c.status, CommentStatus::Rejected);
+    }
+
+    #[test]
+    fn decisions_on_non_pending_comments_are_rejected() {
+        for status in [CommentStatus::Published, CommentStatus::Rejected] {
+            let mut c = comment(status);
+            assert!(!apply_decision(&mut c, ModerationDecision::Approve));
+            assert_eq!(c.status, status, "record untouched");
+        }
+    }
+
+    #[test]
+    fn stats_track_workload_and_latency() {
+        let mut stats = ModerationStats::default();
+        stats.on_enqueue();
+        stats.on_enqueue();
+        assert_eq!(stats.pending, 2);
+
+        stats.on_decision(ModerationDecision::Approve, Timestamp(100), Timestamp(400));
+        stats.on_decision(ModerationDecision::Reject, Timestamp(100), Timestamp(200));
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.decided, 2);
+        assert_eq!(stats.approved, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.mean_review_latency_secs(), 200.0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_latency() {
+        assert_eq!(ModerationStats::default().mean_review_latency_secs(), 0.0);
+    }
+}

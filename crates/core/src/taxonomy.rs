@@ -1,0 +1,398 @@
+//! The privacy-invasive-software taxonomy of Table 1 and the Table 2
+//! grey-zone transformation.
+//!
+//! Table 1 classifies software on two axes — the user's informed consent
+//! (high / medium / low) and the severity of negative user consequences
+//! (tolerable / moderate / severe) — into nine named cells. The paper's
+//! central claim (§4.1, Table 2) is that a reputation system eliminates the
+//! *medium consent* row: once users can consult other users' experiences,
+//! each grey-zone program resolves to **high** consent (its behaviour,
+//! now disclosed, is accepted) or **low** consent (its deceit is exposed),
+//! leaving only the legitimate-software and malware rows.
+
+/// The user's level of informed consent to the software's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConsentLevel {
+    /// The user genuinely understands and accepts the behaviour.
+    High,
+    /// Consent exists only formally (e.g. buried in a 5 000-word EULA).
+    Medium,
+    /// No meaningful consent at all.
+    Low,
+}
+
+/// Severity of the negative consequences the software imposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConsequenceLevel {
+    /// Tolerable: minor annoyances.
+    Tolerable,
+    /// Moderate: meaningful harm (ads, profiling, instability).
+    Moderate,
+    /// Severe: serious harm (theft of data, system compromise).
+    Severe,
+}
+
+/// The nine cells of Table 1, numbered as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PisCategory {
+    /// 1) High consent, tolerable consequences.
+    LegitimateSoftware,
+    /// 2) High consent, moderate consequences.
+    AdverseSoftware,
+    /// 3) High consent, severe consequences.
+    DoubleAgents,
+    /// 4) Medium consent, tolerable consequences.
+    SemiTransparentSoftware,
+    /// 5) Medium consent, moderate consequences.
+    UnsolicitedSoftware,
+    /// 6) Medium consent, severe consequences.
+    SemiParasites,
+    /// 7) Low consent, tolerable consequences.
+    CovertSoftware,
+    /// 8) Low consent, moderate consequences.
+    Trojans,
+    /// 9) Low consent, severe consequences.
+    Parasites,
+}
+
+impl PisCategory {
+    /// Table 1 classification: every (consent, consequence) pair maps to
+    /// exactly one cell (invariant 7 of DESIGN.md).
+    pub fn classify(consent: ConsentLevel, consequence: ConsequenceLevel) -> Self {
+        use ConsentLevel as C;
+        use ConsequenceLevel as Q;
+        match (consent, consequence) {
+            (C::High, Q::Tolerable) => PisCategory::LegitimateSoftware,
+            (C::High, Q::Moderate) => PisCategory::AdverseSoftware,
+            (C::High, Q::Severe) => PisCategory::DoubleAgents,
+            (C::Medium, Q::Tolerable) => PisCategory::SemiTransparentSoftware,
+            (C::Medium, Q::Moderate) => PisCategory::UnsolicitedSoftware,
+            (C::Medium, Q::Severe) => PisCategory::SemiParasites,
+            (C::Low, Q::Tolerable) => PisCategory::CovertSoftware,
+            (C::Low, Q::Moderate) => PisCategory::Trojans,
+            (C::Low, Q::Severe) => PisCategory::Parasites,
+        }
+    }
+
+    /// The paper's cell number (1–9, reading Table 1 row-major).
+    pub fn cell_number(self) -> u8 {
+        match self {
+            PisCategory::LegitimateSoftware => 1,
+            PisCategory::AdverseSoftware => 2,
+            PisCategory::DoubleAgents => 3,
+            PisCategory::SemiTransparentSoftware => 4,
+            PisCategory::UnsolicitedSoftware => 5,
+            PisCategory::SemiParasites => 6,
+            PisCategory::CovertSoftware => 7,
+            PisCategory::Trojans => 8,
+            PisCategory::Parasites => 9,
+        }
+    }
+
+    /// The cell name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            PisCategory::LegitimateSoftware => "Legitimate software",
+            PisCategory::AdverseSoftware => "Adverse software",
+            PisCategory::DoubleAgents => "Double agents",
+            PisCategory::SemiTransparentSoftware => "Semi-transparent software",
+            PisCategory::UnsolicitedSoftware => "Unsolicited software",
+            PisCategory::SemiParasites => "Semi-parasites",
+            PisCategory::CovertSoftware => "Covert software",
+            PisCategory::Trojans => "Trojans",
+            PisCategory::Parasites => "Parasites",
+        }
+    }
+
+    /// The consent row of this cell.
+    pub fn consent(self) -> ConsentLevel {
+        match self.cell_number() {
+            1..=3 => ConsentLevel::High,
+            4..=6 => ConsentLevel::Medium,
+            _ => ConsentLevel::Low,
+        }
+    }
+
+    /// The consequence column of this cell.
+    pub fn consequence(self) -> ConsequenceLevel {
+        match self.cell_number() % 3 {
+            1 => ConsequenceLevel::Tolerable,
+            2 => ConsequenceLevel::Moderate,
+            _ => ConsequenceLevel::Severe,
+        }
+    }
+
+    /// §1.1: "All software that has low user consent, or which impairs
+    /// severe negative consequences should be regarded as malicious
+    /// software."
+    pub fn is_malware(self) -> bool {
+        self.consent() == ConsentLevel::Low || self.consequence() == ConsequenceLevel::Severe
+    }
+
+    /// §1.1: "any software that has high user consent, and which results in
+    /// tolerable negative consequences should be regarded as legitimate."
+    pub fn is_legitimate(self) -> bool {
+        self.consent() == ConsentLevel::High && self.consequence() == ConsequenceLevel::Tolerable
+    }
+
+    /// §1.1: "spyware constitutes the remaining group" — medium consent or
+    /// moderate consequences, excluding malware and legitimate software.
+    pub fn is_spyware(self) -> bool {
+        !self.is_malware() && !self.is_legitimate()
+    }
+
+    /// All nine categories in cell order.
+    pub fn all() -> [PisCategory; 9] {
+        [
+            PisCategory::LegitimateSoftware,
+            PisCategory::AdverseSoftware,
+            PisCategory::DoubleAgents,
+            PisCategory::SemiTransparentSoftware,
+            PisCategory::UnsolicitedSoftware,
+            PisCategory::SemiParasites,
+            PisCategory::CovertSoftware,
+            PisCategory::Trojans,
+            PisCategory::Parasites,
+        ]
+    }
+}
+
+impl std::fmt::Display for PisCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The six cells of Table 2 — Table 1 with the medium-consent row removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformedCategory {
+    /// 1) High consent, tolerable consequences.
+    LegitimateSoftware,
+    /// 2) High consent, moderate consequences.
+    AdverseSoftware,
+    /// 3) High consent, severe consequences.
+    DoubleAgents,
+    /// 7) Low consent, tolerable consequences.
+    CovertSoftware,
+    /// 8) Low consent, moderate consequences.
+    Trojans,
+    /// 9) Low consent, severe consequences.
+    Parasites,
+}
+
+impl TransformedCategory {
+    /// The cell name as printed in Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformedCategory::LegitimateSoftware => "Legitimate software",
+            TransformedCategory::AdverseSoftware => "Adverse software",
+            TransformedCategory::DoubleAgents => "Double agents",
+            TransformedCategory::CovertSoftware => "Covert software",
+            TransformedCategory::Trojans => "Trojans",
+            TransformedCategory::Parasites => "Parasites",
+        }
+    }
+
+    /// The paper's cell number (Table 2 keeps Table 1's numbering).
+    pub fn cell_number(self) -> u8 {
+        match self {
+            TransformedCategory::LegitimateSoftware => 1,
+            TransformedCategory::AdverseSoftware => 2,
+            TransformedCategory::DoubleAgents => 3,
+            TransformedCategory::CovertSoftware => 7,
+            TransformedCategory::Trojans => 8,
+            TransformedCategory::Parasites => 9,
+        }
+    }
+
+    /// True if the cell sits in the low-consent (malware) row.
+    pub fn is_malware_row(self) -> bool {
+        self.cell_number() >= 7
+    }
+}
+
+impl std::fmt::Display for TransformedCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The Table 2 transformation (§4.1).
+///
+/// `honestly_disclosed` captures whether the software's real behaviour
+/// matches what the reputation system reveals to the user *and* the user
+/// would still consent knowing it: "all PIS that previously have suffered
+/// from a medium user consent level, now instead would be transformed into
+/// either a high consent level (i.e. legitimate software) or a low consent
+/// level (i.e. malware)". High- and low-consent software is unaffected —
+/// the reputation system adds information, and for those rows the user's
+/// consent state was already accurate.
+pub fn transform_with_reputation(
+    category: PisCategory,
+    honestly_disclosed: bool,
+) -> TransformedCategory {
+    let consent = match category.consent() {
+        ConsentLevel::High => ConsentLevel::High,
+        ConsentLevel::Low => ConsentLevel::Low,
+        ConsentLevel::Medium => {
+            if honestly_disclosed {
+                ConsentLevel::High
+            } else {
+                ConsentLevel::Low
+            }
+        }
+    };
+    match (consent, category.consequence()) {
+        (ConsentLevel::High, ConsequenceLevel::Tolerable) => {
+            TransformedCategory::LegitimateSoftware
+        }
+        (ConsentLevel::High, ConsequenceLevel::Moderate) => TransformedCategory::AdverseSoftware,
+        (ConsentLevel::High, ConsequenceLevel::Severe) => TransformedCategory::DoubleAgents,
+        (ConsentLevel::Low, ConsequenceLevel::Tolerable) => TransformedCategory::CovertSoftware,
+        (ConsentLevel::Low, ConsequenceLevel::Moderate) => TransformedCategory::Trojans,
+        (ConsentLevel::Low, ConsequenceLevel::Severe) => TransformedCategory::Parasites,
+        (ConsentLevel::Medium, _) => unreachable!("medium consent eliminated above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CONSENTS: [ConsentLevel; 3] =
+        [ConsentLevel::High, ConsentLevel::Medium, ConsentLevel::Low];
+    const CONSEQUENCES: [ConsequenceLevel; 3] =
+        [ConsequenceLevel::Tolerable, ConsequenceLevel::Moderate, ConsequenceLevel::Severe];
+
+    #[test]
+    fn table1_cell_numbers_match_paper() {
+        // Row-major over Table 1.
+        let expected = [
+            (ConsentLevel::High, ConsequenceLevel::Tolerable, 1, "Legitimate software"),
+            (ConsentLevel::High, ConsequenceLevel::Moderate, 2, "Adverse software"),
+            (ConsentLevel::High, ConsequenceLevel::Severe, 3, "Double agents"),
+            (ConsentLevel::Medium, ConsequenceLevel::Tolerable, 4, "Semi-transparent software"),
+            (ConsentLevel::Medium, ConsequenceLevel::Moderate, 5, "Unsolicited software"),
+            (ConsentLevel::Medium, ConsequenceLevel::Severe, 6, "Semi-parasites"),
+            (ConsentLevel::Low, ConsequenceLevel::Tolerable, 7, "Covert software"),
+            (ConsentLevel::Low, ConsequenceLevel::Moderate, 8, "Trojans"),
+            (ConsentLevel::Low, ConsequenceLevel::Severe, 9, "Parasites"),
+        ];
+        for (consent, consequence, number, name) in expected {
+            let cat = PisCategory::classify(consent, consequence);
+            assert_eq!(cat.cell_number(), number);
+            assert_eq!(cat.name(), name);
+            assert_eq!(cat.consent(), consent);
+            assert_eq!(cat.consequence(), consequence);
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_injective() {
+        // Invariant 7: a bijection between the 9 pairs and the 9 cells.
+        let mut seen = std::collections::HashSet::new();
+        for consent in CONSENTS {
+            for consequence in CONSEQUENCES {
+                seen.insert(PisCategory::classify(consent, consequence));
+            }
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn spyware_malware_legitimate_partition() {
+        // §1.1's three groups partition the nine cells.
+        let mut legit = 0;
+        let mut spy = 0;
+        let mut mal = 0;
+        for cat in PisCategory::all() {
+            let flags = [cat.is_legitimate(), cat.is_spyware(), cat.is_malware()]
+                .iter()
+                .filter(|&&f| f)
+                .count();
+            assert_eq!(flags, 1, "{cat} must be in exactly one group");
+            if cat.is_legitimate() {
+                legit += 1;
+            } else if cat.is_spyware() {
+                spy += 1;
+            } else {
+                mal += 1;
+            }
+        }
+        assert_eq!(legit, 1); // cell 1
+        assert_eq!(spy, 3); // cells 2, 4, 5
+        assert_eq!(mal, 5); // cells 3, 6, 7, 8, 9
+    }
+
+    #[test]
+    fn spyware_cells_are_2_4_5() {
+        let spy: Vec<u8> =
+            PisCategory::all().iter().filter(|c| c.is_spyware()).map(|c| c.cell_number()).collect();
+        assert_eq!(spy, vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn table2_transform_eliminates_medium_consent() {
+        for cat in PisCategory::all() {
+            for honest in [true, false] {
+                let t = transform_with_reputation(cat, honest);
+                // Six cells only; none corresponds to medium consent.
+                assert!(matches!(t.cell_number(), 1..=3 | 7..=9));
+            }
+        }
+    }
+
+    #[test]
+    fn table2_preserves_consequence_column() {
+        for cat in PisCategory::all() {
+            for honest in [true, false] {
+                let t = transform_with_reputation(cat, honest);
+                let col = match cat.consequence() {
+                    ConsequenceLevel::Tolerable => [1, 7],
+                    ConsequenceLevel::Moderate => [2, 8],
+                    ConsequenceLevel::Severe => [3, 9],
+                };
+                assert!(col.contains(&t.cell_number()), "{cat} → {t} keeps its column");
+            }
+        }
+    }
+
+    #[test]
+    fn honest_grey_zone_becomes_high_consent() {
+        let t = transform_with_reputation(PisCategory::UnsolicitedSoftware, true);
+        assert_eq!(t, TransformedCategory::AdverseSoftware);
+        let t = transform_with_reputation(PisCategory::SemiTransparentSoftware, true);
+        assert_eq!(t, TransformedCategory::LegitimateSoftware);
+    }
+
+    #[test]
+    fn deceptive_grey_zone_becomes_malware() {
+        let t = transform_with_reputation(PisCategory::UnsolicitedSoftware, false);
+        assert_eq!(t, TransformedCategory::Trojans);
+        assert!(t.is_malware_row());
+        let t = transform_with_reputation(PisCategory::SemiParasites, false);
+        assert_eq!(t, TransformedCategory::Parasites);
+    }
+
+    #[test]
+    fn non_grey_rows_are_unchanged() {
+        for honest in [true, false] {
+            assert_eq!(
+                transform_with_reputation(PisCategory::LegitimateSoftware, honest).cell_number(),
+                1
+            );
+            assert_eq!(transform_with_reputation(PisCategory::Parasites, honest).cell_number(), 9);
+            assert_eq!(transform_with_reputation(PisCategory::Trojans, honest).cell_number(), 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn consent_consequence_roundtrip(ci in 0usize..3, qi in 0usize..3) {
+            let cat = PisCategory::classify(CONSENTS[ci], CONSEQUENCES[qi]);
+            prop_assert_eq!(cat.consent(), CONSENTS[ci]);
+            prop_assert_eq!(cat.consequence(), CONSEQUENCES[qi]);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Common digest abstractions shared by [`crate::sha1`] and [`crate::sha256`].
+
+use std::fmt;
+
+use crate::hex;
+
+/// The digest algorithms available for software fingerprinting.
+///
+/// The paper names SHA-1 explicitly (§3.3: "a generated SHA-1 digest");
+/// SHA-256 is offered as the modern equivalent so experiments can compare
+/// fingerprinting cost without changing identity semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DigestAlgorithm {
+    /// 160-bit SHA-1, as specified in the paper.
+    #[default]
+    Sha1,
+    /// 256-bit SHA-2.
+    Sha256,
+}
+
+impl DigestAlgorithm {
+    /// Length of the produced digest in bytes.
+    pub fn output_len(self) -> usize {
+        match self {
+            DigestAlgorithm::Sha1 => 20,
+            DigestAlgorithm::Sha256 => 32,
+        }
+    }
+
+    /// Digest `data` with this algorithm.
+    pub fn digest(self, data: &[u8]) -> Digest {
+        match self {
+            DigestAlgorithm::Sha1 => Digest::from_sha1(crate::sha1::Sha1::digest(data)),
+            DigestAlgorithm::Sha256 => Digest::from_sha256(crate::sha256::Sha256::digest(data)),
+        }
+    }
+}
+
+impl fmt::Display for DigestAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigestAlgorithm::Sha1 => f.write_str("sha1"),
+            DigestAlgorithm::Sha256 => f.write_str("sha256"),
+        }
+    }
+}
+
+/// An algorithm-tagged digest value.
+///
+/// Stored inline (no heap allocation); digests shorter than 32 bytes are
+/// zero-padded internally and compared only over their real length.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest {
+    algorithm: DigestAlgorithm,
+    bytes: [u8; 32],
+}
+
+impl Digest {
+    /// Wrap a raw SHA-1 output.
+    pub fn from_sha1(raw: [u8; 20]) -> Self {
+        let mut bytes = [0u8; 32];
+        bytes[..20].copy_from_slice(&raw);
+        Digest { algorithm: DigestAlgorithm::Sha1, bytes }
+    }
+
+    /// Wrap a raw SHA-256 output.
+    pub fn from_sha256(raw: [u8; 32]) -> Self {
+        Digest { algorithm: DigestAlgorithm::Sha256, bytes: raw }
+    }
+
+    /// The algorithm that produced this digest.
+    pub fn algorithm(&self) -> DigestAlgorithm {
+        self.algorithm
+    }
+
+    /// The digest bytes (length depends on the algorithm).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.algorithm.output_len()]
+    }
+
+    /// Lowercase hex rendering, e.g. for database keys and display.
+    pub fn to_hex(&self) -> String {
+        hex::encode(self.as_bytes())
+    }
+
+    /// Parse a digest back from its algorithm tag and hex string.
+    pub fn from_hex(algorithm: DigestAlgorithm, s: &str) -> Option<Self> {
+        let raw = hex::decode(s)?;
+        if raw.len() != algorithm.output_len() {
+            return None;
+        }
+        let mut bytes = [0u8; 32];
+        bytes[..raw.len()].copy_from_slice(&raw);
+        Some(Digest { algorithm, bytes })
+    }
+
+    /// A short (8 hex char) prefix used in human-facing reports.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.algorithm, self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha1_digest_roundtrips_hex() {
+        let d = DigestAlgorithm::Sha1.digest(b"abc");
+        let parsed = Digest::from_hex(DigestAlgorithm::Sha1, &d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+        assert_eq!(d.as_bytes().len(), 20);
+    }
+
+    #[test]
+    fn sha256_digest_roundtrips_hex() {
+        let d = DigestAlgorithm::Sha256.digest(b"abc");
+        let parsed = Digest::from_hex(DigestAlgorithm::Sha256, &d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+        assert_eq!(d.as_bytes().len(), 32);
+    }
+
+    #[test]
+    fn digests_of_different_algorithms_never_compare_equal() {
+        let a = DigestAlgorithm::Sha1.digest(b"x");
+        let b = DigestAlgorithm::Sha256.digest(b"x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_hex_rejects_wrong_length() {
+        assert!(Digest::from_hex(DigestAlgorithm::Sha1, "abcd").is_none());
+        let h = DigestAlgorithm::Sha256.digest(b"x").to_hex();
+        assert!(Digest::from_hex(DigestAlgorithm::Sha1, &h).is_none());
+    }
+
+    #[test]
+    fn short_is_prefix_of_hex() {
+        let d = DigestAlgorithm::Sha1.digest(b"hello");
+        assert!(d.to_hex().starts_with(&d.short()));
+        assert_eq!(d.short().len(), 8);
+    }
+}

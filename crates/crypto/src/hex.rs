@@ -1,0 +1,81 @@
+//! Minimal hex encoding/decoding helpers.
+//!
+//! Used for digest rendering, database keys, and test vectors across the
+//! workspace; kept here so no crate needs an external hex dependency.
+
+/// Encode `bytes` as a lowercase hex string.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (upper or lower case). Returns `None` on odd length
+/// or non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encodes_known_bytes() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decodes_known_strings() {
+        assert_eq!(decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(decode("00FF10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_odd_length_and_bad_chars() {
+        assert!(decode("abc").is_none());
+        assert!(decode("zz").is_none());
+        assert!(decode("0g").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bytes: Vec<u8>) {
+            let enc = encode(&bytes);
+            prop_assert_eq!(decode(&enc).unwrap(), bytes);
+        }
+
+        #[test]
+        fn encode_is_lowercase_hex(bytes: Vec<u8>) {
+            let enc = encode(&bytes);
+            prop_assert!(enc.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+            prop_assert_eq!(enc.len(), bytes.len() * 2);
+        }
+    }
+}

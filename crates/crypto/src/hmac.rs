@@ -1,0 +1,124 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The keyed digest behind the paper's brute-force defence for stored e-mail
+//! hashes (§2.2): "concatenating the e-mail address with a secret string
+//! before calculating the hash, rendering brute force attacks computationally
+//! impossible as long as the secret string is kept secret." HMAC is the
+//! standard construction for exactly this keyed-hash role.
+
+use crate::sha256::Sha256;
+
+const BLOCK_LEN: usize = 64;
+
+/// Compute `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    // Keys longer than a block are first hashed down.
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let kd = Sha256::digest(key);
+        key_block[..32].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time equality for MAC/digest comparison.
+///
+/// Avoids early-exit timing leaks when the server verifies password or
+/// e-mail digests during authentication.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_long_key_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex::encode(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_key_longer_than_block() {
+        let key = [0xaau8; 131];
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn constant_time_eq_behaves() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    proptest! {
+        #[test]
+        fn different_keys_different_macs(key1: Vec<u8>, key2: Vec<u8>, msg: Vec<u8>) {
+            prop_assume!(key1 != key2);
+            prop_assert_ne!(hmac_sha256(&key1, &msg), hmac_sha256(&key2, &msg));
+        }
+
+        #[test]
+        fn ct_eq_matches_eq(a: Vec<u8>, b: Vec<u8>) {
+            prop_assert_eq!(constant_time_eq(&a, &b), a == b);
+        }
+    }
+}

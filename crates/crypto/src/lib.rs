@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Cryptographic primitives for the softwareputation reputation system.
+//!
+//! Everything here is implemented from scratch on top of the standard
+//! library, because the reproduction rules forbid external crypto crates.
+//! The primitives mirror what the paper (Boldt et al., SDM 2007) relies on:
+//!
+//! * [`sha1`] — the hash the paper names for software fingerprints (§3.3).
+//! * [`sha256`] — the modern alternative offered alongside SHA-1.
+//! * [`hmac`] — keyed digests used for salted/peppered e-mail hashing (§2.2).
+//! * [`salted`] — salted + peppered e-mail and password digests with key
+//!   stretching, matching the paper's "concatenate with a secret string"
+//!   brute-force defence.
+//! * [`puzzle`] — client puzzles ("computational penalties through variable
+//!   hash guessing", §5 / ref \[3\]) used to throttle account registration.
+//! * [`ots`] — Lamport and Winternitz one-time signatures used to model
+//!   vendor code-signing for the enhanced white-listing proposal (§4.2).
+//! * [`stream`] — a deterministic counter-mode stream cipher used as the
+//!   per-hop layer cipher in the Tor-style anonymity substrate (§2.2).
+//! * [`bignum`] / [`rsa`] — arbitrary-precision arithmetic and RSA with
+//!   Chaum blind signatures, realising the §5 pseudonym proposal
+//!   ("e.g. through the use of idemix") without external crates.
+//! * [`hex`] — small hex encode/decode helpers shared by the workspace.
+//!
+//! # Security disclaimer
+//!
+//! These implementations are written for fidelity to the paper and for
+//! reproducible experiments, not as audited production cryptography. SHA-1
+//! in particular is kept because the paper specifies it; new deployments
+//! should prefer [`sha256`].
+
+pub mod bignum;
+pub mod digest;
+pub mod hex;
+pub mod hmac;
+pub mod ots;
+pub mod puzzle;
+pub mod rsa;
+pub mod salted;
+pub mod sha1;
+pub mod sha256;
+pub mod stream;
+
+pub use digest::{Digest, DigestAlgorithm};
+pub use hmac::hmac_sha256;
+pub use salted::{PasswordHash, SaltedDigest, SecretPepper};
+pub use sha1::Sha1;
+pub use sha256::Sha256;

@@ -1,0 +1,309 @@
+//! Hash-based one-time signatures for vendor code-signing.
+//!
+//! The paper's "enhanced white listing" proposal (§4.2) auto-allows files
+//! "digitally signed by a trusted vendor e.g., Microsoft or Adobe". To model
+//! this without importing external crypto, we implement real (not stubbed)
+//! signatures from our own hash primitives:
+//!
+//! * [`LamportKeypair`] — the classic Lamport scheme: 256 secret pairs,
+//!   reveal one of each pair per message bit.
+//! * [`WinternitzKeypair`] — the space-efficient W-OTS variant (w = 16,
+//!   i.e. 4 bits per chain) with the standard checksum that prevents
+//!   forgery-by-advancing-chains.
+//!
+//! Both are *one-time* schemes: each keypair signs exactly one message (in
+//! our setting, one executable release). The vendor registry in
+//! `softrep-client` therefore stores one public key per signed release,
+//! which matches how the experiments use them.
+
+use rand::RngCore;
+
+use crate::sha256::Sha256;
+
+/// Number of message bits signed (we always sign SHA-256 digests).
+const MSG_BITS: usize = 256;
+
+/// A Lamport one-time signing keypair.
+pub struct LamportKeypair {
+    /// `secrets[bit][value]` — 256 pairs of 32-byte preimages.
+    secrets: Box<[[[u8; 32]; 2]; MSG_BITS]>,
+    public: LamportPublicKey,
+}
+
+/// The public half: hashes of every preimage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    hashes: Box<[[[u8; 32]; 2]; MSG_BITS]>,
+}
+
+/// A Lamport signature: one revealed preimage per message bit.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    reveals: Box<[[u8; 32]; MSG_BITS]>,
+}
+
+impl LamportKeypair {
+    /// Generate a fresh keypair from `rng`.
+    pub fn generate(rng: &mut impl RngCore) -> Self {
+        let mut secrets = Box::new([[[0u8; 32]; 2]; MSG_BITS]);
+        let mut hashes = Box::new([[[0u8; 32]; 2]; MSG_BITS]);
+        for bit in 0..MSG_BITS {
+            for v in 0..2 {
+                rng.fill_bytes(&mut secrets[bit][v]);
+                hashes[bit][v] = Sha256::digest(&secrets[bit][v]);
+            }
+        }
+        LamportKeypair { secrets, public: LamportPublicKey { hashes } }
+    }
+
+    /// The verifying key to publish.
+    pub fn public_key(&self) -> &LamportPublicKey {
+        &self.public
+    }
+
+    /// Sign `message` (it is hashed internally, so any length is fine).
+    pub fn sign(&self, message: &[u8]) -> LamportSignature {
+        let digest = Sha256::digest(message);
+        let mut reveals = Box::new([[0u8; 32]; MSG_BITS]);
+        for bit in 0..MSG_BITS {
+            let value = bit_of(&digest, bit);
+            reveals[bit] = self.secrets[bit][value];
+        }
+        LamportSignature { reveals }
+    }
+}
+
+impl LamportPublicKey {
+    /// Verify `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &LamportSignature) -> bool {
+        let digest = Sha256::digest(message);
+        for bit in 0..MSG_BITS {
+            let value = bit_of(&digest, bit);
+            if Sha256::digest(&signature.reveals[bit]) != self.hashes[bit][value] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A compact fingerprint of the public key (hash of all pair hashes),
+    /// used as the registry identifier for a signed release.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for pair in self.hashes.iter() {
+            h.update(&pair[0]);
+            h.update(&pair[1]);
+        }
+        h.finalize()
+    }
+}
+
+fn bit_of(digest: &[u8; 32], bit: usize) -> usize {
+    ((digest[bit / 8] >> (7 - bit % 8)) & 1) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Winternitz OTS
+// ---------------------------------------------------------------------------
+
+/// Chain parameter: 4 bits per chain (w = 16).
+const W_BITS: usize = 4;
+const W: u32 = 1 << W_BITS;
+/// 256-bit digest / 4 bits = 64 message chains.
+const MSG_CHAINS: usize = MSG_BITS / W_BITS;
+/// Checksum: max value 64 * 15 = 960 < 2^10, so 3 chains of 4 bits cover it.
+const CHECKSUM_CHAINS: usize = 3;
+const TOTAL_CHAINS: usize = MSG_CHAINS + CHECKSUM_CHAINS;
+
+/// A Winternitz one-time keypair (w = 16). Signatures are 67 × 32 bytes,
+/// an ~8× size reduction over Lamport.
+pub struct WinternitzKeypair {
+    secrets: Box<[[u8; 32]; TOTAL_CHAINS]>,
+    public: WinternitzPublicKey,
+}
+
+/// The Winternitz verifying key: each chain's secret hashed `W - 1` times.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WinternitzPublicKey {
+    ends: Box<[[u8; 32]; TOTAL_CHAINS]>,
+}
+
+/// A Winternitz signature: each chain advanced by its digit value.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WinternitzSignature {
+    chains: Box<[[u8; 32]; TOTAL_CHAINS]>,
+}
+
+impl WinternitzKeypair {
+    /// Generate a fresh keypair from `rng`.
+    pub fn generate(rng: &mut impl RngCore) -> Self {
+        let mut secrets = Box::new([[0u8; 32]; TOTAL_CHAINS]);
+        let mut ends = Box::new([[0u8; 32]; TOTAL_CHAINS]);
+        for i in 0..TOTAL_CHAINS {
+            rng.fill_bytes(&mut secrets[i]);
+            ends[i] = iterate_hash(&secrets[i], W - 1);
+        }
+        WinternitzKeypair { secrets, public: WinternitzPublicKey { ends } }
+    }
+
+    /// The verifying key to publish.
+    pub fn public_key(&self) -> &WinternitzPublicKey {
+        &self.public
+    }
+
+    /// Sign `message`.
+    pub fn sign(&self, message: &[u8]) -> WinternitzSignature {
+        let digits = digits_with_checksum(message);
+        let mut chains = Box::new([[0u8; 32]; TOTAL_CHAINS]);
+        for (i, chain) in chains.iter_mut().enumerate() {
+            *chain = iterate_hash(&self.secrets[i], u32::from(digits[i]));
+        }
+        WinternitzSignature { chains }
+    }
+}
+
+impl WinternitzPublicKey {
+    /// Verify `signature` over `message` by completing every chain.
+    pub fn verify(&self, message: &[u8], signature: &WinternitzSignature) -> bool {
+        let digits = digits_with_checksum(message);
+        for (i, chain) in signature.chains.iter().enumerate() {
+            let completed = iterate_hash(chain, W - 1 - u32::from(digits[i]));
+            if completed != self.ends[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Compact registry fingerprint.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for end in self.ends.iter() {
+            h.update(end);
+        }
+        h.finalize()
+    }
+}
+
+/// Split the message digest into 4-bit digits and append the Winternitz
+/// checksum digits. The checksum makes every digit *decrease* somewhere if
+/// an attacker advances any message chain, so forgeries require inverting
+/// the hash.
+fn digits_with_checksum(message: &[u8]) -> [u8; TOTAL_CHAINS] {
+    let digest = Sha256::digest(message);
+    let mut digits = [0u8; TOTAL_CHAINS];
+    for (i, d) in digits.iter_mut().take(MSG_CHAINS).enumerate() {
+        let byte = digest[i / 2];
+        *d = if i.is_multiple_of(2) { byte >> 4 } else { byte & 0x0f };
+    }
+    let checksum: u32 = digits[..MSG_CHAINS].iter().map(|&d| W - 1 - u32::from(d)).sum();
+    digits[MSG_CHAINS] = ((checksum >> 8) & 0x0f) as u8;
+    digits[MSG_CHAINS + 1] = ((checksum >> 4) & 0x0f) as u8;
+    digits[MSG_CHAINS + 2] = (checksum & 0x0f) as u8;
+    digits
+}
+
+fn iterate_hash(start: &[u8; 32], times: u32) -> [u8; 32] {
+    let mut acc = *start;
+    for _ in 0..times {
+        acc = Sha256::digest(&acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn lamport_sign_verify_roundtrip() {
+        let kp = LamportKeypair::generate(&mut rng());
+        let sig = kp.sign(b"vendor release 1.0");
+        assert!(kp.public_key().verify(b"vendor release 1.0", &sig));
+    }
+
+    #[test]
+    fn lamport_rejects_modified_message() {
+        let kp = LamportKeypair::generate(&mut rng());
+        let sig = kp.sign(b"original binary bytes");
+        assert!(!kp.public_key().verify(b"tampered binary bytes", &sig));
+    }
+
+    #[test]
+    fn lamport_rejects_signature_from_other_key() {
+        let mut r = rng();
+        let kp1 = LamportKeypair::generate(&mut r);
+        let kp2 = LamportKeypair::generate(&mut r);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn lamport_rejects_bit_flipped_signature() {
+        let kp = LamportKeypair::generate(&mut rng());
+        let mut sig = kp.sign(b"msg");
+        sig.reveals[17][0] ^= 0x01;
+        assert!(!kp.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn winternitz_sign_verify_roundtrip() {
+        let kp = WinternitzKeypair::generate(&mut rng());
+        let sig = kp.sign(b"setup.exe contents");
+        assert!(kp.public_key().verify(b"setup.exe contents", &sig));
+    }
+
+    #[test]
+    fn winternitz_rejects_modified_message() {
+        let kp = WinternitzKeypair::generate(&mut rng());
+        let sig = kp.sign(b"clean installer");
+        assert!(!kp.public_key().verify(b"bundled adware installer", &sig));
+    }
+
+    #[test]
+    fn winternitz_rejects_advanced_chain_forgery() {
+        // The classic attack W-OTS checksums exist to stop: advance one
+        // message chain by a hash step and claim a higher digit.
+        let kp = WinternitzKeypair::generate(&mut rng());
+        let mut sig = kp.sign(b"msg");
+        sig.chains[0] = Sha256::digest(&sig.chains[0]);
+        assert!(!kp.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn winternitz_rejects_other_key() {
+        let mut r = rng();
+        let kp1 = WinternitzKeypair::generate(&mut r);
+        let kp2 = WinternitzKeypair::generate(&mut r);
+        let sig = kp1.sign(b"msg");
+        assert!(!kp2.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let mut r = rng();
+        let kp1 = WinternitzKeypair::generate(&mut r);
+        let kp2 = WinternitzKeypair::generate(&mut r);
+        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
+        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+        let lk = LamportKeypair::generate(&mut r);
+        assert_eq!(lk.public_key().fingerprint(), lk.public_key().fingerprint());
+    }
+
+    #[test]
+    fn digit_checksum_covers_range() {
+        // All-zero digest digits yield maximum checksum 960 = 0x3c0.
+        let digits = digits_with_checksum(b"");
+        let checksum: u32 = digits[..MSG_CHAINS].iter().map(|&d| W - 1 - u32::from(d)).sum();
+        let reconstructed = (u32::from(digits[MSG_CHAINS]) << 8)
+            | (u32::from(digits[MSG_CHAINS + 1]) << 4)
+            | u32::from(digits[MSG_CHAINS + 2]);
+        assert_eq!(checksum, reconstructed);
+    }
+}

@@ -1,0 +1,185 @@
+//! Client puzzles: "computational penalties through variable hash guessing".
+//!
+//! Section 5 of the paper proposes DoS-resistant account creation following
+//! Aura et al. \[3\]: before the server accepts a registration, the client must
+//! solve a puzzle whose cost the server can tune. This models the same
+//! "non-automatable process" role the CAPTCHA plays in §2.1 — both impose a
+//! per-account cost that makes mass Sybil registration expensive.
+//!
+//! The puzzle: given a random challenge `c` and difficulty `d`, find a nonce
+//! `n` such that `SHA-256(c || n)` starts with `d` zero bits. Expected search
+//! cost is `2^d` hash evaluations; verification is a single hash.
+
+use rand::RngCore;
+
+use crate::hex;
+use crate::sha256::Sha256;
+
+/// A puzzle challenge issued by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Challenge {
+    /// Random server-chosen bytes binding the puzzle to one registration.
+    pub nonce: [u8; 16],
+    /// Required number of leading zero bits in the solution digest.
+    pub difficulty: u8,
+}
+
+/// A client's claimed solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Solution {
+    /// The nonce found by brute-force search.
+    pub nonce: u64,
+}
+
+impl Challenge {
+    /// Issue a new challenge at `difficulty` leading zero bits.
+    ///
+    /// Difficulties above 32 are clamped: they would make even the legitimate
+    /// registration path take minutes, which no deployment would configure.
+    pub fn issue(difficulty: u8, rng: &mut impl RngCore) -> Self {
+        let mut nonce = [0u8; 16];
+        rng.fill_bytes(&mut nonce);
+        Challenge { nonce, difficulty: difficulty.min(32) }
+    }
+
+    /// Brute-force a solution. Returns the solution and the number of hash
+    /// evaluations performed (the measured cost, used by experiment D3).
+    pub fn solve(&self) -> (Solution, u64) {
+        let mut attempts = 0u64;
+        for candidate in 0u64.. {
+            attempts += 1;
+            if self.check_nonce(candidate) {
+                return (Solution { nonce: candidate }, attempts);
+            }
+        }
+        unreachable!("a solution exists for every difficulty <= 32")
+    }
+
+    /// Verify a claimed solution with a single hash evaluation.
+    pub fn verify(&self, solution: Solution) -> bool {
+        self.check_nonce(solution.nonce)
+    }
+
+    fn check_nonce(&self, nonce: u64) -> bool {
+        let mut h = Sha256::new();
+        h.update(&self.nonce);
+        h.update(&nonce.to_be_bytes());
+        let digest = h.finalize();
+        leading_zero_bits(&digest) >= u32::from(self.difficulty)
+    }
+
+    /// Serialise for the wire: `difficulty:nonce_hex`.
+    pub fn encode(&self) -> String {
+        format!("{}:{}", self.difficulty, hex::encode(&self.nonce))
+    }
+
+    /// Parse the [`encode`](Self::encode) format.
+    pub fn decode(s: &str) -> Option<Self> {
+        let (d, n) = s.split_once(':')?;
+        let difficulty: u8 = d.parse().ok()?;
+        let nonce: [u8; 16] = hex::decode(n)?.try_into().ok()?;
+        Some(Challenge { nonce, difficulty })
+    }
+}
+
+fn leading_zero_bits(digest: &[u8; 32]) -> u32 {
+    let mut bits = 0;
+    for &b in digest {
+        if b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn zero_difficulty_is_free() {
+        let c = Challenge::issue(0, &mut rng());
+        let (sol, attempts) = c.solve();
+        assert_eq!(attempts, 1);
+        assert!(c.verify(sol));
+    }
+
+    #[test]
+    fn solutions_verify_and_non_solutions_do_not() {
+        // Fixed seed, so both outcomes below are deterministic. `solve`
+        // returns the *smallest* valid nonce, hence every smaller nonce is a
+        // verified non-solution.
+        let c = Challenge::issue(8, &mut rng());
+        let (sol, attempts) = c.solve();
+        assert!(c.verify(sol));
+        for wrong in 0..sol.nonce {
+            assert!(!c.verify(Solution { nonce: wrong }));
+        }
+        assert_eq!(attempts, sol.nonce + 1);
+    }
+
+    #[test]
+    fn harder_puzzles_cost_more_on_average() {
+        let mut r = rng();
+        let mut cost = |difficulty: u8| -> u64 {
+            let trials = 20;
+            let mut total = 0;
+            for _ in 0..trials {
+                let c = Challenge::issue(difficulty, &mut r);
+                total += c.solve().1;
+            }
+            total / trials
+        };
+        let easy = cost(2);
+        let hard = cost(8);
+        assert!(hard > easy, "difficulty 8 ({hard}) should out-cost difficulty 2 ({easy})");
+    }
+
+    #[test]
+    fn difficulty_is_clamped() {
+        let c = Challenge::issue(200, &mut rng());
+        assert_eq!(c.difficulty, 32);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = Challenge::issue(12, &mut rng());
+        assert_eq!(Challenge::decode(&c.encode()).unwrap(), c);
+        assert!(Challenge::decode("nonsense").is_none());
+        assert!(Challenge::decode("12:zz").is_none());
+    }
+
+    #[test]
+    fn solution_does_not_transfer_between_challenges() {
+        let mut r = rng();
+        let a = Challenge::issue(10, &mut r);
+        let b = Challenge::issue(10, &mut r);
+        let (sol, _) = a.solve();
+        // With 2^-10 probability this could verify; use fixed seed so the
+        // test is deterministic and verified to be a counterexample.
+        assert!(a.verify(sol));
+        assert!(!b.verify(sol));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn solved_puzzles_always_verify(difficulty in 0u8..10, seed: u64) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let c = Challenge::issue(difficulty, &mut r);
+            let (sol, attempts) = c.solve();
+            prop_assert!(c.verify(sol));
+            prop_assert!(attempts >= 1);
+        }
+    }
+}

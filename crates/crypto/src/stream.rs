@@ -1,0 +1,170 @@
+//! Deterministic counter-mode stream cipher built on SHA-256.
+//!
+//! Used by `softrep-anonymity` as the per-hop layer cipher of the Tor-style
+//! mix network (§2.2). Each relay shares a symmetric key with the circuit
+//! builder; layers are added/removed by XORing with the keystream
+//! `SHA-256(key || counter)`, i.e. encryption and decryption are the same
+//! operation. A random per-message nonce is mixed into the keystream so key
+//! reuse across messages does not reuse keystream.
+
+use rand::RngCore;
+
+use crate::sha256::Sha256;
+
+/// A symmetric layer key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct StreamKey {
+    bytes: [u8; 32],
+}
+
+impl StreamKey {
+    /// Wrap explicit key bytes.
+    pub fn new(bytes: [u8; 32]) -> Self {
+        StreamKey { bytes }
+    }
+
+    /// Generate a random key.
+    pub fn random(rng: &mut impl RngCore) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        StreamKey { bytes }
+    }
+
+    /// Derive a sub-key by hashing this key with a label; used to give each
+    /// relay hop an independent key from one circuit secret.
+    pub fn derive(&self, label: &[u8]) -> StreamKey {
+        let mut h = Sha256::new();
+        h.update(&self.bytes);
+        h.update(label);
+        StreamKey { bytes: h.finalize() }
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+}
+
+impl std::fmt::Debug for StreamKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StreamKey(…)") // never log key material
+    }
+}
+
+/// XOR `data` in place with the keystream for (`key`, `nonce`).
+///
+/// Applying it twice with the same parameters restores the plaintext.
+pub fn apply_keystream(key: &StreamKey, nonce: &[u8; 16], data: &mut [u8]) {
+    for (counter, chunk) in data.chunks_mut(32).enumerate() {
+        let mut h = Sha256::new();
+        h.update(key.as_bytes());
+        h.update(nonce);
+        h.update(&(counter as u64).to_be_bytes());
+        let block = h.finalize();
+        for (byte, k) in chunk.iter_mut().zip(block.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+/// Encrypt `plaintext` under `key` with a fresh random nonce; returns
+/// `nonce || ciphertext`.
+pub fn seal(key: &StreamKey, plaintext: &[u8], rng: &mut impl RngCore) -> Vec<u8> {
+    let mut nonce = [0u8; 16];
+    rng.fill_bytes(&mut nonce);
+    let mut out = Vec::with_capacity(16 + plaintext.len());
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(plaintext);
+    apply_keystream(key, &nonce, &mut out[16..]);
+    out
+}
+
+/// Invert [`seal`]: split off the nonce and decrypt. Returns `None` if the
+/// message is too short to contain a nonce.
+pub fn open(key: &StreamKey, sealed: &[u8]) -> Option<Vec<u8>> {
+    if sealed.len() < 16 {
+        return None;
+    }
+    let nonce: [u8; 16] = sealed[..16].try_into().expect("length checked");
+    let mut plaintext = sealed[16..].to_vec();
+    apply_keystream(key, &nonce, &mut plaintext);
+    Some(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let mut r = rng();
+        let key = StreamKey::random(&mut r);
+        let sealed = seal(&key, b"query: software rating", &mut r);
+        assert_eq!(open(&key, &sealed).unwrap(), b"query: software rating");
+    }
+
+    #[test]
+    fn wrong_key_scrambles() {
+        let mut r = rng();
+        let k1 = StreamKey::random(&mut r);
+        let k2 = StreamKey::random(&mut r);
+        let sealed = seal(&k1, b"secret request", &mut r);
+        assert_ne!(open(&k2, &sealed).unwrap(), b"secret request");
+    }
+
+    #[test]
+    fn same_plaintext_different_ciphertexts() {
+        let mut r = rng();
+        let key = StreamKey::random(&mut r);
+        let a = seal(&key, b"repeat", &mut r);
+        let b = seal(&key, b"repeat", &mut r);
+        assert_ne!(a, b, "random nonce must prevent deterministic ciphertexts");
+    }
+
+    #[test]
+    fn open_rejects_truncated() {
+        let key = StreamKey::random(&mut rng());
+        assert!(open(&key, &[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn derived_keys_differ_by_label() {
+        let base = StreamKey::new([7u8; 32]);
+        assert_ne!(base.derive(b"hop-0").as_bytes(), base.derive(b"hop-1").as_bytes());
+        assert_eq!(base.derive(b"hop-0").as_bytes(), base.derive(b"hop-0").as_bytes());
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrips() {
+        let mut r = rng();
+        let key = StreamKey::random(&mut r);
+        let sealed = seal(&key, b"", &mut r);
+        assert_eq!(open(&key, &sealed).unwrap(), b"");
+    }
+
+    proptest! {
+        #[test]
+        fn keystream_is_involutive(key_bytes: [u8; 32], nonce: [u8; 16], mut data: Vec<u8>) {
+            let key = StreamKey::new(key_bytes);
+            let original = data.clone();
+            apply_keystream(&key, &nonce, &mut data);
+            apply_keystream(&key, &nonce, &mut data);
+            prop_assert_eq!(data, original);
+        }
+
+        #[test]
+        fn roundtrip_arbitrary(data: Vec<u8>, seed: u64) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let key = StreamKey::random(&mut r);
+            let sealed = seal(&key, &data, &mut r);
+            prop_assert_eq!(open(&key, &sealed).unwrap(), data);
+        }
+    }
+}

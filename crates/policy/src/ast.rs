@@ -1,0 +1,142 @@
+//! Abstract syntax of the policy language.
+
+/// What a matched rule does with the pending execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Run the program without asking.
+    Allow,
+    /// Block the program without asking.
+    Deny,
+    /// Fall back to interactive confirmation (the client dialog).
+    Ask,
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Action::Allow => "allow",
+            Action::Deny => "deny",
+            Action::Ask => "ask",
+        })
+    }
+}
+
+/// Numeric fields a policy can compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// Trust-weighted software rating (1–10); absent until aggregated.
+    Rating,
+    /// Number of votes behind the rating.
+    VoteCount,
+    /// Derived vendor rating (1–10); absent for unknown vendors.
+    VendorRating,
+    /// Executable size in bytes.
+    FileSize,
+    /// Rating published by a subscribed feed (§4.2's expert-group
+    /// subscriptions); absent when no subscribed feed covers the program.
+    FeedRating,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Boolean atoms about the pending executable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Carries a valid digital signature (any signer).
+    Signed,
+    /// Signature verifies *and* the signer is in the trusted-vendor list.
+    SignedByTrusted,
+    /// The named behaviour was reported by voters.
+    Behaviour(String),
+    /// The named behaviour was verified by runtime analysis (§5 "hard
+    /// evidence") — stronger than a user report.
+    VerifiedBehaviour(String),
+    /// The binary declares exactly this vendor name.
+    Vendor(String),
+    /// Binary carries no vendor metadata — §3.3's PIS signal.
+    VendorStripped,
+    /// The reputation server knows this executable.
+    Known,
+    /// A published rating exists.
+    HasRating,
+    /// Numeric comparison on a [`Field`].
+    Compare(Field, Cmp, f64),
+}
+
+/// Boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// An atom.
+    Pred(Predicate),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+/// One policy rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The action taken when the condition holds.
+    pub action: Action,
+    /// The condition; `None` encodes `otherwise` (always matches).
+    pub condition: Option<Expr>,
+}
+
+/// An ordered rule list; first match wins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Policy {
+    /// Rules in evaluation order.
+    pub rules: Vec<Rule>,
+}
+
+impl Policy {
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the policy has no rules (every decision falls through to
+    /// the default `Ask`).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_display() {
+        assert_eq!(Action::Allow.to_string(), "allow");
+        assert_eq!(Action::Deny.to_string(), "deny");
+        assert_eq!(Action::Ask.to_string(), "ask");
+    }
+
+    #[test]
+    fn policy_len_and_empty() {
+        let mut p = Policy::default();
+        assert!(p.is_empty());
+        p.rules.push(Rule { action: Action::Ask, condition: None });
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Policy evaluation against an execution context.
+
+use crate::ast::{Action, Cmp, Expr, Field, Policy, Predicate, Rule};
+
+/// Everything the policy engine can observe about a pending execution.
+///
+/// Assembled by the client from the server's software report, the local
+/// signature check, and the file itself. Absent information (`None`)
+/// causes comparisons on that field to evaluate false, never to panic or
+/// guess.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionContext {
+    /// Published rating, if the server has one.
+    pub rating: Option<f64>,
+    /// Votes behind the rating.
+    pub vote_count: u64,
+    /// Derived vendor rating, if any.
+    pub vendor_rating: Option<f64>,
+    /// Executable size in bytes.
+    pub file_size: u64,
+    /// Behaviours reported by voters.
+    pub behaviours: Vec<String>,
+    /// Behaviours verified by runtime analysis (§5).
+    pub verified_behaviours: Vec<String>,
+    /// Rating from a subscribed feed, if one covers this program (§4.2).
+    pub feed_rating: Option<f64>,
+    /// Vendor name embedded in the binary.
+    pub vendor: Option<String>,
+    /// The binary carries a valid digital signature.
+    pub signed: bool,
+    /// …and the signer is a trusted vendor.
+    pub signed_by_trusted: bool,
+    /// The reputation server knows this executable.
+    pub known: bool,
+}
+
+/// Evaluate `policy` top to bottom; the first matching rule decides.
+/// Policies with no matching rule default to [`Action::Ask`] — the safe
+/// interactive fallback.
+pub fn evaluate(policy: &Policy, ctx: &ExecutionContext) -> Action {
+    for rule in &policy.rules {
+        if rule_matches(rule, ctx) {
+            return rule.action;
+        }
+    }
+    Action::Ask
+}
+
+fn rule_matches(rule: &Rule, ctx: &ExecutionContext) -> bool {
+    match &rule.condition {
+        None => true,
+        Some(expr) => eval_expr(expr, ctx),
+    }
+}
+
+fn eval_expr(expr: &Expr, ctx: &ExecutionContext) -> bool {
+    match expr {
+        Expr::Pred(p) => eval_pred(p, ctx),
+        Expr::Not(inner) => !eval_expr(inner, ctx),
+        Expr::And(l, r) => eval_expr(l, ctx) && eval_expr(r, ctx),
+        Expr::Or(l, r) => eval_expr(l, ctx) || eval_expr(r, ctx),
+    }
+}
+
+fn eval_pred(pred: &Predicate, ctx: &ExecutionContext) -> bool {
+    match pred {
+        Predicate::Signed => ctx.signed,
+        Predicate::SignedByTrusted => ctx.signed_by_trusted,
+        Predicate::Behaviour(b) => {
+            // A verified behaviour also counts as reported: evidence is a
+            // strict upgrade of a user report.
+            ctx.behaviours.iter().any(|x| x == b) || ctx.verified_behaviours.iter().any(|x| x == b)
+        }
+        Predicate::VerifiedBehaviour(b) => ctx.verified_behaviours.iter().any(|x| x == b),
+        Predicate::Vendor(v) => ctx.vendor.as_deref() == Some(v.as_str()),
+        Predicate::VendorStripped => ctx.vendor.is_none(),
+        Predicate::Known => ctx.known,
+        Predicate::HasRating => ctx.rating.is_some(),
+        Predicate::Compare(field, cmp, value) => {
+            let Some(actual) = field_value(*field, ctx) else { return false };
+            compare(actual, *cmp, *value)
+        }
+    }
+}
+
+fn field_value(field: Field, ctx: &ExecutionContext) -> Option<f64> {
+    match field {
+        Field::Rating => ctx.rating,
+        Field::VoteCount => Some(ctx.vote_count as f64),
+        Field::VendorRating => ctx.vendor_rating,
+        Field::FileSize => Some(ctx.file_size as f64),
+        Field::FeedRating => ctx.feed_rating,
+    }
+}
+
+fn compare(actual: f64, cmp: Cmp, value: f64) -> bool {
+    match cmp {
+        Cmp::Lt => actual < value,
+        Cmp::Le => actual <= value,
+        Cmp::Gt => actual > value,
+        Cmp::Ge => actual >= value,
+        Cmp::Eq => (actual - value).abs() < f64::EPSILON,
+        Cmp::Ne => (actual - value).abs() >= f64::EPSILON,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+
+    fn ctx_rated(rating: f64) -> ExecutionContext {
+        ExecutionContext { rating: Some(rating), known: true, ..Default::default() }
+    }
+
+    fn decide(text: &str, ctx: &ExecutionContext) -> Action {
+        evaluate(&parse_policy(text).unwrap(), ctx)
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let text = "deny if rating < 5\nallow if rating < 9\nask otherwise";
+        assert_eq!(decide(text, &ctx_rated(3.0)), Action::Deny);
+        assert_eq!(decide(text, &ctx_rated(7.0)), Action::Allow);
+        assert_eq!(decide(text, &ctx_rated(9.5)), Action::Ask);
+    }
+
+    #[test]
+    fn empty_policy_defaults_to_ask() {
+        assert_eq!(evaluate(&Policy::default(), &ExecutionContext::default()), Action::Ask);
+    }
+
+    #[test]
+    fn missing_rating_never_matches_comparisons() {
+        let unknown = ExecutionContext::default();
+        assert_eq!(decide("allow if rating >= 0", &unknown), Action::Ask);
+        assert_eq!(decide("deny if rating < 100", &unknown), Action::Ask);
+        // …but has_rating and not has_rating work as expected.
+        assert_eq!(decide("deny if not has_rating", &unknown), Action::Deny);
+    }
+
+    #[test]
+    fn behaviour_and_vendor_predicates() {
+        let ctx = ExecutionContext {
+            behaviours: vec!["popup_ads".into(), "tracking".into()],
+            vendor: Some("Acme".into()),
+            ..Default::default()
+        };
+        assert_eq!(decide(r#"deny if behaviour("tracking")"#, &ctx), Action::Deny);
+        assert_eq!(decide(r#"deny if behaviour("keylogger")"#, &ctx), Action::Ask);
+        assert_eq!(decide(r#"allow if vendor("Acme")"#, &ctx), Action::Allow);
+        assert_eq!(decide(r#"allow if vendor("Evil")"#, &ctx), Action::Ask);
+        assert_eq!(decide("deny if vendor_stripped", &ctx), Action::Ask);
+
+        let stripped = ExecutionContext::default();
+        assert_eq!(decide("deny if vendor_stripped", &stripped), Action::Deny);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let ctx = ExecutionContext { signed: true, known: false, ..Default::default() };
+        assert_eq!(decide("allow if signed and known", &ctx), Action::Ask);
+        assert_eq!(decide("allow if signed or known", &ctx), Action::Allow);
+        assert_eq!(decide("allow if not known", &ctx), Action::Allow);
+        assert_eq!(decide("allow if signed and not known", &ctx), Action::Allow);
+    }
+
+    #[test]
+    fn comparison_operator_semantics() {
+        let ctx = ctx_rated(5.0);
+        assert_eq!(decide("allow if rating == 5", &ctx), Action::Allow);
+        assert_eq!(decide("allow if rating != 5", &ctx), Action::Ask);
+        assert_eq!(decide("allow if rating <= 5", &ctx), Action::Allow);
+        assert_eq!(decide("allow if rating >= 5", &ctx), Action::Allow);
+        assert_eq!(decide("allow if rating < 5", &ctx), Action::Ask);
+        assert_eq!(decide("allow if rating > 5", &ctx), Action::Ask);
+    }
+
+    #[test]
+    fn vote_count_and_file_size_fields() {
+        let ctx = ExecutionContext { vote_count: 3, file_size: 2_000_000, ..Default::default() };
+        assert_eq!(decide("deny if vote_count < 10", &ctx), Action::Deny);
+        assert_eq!(decide("deny if file_size > 1000000", &ctx), Action::Deny);
+    }
+
+    #[test]
+    fn verified_and_feed_fields_evaluate() {
+        let ctx = ExecutionContext {
+            behaviours: vec!["popup_ads".into()],
+            verified_behaviours: vec!["keylogger".into()],
+            feed_rating: Some(2.5),
+            ..Default::default()
+        };
+        // verified(...) only matches evidence.
+        assert_eq!(decide(r#"deny if verified("keylogger")"#, &ctx), Action::Deny);
+        assert_eq!(decide(r#"deny if verified("popup_ads")"#, &ctx), Action::Ask);
+        // behaviour(...) matches both user reports and evidence.
+        assert_eq!(decide(r#"deny if behaviour("keylogger")"#, &ctx), Action::Deny);
+        assert_eq!(decide(r#"deny if behaviour("popup_ads")"#, &ctx), Action::Deny);
+        // feed_rating compares like any numeric field; absent → no match.
+        assert_eq!(decide("deny if feed_rating <= 3", &ctx), Action::Deny);
+        let no_feed = ExecutionContext::default();
+        assert_eq!(decide("deny if feed_rating <= 3", &no_feed), Action::Ask);
+    }
+
+    #[test]
+    fn corporate_policy_scenario() {
+        // A corporate lockdown: trusted vendors sail through, known-bad
+        // behaviours are blocked outright, everything unrated is blocked,
+        // the rest needs a high rating.
+        let text = r#"
+            allow if signed_by_trusted
+            deny if behaviour("keylogger") or behaviour("incomplete_uninstall")
+            deny if not has_rating
+            allow if rating >= 7.5 and vote_count >= 10
+            deny otherwise
+        "#;
+        let trusted = ExecutionContext { signed_by_trusted: true, ..Default::default() };
+        assert_eq!(decide(text, &trusted), Action::Allow);
+
+        let keylogger = ExecutionContext {
+            rating: Some(9.0),
+            behaviours: vec!["keylogger".into()],
+            ..Default::default()
+        };
+        assert_eq!(decide(text, &keylogger), Action::Deny);
+
+        let unrated = ExecutionContext::default();
+        assert_eq!(decide(text, &unrated), Action::Deny);
+
+        let popular = ExecutionContext { rating: Some(8.0), vote_count: 50, ..Default::default() };
+        assert_eq!(decide(text, &popular), Action::Allow);
+
+        let thin_evidence =
+            ExecutionContext { rating: Some(8.0), vote_count: 2, ..Default::default() };
+        assert_eq!(decide(text, &thin_evidence), Action::Deny);
+    }
+}

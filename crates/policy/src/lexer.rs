@@ -1,0 +1,256 @@
+//! Tokeniser for the policy language.
+//!
+//! Line comments start with `#`. Strings are double-quoted with `\"` and
+//! `\\` escapes. Identifiers are `[a-z_][a-z0-9_]*`.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or predicate name.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+}
+
+/// A token plus its line number (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Tokenise `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Spanned { token: Token::RParen, line });
+            }
+            '<' => {
+                chars.next();
+                let token = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Le
+                } else {
+                    Token::Lt
+                };
+                tokens.push(Spanned { token, line });
+            }
+            '>' => {
+                chars.next();
+                let token = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Token::Ge
+                } else {
+                    Token::Gt
+                };
+                tokens.push(Spanned { token, line });
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Spanned { token: Token::EqEq, line });
+                } else {
+                    return Err(LexError {
+                        message: "expected '==' (single '=' is not an operator)".into(),
+                        line,
+                    });
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Spanned { token: Token::Ne, line });
+                } else {
+                    return Err(LexError {
+                        message: "expected '!=' ('!' alone; use 'not')".into(),
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(LexError { message: "unterminated string".into(), line })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(LexError {
+                                    message: format!("invalid escape {other:?}"),
+                                    line,
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(LexError { message: "newline in string".into(), line })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = num
+                    .parse()
+                    .map_err(|_| LexError { message: format!("invalid number '{num}'"), line })?;
+                tokens.push(Spanned { token: Token::Number(value), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned { token: Token::Ident(ident), line });
+            }
+            other => {
+                return Err(LexError { message: format!("unexpected character '{other}'"), line })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_numbers_operators() {
+        assert_eq!(
+            toks("allow if rating >= 7.5"),
+            vec![
+                Token::Ident("allow".into()),
+                Token::Ident("if".into()),
+                Token::Ident("rating".into()),
+                Token::Ge,
+                Token::Number(7.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#"behaviour("popup \"ads\"")"#),
+            vec![
+                Token::Ident("behaviour".into()),
+                Token::LParen,
+                Token::Str("popup \"ads\"".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let spanned = lex("# header\nallow # tail\ndeny").unwrap();
+        assert_eq!(spanned[0].token, Token::Ident("allow".into()));
+        assert_eq!(spanned[0].line, 2);
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn all_comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= == !="),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::EqEq, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = lex("allow\n$").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("= x").is_err());
+        assert!(lex("! x").is_err());
+        assert!(lex("\"bad\nline\"").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_token_stream() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n # only a comment \n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! The software policy manager proposed in §4.2 of the paper.
+//!
+//! "By using the information available in the reputation system it would be
+//! possible for corporations or individual users to set up policies for
+//! what software is allowed to execute on their computers. Such policies
+//! could for instance take into account whether the software has been
+//! signed by a trusted vendor, the software and vendor rating, or any
+//! specific behaviour reported for the software e.g., if it show pop-up
+//! advertisements or include an incomplete removal routine. … e.g., by
+//! specifying that any software from trusted vendors should be allowed,
+//! while other software only is allowed if it has a rating over 7.5/10 and
+//! does not show any advertisements."
+//!
+//! The crate implements that idea as a small rule language:
+//!
+//! ```text
+//! allow if signed_by_trusted
+//! deny  if behaviour("popup_ads") and rating < 5
+//! allow if rating >= 7.5 and not behaviour("popup_ads")
+//! ask   otherwise
+//! ```
+//!
+//! Rules are evaluated top to bottom against an [`ExecutionContext`]; the
+//! first matching rule decides. Comparisons against *absent* data (no
+//! rating yet, unknown vendor) never match, so policies fail safe toward
+//! the later rules and the final `otherwise`.
+//!
+//! The paper's 7.5/10 example compiles to exactly the third rule above —
+//! see `examples/policy_manager.rs` and experiment D9.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Action, Expr, Field, Policy, Predicate, Rule};
+pub use eval::{evaluate, ExecutionContext};
+pub use parser::{parse_policy, PolicyError};
+
+/// Parse and evaluate in one step (convenience for callers that do not
+/// cache the compiled policy).
+pub fn decide(policy_text: &str, ctx: &ExecutionContext) -> Result<Action, PolicyError> {
+    let policy = parse_policy(policy_text)?;
+    Ok(evaluate(&policy, ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_policy_end_to_end() {
+        // §4.2's worked example, verbatim in the DSL.
+        let text = r#"
+            # Any software from trusted vendors should be allowed.
+            allow if signed_by_trusted
+            # Other software only if rated over 7.5/10 and ad-free.
+            allow if rating > 7.5 and not behaviour("popup_ads")
+            ask otherwise
+        "#;
+        let trusted = ExecutionContext { signed_by_trusted: true, ..Default::default() };
+        assert_eq!(decide(text, &trusted).unwrap(), Action::Allow);
+
+        let good = ExecutionContext { rating: Some(8.2), ..Default::default() };
+        assert_eq!(decide(text, &good).unwrap(), Action::Allow);
+
+        let good_but_ads = ExecutionContext {
+            rating: Some(8.2),
+            behaviours: vec!["popup_ads".into()],
+            ..Default::default()
+        };
+        assert_eq!(decide(text, &good_but_ads).unwrap(), Action::Ask);
+
+        let unrated = ExecutionContext::default();
+        assert_eq!(decide(text, &unrated).unwrap(), Action::Ask);
+    }
+}

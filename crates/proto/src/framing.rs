@@ -1,0 +1,135 @@
+//! Length-prefixed message framing over byte streams.
+//!
+//! Frame layout: `len: u32 BE` followed by `len` bytes of UTF-8 XML. A
+//! maximum frame size bounds memory against hostile peers. Works over any
+//! `Read`/`Write` pair — `TcpStream` in the examples, in-memory pipes in
+//! tests.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame (1 MiB); larger declared lengths are
+/// treated as protocol violations rather than honoured.
+pub const MAX_FRAME_LEN: u32 = 1024 * 1024;
+
+/// Errors from the framing layer.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream failure.
+    Io(io::Error),
+    /// Peer declared a frame longer than [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// Frame body was not valid UTF-8.
+    NotUtf8,
+    /// Clean end-of-stream between frames.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::NotUtf8 => f.write_str("frame body is not valid UTF-8"),
+            FrameError::Closed => f.write_str("stream closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one framed message.
+pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), FrameError> {
+    let len = body.len() as u32;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message. Returns [`FrameError::Closed`] on a clean EOF
+/// at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut header = [0u8; 4];
+    match r.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| FrameError::NotUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "<a/>").unwrap();
+        write_frame(&mut buf, "<b>text</b>").unwrap();
+        write_frame(&mut buf, "").unwrap();
+
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), "<a/>");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "<b>text</b>");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error_not_closed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_header_is_closed_only_at_zero_bytes() {
+        // Zero bytes = clean close.
+        assert!(matches!(read_frame(&mut Cursor::new(Vec::new())), Err(FrameError::Closed)));
+        // A partial header is also surfaced as Closed by read_exact's
+        // UnexpectedEof; callers treat any mid-frame EOF as disconnect.
+        let buf = vec![0u8, 0];
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn non_utf8_body_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn unicode_bodies_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "<msg>åäö — 評価</msg>").unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), "<msg>åäö — 評価</msg>");
+    }
+}

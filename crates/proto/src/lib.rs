@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Client ↔ server wire protocol.
+//!
+//! The paper states: "XML is used as the communication protocol between the
+//! client and the server" (§3.2). This crate implements that protocol from
+//! scratch:
+//!
+//! * [`xml`] — a small XML 1.0 subset (elements, attributes, character data
+//!   with entity escaping). No namespaces, comments, processing
+//!   instructions, or DTDs: the protocol never produces them, and rejecting
+//!   them closes the classic XML attack surface (entity expansion, DTD
+//!   fetches).
+//! * [`message`] — the typed request/response schema: registration,
+//!   activation, login, software queries, vote/comment/remark submission,
+//!   vendor queries, and puzzle challenges, each with a canonical XML
+//!   rendering.
+//! * [`framing`] — length-prefixed frames for running the protocol over a
+//!   byte stream (`std::net::TcpStream` in the examples, in-memory pipes in
+//!   tests).
+//!
+//! The crate is deliberately dependency-free so both the client and server
+//! crates can use it without cycles.
+
+pub mod framing;
+pub mod message;
+pub mod xml;
+
+pub use message::{Request, Response};
+pub use xml::{XmlError, XmlNode};

@@ -1,0 +1,127 @@
+//! Per-identity token-bucket rate limiting.
+//!
+//! §2.1: "The main question when it comes to vote flooding is how to allow
+//! normal users to be able to vote smoothly and yet be able to address
+//! abusive users that attack the system." The guard gives every identity a
+//! bucket of `capacity` requests refilling at `refill_per_hour`; normal
+//! usage never notices, while a flooder exhausts the bucket and gets
+//! throttled long before the database does.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use softrep_core::clock::Timestamp;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Timestamp,
+}
+
+/// Token-bucket flood guard keyed by identity string.
+pub struct FloodGuard {
+    buckets: Mutex<HashMap<String, Bucket>>,
+    capacity: f64,
+    refill_per_hour: f64,
+    rejected: Mutex<u64>,
+}
+
+impl FloodGuard {
+    /// A guard allowing bursts of `capacity` and `refill_per_hour`
+    /// sustained requests per hour per identity.
+    pub fn new(capacity: u32, refill_per_hour: u32) -> Self {
+        FloodGuard {
+            buckets: Mutex::new(HashMap::new()),
+            capacity: f64::from(capacity.max(1)),
+            refill_per_hour: f64::from(refill_per_hour.max(1)),
+            rejected: Mutex::new(0),
+        }
+    }
+
+    /// Try to spend one token for `identity` at `now`. Returns `false`
+    /// when the identity is throttled.
+    pub fn allow(&self, identity: &str, now: Timestamp) -> bool {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets
+            .entry(identity.to_string())
+            .or_insert(Bucket { tokens: self.capacity, last_refill: now });
+
+        // Refill proportionally to elapsed time.
+        let elapsed_hours = now.since(bucket.last_refill) as f64 / 3_600.0;
+        bucket.tokens = (bucket.tokens + elapsed_hours * self.refill_per_hour).min(self.capacity);
+        bucket.last_refill = now;
+
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            *self.rejected.lock() += 1;
+            false
+        }
+    }
+
+    /// Requests rejected so far (experiment D3's throttling measure).
+    pub fn rejected_count(&self) -> u64 {
+        *self.rejected.lock()
+    }
+
+    /// Identities currently tracked.
+    pub fn tracked_identities(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_up_to_capacity_then_throttled() {
+        let guard = FloodGuard::new(5, 60);
+        for i in 0..5 {
+            assert!(guard.allow("attacker", Timestamp(0)), "request {i} within burst");
+        }
+        assert!(!guard.allow("attacker", Timestamp(0)));
+        assert_eq!(guard.rejected_count(), 1);
+    }
+
+    #[test]
+    fn refill_restores_tokens_over_time() {
+        let guard = FloodGuard::new(2, 60); // one token per minute
+        assert!(guard.allow("u", Timestamp(0)));
+        assert!(guard.allow("u", Timestamp(0)));
+        assert!(!guard.allow("u", Timestamp(0)));
+        // After 60 seconds one token has refilled.
+        assert!(guard.allow("u", Timestamp(60)));
+        assert!(!guard.allow("u", Timestamp(60)));
+    }
+
+    #[test]
+    fn identities_are_independent() {
+        let guard = FloodGuard::new(1, 1);
+        assert!(guard.allow("a", Timestamp(0)));
+        assert!(!guard.allow("a", Timestamp(0)));
+        assert!(guard.allow("b", Timestamp(0)), "b has its own bucket");
+        assert_eq!(guard.tracked_identities(), 2);
+    }
+
+    #[test]
+    fn refill_never_exceeds_capacity() {
+        let guard = FloodGuard::new(3, 3600);
+        assert!(guard.allow("u", Timestamp(0)));
+        // A year later the bucket is full but not overfull.
+        let later = Timestamp(365 * 86_400);
+        for _ in 0..3 {
+            assert!(guard.allow("u", later));
+        }
+        assert!(!guard.allow("u", later));
+    }
+
+    #[test]
+    fn zero_config_is_clamped_to_minimum() {
+        let guard = FloodGuard::new(0, 0);
+        assert!(guard.allow("u", Timestamp(0)), "capacity clamps to 1");
+        assert!(!guard.allow("u", Timestamp(0)));
+    }
+}

@@ -1,0 +1,796 @@
+//! The request dispatcher: protocol messages → reputation database.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_core::clock::{Clock, Timestamp};
+use softrep_core::db::{ReputationDb, SoftwareReport};
+use softrep_core::error::CoreError;
+use softrep_crypto::bignum::BigUint;
+use softrep_crypto::rsa::{RsaKeypair, RsaSignature};
+use softrep_crypto::sha256::Sha256;
+use softrep_proto::message::{CommentInfo, SoftwareInfo};
+use softrep_proto::{Request, Response};
+
+use crate::flood::FloodGuard;
+use crate::puzzle_gate::{PuzzleGate, PuzzleRejection};
+use crate::session::SessionManager;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Leading zero bits required of registration puzzles. 0 disables the
+    /// puzzle requirement entirely (the ablation arm of experiment D3).
+    pub puzzle_difficulty: u8,
+    /// Session lifetime.
+    pub session_ttl_secs: u64,
+    /// Flood-guard burst capacity per identity.
+    pub flood_capacity: u32,
+    /// Flood-guard sustained requests/hour per identity.
+    pub flood_refill_per_hour: u32,
+    /// Maximum comments returned in a software report.
+    pub max_comments_in_report: usize,
+    /// Shared secret authenticating runtime analyzers (§5 evidence
+    /// submission). `None` disables the evidence endpoint.
+    pub analyzer_token: Option<String>,
+    /// Modulus size for the §5 pseudonym-credential RSA key. 0 (the
+    /// default) disables the pseudonym endpoints and skips keygen at
+    /// startup; the deployment binary enables 1024.
+    pub pseudonym_key_bits: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            puzzle_difficulty: 12,
+            session_ttl_secs: 24 * 3_600,
+            flood_capacity: 60,
+            flood_refill_per_hour: 120,
+            max_comments_in_report: 10,
+            analyzer_token: None,
+            pseudonym_key_bits: 0,
+        }
+    }
+}
+
+/// The reputation server: wraps the database with sessions, puzzles and
+/// flood control, and speaks the wire protocol's typed messages.
+pub struct ReputationServer {
+    db: ReputationDb,
+    clock: Arc<dyn Clock>,
+    sessions: SessionManager,
+    puzzles: PuzzleGate,
+    flood: FloodGuard,
+    config: ServerConfig,
+    rng: Mutex<StdRng>,
+    pseudonym_key: Option<RsaKeypair>,
+}
+
+impl ReputationServer {
+    /// Assemble a server. `rng_seed` makes simulations reproducible; pass
+    /// entropy-derived seeds in production.
+    pub fn new(
+        db: ReputationDb,
+        clock: Arc<dyn Clock>,
+        config: ServerConfig,
+        rng_seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let pseudonym_key = (config.pseudonym_key_bits > 0)
+            .then(|| RsaKeypair::generate(config.pseudonym_key_bits.max(64), &mut rng));
+        ReputationServer {
+            sessions: SessionManager::new(config.session_ttl_secs),
+            puzzles: PuzzleGate::new(config.puzzle_difficulty),
+            flood: FloodGuard::new(config.flood_capacity, config.flood_refill_per_hour),
+            rng: Mutex::new(rng),
+            db,
+            clock,
+            config,
+            pseudonym_key,
+        }
+    }
+
+    /// The wrapped database (used by simulations for direct inspection).
+    pub fn db(&self) -> &ReputationDb {
+        &self.db
+    }
+
+    /// The server clock.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The flood guard (for experiment metrics).
+    pub fn flood_guard(&self) -> &FloodGuard {
+        &self.flood
+    }
+
+    /// Run periodic maintenance: the 24 h aggregation batch and session
+    /// pruning. Returns the number of ratings recomputed.
+    pub fn tick(&self) -> usize {
+        let now = self.clock.now();
+        self.sessions.prune(now);
+        self.db.run_aggregation_if_due(now).unwrap_or(0)
+    }
+
+    /// Handle one request from `source` (a transport-level identity used
+    /// only for flood control — never persisted, per §2.2).
+    pub fn handle(&self, request: &Request, source: &str) -> Response {
+        let now = self.clock.now();
+        if !self.flood.allow(source, now) {
+            return Response::error("throttled", "too many requests; slow down");
+        }
+        match request {
+            Request::GetPuzzle => {
+                let challenge = self.puzzles.issue(&mut *self.rng.lock());
+                Response::Puzzle { challenge }
+            }
+            Request::Register { username, password, email, puzzle_challenge, puzzle_solution } => {
+                if self.config.puzzle_difficulty > 0 {
+                    match self.puzzles.redeem(puzzle_challenge, *puzzle_solution) {
+                        Ok(()) => {}
+                        Err(PuzzleRejection::UnknownChallenge) => {
+                            return Response::error(
+                                "bad-puzzle",
+                                "challenge not issued or already used",
+                            )
+                        }
+                        Err(PuzzleRejection::WrongSolution) => {
+                            return Response::error("bad-puzzle", "puzzle solution does not verify")
+                        }
+                    }
+                }
+                let mut rng = self.rng.lock();
+                match self.db.register_user(username, password, email, now, &mut *rng) {
+                    Ok(activation_token) => Response::Registered { activation_token },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Activate { username, token } => match self.db.activate_user(username, token) {
+                Ok(()) => Response::Ok,
+                Err(e) => error_response(e),
+            },
+            Request::Login { username, password } => match self.db.login(username, password, now) {
+                Ok(()) => {
+                    let token = self.sessions.create(username, now, &mut *self.rng.lock());
+                    Response::Session { token }
+                }
+                Err(e) => error_response(e),
+            },
+            Request::QuerySoftware { software_id } | Request::QueryDetails { software_id } => {
+                match self.db.software_report(software_id) {
+                    Ok(Some(report)) => Response::Software(self.render_report(report)),
+                    Ok(None) => Response::UnknownSoftware { software_id: software_id.clone() },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::RegisterSoftware { software_id, file_name, file_size, company, version } => {
+                match self.db.register_software(
+                    software_id,
+                    file_name,
+                    *file_size,
+                    company.clone(),
+                    version.clone(),
+                    now,
+                ) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::SubmitVote { session, software_id, score, behaviours } => {
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                match self.db.submit_vote(&username, software_id, *score, behaviours.clone(), now) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::SubmitComment { session, software_id, text } => {
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                match self.db.submit_comment(&username, software_id, text, now) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::RateComment { session, comment_id, positive } => {
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                match self.db.remark_comment(&username, *comment_id, *positive, now) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::QueryVendor { vendor } => match self.db.vendor_report(vendor) {
+                Ok(report) => Response::Vendor {
+                    vendor: report.vendor,
+                    rating: report.rating,
+                    software_count: report.software_count,
+                },
+                Err(e) => error_response(e),
+            },
+            Request::SubmitEvidence { analyzer_token, software_id, behaviours, analyzer } => {
+                let authorised = self.config.analyzer_token.as_deref().is_some_and(|expected| {
+                    softrep_crypto::hmac::constant_time_eq(
+                        expected.as_bytes(),
+                        analyzer_token.as_bytes(),
+                    )
+                });
+                if !authorised {
+                    return Response::error("bad-analyzer-token", "evidence submission rejected");
+                }
+                match self.db.record_evidence(software_id, behaviours.clone(), analyzer, now) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::CreateFeed { session, name } => {
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                match self.db.create_feed(name, &username, now) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::PublishFeedEntry { session, feed, software_id, rating, behaviours } => {
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                match self.db.publish_feed_entry(
+                    &username,
+                    feed,
+                    software_id,
+                    *rating,
+                    behaviours.clone(),
+                    now,
+                ) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::QueryFeedEntry { feed, software_id } => {
+                match self.db.feed_entry(feed, software_id) {
+                    Ok(Some(entry)) => Response::FeedEntry {
+                        feed: entry.feed,
+                        software_id: entry.software_id,
+                        rating: entry.rating,
+                        behaviours: entry.behaviours,
+                    },
+                    Ok(None) => Response::error("unknown-feed-entry", "no entry for this software"),
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::GetPseudonymKey => match &self.pseudonym_key {
+                Some(key) => Response::PseudonymKey {
+                    n: key.public_key().n.to_hex(),
+                    e: key.public_key().e.to_hex(),
+                },
+                None => Response::error("pseudonyms-disabled", "no pseudonym key configured"),
+            },
+            Request::BlindSignPseudonym { session, blinded } => {
+                let Some(key) = &self.pseudonym_key else {
+                    return Response::error("pseudonyms-disabled", "no pseudonym key configured");
+                };
+                let Some(username) = self.sessions.resolve(session, now) else {
+                    return Response::error("bad-session", "session invalid or expired");
+                };
+                let Some(blinded) = BigUint::from_hex(blinded) else {
+                    return Response::error("bad-request", "blinded element is not hex");
+                };
+                // One credential per member, marked *before* signing so a
+                // crash cannot double-issue.
+                if let Err(e) = self.db.mark_pseudonym_credential_issued(&username) {
+                    return error_response(e);
+                }
+                Response::BlindSignature { value: key.sign_raw(&blinded).to_hex() }
+            }
+            Request::RegisterPseudonym { username, password, token, signature } => {
+                let Some(key) = &self.pseudonym_key else {
+                    return Response::error("pseudonyms-disabled", "no pseudonym key configured");
+                };
+                let (Some(token_bytes), Some(sig_value)) =
+                    (softrep_crypto::hex::decode(token), BigUint::from_hex(signature))
+                else {
+                    return Response::error("bad-request", "token/signature must be hex");
+                };
+                if !key.public_key().verify(&token_bytes, &RsaSignature(sig_value)) {
+                    return Response::error(
+                        "bad-credential",
+                        "pseudonym credential does not verify",
+                    );
+                }
+                let token_digest = softrep_crypto::hex::encode(&Sha256::digest(&token_bytes));
+                let mut rng = self.rng.lock();
+                match self.db.register_pseudonym(username, password, &token_digest, now, &mut *rng)
+                {
+                    Ok(()) => Response::Ok,
+                    Err(e) => error_response(e),
+                }
+            }
+        }
+    }
+
+    fn render_report(&self, report: SoftwareReport) -> SoftwareInfo {
+        let (rating, vote_count, behaviours) = match &report.rating {
+            Some(r) => (
+                Some(r.rating),
+                r.vote_count,
+                r.behaviours.iter().map(|(b, _)| b.clone()).collect(),
+            ),
+            None => (None, 0, Vec::new()),
+        };
+        let verified_behaviours =
+            report.evidence.as_ref().map(|e| e.behaviours.clone()).unwrap_or_default();
+        SoftwareInfo {
+            software_id: report.software.software_id,
+            file_name: (!report.software.file_name.is_empty())
+                .then(|| report.software.file_name.clone()),
+            company: report.software.company,
+            version: report.software.version,
+            rating,
+            vote_count,
+            behaviours,
+            verified_behaviours,
+            comments: report
+                .comments
+                .into_iter()
+                .take(self.config.max_comments_in_report)
+                .map(|pc| CommentInfo {
+                    id: pc.comment.id,
+                    author: pc.comment.author,
+                    text: pc.comment.text,
+                    remark_score: pc.remark_score,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn error_response(e: CoreError) -> Response {
+    Response::error(e.code(), e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrep_core::clock::SimClock;
+    use softrep_crypto::puzzle::Challenge;
+
+    fn server_with(config: ServerConfig) -> (ReputationServer, SimClock) {
+        let clock = SimClock::new();
+        let db = ReputationDb::in_memory("test-pepper");
+        let server = ReputationServer::new(db, Arc::new(clock.clone()), config, 1234);
+        (server, clock)
+    }
+
+    fn server() -> (ReputationServer, SimClock) {
+        server_with(ServerConfig { puzzle_difficulty: 4, ..ServerConfig::default() })
+    }
+
+    fn sw_id(tag: u8) -> String {
+        format!("{tag:02x}").repeat(20)
+    }
+
+    /// Full registration: puzzle → register → activate → login → session.
+    fn join(server: &ReputationServer, name: &str) -> String {
+        let Response::Puzzle { challenge } = server.handle(&Request::GetPuzzle, name) else {
+            panic!("expected puzzle")
+        };
+        let (solution, _) = Challenge::decode(&challenge).unwrap().solve();
+        let resp = server.handle(
+            &Request::Register {
+                username: name.into(),
+                password: "pw".into(),
+                email: format!("{name}@example.com"),
+                puzzle_challenge: challenge,
+                puzzle_solution: solution.nonce,
+            },
+            name,
+        );
+        let Response::Registered { activation_token } = resp else {
+            panic!("expected registered, got {resp:?}")
+        };
+        assert_eq!(
+            server.handle(
+                &Request::Activate { username: name.into(), token: activation_token },
+                name
+            ),
+            Response::Ok
+        );
+        let Response::Session { token } =
+            server.handle(&Request::Login { username: name.into(), password: "pw".into() }, name)
+        else {
+            panic!("expected session")
+        };
+        token
+    }
+
+    #[test]
+    fn full_happy_path_register_vote_query() {
+        let (server, _clock) = server();
+        let session = join(&server, "alice");
+
+        assert_eq!(
+            server.handle(
+                &Request::RegisterSoftware {
+                    software_id: sw_id(1),
+                    file_name: "weatherbar.exe".into(),
+                    file_size: 1000,
+                    company: Some("Acme".into()),
+                    version: Some("1.0".into()),
+                },
+                "alice"
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            server.handle(
+                &Request::SubmitVote {
+                    session: session.clone(),
+                    software_id: sw_id(1),
+                    score: 3,
+                    behaviours: vec!["popup_ads".into()],
+                },
+                "alice"
+            ),
+            Response::Ok
+        );
+        server.db().force_aggregation(server.now()).unwrap();
+
+        let resp = server.handle(&Request::QuerySoftware { software_id: sw_id(1) }, "bob");
+        let Response::Software(info) = resp else { panic!("{resp:?}") };
+        assert_eq!(info.rating, Some(3.0));
+        assert_eq!(info.vote_count, 1);
+        assert_eq!(info.behaviours, vec!["popup_ads".to_string()]);
+        assert_eq!(info.company.as_deref(), Some("Acme"));
+    }
+
+    #[test]
+    fn unknown_software_reported_as_such() {
+        let (server, _) = server();
+        let resp = server.handle(&Request::QuerySoftware { software_id: sw_id(9) }, "x");
+        assert_eq!(resp, Response::UnknownSoftware { software_id: sw_id(9) });
+    }
+
+    #[test]
+    fn registration_without_valid_puzzle_fails() {
+        let (server, _) = server();
+        let resp = server.handle(
+            &Request::Register {
+                username: "eve".into(),
+                password: "pw".into(),
+                email: "eve@example.com".into(),
+                puzzle_challenge: "4:00000000000000000000000000000000".into(),
+                puzzle_solution: 0,
+            },
+            "eve",
+        );
+        let Response::Error { code, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(code, "bad-puzzle");
+    }
+
+    #[test]
+    fn puzzle_difficulty_zero_disables_gate() {
+        let (server, _) =
+            server_with(ServerConfig { puzzle_difficulty: 0, ..ServerConfig::default() });
+        let resp = server.handle(
+            &Request::Register {
+                username: "easy".into(),
+                password: "pw".into(),
+                email: "easy@example.com".into(),
+                puzzle_challenge: String::new(),
+                puzzle_solution: 0,
+            },
+            "easy",
+        );
+        assert!(matches!(resp, Response::Registered { .. }));
+    }
+
+    #[test]
+    fn duplicate_email_maps_to_protocol_error() {
+        let (server, _) = server();
+        join(&server, "alice");
+        let Response::Puzzle { challenge } = server.handle(&Request::GetPuzzle, "eve") else {
+            panic!()
+        };
+        let (solution, _) = Challenge::decode(&challenge).unwrap().solve();
+        let resp = server.handle(
+            &Request::Register {
+                username: "eve".into(),
+                password: "pw".into(),
+                email: "ALICE@example.com".into(), // same address, different case
+                puzzle_challenge: challenge,
+                puzzle_solution: solution.nonce,
+            },
+            "eve",
+        );
+        let Response::Error { code, .. } = resp else { panic!("{resp:?}") };
+        assert_eq!(code, "duplicate-email");
+    }
+
+    #[test]
+    fn votes_require_a_valid_session() {
+        let (server, clock) = server();
+        let session = join(&server, "alice");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "alice",
+        );
+
+        let bogus = server.handle(
+            &Request::SubmitVote {
+                session: "not-a-session".into(),
+                software_id: sw_id(1),
+                score: 5,
+                behaviours: vec![],
+            },
+            "alice",
+        );
+        assert!(matches!(bogus, Response::Error { ref code, .. } if code == "bad-session"));
+
+        // Sessions expire with the clock.
+        clock.advance_secs(ServerConfig::default().session_ttl_secs + 1);
+        let expired = server.handle(
+            &Request::SubmitVote { session, software_id: sw_id(1), score: 5, behaviours: vec![] },
+            "alice",
+        );
+        assert!(matches!(expired, Response::Error { ref code, .. } if code == "bad-session"));
+    }
+
+    #[test]
+    fn flood_guard_throttles_noisy_sources() {
+        let (server, _) = server_with(ServerConfig {
+            flood_capacity: 3,
+            flood_refill_per_hour: 1,
+            puzzle_difficulty: 0,
+            ..ServerConfig::default()
+        });
+        for _ in 0..3 {
+            let resp = server.handle(&Request::QuerySoftware { software_id: sw_id(1) }, "10.0.0.1");
+            assert!(!matches!(resp, Response::Error { ref code, .. } if code == "throttled"));
+        }
+        let resp = server.handle(&Request::QuerySoftware { software_id: sw_id(1) }, "10.0.0.1");
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "throttled"));
+        // Other sources are unaffected.
+        let resp = server.handle(&Request::QuerySoftware { software_id: sw_id(1) }, "10.0.0.2");
+        assert!(!matches!(resp, Response::Error { ref code, .. } if code == "throttled"));
+    }
+
+    #[test]
+    fn tick_runs_aggregation_on_schedule() {
+        let (server, clock) = server();
+        let session = join(&server, "alice");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "alice",
+        );
+        server.handle(
+            &Request::SubmitVote { session, software_id: sw_id(1), score: 8, behaviours: vec![] },
+            "alice",
+        );
+        assert_eq!(server.tick(), 1, "first tick aggregates");
+        assert_eq!(server.tick(), 0, "second tick is before the next 24h boundary");
+        clock.advance_days(1);
+        assert_eq!(server.tick(), 1);
+    }
+
+    #[test]
+    fn comments_flow_through_reports_and_remarks() {
+        let (server, _) = server();
+        let alice = join(&server, "alice");
+        let bob = join(&server, "bob");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "alice",
+        );
+        server.handle(
+            &Request::SubmitComment {
+                session: alice,
+                software_id: sw_id(1),
+                text: "bundles a tracker".into(),
+            },
+            "alice",
+        );
+        let resp = server.handle(&Request::QueryDetails { software_id: sw_id(1) }, "bob");
+        let Response::Software(info) = resp else { panic!("{resp:?}") };
+        assert_eq!(info.comments.len(), 1);
+        let comment_id = info.comments[0].id;
+
+        assert_eq!(
+            server
+                .handle(&Request::RateComment { session: bob, comment_id, positive: true }, "bob"),
+            Response::Ok
+        );
+        assert_eq!(server.db().trust_of("alice").unwrap().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn evidence_endpoint_requires_the_analyzer_token() {
+        let (server, _) = server_with(ServerConfig {
+            puzzle_difficulty: 0,
+            analyzer_token: Some("lab-secret".into()),
+            ..ServerConfig::default()
+        });
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "lab",
+        );
+        // Wrong token rejected.
+        let resp = server.handle(
+            &Request::SubmitEvidence {
+                analyzer_token: "wrong".into(),
+                software_id: sw_id(1),
+                behaviours: vec!["tracking".into()],
+                analyzer: "sandbox-v1".into(),
+            },
+            "lab",
+        );
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "bad-analyzer-token"));
+
+        // Right token lands and surfaces as verified behaviours.
+        let resp = server.handle(
+            &Request::SubmitEvidence {
+                analyzer_token: "lab-secret".into(),
+                software_id: sw_id(1),
+                behaviours: vec!["tracking".into()],
+                analyzer: "sandbox-v1".into(),
+            },
+            "lab",
+        );
+        assert_eq!(resp, Response::Ok);
+        let Response::Software(info) =
+            server.handle(&Request::QuerySoftware { software_id: sw_id(1) }, "q")
+        else {
+            panic!("expected report")
+        };
+        assert_eq!(info.verified_behaviours, vec!["tracking".to_string()]);
+    }
+
+    #[test]
+    fn evidence_endpoint_disabled_without_configured_token() {
+        let (server, _) =
+            server_with(ServerConfig { puzzle_difficulty: 0, ..ServerConfig::default() });
+        let resp = server.handle(
+            &Request::SubmitEvidence {
+                analyzer_token: String::new(),
+                software_id: sw_id(1),
+                behaviours: vec![],
+                analyzer: "x".into(),
+            },
+            "lab",
+        );
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "bad-analyzer-token"));
+    }
+
+    #[test]
+    fn feed_lifecycle_over_the_protocol() {
+        let (server, _) = server();
+        let alice = join(&server, "alice");
+        let bob = join(&server, "bob");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "x",
+        );
+
+        assert_eq!(
+            server.handle(
+                &Request::CreateFeed { session: alice.clone(), name: "sec-team".into() },
+                "a"
+            ),
+            Response::Ok
+        );
+        // Bob cannot publish into Alice's feed.
+        let resp = server.handle(
+            &Request::PublishFeedEntry {
+                session: bob,
+                feed: "sec-team".into(),
+                software_id: sw_id(1),
+                rating: 2.0,
+                behaviours: vec![],
+            },
+            "b",
+        );
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "not-feed-owner"));
+
+        assert_eq!(
+            server.handle(
+                &Request::PublishFeedEntry {
+                    session: alice,
+                    feed: "sec-team".into(),
+                    software_id: sw_id(1),
+                    rating: 2.0,
+                    behaviours: vec!["popup_ads".into()],
+                },
+                "a",
+            ),
+            Response::Ok
+        );
+        let resp = server.handle(
+            &Request::QueryFeedEntry { feed: "sec-team".into(), software_id: sw_id(1) },
+            "q",
+        );
+        assert_eq!(
+            resp,
+            Response::FeedEntry {
+                feed: "sec-team".into(),
+                software_id: sw_id(1),
+                rating: 2.0,
+                behaviours: vec!["popup_ads".into()],
+            }
+        );
+        // Missing entries answer with a stable error code.
+        let resp = server.handle(
+            &Request::QueryFeedEntry { feed: "sec-team".into(), software_id: sw_id(2) },
+            "q",
+        );
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "unknown-feed-entry"));
+    }
+
+    #[test]
+    fn vendor_query_round_trips() {
+        let (server, _) = server();
+        let session = join(&server, "alice");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: sw_id(1),
+                file_name: "a.exe".into(),
+                file_size: 1,
+                company: Some("Acme".into()),
+                version: None,
+            },
+            "alice",
+        );
+        server.handle(
+            &Request::SubmitVote { session, software_id: sw_id(1), score: 6, behaviours: vec![] },
+            "alice",
+        );
+        server.db().force_aggregation(server.now()).unwrap();
+        let resp = server.handle(&Request::QueryVendor { vendor: "Acme".into() }, "x");
+        assert_eq!(
+            resp,
+            Response::Vendor { vendor: "Acme".into(), rating: Some(6.0), software_count: 1 }
+        );
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The reputation server (§3.2 of the paper).
+//!
+//! "The server … handles the database containing registered user
+//! information, ratings and comments for different software … The clients
+//! communicate with the server through a web-server that handles the
+//! requests sent by the client software."
+//!
+//! * [`session`] — bearer-token sessions issued at login.
+//! * [`puzzle_gate`] — issues and redeems registration puzzles (§5's
+//!   "computational penalties through variable hash guessing"), single-use
+//!   and server-bound.
+//! * [`flood`] — a per-identity token-bucket rate limiter; the transport-
+//!   level half of the §2.1 vote-flooding defence.
+//! * [`handler`] — [`handler::ReputationServer`]: the full request
+//!   dispatcher mapping protocol [`softrep_proto::Request`]s onto the
+//!   reputation database.
+//! * [`tcp`] — a thread-per-connection TCP front end speaking the framed
+//!   XML protocol (used by the networked examples; tests and simulations
+//!   call the handler in-process).
+//! * [`web`] — the §3 read-only web interface: searching, software and
+//!   vendor detail pages, deployment statistics.
+
+pub mod flood;
+pub mod handler;
+pub mod puzzle_gate;
+pub mod session;
+pub mod tcp;
+pub mod web;
+
+pub use flood::FloodGuard;
+pub use handler::{ReputationServer, ServerConfig};
+pub use session::SessionManager;

@@ -1,0 +1,142 @@
+//! Registration puzzle issuance and redemption.
+//!
+//! The server hands out [`softrep_crypto::puzzle::Challenge`]s and accepts
+//! each exactly once: a challenge must have been issued by *this* server
+//! (attackers cannot self-issue easy puzzles) and is consumed on
+//! redemption (solutions cannot be replayed across registrations). Both
+//! properties are what make the puzzle an effective per-account cost for
+//! the Sybil defence measured in experiment D3.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use softrep_crypto::puzzle::{Challenge, Solution};
+
+/// Tracks outstanding puzzle challenges.
+pub struct PuzzleGate {
+    difficulty: u8,
+    outstanding: Mutex<HashSet<String>>,
+    issued: Mutex<u64>,
+}
+
+/// Why a redemption failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PuzzleRejection {
+    /// The challenge was never issued here, or was already used.
+    UnknownChallenge,
+    /// The solution does not satisfy the difficulty.
+    WrongSolution,
+}
+
+impl PuzzleGate {
+    /// Gate issuing puzzles at `difficulty` leading zero bits.
+    pub fn new(difficulty: u8) -> Self {
+        PuzzleGate { difficulty, outstanding: Mutex::new(HashSet::new()), issued: Mutex::new(0) }
+    }
+
+    /// The configured difficulty.
+    pub fn difficulty(&self) -> u8 {
+        self.difficulty
+    }
+
+    /// Issue a new challenge; returns its wire encoding.
+    pub fn issue(&self, rng: &mut impl RngCore) -> String {
+        let challenge = Challenge::issue(self.difficulty, rng);
+        let encoded = challenge.encode();
+        self.outstanding.lock().insert(encoded.clone());
+        *self.issued.lock() += 1;
+        encoded
+    }
+
+    /// Redeem a challenge + solution pair. Consumes the challenge on
+    /// success; on failure the challenge remains outstanding only if it
+    /// was valid but the solution was wrong (the client may retry).
+    pub fn redeem(&self, encoded_challenge: &str, solution: u64) -> Result<(), PuzzleRejection> {
+        let challenge =
+            Challenge::decode(encoded_challenge).ok_or(PuzzleRejection::UnknownChallenge)?;
+        // Reject encodings we never issued — including re-encodings at a
+        // lower difficulty.
+        {
+            let outstanding = self.outstanding.lock();
+            if !outstanding.contains(encoded_challenge) {
+                return Err(PuzzleRejection::UnknownChallenge);
+            }
+        }
+        if !challenge.verify(Solution { nonce: solution }) {
+            return Err(PuzzleRejection::WrongSolution);
+        }
+        self.outstanding.lock().remove(encoded_challenge);
+        Ok(())
+    }
+
+    /// Challenges issued so far.
+    pub fn issued_count(&self) -> u64 {
+        *self.issued.lock()
+    }
+
+    /// Challenges issued but not yet redeemed.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(8)
+    }
+
+    #[test]
+    fn issue_solve_redeem_roundtrip() {
+        let gate = PuzzleGate::new(4);
+        let mut r = rng();
+        let encoded = gate.issue(&mut r);
+        let challenge = Challenge::decode(&encoded).unwrap();
+        let (solution, _) = challenge.solve();
+        assert_eq!(gate.redeem(&encoded, solution.nonce), Ok(()));
+        assert_eq!(gate.outstanding_count(), 0);
+        assert_eq!(gate.issued_count(), 1);
+    }
+
+    #[test]
+    fn solutions_cannot_be_replayed() {
+        let gate = PuzzleGate::new(4);
+        let mut r = rng();
+        let encoded = gate.issue(&mut r);
+        let (solution, _) = Challenge::decode(&encoded).unwrap().solve();
+        assert!(gate.redeem(&encoded, solution.nonce).is_ok());
+        assert_eq!(gate.redeem(&encoded, solution.nonce), Err(PuzzleRejection::UnknownChallenge));
+    }
+
+    #[test]
+    fn self_issued_easy_puzzles_are_rejected() {
+        let gate = PuzzleGate::new(16);
+        let mut r = rng();
+        // Attacker invents a difficulty-0 challenge and "solves" it.
+        let fake = Challenge::issue(0, &mut r);
+        assert_eq!(gate.redeem(&fake.encode(), 0), Err(PuzzleRejection::UnknownChallenge));
+        assert_eq!(gate.redeem("garbage", 0), Err(PuzzleRejection::UnknownChallenge));
+    }
+
+    #[test]
+    fn wrong_solution_keeps_challenge_outstanding() {
+        let gate = PuzzleGate::new(8);
+        let mut r = rng();
+        let encoded = gate.issue(&mut r);
+        let (solution, _) = Challenge::decode(&encoded).unwrap().solve();
+        // `solve` returns the smallest nonce; 0 may coincide with it, so
+        // use a definitely-wrong value below it when possible.
+        let wrong = if solution.nonce == 0 { u64::MAX } else { solution.nonce - 1 };
+        // u64::MAX is overwhelmingly unlikely to solve difficulty 8 with a
+        // fixed seed; assert the expected failure deterministically.
+        assert_eq!(gate.redeem(&encoded, wrong), Err(PuzzleRejection::WrongSolution));
+        assert_eq!(gate.outstanding_count(), 1);
+        assert!(gate.redeem(&encoded, solution.nonce).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Bearer-token sessions.
+//!
+//! Login exchanges credentials for an opaque 32-hex-char token; subsequent
+//! requests present the token. Tokens expire after a TTL measured on the
+//! server clock. The token table is in memory only — deliberately: §2.2's
+//! privacy analysis assumes the persistent database holds nothing that
+//! links live activity to accounts beyond the minimal user record.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use rand::RngCore;
+
+use softrep_core::clock::Timestamp;
+use softrep_crypto::hex;
+
+struct SessionEntry {
+    username: String,
+    expires_at: Timestamp,
+}
+
+/// In-memory session table.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, SessionEntry>>,
+    ttl_secs: u64,
+}
+
+impl SessionManager {
+    /// Sessions valid for `ttl_secs` after issuance.
+    pub fn new(ttl_secs: u64) -> Self {
+        SessionManager { sessions: Mutex::new(HashMap::new()), ttl_secs }
+    }
+
+    /// Issue a fresh token for `username`.
+    pub fn create(&self, username: &str, now: Timestamp, rng: &mut impl RngCore) -> String {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        let token = hex::encode(&bytes);
+        self.sessions.lock().insert(
+            token.clone(),
+            SessionEntry {
+                username: username.to_string(),
+                expires_at: now.plus_secs(self.ttl_secs),
+            },
+        );
+        token
+    }
+
+    /// Resolve a token to its username, if valid at `now`. Expired tokens
+    /// are removed on the way out.
+    pub fn resolve(&self, token: &str, now: Timestamp) -> Option<String> {
+        let mut sessions = self.sessions.lock();
+        match sessions.get(token) {
+            Some(entry) if entry.expires_at > now => Some(entry.username.clone()),
+            Some(_) => {
+                sessions.remove(token);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Invalidate a token (logout).
+    pub fn revoke(&self, token: &str) {
+        self.sessions.lock().remove(token);
+    }
+
+    /// Drop every expired session (periodic housekeeping).
+    pub fn prune(&self, now: Timestamp) -> usize {
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        sessions.retain(|_, entry| entry.expires_at > now);
+        before - sessions.len()
+    }
+
+    /// Live session count (may include not-yet-pruned expired entries).
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn create_resolve_revoke_cycle() {
+        let mgr = SessionManager::new(100);
+        let token = mgr.create("alice", Timestamp(0), &mut rng());
+        assert_eq!(mgr.resolve(&token, Timestamp(50)).as_deref(), Some("alice"));
+        mgr.revoke(&token);
+        assert_eq!(mgr.resolve(&token, Timestamp(50)), None);
+    }
+
+    #[test]
+    fn tokens_expire() {
+        let mgr = SessionManager::new(100);
+        let token = mgr.create("alice", Timestamp(0), &mut rng());
+        assert!(mgr.resolve(&token, Timestamp(99)).is_some());
+        assert!(mgr.resolve(&token, Timestamp(100)).is_none());
+        // The expired entry was dropped eagerly.
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn unknown_tokens_resolve_to_none() {
+        let mgr = SessionManager::new(100);
+        assert!(mgr.resolve("deadbeef", Timestamp(0)).is_none());
+    }
+
+    #[test]
+    fn distinct_logins_get_distinct_tokens() {
+        let mgr = SessionManager::new(100);
+        let mut r = rng();
+        let t1 = mgr.create("alice", Timestamp(0), &mut r);
+        let t2 = mgr.create("alice", Timestamp(0), &mut r);
+        assert_ne!(t1, t2);
+        assert_eq!(mgr.len(), 2);
+    }
+
+    #[test]
+    fn prune_removes_only_expired() {
+        let mgr = SessionManager::new(100);
+        let mut r = rng();
+        let _old = mgr.create("old", Timestamp(0), &mut r);
+        let fresh = mgr.create("fresh", Timestamp(80), &mut r);
+        assert_eq!(mgr.prune(Timestamp(150)), 1);
+        assert_eq!(mgr.resolve(&fresh, Timestamp(150)).as_deref(), Some("fresh"));
+    }
+}

@@ -1,0 +1,245 @@
+//! TCP front end: framed XML over `std::net`, one thread per connection.
+//!
+//! Used by the networked examples; the agent simulations call
+//! [`crate::handler::ReputationServer::handle`] in-process for speed. The
+//! source identity given to the flood guard is the peer address — which is
+//! observed only transiently for throttling and never persisted (§2.2).
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use softrep_proto::framing::{read_frame, write_frame, FrameError};
+use softrep_proto::{Request, Response};
+
+use crate::handler::ReputationServer;
+
+/// A running TCP server.
+pub struct TcpServer {
+    local_addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `addr` and serve `server` until [`TcpServer::shutdown`].
+    pub fn spawn(server: Arc<ReputationServer>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            // Non-blocking accept loop so shutdown is observed promptly.
+            listener.set_nonblocking(true).expect("set_nonblocking");
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        let server = Arc::clone(&server);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(&server, stream, &peer.to_string());
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(TcpServer { local_addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (use port 0 to get an ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and join the accept thread. Existing connections
+    /// finish their in-flight request.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_connection(
+    server: &ReputationServer,
+    stream: TcpStream,
+    peer: &str,
+) -> Result<(), FrameError> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(body) => body,
+            Err(FrameError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let response = match Request::decode(&body) {
+            Ok(request) => server.handle(&request, peer),
+            Err(e) => Response::error("bad-request", e.to_string()),
+        };
+        write_frame(&mut writer, &response.encode())?;
+    }
+}
+
+/// A blocking protocol client for the TCP front end.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send a request and wait for its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let body = read_frame(&mut self.reader)?;
+        Response::decode(&body)
+            .map_err(|_| FrameError::NotUtf8)
+            .or_else(|_| Ok(Response::error("bad-response", "could not decode server response")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softrep_core::clock::SimClock;
+    use softrep_core::db::ReputationDb;
+    use softrep_crypto::puzzle::Challenge;
+
+    use crate::handler::ServerConfig;
+
+    fn spawn_server() -> (TcpServer, Arc<ReputationServer>) {
+        let clock = SimClock::new();
+        let db = ReputationDb::in_memory("tcp-pepper");
+        let server = Arc::new(ReputationServer::new(
+            db,
+            Arc::new(clock),
+            ServerConfig { puzzle_difficulty: 2, ..ServerConfig::default() },
+            7,
+        ));
+        let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+        (tcp, server)
+    }
+
+    #[test]
+    fn end_to_end_over_real_sockets() {
+        let (tcp, server) = spawn_server();
+        let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+
+        // Register through the real transport.
+        let Response::Puzzle { challenge } = client.call(&Request::GetPuzzle).unwrap() else {
+            panic!("expected puzzle")
+        };
+        let (solution, _) = Challenge::decode(&challenge).unwrap().solve();
+        let resp = client
+            .call(&Request::Register {
+                username: "netuser".into(),
+                password: "pw".into(),
+                email: "net@example.com".into(),
+                puzzle_challenge: challenge,
+                puzzle_solution: solution.nonce,
+            })
+            .unwrap();
+        let Response::Registered { activation_token } = resp else { panic!("{resp:?}") };
+        assert_eq!(
+            client
+                .call(&Request::Activate { username: "netuser".into(), token: activation_token })
+                .unwrap(),
+            Response::Ok
+        );
+        let Response::Session { token } = client
+            .call(&Request::Login { username: "netuser".into(), password: "pw".into() })
+            .unwrap()
+        else {
+            panic!("expected session")
+        };
+
+        let sw = "ab".repeat(20);
+        client
+            .call(&Request::RegisterSoftware {
+                software_id: sw.clone(),
+                file_name: "net.exe".into(),
+                file_size: 5,
+                company: None,
+                version: None,
+            })
+            .unwrap();
+        assert_eq!(
+            client
+                .call(&Request::SubmitVote {
+                    session: token,
+                    software_id: sw.clone(),
+                    score: 9,
+                    behaviours: vec![],
+                })
+                .unwrap(),
+            Response::Ok
+        );
+        server.db().force_aggregation(server.now()).unwrap();
+
+        let resp = client.call(&Request::QuerySoftware { software_id: sw }).unwrap();
+        let Response::Software(info) = resp else { panic!("{resp:?}") };
+        assert_eq!(info.rating, Some(9.0));
+
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses() {
+        let (tcp, _server) = spawn_server();
+        let stream = TcpStream::connect(tcp.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_frame(&mut writer, "this is not xml").unwrap();
+        let body = read_frame(&mut reader).unwrap();
+        let resp = Response::decode(&body).unwrap();
+        assert!(matches!(resp, Response::Error { ref code, .. } if code == "bad-request"));
+        tcp.shutdown();
+    }
+
+    #[test]
+    fn multiple_concurrent_clients() {
+        let (tcp, _server) = spawn_server();
+        let addr = tcp.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = TcpClient::connect(addr).unwrap();
+                    for _ in 0..5 {
+                        let resp = client
+                            .call(&Request::QuerySoftware { software_id: "cd".repeat(20) })
+                            .unwrap();
+                        assert!(matches!(resp, Response::UnknownSoftware { .. }));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        tcp.shutdown();
+    }
+}

@@ -1,0 +1,352 @@
+//! Abuse scenarios and countermeasure accounting (§2.1–2.2).
+//!
+//! The server's structural defences (one vote per user per software,
+//! unique hashed e-mail addresses, the weekly trust cap) are always on —
+//! they are invariants, not switches. What the attack model varies is the
+//! *cost side* the paper reasons about:
+//!
+//! * **e-mail scarcity** — with duplicate detection, each account burns a
+//!   distinct address; the attacker has finitely many. The no-dedup
+//!   ablation is modelled as unlimited addresses (one inbox, infinite
+//!   aliases), which is exactly what dedup removes.
+//! * **puzzle cost** — with difficulty `d`, each account costs ~2^d hash
+//!   evaluations from a finite compute budget.
+//! * **flood guarding** — repeated requests from one identity throttle.
+
+use rand::seq::SliceRandom;
+
+use softrep_crypto::puzzle::Challenge;
+use softrep_proto::{Request, Response};
+
+use crate::harness::SimHarness;
+
+/// Which §2.1 countermeasures the scenario enables.
+#[derive(Debug, Clone, Copy)]
+pub struct Defenses {
+    /// Duplicate e-mail detection (the hashed-address uniqueness check).
+    pub email_dedup: bool,
+    /// Registration puzzle difficulty (0 = off).
+    pub puzzle_difficulty: u8,
+}
+
+/// Attacker resources and goal.
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    /// Corpus indices of the programs to push.
+    pub targets: Vec<usize>,
+    /// Accounts the attacker would like to control.
+    pub desired_accounts: usize,
+    /// Distinct e-mail addresses available (relevant under dedup).
+    pub emails_available: usize,
+    /// Hash evaluations the attacker can afford (relevant under puzzles).
+    pub hash_budget: u64,
+    /// The score pushed onto the targets (10 = ballot stuffing,
+    /// 1 = discrediting).
+    pub push_score: u8,
+}
+
+/// What the attack achieved and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// Sybil accounts successfully created.
+    pub accounts_created: usize,
+    /// Votes that landed (accounts × targets, bounded by one-vote).
+    pub votes_landed: usize,
+    /// Hash evaluations spent on puzzles.
+    pub hash_cost: u64,
+    /// Distinct e-mail addresses consumed.
+    pub emails_used: usize,
+}
+
+/// Run a Sybil registration + ballot-stuffing/discrediting campaign
+/// against the harness's server.
+///
+/// Note: the server's *configured* puzzle difficulty governs; the harness
+/// must have been built with `HarnessConfig { puzzle_difficulty, .. }`
+/// matching `defenses.puzzle_difficulty`.
+pub fn run_sybil_attack(
+    harness: &mut SimHarness,
+    plan: &AttackPlan,
+    defenses: &Defenses,
+) -> AttackOutcome {
+    let mut outcome =
+        AttackOutcome { accounts_created: 0, votes_landed: 0, hash_cost: 0, emails_used: 0 };
+
+    let mut sessions = Vec::new();
+    for i in 0..plan.desired_accounts {
+        // E-mail scarcity: under dedup each account needs a fresh address.
+        if defenses.email_dedup && outcome.emails_used >= plan.emails_available {
+            break;
+        }
+        let username = format!("sybil{i:05}");
+        let source = "attacker-host"; // one machine, one flood identity
+
+        // Puzzle cost accounting.
+        let (challenge, solution) = if defenses.puzzle_difficulty > 0 {
+            let Response::Puzzle { challenge } = harness.server.handle(&Request::GetPuzzle, source)
+            else {
+                break; // throttled
+            };
+            let parsed = Challenge::decode(&challenge).expect("server-issued");
+            let (sol, cost) = parsed.solve();
+            if outcome.hash_cost + cost > plan.hash_budget {
+                // Budget exhausted mid-solve: the attacker stops here.
+                outcome.hash_cost = plan.hash_budget;
+                break;
+            }
+            outcome.hash_cost += cost;
+            (challenge, sol.nonce)
+        } else {
+            (String::new(), 0)
+        };
+
+        let email = if defenses.email_dedup {
+            format!("sybil{i:05}@attacker.example")
+        } else {
+            // Without dedup one inbox mints unlimited aliases; model the
+            // alias as free and count one underlying address.
+            format!("alias{i:05}@attacker.example")
+        };
+
+        let resp = harness.server.handle(
+            &Request::Register {
+                username: username.clone(),
+                password: "attack".into(),
+                email,
+                puzzle_challenge: challenge,
+                puzzle_solution: solution,
+            },
+            source,
+        );
+        let Response::Registered { activation_token } = resp else { continue };
+        if defenses.email_dedup {
+            outcome.emails_used += 1;
+        }
+        harness.server.handle(
+            &Request::Activate { username: username.clone(), token: activation_token },
+            source,
+        );
+        let Response::Session { token } = harness.server.handle(
+            &Request::Login { username: username.clone(), password: "attack".into() },
+            source,
+        ) else {
+            continue;
+        };
+        outcome.accounts_created += 1;
+        sessions.push(token);
+    }
+
+    // Every controlled account pushes the score onto every target. The
+    // one-vote invariant means re-votes would be pointless, so the
+    // attacker casts exactly accounts × targets ballots.
+    for token in &sessions {
+        for &target in &plan.targets {
+            let id = harness.universe.specs[target].id_hex();
+            let resp = harness.server.handle(
+                &Request::SubmitVote {
+                    session: token.clone(),
+                    software_id: id,
+                    score: plan.push_score,
+                    behaviours: vec![],
+                },
+                "attacker-host",
+            );
+            if resp == Response::Ok {
+                outcome.votes_landed += 1;
+            }
+        }
+    }
+    outcome
+}
+
+/// Vote-flooding: one account hammers one target with `attempts` vote
+/// submissions. Returns `(accepted, final_vote_count_for_target)` — the
+/// one-vote invariant keeps the count at one regardless of volume.
+pub fn run_vote_flood(harness: &mut SimHarness, target: usize, attempts: usize) -> (usize, usize) {
+    let mut accepted = 0;
+    let username = "flooder";
+    let session = harness.join(username);
+    let id = harness.universe.specs[target].id_hex();
+    let scores: Vec<u8> = (0..attempts).map(|i| (i % 10 + 1) as u8).collect();
+    for score in scores {
+        let resp = harness.server.handle(
+            &Request::SubmitVote {
+                session: session.clone(),
+                software_id: id.clone(),
+                score,
+                behaviours: vec![],
+            },
+            "flooder-host",
+        );
+        if resp == Response::Ok {
+            accepted += 1;
+        }
+    }
+    let final_count = harness
+        .db()
+        .votes_for(&id)
+        .expect("scan")
+        .iter()
+        .filter(|v| v.username == username)
+        .count();
+    (accepted, final_count)
+}
+
+/// A discrediting campaign helper: pick the `n` highest-quality programs
+/// as targets (the competitor software an attacker would smear).
+pub fn pick_discredit_targets(harness: &SimHarness, n: usize) -> Vec<usize> {
+    let mut indexed: Vec<(usize, f64)> =
+        harness.universe.specs.iter().enumerate().map(|(i, s)| (i, s.true_quality)).collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    indexed.into_iter().take(n).map(|(i, _)| i).collect()
+}
+
+/// A ballot-stuffing helper: pick `n` low-quality PIS programs the
+/// attacker (its vendor) wants to look good.
+pub fn pick_boost_targets(harness: &SimHarness, n: usize) -> Vec<usize> {
+    let mut indexed: Vec<(usize, f64)> = harness
+        .universe
+        .specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.category.is_spyware() || s.category.is_malware())
+        .map(|(i, s)| (i, s.true_quality))
+        .collect();
+    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+    indexed.into_iter().take(n).map(|(i, _)| i).collect()
+}
+
+/// Shuffle helper used by experiments that want random targets.
+pub fn pick_random_targets(harness: &mut SimHarness, n: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..harness.universe.len()).collect();
+    all.shuffle(harness.rng());
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::HarnessConfig;
+    use crate::population::{build_population, DEFAULT_MIX};
+    use crate::universe::{Universe, UniverseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn harness(puzzle_difficulty: u8) -> SimHarness {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = UniverseConfig { programs: 8, vendors: 3, ..Default::default() };
+        let universe = Universe::generate(&config, &mut rng);
+        let users = build_population(6, &DEFAULT_MIX, universe.len(), 4, &mut rng);
+        SimHarness::new(universe, users, &HarnessConfig { puzzle_difficulty, ..Default::default() })
+    }
+
+    #[test]
+    fn email_scarcity_caps_sybil_accounts() {
+        let mut h = harness(0);
+        let plan = AttackPlan {
+            targets: vec![0],
+            desired_accounts: 20,
+            emails_available: 5,
+            hash_budget: u64::MAX,
+            push_score: 10,
+        };
+        let outcome =
+            run_sybil_attack(&mut h, &plan, &Defenses { email_dedup: true, puzzle_difficulty: 0 });
+        assert_eq!(outcome.accounts_created, 5);
+        assert_eq!(outcome.emails_used, 5);
+        assert_eq!(outcome.votes_landed, 5);
+    }
+
+    #[test]
+    fn without_dedup_accounts_are_unbounded_by_emails() {
+        let mut h = harness(0);
+        let plan = AttackPlan {
+            targets: vec![0],
+            desired_accounts: 12,
+            emails_available: 1,
+            hash_budget: u64::MAX,
+            push_score: 10,
+        };
+        let outcome =
+            run_sybil_attack(&mut h, &plan, &Defenses { email_dedup: false, puzzle_difficulty: 0 });
+        assert_eq!(outcome.accounts_created, 12);
+        assert_eq!(outcome.emails_used, 0);
+    }
+
+    #[test]
+    fn puzzle_budget_limits_accounts() {
+        let mut h = harness(6);
+        let plan = AttackPlan {
+            targets: vec![0],
+            desired_accounts: 100,
+            emails_available: usize::MAX,
+            // Difficulty 6 costs ~64 hashes per account on average: a
+            // budget of ~320 should stop the attacker well short of 100.
+            hash_budget: 320,
+            push_score: 10,
+        };
+        let outcome =
+            run_sybil_attack(&mut h, &plan, &Defenses { email_dedup: true, puzzle_difficulty: 6 });
+        assert!(outcome.accounts_created < 100, "created {}", outcome.accounts_created);
+        assert!(outcome.hash_cost <= 320);
+        assert!(outcome.accounts_created >= 1, "some accounts affordable");
+    }
+
+    #[test]
+    fn one_vote_invariant_defeats_vote_flooding() {
+        let mut h = harness(0);
+        let (accepted, final_count) = run_vote_flood(&mut h, 0, 50);
+        assert_eq!(accepted, 50, "the server accepts re-votes as replacements");
+        assert_eq!(final_count, 1, "…but only one ballot exists");
+    }
+
+    #[test]
+    fn attack_shifts_rating_and_trust_cap_limits_it() {
+        let mut h = harness(0);
+        // Honest community builds ratings first (and some trust).
+        h.run_week(3, 0.3, 2);
+        let target = pick_discredit_targets(&h, 1)[0];
+        let id = h.universe.specs[target].id_hex();
+        h.db().force_aggregation(h.now()).unwrap();
+        let before = h.db().rating(&id).unwrap().map(|r| r.rating);
+
+        let plan = AttackPlan {
+            targets: vec![target],
+            desired_accounts: 30,
+            emails_available: 30,
+            hash_budget: u64::MAX,
+            push_score: 1,
+        };
+        run_sybil_attack(&mut h, &plan, &Defenses { email_dedup: true, puzzle_difficulty: 0 });
+        h.db().force_aggregation(h.now()).unwrap();
+        let after = h.db().rating(&id).unwrap().map(|r| r.rating).unwrap();
+
+        if let Some(before) = before {
+            assert!(after < before, "30 sybils at score 1 must drag the rating down");
+        }
+        // Attacker trust stayed at the newcomer minimum.
+        assert_eq!(h.db().trust_of("sybil00000").unwrap().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn target_pickers_return_sensible_sets() {
+        let mut h = harness(0);
+        let top = pick_discredit_targets(&h, 3);
+        assert_eq!(top.len(), 3);
+        let q0 = h.universe.specs[top[0]].true_quality;
+        let q2 = h.universe.specs[top[2]].true_quality;
+        assert!(q0 >= q2);
+
+        let boost = pick_boost_targets(&h, 2);
+        for idx in &boost {
+            let c = h.universe.specs[*idx].category;
+            assert!(c.is_spyware() || c.is_malware());
+        }
+
+        let random = pick_random_targets(&mut h, 4);
+        assert_eq!(random.len(), 4);
+        let distinct: std::collections::HashSet<_> = random.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! **D2 — rating-the-raters**: trust-weighted vs. unweighted aggregation
+//! under ignorant-user noise.
+//!
+//! §2.1's first mitigation: "allowing the users to rate not only the
+//! software but also the feedback of other users … making the votes and
+//! comments of well-known, reliable users more visible and influential
+//! than those of new users … as soon as more experienced users give
+//! contradicting votes, their opinions will carry a higher weight, tipping
+//! the balance in a — hopefully — more correct direction."
+//!
+//! The experiment sweeps the ignorant-user fraction and compares the mean
+//! absolute rating error of the deployed (trust-weighted) aggregation
+//! against a plain average over the same votes. Trust accrues the way the
+//! paper describes: experts write useful comments, the community remarks
+//! on them, remark deltas feed the capped trust factors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::metrics;
+use crate::population::{build_population, Archetype};
+use crate::report::{fmt_opt, pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Community size.
+    pub users: usize,
+    /// Installed programs per user.
+    pub installs_per_user: usize,
+    /// Community weeks (trust needs time under the +5/week cap).
+    pub weeks: usize,
+    /// Ignorant fractions to sweep.
+    pub ignorant_fractions: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config {
+            programs: 30,
+            users: 30,
+            installs_per_user: 10,
+            weeks: 3,
+            ignorant_fractions: vec![0.1, 0.6],
+            seed: 41,
+        }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            programs: 500,
+            users: 1_000,
+            installs_per_user: 20,
+            weeks: 26,
+            ignorant_fractions: vec![0.0, 0.2, 0.4, 0.6, 0.8],
+            seed: 41,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Ignorant fraction.
+    pub ignorant_fraction: f64,
+    /// MAE of the unweighted average.
+    pub mae_unweighted: Option<f64>,
+    /// MAE of the trust-weighted aggregation.
+    pub mae_weighted: Option<f64>,
+    /// Mean trust of experts at the end.
+    pub expert_trust: f64,
+    /// Mean trust of ignorant users at the end.
+    pub ignorant_trust: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One point per swept fraction.
+    pub points: Vec<SweepPoint>,
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+fn run_point(config: &Config, ignorant_fraction: f64) -> SweepPoint {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    // Experts stay at 10%; the remaining mass splits between average and
+    // ignorant users according to the sweep.
+    let remaining = (0.9 - ignorant_fraction).max(0.0);
+    let mix = [
+        (Archetype::Expert, 0.10),
+        (Archetype::Average, remaining * 0.7),
+        (Archetype::Novice, remaining * 0.3),
+        (Archetype::Ignorant, ignorant_fraction),
+    ];
+    let users =
+        build_population(config.users, &mix, universe.len(), config.installs_per_user, &mut rng);
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+
+    for _ in 0..config.weeks {
+        // Votes + comments + remarks: the remark stream is what separates
+        // expert trust from ignorant trust.
+        harness.run_week(2, 0.5, 2);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    let trust_mean = |archetype: Archetype, harness: &SimHarness| -> f64 {
+        let values: Vec<f64> = harness
+            .users
+            .iter()
+            .filter(|u| u.archetype == archetype)
+            .filter_map(|u| harness.db().trust_of(&u.name).ok().flatten())
+            .collect();
+        metrics::mean(values.iter().copied()).unwrap_or(1.0)
+    };
+
+    SweepPoint {
+        ignorant_fraction,
+        mae_unweighted: metrics::unweighted_rating_mae(harness.db(), &harness.universe),
+        mae_weighted: metrics::weighted_rating_mae(harness.db(), &harness.universe),
+        expert_trust: trust_mean(Archetype::Expert, &harness),
+        ignorant_trust: trust_mean(Archetype::Ignorant, &harness),
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let points: Vec<SweepPoint> =
+        config.ignorant_fractions.iter().map(|&f| run_point(config, f)).collect();
+
+    let mut table = TextTable::new(
+        format!(
+            "D2 — trust weighting vs. plain averaging ({} users, {} weeks)",
+            config.users, config.weeks
+        ),
+        &[
+            "ignorant users",
+            "MAE unweighted",
+            "MAE trust-weighted",
+            "improvement",
+            "expert trust",
+            "ignorant trust",
+        ],
+    );
+    for p in &points {
+        let improvement = match (p.mae_unweighted, p.mae_weighted) {
+            (Some(u), Some(w)) if u > 0.0 => pct((u - w) / u),
+            _ => "—".into(),
+        };
+        table.row(vec![
+            pct(p.ignorant_fraction),
+            fmt_opt(p.mae_unweighted),
+            fmt_opt(p.mae_weighted),
+            improvement,
+            format!("{:.1}", p.expert_trust),
+            format!("{:.1}", p.ignorant_trust),
+        ]);
+    }
+    table.note("trust accrues via comment remarks under the +5/week cap (§3.2)");
+
+    Result { points, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experts_accumulate_more_trust_than_ignorants() {
+        let result = run(&Config::quick());
+        for p in &result.points {
+            assert!(
+                p.expert_trust > p.ignorant_trust,
+                "experts {:.2} vs ignorants {:.2} at f={}",
+                p.expert_trust,
+                p.ignorant_trust,
+                p.ignorant_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn weighting_helps_when_noise_is_heavy() {
+        let result = run(&Config::quick());
+        // At the heavy-ignorance point, trust weighting must not be worse
+        // than plain averaging (it should be better; tolerate equality for
+        // the tiny quick configuration).
+        let heavy = result.points.last().unwrap();
+        let (u, w) = (heavy.mae_unweighted.unwrap(), heavy.mae_weighted.unwrap());
+        assert!(w <= u + 0.05, "weighted {w:.3} should not lose to unweighted {u:.3}");
+    }
+
+    #[test]
+    fn error_rises_with_ignorance_for_unweighted() {
+        let result = run(&Config::quick());
+        let first = result.points.first().unwrap().mae_unweighted.unwrap();
+        let last = result.points.last().unwrap().mae_unweighted.unwrap();
+        assert!(
+            last > first,
+            "more ignorant voters must hurt the plain average: {first:.3} -> {last:.3}"
+        );
+    }
+}

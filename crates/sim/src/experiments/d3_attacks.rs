@@ -1,0 +1,275 @@
+//! **D3 — abuse resilience**: vote flooding and Sybil campaigns under
+//! countermeasure ablation.
+//!
+//! §2.1: "one such attack would be to intentionally try to enter a massive
+//! amount of incorrect data into the database … trying to subject
+//! [specific applications] to positive or negative discrimination." The
+//! experiment builds an honest community, then runs a discrediting
+//! campaign (score 1 against the best-rated programs) under four arms:
+//!
+//! | arm | e-mail dedup | puzzle | community age |
+//! |-----|--------------|--------|---------------|
+//! | A: open door       | off | off | young |
+//! | B: + e-mail dedup  | on  | off | young |
+//! | C: + puzzles       | on  | on  | young |
+//! | D: + trust maturity| on  | on  | aged (honest trust has grown) |
+//!
+//! Measured: Sybil accounts created, attacker hash cost, and the mean
+//! rating distortion on the targets. One-vote-per-user and the trust cap
+//! are structural and active in every arm.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::attack::{
+    pick_discredit_targets, run_sybil_attack, run_vote_flood, AttackPlan, Defenses,
+};
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::metrics;
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{fmt_opt, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Honest community size.
+    pub users: usize,
+    /// Installed programs per user.
+    pub installs_per_user: usize,
+    /// Community weeks before the attack (arm D doubles this).
+    pub weeks: usize,
+    /// Number of targeted programs.
+    pub targets: usize,
+    /// Sybil accounts the attacker wants.
+    pub attacker_accounts: usize,
+    /// Distinct e-mail addresses the attacker owns.
+    pub attacker_emails: usize,
+    /// Attacker hash budget for puzzles.
+    pub attacker_hash_budget: u64,
+    /// Puzzle difficulty in the puzzle arms.
+    pub puzzle_difficulty: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config {
+            programs: 25,
+            users: 20,
+            installs_per_user: 8,
+            weeks: 2,
+            targets: 3,
+            attacker_accounts: 40,
+            attacker_emails: 8,
+            attacker_hash_budget: 2_000,
+            puzzle_difficulty: 6,
+            seed: 51,
+        }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            programs: 300,
+            users: 500,
+            installs_per_user: 20,
+            weeks: 6,
+            targets: 10,
+            attacker_accounts: 400,
+            attacker_emails: 40,
+            attacker_hash_budget: 200_000,
+            puzzle_difficulty: 12,
+            seed: 51,
+        }
+    }
+}
+
+/// One arm's outcome.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Arm label.
+    pub label: String,
+    /// Sybil accounts created.
+    pub accounts: usize,
+    /// Attacker hash cost.
+    pub hash_cost: u64,
+    /// Mean |Δ rating| over the targets.
+    pub mean_distortion: Option<f64>,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Arms A–D.
+    pub arms: Vec<ArmResult>,
+    /// Vote-flood outcome: (attempts, accepted, final ballot count).
+    pub flood: (usize, usize, usize),
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+fn build_community(config: &Config, puzzle_difficulty: u8, weeks: usize) -> SimHarness {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    let users = build_population(
+        config.users,
+        &DEFAULT_MIX,
+        universe.len(),
+        config.installs_per_user,
+        &mut rng,
+    );
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, puzzle_difficulty, ..Default::default() },
+    );
+    for _ in 0..weeks {
+        harness.run_week(2, 0.4, 2);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+    harness
+}
+
+fn run_arm(config: &Config, label: &str, defenses: Defenses, weeks: usize) -> ArmResult {
+    let mut harness = build_community(config, defenses.puzzle_difficulty, weeks);
+    let targets = pick_discredit_targets(&harness, config.targets);
+    let before: Vec<Option<f64>> = targets
+        .iter()
+        .map(|&t| metrics::published_rating(harness.db(), &harness.universe, t))
+        .collect();
+
+    let plan = AttackPlan {
+        targets: targets.clone(),
+        desired_accounts: config.attacker_accounts,
+        emails_available: config.attacker_emails,
+        hash_budget: config.attacker_hash_budget,
+        push_score: 1,
+    };
+    let outcome = run_sybil_attack(&mut harness, &plan, &defenses);
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    let distortions: Vec<f64> = targets
+        .iter()
+        .zip(&before)
+        .filter_map(|(&t, &b)| {
+            let after = metrics::published_rating(harness.db(), &harness.universe, t)?;
+            Some((after - b?).abs())
+        })
+        .collect();
+
+    ArmResult {
+        label: label.to_string(),
+        accounts: outcome.accounts_created,
+        hash_cost: outcome.hash_cost,
+        mean_distortion: metrics::mean(distortions.iter().copied()),
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let arms = vec![
+        run_arm(
+            config,
+            "A: open door (no dedup, no puzzle)",
+            Defenses { email_dedup: false, puzzle_difficulty: 0 },
+            config.weeks,
+        ),
+        run_arm(
+            config,
+            "B: + e-mail dedup",
+            Defenses { email_dedup: true, puzzle_difficulty: 0 },
+            config.weeks,
+        ),
+        run_arm(
+            config,
+            "C: + registration puzzles",
+            Defenses { email_dedup: true, puzzle_difficulty: config.puzzle_difficulty },
+            config.weeks,
+        ),
+        run_arm(
+            config,
+            "D: + community trust maturity",
+            Defenses { email_dedup: true, puzzle_difficulty: config.puzzle_difficulty },
+            config.weeks * 2,
+        ),
+    ];
+
+    // Vote flooding against arm-B conditions: one account, many ballots.
+    let mut flood_harness = build_community(config, 0, 1);
+    let attempts = 200.min(config.attacker_accounts * 5);
+    let (accepted, final_count) = run_vote_flood(&mut flood_harness, 0, attempts);
+
+    let mut table = TextTable::new(
+        format!(
+            "D3 — Sybil discrediting campaign (attacker wants {} accounts, {} e-mails, {} hash budget)",
+            config.attacker_accounts, config.attacker_emails, config.attacker_hash_budget
+        ),
+        &["arm", "sybil accounts", "hash cost", "mean |Δ rating| on targets"],
+    );
+    for arm in &arms {
+        table.row(vec![
+            arm.label.clone(),
+            arm.accounts.to_string(),
+            arm.hash_cost.to_string(),
+            fmt_opt(arm.mean_distortion),
+        ]);
+    }
+    table
+        .note("one-vote-per-user and the +5/week trust cap are structural and active in every arm");
+
+    let mut flood_table = TextTable::new(
+        "D3 — vote flooding (single account)",
+        &["submissions", "accepted as replacements", "ballots in database"],
+    );
+    flood_table.row(vec![attempts.to_string(), accepted.to_string(), final_count.to_string()]);
+    flood_table.note("the (software, user) composite key makes flooding a no-op (§2.1)");
+
+    Result { arms, flood: (attempts, accepted, final_count), tables: vec![table, flood_table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_dedup_cuts_sybil_accounts() {
+        let result = run(&Config::quick());
+        let open = &result.arms[0];
+        let dedup = &result.arms[1];
+        assert_eq!(open.accounts, 40, "open door admits everyone");
+        assert_eq!(dedup.accounts, 8, "dedup caps accounts at the attacker's e-mail supply");
+    }
+
+    #[test]
+    fn puzzles_charge_for_accounts() {
+        let result = run(&Config::quick());
+        assert_eq!(result.arms[1].hash_cost, 0);
+        assert!(result.arms[2].hash_cost > 0, "puzzle arm must cost hashes");
+    }
+
+    #[test]
+    fn defended_arms_distort_less() {
+        let result = run(&Config::quick());
+        let open = result.arms[0].mean_distortion.unwrap_or(0.0);
+        let defended = result.arms[2].mean_distortion.unwrap_or(0.0);
+        assert!(
+            defended <= open + 1e-9,
+            "defences must not increase distortion: open {open:.3}, defended {defended:.3}"
+        );
+    }
+
+    #[test]
+    fn vote_flooding_is_structurally_neutralised() {
+        let result = run(&Config::quick());
+        let (_, _, final_count) = result.flood;
+        assert_eq!(final_count, 1);
+    }
+}

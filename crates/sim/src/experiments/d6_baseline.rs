@@ -1,0 +1,365 @@
+//! **D6 — reputation system vs. anti-virus baseline** (§4.3).
+//!
+//! A 52-week release stream flows into three countermeasures at once:
+//!
+//! * a **conservative anti-virus** engine (flags clear malware only — the
+//!   stance §1 says vendors retreat to after lawsuits),
+//! * an **aggressive anti-spyware** engine (also flags the grey zone, and
+//!   absorbs the resulting legal challenges), and
+//! * the **reputation system** (users vote; a program whose published
+//!   rating falls to the warning threshold counts as "users are warned").
+//!
+//! Measured per §1.1 group: protection coverage at the end, false alarms
+//! on legitimate software, median time-to-protection, and the aggressive
+//! engine's lawsuit bill. The paper's qualitative claims this quantifies:
+//! AV is reliable but blind to the grey zone (or sued out of it); the
+//! reputation system covers the grey zone at the price of needing votes
+//! first.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use softrep_baseline::{AntiVirusEngine, EngineConfig, Sample, ScanVerdict};
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::metrics;
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{fmt_opt, pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Community size.
+    pub users: usize,
+    /// Installed programs per user.
+    pub installs_per_user: usize,
+    /// Weeks simulated.
+    pub weeks: u64,
+    /// Releases are spread over this many initial weeks.
+    pub release_spread_weeks: u64,
+    /// Rating at or below which users count as warned.
+    pub warn_threshold: f64,
+    /// Probability a named vendor sues over a grey-zone detection.
+    pub lawsuit_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config {
+            programs: 40,
+            users: 30,
+            installs_per_user: 12,
+            weeks: 6,
+            release_spread_weeks: 3,
+            warn_threshold: 4.0,
+            lawsuit_probability: 0.5,
+            seed: 71,
+        }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            programs: 1_000,
+            users: 800,
+            installs_per_user: 25,
+            weeks: 52,
+            release_spread_weeks: 26,
+            warn_threshold: 4.0,
+            lawsuit_probability: 0.3,
+            seed: 71,
+        }
+    }
+}
+
+/// Per-group coverage for one countermeasure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupCoverage {
+    /// Fraction of legitimate software flagged/warned (false alarms).
+    pub legitimate: f64,
+    /// Fraction of grey-zone (spyware) programs covered.
+    pub spyware: f64,
+    /// Fraction of malware covered.
+    pub malware: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Conservative AV coverage.
+    pub av_conservative: GroupCoverage,
+    /// Aggressive AV coverage (post-lawsuit).
+    pub av_aggressive: GroupCoverage,
+    /// Reputation-system coverage.
+    pub reputation: GroupCoverage,
+    /// Lawsuits absorbed by the aggressive engine.
+    pub lawsuits: u64,
+    /// Reputation grey-zone coverage at alternative warning thresholds
+    /// (threshold, coverage) — the warning bar is a policy choice, and
+    /// its sensitivity matters for interpreting the headline row.
+    pub reputation_threshold_sweep: Vec<(f64, f64)>,
+    /// Median weeks from release to protection: (aggressive AV, reputation)
+    /// over grey-zone programs both ended up covering.
+    pub time_to_protection: (Option<f64>, Option<f64>),
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+fn release_week(config: &Config, index: usize) -> u64 {
+    (index as u64 * config.release_spread_weeks) / config.programs as u64
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    let users = build_population(
+        config.users,
+        &DEFAULT_MIX,
+        universe.len(),
+        config.installs_per_user,
+        &mut rng,
+    );
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+
+    let av_config_base = EngineConfig {
+        discovery_lag_secs: 2 * 86_400,
+        analysis_latency_secs: 5 * 86_400,
+        client_update_interval_secs: 86_400,
+        detect_grey_zone: false,
+        legal_challenge_probability: 0.0,
+    };
+    let mut av_conservative = AntiVirusEngine::new(av_config_base);
+    let mut av_aggressive = AntiVirusEngine::new(EngineConfig {
+        detect_grey_zone: true,
+        legal_challenge_probability: config.lawsuit_probability,
+        ..av_config_base
+    });
+
+    // Per-program first week with a warning-level rating.
+    let mut first_warned_week: Vec<Option<u64>> = vec![None; harness.universe.len()];
+
+    for week in 0..config.weeks {
+        // New releases reach the AV vendors' telemetry.
+        for (idx, spec) in harness.universe.specs.clone().iter().enumerate() {
+            if release_week(config, idx) == week {
+                let sample = Sample {
+                    software_id: spec.id_hex(),
+                    vendor: harness.universe.vendor_of(spec).map(str::to_string),
+                    category: spec.category,
+                };
+                av_conservative.observe_release(&sample, harness.now());
+                av_aggressive.observe_release(&sample, harness.now());
+            }
+        }
+
+        // Community week restricted to released software.
+        for user_idx in 0..harness.users.len() {
+            let installed = harness.users[user_idx].installed.clone();
+            let released: Vec<usize> =
+                installed.into_iter().filter(|&i| release_week(config, i) <= week).collect();
+            for _ in 0..2 {
+                if let Some(&spec_idx) = released.as_slice().choose(harness.rng()) {
+                    harness.cast_vote(user_idx, spec_idx);
+                }
+            }
+        }
+        harness.advance_days(7);
+        harness.relogin_all();
+        av_conservative.tick(harness.now(), &mut rng);
+        av_aggressive.tick(harness.now(), &mut rng);
+
+        // Record first warned week per program.
+        for (idx, spec) in harness.universe.specs.clone().iter().enumerate() {
+            if first_warned_week[idx].is_none()
+                && metrics::is_warned(harness.db(), &spec.id_hex(), config.warn_threshold)
+            {
+                first_warned_week[idx] = Some(week);
+            }
+        }
+    }
+
+    // Final coverage per group.
+    let coverage = |covered: &dyn Fn(usize) -> bool, harness: &SimHarness| -> GroupCoverage {
+        let mut counts = [(0usize, 0usize); 3]; // (covered, total) per group
+        for (idx, spec) in harness.universe.specs.iter().enumerate() {
+            let group = if spec.category.is_legitimate() {
+                0
+            } else if spec.category.is_spyware() {
+                1
+            } else {
+                2
+            };
+            counts[group].1 += 1;
+            if covered(idx) {
+                counts[group].0 += 1;
+            }
+        }
+        let frac = |(c, t): (usize, usize)| if t == 0 { 0.0 } else { c as f64 / t as f64 };
+        GroupCoverage {
+            legitimate: frac(counts[0]),
+            spyware: frac(counts[1]),
+            malware: frac(counts[2]),
+        }
+    };
+
+    let specs = harness.universe.specs.clone();
+    let av_c = coverage(
+        &|idx| av_conservative.client_scan(&specs[idx].id_hex(), true) == ScanVerdict::Malicious,
+        &harness,
+    );
+    let av_a = coverage(
+        &|idx| av_aggressive.client_scan(&specs[idx].id_hex(), true) == ScanVerdict::Malicious,
+        &harness,
+    );
+    let rep = coverage(&|idx| first_warned_week[idx].is_some(), &harness);
+
+    // Grey-zone coverage at alternative (final-state) warning thresholds.
+    let mut reputation_threshold_sweep = Vec::new();
+    for threshold in
+        [config.warn_threshold, config.warn_threshold + 1.0, config.warn_threshold + 1.5]
+    {
+        let cov = coverage(
+            &|idx| metrics::is_warned(harness.db(), &specs[idx].id_hex(), threshold),
+            &harness,
+        );
+        reputation_threshold_sweep.push((threshold, cov.spyware));
+    }
+
+    // Time-to-protection over grey-zone programs.
+    let mut av_ttp = Vec::new();
+    let mut rep_ttp = Vec::new();
+    for (idx, spec) in specs.iter().enumerate() {
+        if !spec.category.is_spyware() {
+            continue;
+        }
+        let released = release_week(config, idx);
+        if let Some(published) = av_aggressive.protection_published_at(&spec.id_hex()) {
+            av_ttp.push(published.secs() as f64 / (7.0 * 86_400.0) - released as f64);
+        }
+        if let Some(warned) = first_warned_week[idx] {
+            rep_ttp.push(warned as f64 - released as f64);
+        }
+    }
+
+    let mut table = TextTable::new(
+        format!(
+            "D6 — coverage after {} weeks ({} programs, warn threshold {:.1})",
+            config.weeks, config.programs, config.warn_threshold
+        ),
+        &["countermeasure", "legit flagged (false alarms)", "grey zone covered", "malware covered"],
+    );
+    for (label, cov) in [
+        ("anti-virus (conservative)", av_c),
+        ("anti-spyware (aggressive, post-lawsuits)", av_a),
+        ("reputation system (warned users)", rep),
+    ] {
+        table.row(vec![label.to_string(), pct(cov.legitimate), pct(cov.spyware), pct(cov.malware)]);
+    }
+    table.note(format!(
+        "aggressive engine absorbed {} lawsuit(s); {} vendor(s) now on its do-not-detect list",
+        av_aggressive.lawsuits(),
+        av_aggressive.protected_vendors()
+    ));
+    table.note(format!(
+        "reputation grey-zone coverage vs warning bar: {}",
+        reputation_threshold_sweep
+            .iter()
+            .map(|(t, c)| format!("≤{t:.1} → {}", pct(*c)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    let mut ttp_table = TextTable::new(
+        "D6 — median weeks from release to protection (grey zone)",
+        &["countermeasure", "median weeks", "programs protected"],
+    );
+    ttp_table.row(vec![
+        "anti-spyware (aggressive)".into(),
+        fmt_opt(metrics::median(&av_ttp)),
+        av_ttp.len().to_string(),
+    ]);
+    ttp_table.row(vec![
+        "reputation system".into(),
+        fmt_opt(metrics::median(&rep_ttp)),
+        rep_ttp.len().to_string(),
+    ]);
+    ttp_table.note("reputation protection requires votes to accumulate; AV protection requires lab analysis to finish and lawyers to stay away");
+
+    Result {
+        av_conservative: av_c,
+        av_aggressive: av_a,
+        reputation: rep,
+        lawsuits: av_aggressive.lawsuits(),
+        reputation_threshold_sweep,
+        time_to_protection: (metrics::median(&av_ttp), metrics::median(&rep_ttp)),
+        tables: vec![table, ttp_table],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservative_av_misses_the_grey_zone_entirely() {
+        let result = run(&Config::quick());
+        assert_eq!(result.av_conservative.spyware, 0.0);
+        assert!(result.av_conservative.malware > 0.9, "clear malware is AV bread and butter");
+        assert_eq!(result.av_conservative.legitimate, 0.0, "no false alarms");
+    }
+
+    #[test]
+    fn reputation_covers_grey_zone_that_av_cannot() {
+        let result = run(&Config::quick());
+        assert!(
+            result.reputation.spyware > result.av_conservative.spyware,
+            "reputation {:.2} must beat conservative AV {:.2} on spyware",
+            result.reputation.spyware,
+            result.av_conservative.spyware
+        );
+    }
+
+    #[test]
+    fn lawsuits_erode_aggressive_av_grey_coverage() {
+        let result = run(&Config::quick());
+        // With challenge probability 0.5 and named vendors, the aggressive
+        // engine loses part of the grey zone.
+        assert!(result.av_aggressive.spyware < 1.0);
+        assert!(result.lawsuits > 0, "somebody always sues at p=0.5");
+        // But lawsuits never touch clear malware.
+        assert!(result.av_aggressive.malware > 0.9);
+    }
+
+    #[test]
+    fn tables_render() {
+        let result = run(&Config::quick());
+        assert_eq!(result.tables.len(), 2);
+        assert!(result.tables[0].render().contains("coverage"));
+    }
+
+    #[test]
+    fn warning_bar_sweep_is_monotone() {
+        // A higher warning bar can only warn about at least as much.
+        let result = run(&Config::quick());
+        let sweep = &result.reputation_threshold_sweep;
+        assert_eq!(sweep.len(), 3);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "coverage must grow with the threshold: {sweep:?}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! **D7 — hash identity under polymorphic evasion** (§3.3).
+//!
+//! "Questionable software vendors … could try to make each instance of
+//! their software applications differ slightly between each other so that
+//! each one has its own distinct hash value. The countermeasure … would be
+//! to instead map all ratings to the software vendor … To fight that
+//! countermeasure some vendors might try to remove their company name from
+//! the binary files. If this should happen it could be used as a signal
+//! for PIS."
+//!
+//! The experiment ships an adware program as N polymorphic variants and
+//! measures how per-version ratings dilute as N grows, how the vendor-
+//! level aggregate restores the signal, and how stripping the vendor
+//! metadata trades one signal (ratings) for another (the missing-vendor
+//! flag).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use softrep_core::identity::SyntheticExecutable;
+use softrep_core::taxonomy::{ConsentLevel, ConsequenceLevel, PisCategory};
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{fmt_opt, pct, TextTable};
+use crate::universe::{SoftwareSpec, Universe};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Variant counts to sweep.
+    pub variant_counts: Vec<usize>,
+    /// Community size (every member encounters exactly one variant).
+    pub users: usize,
+    /// Weeks of voting.
+    pub weeks: usize,
+    /// Votes needed for a "usable" per-version rating.
+    pub min_votes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config { variant_counts: vec![1, 10], users: 40, weeks: 2, min_votes: 3, seed: 81 }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            variant_counts: vec![1, 10, 50, 200, 500],
+            users: 1_000,
+            weeks: 4,
+            min_votes: 5,
+            seed: 81,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Number of polymorphic variants shipped.
+    pub variants: usize,
+    /// Mean votes per variant.
+    pub votes_per_variant: f64,
+    /// Fraction of variants with a usable rating (≥ min_votes).
+    pub usable_version_ratings: f64,
+    /// The vendor-level rating (aggregated over all variants).
+    pub vendor_rating: Option<f64>,
+    /// Ground-truth quality of the adware.
+    pub true_quality: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One point per variant count.
+    pub points: Vec<SweepPoint>,
+    /// Did the stripped-vendor arm raise the PIS signal?
+    pub stripped_flagged: bool,
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+/// Build a universe containing only the polymorphic campaign.
+fn campaign_universe(variants: usize, seed: u64) -> Universe {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = SyntheticExecutable::new(
+        "weatherdeals.exe",
+        "PolyCorp Media",
+        "3.1",
+        (0..256).map(|_| rand::Rng::gen::<u8>(&mut rng)).collect(),
+    );
+    let category = PisCategory::classify(ConsentLevel::Medium, ConsequenceLevel::Moderate);
+    let specs: Vec<SoftwareSpec> = (0..variants)
+        .map(|i| SoftwareSpec {
+            exe: if i == 0 { base.clone() } else { base.polymorphic_variant(i as u64) },
+            category,
+            true_quality: 2.8,
+            behaviours: vec!["popup_ads".into(), "tracking".into()],
+            honestly_disclosed: false,
+            eula_words: 6_500,
+            essential: false,
+            vendor_index: Some(0),
+        })
+        .collect();
+    Universe { specs, vendors: vec!["PolyCorp Media".to_string()] }
+}
+
+fn run_point(config: &Config, variants: usize) -> SweepPoint {
+    let universe = campaign_universe(variants, config.seed);
+    let mut rng = StdRng::seed_from_u64(config.seed + 1);
+    // Every user "downloads" one random variant (the distribution attack:
+    // each download is a fresh binary).
+    let mut users = build_population(config.users, &DEFAULT_MIX, universe.len(), 1, &mut rng);
+    for user in &mut users {
+        user.installed = vec![*(0..universe.len()).collect::<Vec<_>>().choose(&mut rng).unwrap()];
+    }
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+    for _ in 0..config.weeks {
+        harness.run_week(1, 0.0, 0);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    let mut total_votes = 0usize;
+    let mut usable = 0usize;
+    for spec in &harness.universe.specs {
+        let votes = harness.db().votes_for(&spec.id_hex()).unwrap().len();
+        total_votes += votes;
+        if votes >= config.min_votes {
+            usable += 1;
+        }
+    }
+    let vendor = harness.db().vendor_report("PolyCorp Media").unwrap();
+
+    SweepPoint {
+        variants,
+        votes_per_variant: total_votes as f64 / variants as f64,
+        usable_version_ratings: usable as f64 / variants as f64,
+        vendor_rating: vendor.rating,
+        true_quality: 2.8,
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let points: Vec<SweepPoint> =
+        config.variant_counts.iter().map(|&n| run_point(config, n)).collect();
+
+    // The stripped arm: the same binary without vendor metadata. The
+    // missing company name is itself the §3.3 PIS signal.
+    let stripped = campaign_universe(1, config.seed).specs[0].exe.stripped();
+    let stripped_flagged = stripped.company.is_none();
+
+    let mut table = TextTable::new(
+        format!("D7 — polymorphic dilution vs. vendor aggregation ({} voters)", config.users),
+        &["variants", "votes/variant", "usable version ratings", "vendor rating", "truth"],
+    );
+    for p in &points {
+        table.row(vec![
+            p.variants.to_string(),
+            format!("{:.1}", p.votes_per_variant),
+            pct(p.usable_version_ratings),
+            fmt_opt(p.vendor_rating),
+            format!("{:.1}", p.true_quality),
+        ]);
+    }
+    table.note("per-version ratings dilute with variant count; the vendor aggregate keeps tracking truth (§3.3)");
+    table.note(format!(
+        "stripped-vendor counter-countermeasure raises the missing-metadata PIS signal: {}",
+        if stripped_flagged { "yes" } else { "no" }
+    ));
+
+    Result { points, stripped_flagged, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilution_grows_with_variant_count() {
+        let result = run(&Config::quick());
+        let single = &result.points[0];
+        let many = result.points.last().unwrap();
+        assert!(
+            many.votes_per_variant < single.votes_per_variant,
+            "votes/variant must fall: {} -> {}",
+            single.votes_per_variant,
+            many.votes_per_variant
+        );
+        assert!(many.usable_version_ratings <= single.usable_version_ratings);
+    }
+
+    #[test]
+    fn vendor_rating_survives_dilution() {
+        let result = run(&Config::quick());
+        for p in &result.points {
+            let vendor = p.vendor_rating.expect("vendor rating must exist at every point");
+            assert!(
+                (vendor - p.true_quality).abs() < 2.5,
+                "vendor rating {vendor:.2} should track truth {:.1} at {} variants",
+                p.true_quality,
+                p.variants
+            );
+        }
+    }
+
+    #[test]
+    fn stripping_raises_the_pis_signal() {
+        let result = run(&Config::quick());
+        assert!(result.stripped_flagged);
+    }
+
+    #[test]
+    fn all_variants_have_distinct_ids() {
+        let universe = campaign_universe(10, 3);
+        let ids: std::collections::HashSet<String> =
+            universe.specs.iter().map(SoftwareSpec::id_hex).collect();
+        assert_eq!(ids.len(), 10);
+    }
+}

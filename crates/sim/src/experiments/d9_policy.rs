@@ -1,0 +1,448 @@
+//! **D9 — the policy manager** (§4.2): how much interaction do signatures
+//! and policies remove, and at what protection cost?
+//!
+//! "It would also be possible to implement a signature handling interface
+//! … which — in turn — could considerably lower the need for user
+//! interaction." … "allowing system owners to define policies … e.g., by
+//! specifying that any software from trusted vendors should be allowed,
+//! while other software only is allowed if it has a rating over 7.5/10 and
+//! does not show any advertisements."
+//!
+//! Five arms execute the whole corpus once through a measurement client:
+//!
+//! 1. no client at all (the pre-reputation baseline: everything runs);
+//! 2. client, dialog for everything (rating-aware but naive user);
+//! 3. \+ trusted-vendor signatures;
+//! 4. \+ the paper's example policy;
+//! 5. a strict corporate policy.
+//!
+//! Measured: dialogs shown, automation rate, PIS that ran (infection), and
+//! legitimate software wrongly blocked. A sidebar reproduces the §4.2
+//! system-stability hazard (blocking essential components) and its
+//! white-list fix.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softrep_client::os::{LaunchOutcome, SimOs};
+use softrep_client::{ClientHook, CodeSignature, InProcessConnector, ReputationClient};
+use softrep_crypto::ots::WinternitzKeypair;
+use softrep_proto::message::SoftwareInfo;
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Community size building the ratings.
+    pub users: usize,
+    /// Installed programs per community member.
+    pub installs_per_user: usize,
+    /// Community weeks before measurement.
+    pub weeks: usize,
+    /// Number of vendors marked trusted (their legitimate releases are
+    /// signed).
+    pub trusted_vendors: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config {
+            programs: 40,
+            users: 30,
+            installs_per_user: 12,
+            weeks: 2,
+            trusted_vendors: 3,
+            seed: 101,
+        }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            programs: 500,
+            users: 600,
+            installs_per_user: 25,
+            weeks: 8,
+            trusted_vendors: 5,
+            seed: 101,
+        }
+    }
+}
+
+/// The §4.2 example policy, verbatim in the DSL (with the symmetric deny
+/// rule that makes low ratings decisive too).
+pub const PAPER_POLICY: &str = r#"
+allow if signed_by_trusted
+deny  if rating <= 4
+allow if rating > 7.5 and not behaviour("popup_ads")
+ask otherwise
+"#;
+
+/// A corporate lockdown policy.
+pub const STRICT_POLICY: &str = r#"
+allow if signed_by_trusted
+deny  if behaviour("keylogger") or behaviour("data_exfiltration")
+deny  if behaviour("popup_ads") or vendor_stripped
+deny  if not has_rating
+allow if rating >= 6.5 and vote_count >= 3
+deny otherwise
+"#;
+
+/// One arm's measurements.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Arm label.
+    pub label: String,
+    /// Dialogs shown per program executed.
+    pub dialog_rate: f64,
+    /// Fraction of executions decided without the user.
+    pub automation_rate: f64,
+    /// Fraction of PIS (spyware + malware) that ran.
+    pub pis_ran: f64,
+    /// Fraction of legitimate software blocked.
+    pub legit_blocked: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Arms 1–5.
+    pub arms: Vec<ArmResult>,
+    /// OS crashes in the §4.2 hazard sidebar: (without whitelist, with).
+    pub crashes: (u64, u64),
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+/// The measurement user: consults the displayed rating, naive otherwise.
+struct RatingAwareUser;
+
+impl UserAgent for RatingAwareUser {
+    fn decide(&mut self, ctx: &PromptContext) -> UserChoice {
+        match ctx.report.as_ref().and_then(|r| r.rating) {
+            Some(rating) if rating <= 4.0 => UserChoice::DenyAlways,
+            Some(rating) if rating >= 7.0 => UserChoice::AllowAlways,
+            // Unknown or middling: the naive default is to run it — the
+            // §1 premise that users wave things through.
+            _ => UserChoice::AllowOnce,
+        }
+    }
+
+    fn rate(&mut self, _file: &str, _report: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+        None
+    }
+}
+
+struct ArmSpec {
+    label: &'static str,
+    use_client: bool,
+    signatures: bool,
+    policy: Option<&'static str>,
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    let users = build_population(
+        config.users,
+        &DEFAULT_MIX,
+        universe.len(),
+        config.installs_per_user,
+        &mut rng,
+    );
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+    for _ in 0..config.weeks {
+        harness.run_week(3, 0.2, 1);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    // Sign the trusted vendors' legitimate releases.
+    let trusted: Vec<String> =
+        harness.universe.vendors.iter().take(config.trusted_vendors).cloned().collect();
+    let mut signatures: HashMap<String, CodeSignature> = HashMap::new();
+    let mut published_keys = Vec::new();
+    for spec in &harness.universe.specs {
+        let Some(vendor) = harness.universe.vendor_of(spec) else { continue };
+        if !trusted.iter().any(|t| t == vendor) || !spec.category.is_legitimate() {
+            continue;
+        }
+        let keypair = WinternitzKeypair::generate(&mut rng);
+        let bytes = spec.exe.to_bytes();
+        signatures.insert(
+            spec.id_hex(),
+            CodeSignature {
+                vendor: vendor.to_string(),
+                public_key: keypair.public_key().clone(),
+                signature: keypair.sign(&bytes),
+            },
+        );
+        published_keys.push((vendor.to_string(), keypair.public_key().clone()));
+    }
+
+    let arms_spec = [
+        ArmSpec {
+            label: "1: no client (baseline)",
+            use_client: false,
+            signatures: false,
+            policy: None,
+        },
+        ArmSpec {
+            label: "2: client, dialog for everything",
+            use_client: true,
+            signatures: false,
+            policy: None,
+        },
+        ArmSpec {
+            label: "3: + trusted signatures",
+            use_client: true,
+            signatures: true,
+            policy: None,
+        },
+        ArmSpec {
+            label: "4: + paper example policy",
+            use_client: true,
+            signatures: true,
+            policy: Some(PAPER_POLICY),
+        },
+        ArmSpec {
+            label: "5: strict corporate policy",
+            use_client: true,
+            signatures: true,
+            policy: Some(STRICT_POLICY),
+        },
+    ];
+
+    let mut arms = Vec::new();
+    for (arm_idx, spec) in arms_spec.iter().enumerate() {
+        arms.push(run_arm(&mut harness, spec, arm_idx, &signatures, &published_keys));
+    }
+
+    // Sidebar: the §4.2 crash hazard.
+    let crashes = crash_sidebar(&mut harness);
+
+    let mut table = TextTable::new(
+        format!(
+            "D9 — policy-manager automation over a {}-program corpus (ratings from {} users, {} weeks)",
+            config.programs, config.users, config.weeks
+        ),
+        &["arm", "dialogs/exec", "automated", "PIS ran", "legit blocked"],
+    );
+    for arm in &arms {
+        table.row(vec![
+            arm.label.clone(),
+            pct(arm.dialog_rate),
+            pct(arm.automation_rate),
+            pct(arm.pis_ran),
+            pct(arm.legit_blocked),
+        ]);
+    }
+    table.note("PIS = spyware + malware cells of Table 1; arm 1 runs everything by definition");
+
+    let mut crash_table = TextTable::new(
+        "D9 — §4.2 system-stability hazard",
+        &["configuration", "OS crashes while exercising essential components"],
+    );
+    crash_table.row(vec!["deny-happy user, no white list".into(), crashes.0.to_string()]);
+    crash_table.row(vec!["essential components pre-whitelisted".into(), crashes.1.to_string()]);
+    crash_table.note(
+        "\"we also handed them the ability to crash the entire system in a single mouse click\"",
+    );
+
+    Result { arms, crashes, tables: vec![table, crash_table] }
+}
+
+fn run_arm(
+    harness: &mut SimHarness,
+    spec: &ArmSpec,
+    arm_idx: usize,
+    signatures: &HashMap<String, CodeSignature>,
+    published_keys: &[(String, softrep_crypto::ots::WinternitzPublicKey)],
+) -> ArmResult {
+    let total = harness.universe.len() as f64;
+    let mut pis_total = 0usize;
+    let mut legit_total = 0usize;
+    let mut pis_ran = 0usize;
+    let mut legit_blocked = 0usize;
+    let mut dialogs = 0u64;
+
+    if !spec.use_client {
+        for program in &harness.universe.specs {
+            if !program.category.is_legitimate() {
+                pis_total += 1;
+                pis_ran += 1;
+            }
+        }
+        return ArmResult {
+            label: spec.label.to_string(),
+            dialog_rate: 0.0,
+            automation_rate: 1.0,
+            pis_ran: pis_ran as f64 / pis_total.max(1) as f64,
+            legit_blocked: 0.0,
+        };
+    }
+
+    let connector =
+        InProcessConnector::new(std::sync::Arc::clone(&harness.server), "inspector-host");
+    let clock: std::sync::Arc<dyn softrep_core::clock::Clock> =
+        std::sync::Arc::new(harness.clock.clone());
+    let mut client = ReputationClient::new(connector, clock);
+    client
+        .register_and_login(
+            &format!("inspector{arm_idx}"),
+            "pw",
+            &format!("inspector{arm_idx}@lab.example"),
+        )
+        .expect("inspector joins");
+    if spec.signatures {
+        for (vendor, key) in published_keys {
+            client.registry_mut().publish_key(vendor, key);
+            client.registry_mut().trust_vendor(vendor);
+        }
+    }
+    if let Some(text) = spec.policy {
+        client.set_policy_text(text).expect("policy parses");
+    }
+
+    let mut user = RatingAwareUser;
+    for program in harness.universe.specs.clone() {
+        let signature = if spec.signatures { signatures.get(&program.id_hex()) } else { None };
+        let outcome = client.handle_execution(&program.exe, signature, &mut user);
+        if outcome.asked_user {
+            dialogs += 1;
+        }
+        if program.category.is_legitimate() {
+            legit_total += 1;
+            if !outcome.allowed {
+                legit_blocked += 1;
+            }
+        } else {
+            pis_total += 1;
+            if outcome.allowed {
+                pis_ran += 1;
+            }
+        }
+    }
+
+    ArmResult {
+        label: spec.label.to_string(),
+        dialog_rate: dialogs as f64 / total,
+        automation_rate: 1.0 - dialogs as f64 / total,
+        pis_ran: pis_ran as f64 / pis_total.max(1) as f64,
+        legit_blocked: legit_blocked as f64 / legit_total.max(1) as f64,
+    }
+}
+
+/// The §4.2 hazard: a deny-happy user meets essential OS components, with
+/// and without the pre-whitelist. Returns (crashes without, crashes with).
+fn crash_sidebar(harness: &mut SimHarness) -> (u64, u64) {
+    struct DenyHappy;
+    impl UserAgent for DenyHappy {
+        fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+            UserChoice::DenyOnce
+        }
+        fn rate(&mut self, _f: &str, _r: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+            None
+        }
+    }
+
+    let essentials: Vec<_> =
+        harness.universe.specs.iter().filter(|s| s.essential).cloned().collect();
+    let signatures = HashMap::new();
+
+    let run_once = |harness: &SimHarness, prewhitelist: bool| -> u64 {
+        let mut os = SimOs::new();
+        for e in &essentials {
+            os.mark_essential(&e.id_hex());
+        }
+        let connector =
+            InProcessConnector::new(std::sync::Arc::clone(&harness.server), "hazard-host");
+        let clock: std::sync::Arc<dyn softrep_core::clock::Clock> =
+            std::sync::Arc::new(harness.clock.clone());
+        let mut client = ReputationClient::new(connector, clock);
+        if prewhitelist {
+            for e in &essentials {
+                client.lists_mut().whitelist(&e.id_hex());
+            }
+        }
+        let mut user = DenyHappy;
+        let mut crashes = 0;
+        for e in &essentials {
+            let mut hook = ClientHook::new(&mut client, &mut user, &signatures);
+            if os.launch(&e.exe, &mut hook) == LaunchOutcome::Crashed {
+                crashes += 1;
+                os.reboot();
+            }
+        }
+        crashes
+    };
+
+    (run_once(harness, false), run_once(harness, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_and_policies_raise_automation() {
+        let result = run(&Config::quick());
+        let dialog_only = result.arms[1].automation_rate;
+        let with_policy = result.arms[4].automation_rate;
+        assert!(
+            with_policy >= dialog_only,
+            "the strict policy must automate at least as much: {dialog_only:.2} -> {with_policy:.2}"
+        );
+        assert_eq!(result.arms[4].dialog_rate, 0.0, "a deny-otherwise policy never asks");
+    }
+
+    #[test]
+    fn any_client_beats_no_client_on_infection() {
+        let result = run(&Config::quick());
+        let baseline = result.arms[0].pis_ran;
+        assert_eq!(baseline, 1.0, "without a client every PIS runs");
+        for arm in &result.arms[1..] {
+            assert!(
+                arm.pis_ran < baseline,
+                "{} must block some PIS ({:.2})",
+                arm.label,
+                arm.pis_ran
+            );
+        }
+    }
+
+    #[test]
+    fn strict_policy_trades_false_positives_for_protection() {
+        let result = run(&Config::quick());
+        let strict = result.arms.last().unwrap();
+        let dialog_only = &result.arms[1];
+        assert!(strict.pis_ran <= dialog_only.pis_ran, "strict blocks more PIS");
+    }
+
+    #[test]
+    fn whitelist_prevents_the_crash_hazard() {
+        let result = run(&Config::quick());
+        let (without, with) = result.crashes;
+        assert!(without > 0, "the hazard must be reproducible");
+        assert_eq!(with, 0, "pre-whitelisting the OS components removes it");
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per reproduced table/figure (see DESIGN.md §3 and
+//! EXPERIMENTS.md).
+//!
+//! Every experiment exposes a `Config` with `quick()` (used by unit tests;
+//! seconds in debug builds) and `full()` (used by the bench harness
+//! binaries; the headline numbers recorded in EXPERIMENTS.md), and a
+//! `run(&Config)` returning both structured results and printable
+//! [`crate::report::TextTable`]s.
+
+pub mod d1_coldstart;
+pub mod d2_trust_weighting;
+pub mod d3_attacks;
+pub mod d4_trust_growth;
+pub mod d5_interruption;
+pub mod d6_baseline;
+pub mod d7_identity;
+pub mod d8_privacy;
+pub mod d9_policy;
+pub mod t1_taxonomy;
+pub mod t2_transform;
+pub mod x1_evidence;
+pub mod x2_feeds;
+pub mod x3_pseudonyms;

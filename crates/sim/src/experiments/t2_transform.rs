@@ -1,0 +1,199 @@
+//! **T2 — Table 2**: the grey-zone collapse.
+//!
+//! §4.1: "all PIS that previously have suffered from a medium user consent
+//! level, now instead would be transformed into either a high consent
+//! level (i.e. legitimate software) or a low consent level (i.e.
+//! malware)." The reproduction runs a community until ratings exist, then
+//! applies the transform to every program *whose behaviour the reputation
+//! system actually revealed* (a rating plus reported behaviours); grey-
+//! zone programs the system has not yet covered stay in the grey zone —
+//! quantifying how much of the paper's idealised Table 2 a real deployment
+//! achieves at a given coverage.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_core::taxonomy::{transform_with_reputation, ConsentLevel};
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Community size.
+    pub users: usize,
+    /// Installed programs per user.
+    pub installs_per_user: usize,
+    /// Community weeks before measuring.
+    pub weeks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config { programs: 40, users: 25, installs_per_user: 10, weeks: 2, seed: 21 }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config { programs: 600, users: 400, installs_per_user: 25, weeks: 8, seed: 21 }
+    }
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Table 1 cell counts before the transform.
+    pub before: [usize; 9],
+    /// Table 2 cell counts after (indexed by cell number − 1; indices
+    /// 3..=5 — the medium row — stay zero for covered programs).
+    pub after: [usize; 9],
+    /// Grey-zone programs whose behaviour the system revealed.
+    pub grey_covered: usize,
+    /// Grey-zone programs total.
+    pub grey_total: usize,
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    let users = build_population(
+        config.users,
+        &DEFAULT_MIX,
+        universe.len(),
+        config.installs_per_user,
+        &mut rng,
+    );
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+    for _ in 0..config.weeks {
+        harness.run_week(3, 0.3, 1);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    let before = harness.universe.cell_counts();
+    let mut after = [0usize; 9];
+    let mut grey_total = 0usize;
+    let mut grey_covered = 0usize;
+
+    for spec in &harness.universe.specs {
+        let is_grey = spec.category.consent() == ConsentLevel::Medium;
+        if is_grey {
+            grey_total += 1;
+        }
+        // "Revealed" = the reputation system has a published rating and at
+        // least one reported behaviour (or the program genuinely has none
+        // to report).
+        let rating = harness.db().rating(&spec.id_hex()).unwrap();
+        let revealed =
+            rating.as_ref().is_some_and(|r| spec.behaviours.is_empty() || !r.behaviours.is_empty());
+
+        if is_grey && !revealed {
+            // Not yet covered: stays in its Table 1 cell.
+            after[(spec.category.cell_number() - 1) as usize] += 1;
+            continue;
+        }
+        if is_grey {
+            grey_covered += 1;
+        }
+        let transformed = transform_with_reputation(spec.category, spec.honestly_disclosed);
+        after[(transformed.cell_number() - 1) as usize] += 1;
+    }
+
+    let mut table = TextTable::new(
+        format!(
+            "T2 / Table 2 — grey-zone collapse after {} community weeks ({} programs)",
+            config.weeks, config.programs
+        ),
+        &["cell", "name", "before (Table 1)", "after (Table 2)"],
+    );
+    let names = [
+        "Legitimate software",
+        "Adverse software",
+        "Double agents",
+        "Semi-transparent software",
+        "Unsolicited software",
+        "Semi-parasites",
+        "Covert software",
+        "Trojans",
+        "Parasites",
+    ];
+    for cell in 0..9 {
+        table.row(vec![
+            (cell + 1).to_string(),
+            names[cell].to_string(),
+            before[cell].to_string(),
+            after[cell].to_string(),
+        ]);
+    }
+    table.note(format!(
+        "grey-zone coverage: {}/{} ({}) medium-consent programs revealed and reclassified",
+        grey_covered,
+        grey_total,
+        pct(if grey_total == 0 { 0.0 } else { grey_covered as f64 / grey_total as f64 })
+    ));
+    table.note("honest grey-zone software → high consent; deceptive → low consent (§4.1)");
+
+    Result { before, after, grey_covered, grey_total, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_moves_covered_grey_zone_out_of_medium_row() {
+        let result = run(&Config::quick());
+        let medium_before: usize = result.before[3..6].iter().sum();
+        let medium_after: usize = result.after[3..6].iter().sum();
+        assert!(medium_before > 0, "corpus must contain grey-zone software");
+        assert!(result.grey_covered > 0, "community must cover some of it");
+        assert_eq!(
+            medium_after,
+            medium_before - result.grey_covered,
+            "every covered grey program left the medium row"
+        );
+    }
+
+    #[test]
+    fn totals_are_preserved() {
+        let result = run(&Config::quick());
+        assert_eq!(
+            result.before.iter().sum::<usize>(),
+            result.after.iter().sum::<usize>(),
+            "the transform relabels, never drops"
+        );
+    }
+
+    #[test]
+    fn non_grey_rows_only_grow() {
+        // High- and low-consent rows can only gain (from reclassified grey
+        // programs), never lose members.
+        let result = run(&Config::quick());
+        for cell in [0usize, 1, 2, 6, 7, 8] {
+            assert!(
+                result.after[cell] >= result.before[cell],
+                "cell {} shrank: {} -> {}",
+                cell + 1,
+                result.before[cell],
+                result.after[cell]
+            );
+        }
+    }
+}

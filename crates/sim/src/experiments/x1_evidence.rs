@@ -1,0 +1,266 @@
+//! **X1 — runtime-analysis evidence** (extension; §5 future work).
+//!
+//! "We will also examine the possibility of using runtime software
+//! analysis to automatically collect information about whether software
+//! has some unwanted behaviour … The results … could then be inserted
+//! into the reputation system as hard evidence."
+//!
+//! The experiment measures what that buys: after a *short* community phase
+//! (sparse votes, few behaviours reported), a sandbox analyses a sweep of
+//! coverage fractions of the corpus and submits evidence. A strict
+//! behaviour-blocking policy then executes the whole corpus; evidence
+//! fills the gap between what voters happened to notice and what the
+//! programs actually do.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_analysis::{AnalysisService, Sandbox};
+use softrep_client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softrep_client::{InProcessConnector, ReputationClient};
+use softrep_proto::message::SoftwareInfo;
+use softrep_proto::Response;
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Community size (kept small: the point is sparse coverage).
+    pub users: usize,
+    /// Community weeks before analysis.
+    pub weeks: usize,
+    /// Analysis coverage fractions to sweep.
+    pub coverage_fractions: Vec<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config { programs: 40, users: 12, weeks: 1, coverage_fractions: vec![0.0, 1.0], seed: 111 }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config {
+            programs: 500,
+            users: 150,
+            weeks: 2,
+            coverage_fractions: vec![0.0, 0.25, 0.5, 1.0],
+            seed: 111,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Fraction of the corpus analysed.
+    pub coverage: f64,
+    /// Behaviour recall visible to clients: behaviours exposed (reported
+    /// or verified) / behaviours that exist.
+    pub behaviour_recall: f64,
+    /// Fraction of PIS blocked by the strict policy.
+    pub pis_blocked: f64,
+    /// Fraction of legitimate software blocked (false positives).
+    pub legit_blocked: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// One point per coverage fraction.
+    pub points: Vec<SweepPoint>,
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+/// The strict behaviour policy used for measurement. `behaviour(...)`
+/// matches both user reports and verified evidence.
+const BEHAVIOUR_POLICY: &str = r#"
+deny if behaviour("keylogger") or behaviour("data_exfiltration")
+deny if behaviour("popup_ads") and behaviour("tracking")
+allow otherwise
+"#;
+
+const ANALYZER_TOKEN: &str = "x1-analyzer-token";
+
+struct SilentUser;
+impl UserAgent for SilentUser {
+    fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+        UserChoice::AllowOnce
+    }
+    fn rate(&mut self, _f: &str, _r: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+        None
+    }
+}
+
+fn run_point(config: &Config, coverage: f64) -> SweepPoint {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    let users = build_population(config.users, &DEFAULT_MIX, universe.len(), 10, &mut rng);
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig {
+            seed: config.seed,
+            analyzer_token: Some(ANALYZER_TOKEN.to_string()),
+            ..Default::default()
+        },
+    );
+    for _ in 0..config.weeks {
+        harness.run_week(1, 0.0, 0);
+    }
+    harness.db().force_aggregation(harness.now()).unwrap();
+
+    // The sandbox analyses the first `coverage` fraction of the corpus.
+    let analysed_count = (config.programs as f64 * coverage).round() as usize;
+    {
+        let server = std::sync::Arc::clone(&harness.server);
+        let transport =
+            move |req: &softrep_proto::Request| -> Response { server.handle(req, "analysis-lab") };
+        let mut service =
+            AnalysisService::new(Sandbox::default(), "sandbox-v1", ANALYZER_TOKEN, transport);
+        for spec in &harness.universe.specs[..analysed_count] {
+            service.analyse_and_submit(&spec.exe);
+        }
+        assert_eq!(service.rejected(), 0, "token must authorise the analyzer");
+    }
+
+    // Behaviour recall: what fraction of true behaviours can a client see?
+    let mut behaviours_total = 0usize;
+    let mut behaviours_visible = 0usize;
+    for spec in &harness.universe.specs {
+        let report = harness.db().software_report(&spec.id_hex()).unwrap().unwrap();
+        let reported: Vec<&str> = report
+            .rating
+            .as_ref()
+            .map(|r| r.behaviours.iter().map(|(b, _)| b.as_str()).collect())
+            .unwrap_or_default();
+        let verified: Vec<&str> = report
+            .evidence
+            .as_ref()
+            .map(|e| e.behaviours.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        for b in &spec.behaviours {
+            behaviours_total += 1;
+            if reported.contains(&b.as_str()) || verified.contains(&b.as_str()) {
+                behaviours_visible += 1;
+            }
+        }
+    }
+
+    // The strict policy executes the corpus through a real client.
+    let connector = InProcessConnector::new(std::sync::Arc::clone(&harness.server), "x1-host");
+    let clock: std::sync::Arc<dyn softrep_core::clock::Clock> =
+        std::sync::Arc::new(harness.clock.clone());
+    let mut client = ReputationClient::new(connector, clock);
+    client.set_policy_text(BEHAVIOUR_POLICY).expect("policy parses");
+
+    let mut user = SilentUser;
+    let mut pis = (0usize, 0usize); // (blocked, total)
+    let mut legit = (0usize, 0usize);
+    for spec in harness.universe.specs.clone() {
+        let outcome = client.handle_execution(&spec.exe, None, &mut user);
+        if spec.category.is_legitimate() {
+            legit.1 += 1;
+            if !outcome.allowed {
+                legit.0 += 1;
+            }
+        } else {
+            pis.1 += 1;
+            if !outcome.allowed {
+                pis.0 += 1;
+            }
+        }
+    }
+
+    SweepPoint {
+        coverage,
+        behaviour_recall: if behaviours_total == 0 {
+            1.0
+        } else {
+            behaviours_visible as f64 / behaviours_total as f64
+        },
+        pis_blocked: pis.0 as f64 / pis.1.max(1) as f64,
+        legit_blocked: legit.0 as f64 / legit.1.max(1) as f64,
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let points: Vec<SweepPoint> =
+        config.coverage_fractions.iter().map(|&c| run_point(config, c)).collect();
+
+    let mut table = TextTable::new(
+        format!(
+            "X1 — runtime-analysis evidence (sparse community: {} users, {} week(s), {} programs)",
+            config.users, config.weeks, config.programs
+        ),
+        &["corpus analysed", "behaviour recall", "PIS blocked by policy", "legit blocked"],
+    );
+    for p in &points {
+        table.row(vec![
+            pct(p.coverage),
+            pct(p.behaviour_recall),
+            pct(p.pis_blocked),
+            pct(p.legit_blocked),
+        ]);
+    }
+    table.note(
+        "evidence turns unobserved behaviours into verified facts the policy can act on (§5)",
+    );
+
+    Result { points, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evidence_raises_behaviour_recall_and_protection() {
+        let result = run(&Config::quick());
+        let without = &result.points[0];
+        let with = result.points.last().unwrap();
+        assert!(
+            with.behaviour_recall > without.behaviour_recall,
+            "full analysis must expose more behaviours: {:.2} -> {:.2}",
+            without.behaviour_recall,
+            with.behaviour_recall
+        );
+        assert!(
+            with.pis_blocked >= without.pis_blocked,
+            "more visibility must not reduce protection"
+        );
+        assert!(
+            (with.behaviour_recall - 1.0).abs() < 1e-9,
+            "the sandbox sees everything at 100% coverage"
+        );
+    }
+
+    #[test]
+    fn evidence_does_not_hurt_legitimate_software() {
+        // Legitimate software has (almost) no flagged behaviours; evidence
+        // about it cannot trip the behaviour policy's deny rules (which
+        // need ad+tracking combos or severe behaviours).
+        let result = run(&Config::quick());
+        for p in &result.points {
+            assert!(
+                p.legit_blocked < 0.35,
+                "false positives stay bounded, got {}",
+                p.legit_blocked
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! **X2 — expert-group rating feeds** (extension; §4.2 improvement).
+//!
+//! "Allowing for instance organisations or groups of technically skilled
+//! individuals to publish their software ratings and other feedback within
+//! the reputation system … Allowing computer users to subscribe to
+//! information from organisations or groups that they find trustworthy,
+//! i.e. not having to worry about unskilled users that might negatively
+//! influence the information."
+//!
+//! Scenario: a brand-new deployment (no community ratings yet) and a
+//! security team that has already vetted part of the corpus and published
+//! its verdicts as a feed. A subscriber's policy keys on `feed_rating`;
+//! a non-subscriber has nothing to go on. The experiment measures the
+//! protection delta during exactly the cold-start window where the
+//! community signal does not exist yet.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use softrep_client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softrep_client::{InProcessConnector, ReputationClient};
+use softrep_proto::message::SoftwareInfo;
+
+use crate::harness::{HarnessConfig, SimHarness};
+use crate::population::{build_population, DEFAULT_MIX};
+use crate::report::{pct, TextTable};
+use crate::universe::{Universe, UniverseConfig};
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Corpus size.
+    pub programs: usize,
+    /// Fraction of the corpus the security team has vetted.
+    pub vetted_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Test-sized run.
+    pub fn quick() -> Self {
+        Config { programs: 40, vetted_fraction: 0.6, seed: 121 }
+    }
+
+    /// Headline run.
+    pub fn full() -> Self {
+        Config { programs: 500, vetted_fraction: 0.6, seed: 121 }
+    }
+}
+
+/// One arm's measurements.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Arm label.
+    pub label: String,
+    /// Fraction of PIS that ran.
+    pub pis_ran: f64,
+    /// Fraction of legitimate software blocked.
+    pub legit_blocked: f64,
+    /// Dialogs per execution.
+    pub dialog_rate: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Non-subscriber and subscriber arms.
+    pub arms: Vec<ArmResult>,
+    /// Printable tables.
+    pub tables: Vec<TextTable>,
+}
+
+/// The subscriber's policy: trust the feed where it speaks, ask otherwise.
+const SUBSCRIBER_POLICY: &str = r#"
+deny  if feed_rating <= 4
+allow if feed_rating >= 7
+ask otherwise
+"#;
+
+struct NaiveUser {
+    dialogs: u64,
+}
+
+impl UserAgent for NaiveUser {
+    fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+        self.dialogs += 1;
+        // Cold start: no information in the dialog either, the §1 default
+        // is to click through.
+        UserChoice::AllowOnce
+    }
+    fn rate(&mut self, _f: &str, _r: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+        None
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Config) -> Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let universe = Universe::generate(
+        &UniverseConfig { programs: config.programs, ..Default::default() },
+        &mut rng,
+    );
+    // A tiny population — only the security team needs an account; there
+    // is deliberately NO community voting phase.
+    let users = build_population(1, &DEFAULT_MIX, universe.len(), 1, &mut rng);
+    let mut harness = SimHarness::new(
+        universe,
+        users,
+        &HarnessConfig { seed: config.seed, ..Default::default() },
+    );
+
+    // The security team vets the first fraction of the corpus and
+    // publishes verdicts derived from ground truth (they are experts).
+    let sec_session = harness.join("sec-team-lead");
+    let _ = sec_session;
+    harness.db().create_feed("sec-team", "sec-team-lead", harness.now()).unwrap();
+    let vetted = (config.programs as f64 * config.vetted_fraction) as usize;
+    let now = harness.now();
+    for spec in &harness.universe.specs[..vetted] {
+        harness
+            .db()
+            .publish_feed_entry(
+                "sec-team-lead",
+                "sec-team",
+                &spec.id_hex(),
+                spec.true_quality.clamp(1.0, 10.0),
+                spec.behaviours.clone(),
+                now,
+            )
+            .unwrap();
+    }
+
+    let mut arms = Vec::new();
+    for (label, subscribe) in [("non-subscriber (cold start)", false), ("feed subscriber", true)] {
+        let connector = InProcessConnector::new(std::sync::Arc::clone(&harness.server), "x2-host");
+        let clock: std::sync::Arc<dyn softrep_core::clock::Clock> =
+            std::sync::Arc::new(harness.clock.clone());
+        let mut client = ReputationClient::new(connector, clock);
+        client.set_policy_text(SUBSCRIBER_POLICY).expect("policy parses");
+        if subscribe {
+            client.subscribe_feed("sec-team");
+        }
+
+        let mut user = NaiveUser { dialogs: 0 };
+        let mut pis = (0usize, 0usize);
+        let mut legit = (0usize, 0usize);
+        for spec in harness.universe.specs.clone() {
+            let outcome = client.handle_execution(&spec.exe, None, &mut user);
+            if spec.category.is_legitimate() {
+                legit.1 += 1;
+                if !outcome.allowed {
+                    legit.0 += 1;
+                }
+            } else {
+                pis.1 += 1;
+                if outcome.allowed {
+                    pis.0 += 1;
+                }
+            }
+        }
+        arms.push(ArmResult {
+            label: label.to_string(),
+            pis_ran: pis.0 as f64 / pis.1.max(1) as f64,
+            legit_blocked: legit.0 as f64 / legit.1.max(1) as f64,
+            dialog_rate: user.dialogs as f64 / config.programs as f64,
+        });
+    }
+
+    let mut table = TextTable::new(
+        format!(
+            "X2 — feed subscriptions at cold start ({} of {} programs vetted by the publisher)",
+            pct(config.vetted_fraction),
+            config.programs
+        ),
+        &["arm", "PIS ran", "legit blocked", "dialogs/exec"],
+    );
+    for arm in &arms {
+        table.row(vec![
+            arm.label.clone(),
+            pct(arm.pis_ran),
+            pct(arm.legit_blocked),
+            pct(arm.dialog_rate),
+        ]);
+    }
+    table.note("no community votes exist yet; the feed is the only signal (§4.2 subscriptions)");
+
+    Result { arms, tables: vec![table] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subscription_protects_during_cold_start() {
+        let result = run(&Config::quick());
+        let cold = &result.arms[0];
+        let subscribed = &result.arms[1];
+        assert_eq!(cold.pis_ran, 1.0, "with no signal at all, everything runs");
+        assert!(
+            subscribed.pis_ran < cold.pis_ran,
+            "the feed must block vetted PIS: {:.2} vs {:.2}",
+            subscribed.pis_ran,
+            cold.pis_ran
+        );
+    }
+
+    #[test]
+    fn subscription_reduces_dialogs() {
+        let result = run(&Config::quick());
+        assert!(result.arms[1].dialog_rate < result.arms[0].dialog_rate);
+    }
+
+    #[test]
+    fn expert_feed_causes_no_false_positives() {
+        // The publisher rates from ground truth, so legitimate software
+        // (quality well above 4) is never denied by the feed rule.
+        let result = run(&Config::quick());
+        assert!(result.arms[1].legit_blocked < 0.1);
+    }
+}

@@ -1,0 +1,408 @@
+//! The simulation harness: a complete in-process deployment.
+//!
+//! Wires a [`softrep_server::ReputationServer`] to a shared [`SimClock`],
+//! registers a population through the real protocol path (puzzle →
+//! register → activate → login), and drives weekly community rounds:
+//! votes, comments, remarks, and the daily aggregation batch. Every
+//! experiment builds on this.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use softrep_core::clock::{Clock, SimClock, Timestamp};
+use softrep_core::db::ReputationDb;
+use softrep_core::moderation::ModerationPolicy;
+use softrep_crypto::salted::SecretPepper;
+use softrep_proto::{Request, Response};
+use softrep_server::{ReputationServer, ServerConfig};
+use softrep_storage::Store;
+
+use crate::population::SimUser;
+use crate::universe::Universe;
+
+/// Marker embedded in junk comments so remarkers (and metrics) can
+/// recover ground-truth usefulness from text alone.
+pub const JUNK_MARKER: &str = "gr8 free program";
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// RNG seed (everything downstream is deterministic in it).
+    pub seed: u64,
+    /// Registration puzzle difficulty (0 = disabled; most community
+    /// simulations disable it and let the attack experiments turn it on).
+    pub puzzle_difficulty: u8,
+    /// Comment moderation policy.
+    pub moderation: ModerationPolicy,
+    /// Shared analyzer secret enabling the §5 evidence endpoint.
+    pub analyzer_token: Option<String>,
+    /// RSA bits for the §5 pseudonym key (0 = disabled, the default).
+    pub pseudonym_key_bits: u32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            seed: 7,
+            puzzle_difficulty: 0,
+            moderation: ModerationPolicy::Open,
+            analyzer_token: None,
+            pseudonym_key_bits: 0,
+        }
+    }
+}
+
+/// A complete simulated deployment.
+pub struct SimHarness {
+    /// The shared simulated clock.
+    pub clock: SimClock,
+    /// The in-process server.
+    pub server: Arc<ReputationServer>,
+    /// The member population.
+    pub users: Vec<SimUser>,
+    /// The software corpus.
+    pub universe: Universe,
+    sessions: HashMap<String, String>,
+    rng: StdRng,
+}
+
+impl SimHarness {
+    /// Stand up a deployment: server, registered+activated members, and
+    /// the full corpus registered as software records.
+    pub fn new(universe: Universe, users: Vec<SimUser>, config: &HarnessConfig) -> Self {
+        let clock = SimClock::new();
+        let db = ReputationDb::with_moderation(
+            Arc::new(Store::in_memory()),
+            SecretPepper::new(format!("sim-pepper-{}", config.seed)),
+            config.moderation,
+        );
+        let server = Arc::new(ReputationServer::new(
+            db,
+            Arc::new(clock.clone()),
+            ServerConfig {
+                puzzle_difficulty: config.puzzle_difficulty,
+                // Simulations compress months into one process; the flood
+                // guard is effectively disabled here and enabled
+                // explicitly by the attack experiments.
+                flood_capacity: u32::MAX,
+                flood_refill_per_hour: u32::MAX,
+                analyzer_token: config.analyzer_token.clone(),
+                pseudonym_key_bits: config.pseudonym_key_bits,
+                ..ServerConfig::default()
+            },
+            config.seed,
+        ));
+
+        let mut harness = SimHarness {
+            clock,
+            server,
+            users,
+            universe,
+            sessions: HashMap::new(),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed),
+        };
+        harness.register_population();
+        harness.register_corpus();
+        harness
+    }
+
+    fn register_population(&mut self) {
+        let names: Vec<String> = self.users.iter().map(|u| u.name.clone()).collect();
+        for name in names {
+            self.join(&name);
+        }
+    }
+
+    /// Register + activate + login one account through the protocol.
+    /// Returns the session token.
+    pub fn join(&mut self, username: &str) -> String {
+        let (challenge, solution) = if self.server.config().puzzle_difficulty > 0 {
+            let Response::Puzzle { challenge } = self.server.handle(&Request::GetPuzzle, username)
+            else {
+                panic!("expected puzzle");
+            };
+            let parsed = softrep_crypto::puzzle::Challenge::decode(&challenge).expect("valid");
+            let (sol, _) = parsed.solve();
+            (challenge, sol.nonce)
+        } else {
+            (String::new(), 0)
+        };
+        let resp = self.server.handle(
+            &Request::Register {
+                username: username.into(),
+                password: "sim-pw".into(),
+                email: format!("{username}@sim.example"),
+                puzzle_challenge: challenge,
+                puzzle_solution: solution,
+            },
+            username,
+        );
+        let Response::Registered { activation_token } = resp else {
+            panic!("registration failed for {username}: {resp:?}");
+        };
+        assert_eq!(
+            self.server.handle(
+                &Request::Activate { username: username.into(), token: activation_token },
+                username
+            ),
+            Response::Ok
+        );
+        let Response::Session { token } = self.server.handle(
+            &Request::Login { username: username.into(), password: "sim-pw".into() },
+            username,
+        ) else {
+            panic!("login failed for {username}");
+        };
+        self.sessions.insert(username.to_string(), token.clone());
+        token
+    }
+
+    fn register_corpus(&mut self) {
+        for spec in &self.universe.specs {
+            let resp = self.server.handle(
+                &Request::RegisterSoftware {
+                    software_id: spec.id_hex(),
+                    file_name: spec.exe.file_name.clone(),
+                    file_size: spec.exe.file_size(),
+                    company: spec.exe.company.clone(),
+                    version: spec.exe.version.clone(),
+                },
+                "corpus-loader",
+            );
+            debug_assert_eq!(resp, Response::Ok);
+        }
+    }
+
+    /// The session token for a member.
+    pub fn session_of(&self, username: &str) -> Option<&str> {
+        self.sessions.get(username).map(String::as_str)
+    }
+
+    /// Refresh sessions after long simulated gaps (tokens expire on the
+    /// server clock).
+    pub fn relogin_all(&mut self) {
+        let names: Vec<String> = self.users.iter().map(|u| u.name.clone()).collect();
+        for name in names {
+            let Response::Session { token } = self.server.handle(
+                &Request::Login { username: name.clone(), password: "sim-pw".into() },
+                &name,
+            ) else {
+                panic!("relogin failed for {name}");
+            };
+            self.sessions.insert(name, token);
+        }
+    }
+
+    /// User `user_idx` votes on corpus entry `spec_idx` with their
+    /// perceived score and observed behaviours.
+    pub fn cast_vote(&mut self, user_idx: usize, spec_idx: usize) {
+        let user = self.users[user_idx].clone();
+        let spec = self.universe.specs[spec_idx].clone();
+        let score = user.perceive_score(&spec, &mut self.rng);
+        let behaviours = user.observe_behaviours(&spec, &mut self.rng);
+        let session = self.sessions[&user.name].clone();
+        let resp = self.server.handle(
+            &Request::SubmitVote { session, software_id: spec.id_hex(), score, behaviours },
+            &user.name,
+        );
+        debug_assert_eq!(resp, Response::Ok, "vote by {} failed", user.name);
+    }
+
+    /// User writes a comment on a corpus entry. Junk comments embed
+    /// [`JUNK_MARKER`].
+    pub fn write_comment(&mut self, user_idx: usize, spec_idx: usize) {
+        let user = self.users[user_idx].clone();
+        let spec = self.universe.specs[spec_idx].clone();
+        let (text, _useful) = user.write_comment(&spec, &mut self.rng);
+        let session = self.sessions[&user.name].clone();
+        let _ = self.server.handle(
+            &Request::SubmitComment { session, software_id: spec.id_hex(), text },
+            &user.name,
+        );
+    }
+
+    /// User fetches a random installed program's report and remarks on one
+    /// comment (correctly or not, per archetype accuracy).
+    pub fn remark_round(&mut self, user_idx: usize) {
+        let user = self.users[user_idx].clone();
+        let Some(&spec_idx) = user.installed.as_slice().choose(&mut self.rng) else { return };
+        let spec = &self.universe.specs[spec_idx];
+        let resp =
+            self.server.handle(&Request::QueryDetails { software_id: spec.id_hex() }, &user.name);
+        let Response::Software(info) = resp else { return };
+        let foreign: Vec<_> = info.comments.iter().filter(|c| c.author != user.name).collect();
+        let Some(comment) = foreign.choose(&mut self.rng) else { return };
+        let useful = !comment.text.contains(JUNK_MARKER);
+        let positive = user.remark_on(useful, &mut self.rng);
+        let session = self.sessions[&user.name].clone();
+        let _ = self.server.handle(
+            &Request::RateComment { session, comment_id: comment.id, positive },
+            &user.name,
+        );
+    }
+
+    /// One community week: each user votes on `votes_per_user` installed
+    /// programs, comments with probability `comment_prob`, performs
+    /// `remark_rounds` remark lookups; then seven daily ticks (the 24 h
+    /// aggregation runs inside them) and a session refresh.
+    pub fn run_week(&mut self, votes_per_user: usize, comment_prob: f64, remark_rounds: usize) {
+        self.run_week_for(0..self.users.len(), votes_per_user, comment_prob, remark_rounds);
+    }
+
+    /// [`run_week`](Self::run_week) restricted to a subset of the
+    /// population — used by the cold-start experiment, where the member
+    /// base grows week by week.
+    pub fn run_week_for(
+        &mut self,
+        active: impl IntoIterator<Item = usize>,
+        votes_per_user: usize,
+        comment_prob: f64,
+        remark_rounds: usize,
+    ) {
+        for user_idx in active {
+            let installed = self.users[user_idx].installed.clone();
+            for _ in 0..votes_per_user {
+                if let Some(&spec_idx) = installed.as_slice().choose(&mut self.rng) {
+                    self.cast_vote(user_idx, spec_idx);
+                }
+            }
+            if self.rng.gen_bool(comment_prob) {
+                if let Some(&spec_idx) = installed.as_slice().choose(&mut self.rng) {
+                    self.write_comment(user_idx, spec_idx);
+                }
+            }
+            for _ in 0..remark_rounds {
+                self.remark_round(user_idx);
+            }
+        }
+        self.advance_days(7);
+        self.relogin_all();
+    }
+
+    /// Advance the clock day by day, running server maintenance each day.
+    pub fn advance_days(&mut self, days: u64) {
+        for _ in 0..days {
+            self.clock.advance_days(1);
+            self.server.tick();
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        Clock::now(&self.clock)
+    }
+
+    /// The reputation database, for metric extraction.
+    pub fn db(&self) -> &ReputationDb {
+        self.server.db()
+    }
+
+    /// Deterministic RNG handle for experiment-level sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{build_population, DEFAULT_MIX};
+    use crate::universe::{Universe, UniverseConfig};
+
+    fn small_harness() -> SimHarness {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = UniverseConfig { programs: 12, vendors: 4, ..Default::default() };
+        let universe = Universe::generate(&config, &mut rng);
+        let users = build_population(10, &DEFAULT_MIX, universe.len(), 5, &mut rng);
+        SimHarness::new(universe, users, &HarnessConfig::default())
+    }
+
+    #[test]
+    fn harness_registers_population_and_corpus() {
+        let harness = small_harness();
+        assert_eq!(harness.db().user_count(), 10);
+        assert_eq!(harness.db().software_count(), 12);
+        for user in &harness.users {
+            assert!(harness.session_of(&user.name).is_some());
+        }
+    }
+
+    #[test]
+    fn weekly_round_produces_votes_and_ratings() {
+        let mut harness = small_harness();
+        harness.run_week(2, 0.5, 1);
+        assert!(harness.db().vote_count() > 0);
+        // Aggregation ran inside the daily ticks: at least one rating.
+        let rated = harness
+            .universe
+            .specs
+            .iter()
+            .filter(|s| harness.db().rating(&s.id_hex()).unwrap().is_some())
+            .count();
+        assert!(rated > 0, "weekly ticks must have aggregated some ratings");
+    }
+
+    #[test]
+    fn votes_replace_rather_than_stack() {
+        let mut harness = small_harness();
+        // The same user voting twice on the same program leaves one vote.
+        harness.cast_vote(0, 0);
+        harness.cast_vote(0, 0);
+        assert_eq!(harness.db().vote_count(), 1);
+    }
+
+    #[test]
+    fn remarks_move_trust() {
+        let mut harness = small_harness();
+        // Everyone comments on program 0 (installed or not — direct call).
+        for user_idx in 0..harness.users.len() {
+            harness.write_comment(user_idx, 0);
+        }
+        // Point every user's installs at program 0 so remark rounds find
+        // the comments.
+        for u in &mut harness.users {
+            u.installed = vec![0];
+        }
+        for _ in 0..3 {
+            for user_idx in 0..harness.users.len() {
+                harness.remark_round(user_idx);
+            }
+        }
+        let moved = harness
+            .users
+            .iter()
+            .filter(|u| harness.db().trust_of(&u.name).unwrap().unwrap_or(1.0) != 1.0)
+            .count();
+        assert!(moved > 0, "some authors must have gained or lost trust");
+    }
+
+    #[test]
+    fn join_with_puzzle_enabled_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = UniverseConfig { programs: 2, vendors: 2, ..Default::default() };
+        let universe = Universe::generate(&config, &mut rng);
+        let users = build_population(3, &DEFAULT_MIX, universe.len(), 1, &mut rng);
+        let harness = SimHarness::new(
+            universe,
+            users,
+            &HarnessConfig { puzzle_difficulty: 4, ..Default::default() },
+        );
+        assert_eq!(harness.db().user_count(), 3);
+    }
+
+    #[test]
+    fn sessions_survive_long_simulations_via_relogin() {
+        let mut harness = small_harness();
+        for _ in 0..5 {
+            harness.run_week(1, 0.0, 0);
+        }
+        // 5 weeks >> session TTL (24 h): run_week relogs in, so votes kept
+        // landing. Every user voted 5 times over ≤5 programs.
+        assert!(harness.db().vote_count() > 0);
+        assert!(harness.now().week_index() >= 5);
+    }
+}

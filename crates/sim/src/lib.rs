@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! End-to-end agent simulation for the softwareputation reproduction.
+//!
+//! The paper's evaluation is a deployed proof-of-concept with "well over
+//! 2000 rated software programs" and no measurement tables; per the
+//! reproduction's substitution rule, this crate builds the synthetic
+//! equivalent that exercises every code path the deployment would have:
+//!
+//! * [`universe`] — a software corpus generator over the paper's 9-cell
+//!   taxonomy, with ground-truth quality, behaviours, vendors, honesty of
+//!   disclosure, polymorphic variants and signed releases.
+//! * [`population`] — user archetypes (expert → ignorant, plus attackers)
+//!   with archetype-specific perception noise, comment quality and
+//!   remark behaviour.
+//! * [`harness`] — [`harness::SimHarness`]: a complete in-process
+//!   deployment (server + clock + registered agents) with weekly
+//!   usage/vote/comment/remark loops and daily aggregation.
+//! * [`attack`] — the §2.1 abuse scenarios: vote flooding, Sybil
+//!   registration, ballot stuffing, discrediting, with countermeasure
+//!   toggles and attacker cost accounting.
+//! * [`metrics`] — rating error, coverage, protection metrics shared by
+//!   the experiments.
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+//! * [`experiments`] — one module per table/figure of EXPERIMENTS.md
+//!   (T1, T2, D1–D9), each returning a structured, printable report.
+
+pub mod attack;
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod population;
+pub mod report;
+pub mod universe;
+
+pub use harness::{HarnessConfig, SimHarness};
+pub use population::{Archetype, SimUser};
+pub use report::TextTable;
+pub use universe::{SoftwareSpec, Universe, UniverseConfig};

@@ -1,0 +1,291 @@
+//! User archetypes and their behaviour models.
+//!
+//! §2.1 worries about "ignorant users voting and leaving feedback on
+//! programs they know nothing or little about" and relies on "more
+//! experienced users" to counterbalance them. The population model makes
+//! that spectrum concrete: each archetype perceives a program's true
+//! quality through its own noise and bias, writes comments of its own
+//! quality, and remarks on others' comments with its own discernment.
+
+use rand::Rng;
+
+use crate::universe::SoftwareSpec;
+
+/// The user archetypes of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Security-savvy: near-truth perception, useful comments, accurate
+    /// remarks.
+    Expert,
+    /// Ordinary user: moderate noise, generally sensible.
+    Average,
+    /// Inexperienced: high noise, positivity bias.
+    Novice,
+    /// §2.1's problem case: barely looks at the program, loves free
+    /// stuff — "give the installer of a program bundled with many
+    /// different PIS a high rating, commenting that it is a great free and
+    /// highly recommended program".
+    Ignorant,
+}
+
+impl Archetype {
+    /// Perception noise (± range around truth).
+    pub fn noise(self) -> f64 {
+        match self {
+            Archetype::Expert => 0.5,
+            Archetype::Average => 1.5,
+            Archetype::Novice => 2.5,
+            Archetype::Ignorant => 3.0,
+        }
+    }
+
+    /// Additive positivity bias.
+    pub fn bias(self) -> f64 {
+        match self {
+            Archetype::Expert => 0.0,
+            Archetype::Average => 0.3,
+            Archetype::Novice => 1.0,
+            Archetype::Ignorant => 3.5,
+        }
+    }
+
+    /// Probability a comment by this archetype is useful (vs junk).
+    pub fn comment_usefulness(self) -> f64 {
+        match self {
+            Archetype::Expert => 0.95,
+            Archetype::Average => 0.7,
+            Archetype::Novice => 0.35,
+            Archetype::Ignorant => 0.1,
+        }
+    }
+
+    /// Probability this archetype remarks *correctly* on a comment (a
+    /// positive remark on useful comments, negative on junk).
+    pub fn remark_accuracy(self) -> f64 {
+        match self {
+            Archetype::Expert => 0.95,
+            Archetype::Average => 0.8,
+            Archetype::Novice => 0.6,
+            Archetype::Ignorant => 0.5, // coin flip
+        }
+    }
+
+    /// Probability this archetype notices a behaviour the program
+    /// exhibits (reported alongside the vote).
+    pub fn behaviour_detection(self) -> f64 {
+        match self {
+            Archetype::Expert => 0.9,
+            Archetype::Average => 0.6,
+            Archetype::Novice => 0.3,
+            Archetype::Ignorant => 0.05,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Archetype::Expert => "expert",
+            Archetype::Average => "average",
+            Archetype::Novice => "novice",
+            Archetype::Ignorant => "ignorant",
+        }
+    }
+}
+
+/// One simulated member of the reputation community.
+#[derive(Debug, Clone)]
+pub struct SimUser {
+    /// Account name (also the username on the server).
+    pub name: String,
+    /// Behaviour model.
+    pub archetype: Archetype,
+    /// Indices into the universe: the programs this user has installed.
+    pub installed: Vec<usize>,
+}
+
+impl SimUser {
+    /// The score this user would cast for `spec` (1–10).
+    pub fn perceive_score(&self, spec: &SoftwareSpec, rng: &mut impl Rng) -> u8 {
+        let noise = (rng.gen::<f64>() * 2.0 - 1.0) * self.archetype.noise();
+        let value = spec.true_quality + self.archetype.bias() + noise;
+        (value.round()).clamp(1.0, 10.0) as u8
+    }
+
+    /// The behaviours this user notices (and reports with the vote).
+    pub fn observe_behaviours(&self, spec: &SoftwareSpec, rng: &mut impl Rng) -> Vec<String> {
+        spec.behaviours
+            .iter()
+            .filter(|_| rng.gen_bool(self.archetype.behaviour_detection()))
+            .cloned()
+            .collect()
+    }
+
+    /// Write a comment: returns `(text, is_useful)` — usefulness is ground
+    /// truth that remarkers perceive through their own accuracy.
+    pub fn write_comment(&self, spec: &SoftwareSpec, rng: &mut impl Rng) -> (String, bool) {
+        let useful = rng.gen_bool(self.archetype.comment_usefulness());
+        let text = if useful {
+            let behaviour =
+                spec.behaviours.first().map(String::as_str).unwrap_or("no suspicious behaviour");
+            format!(
+                "[{}] {}: observed {}; quality around {:.0}/10",
+                self.archetype.label(),
+                spec.exe.file_name,
+                behaviour,
+                spec.true_quality
+            )
+        } else {
+            format!(
+                "[{}] {} gr8 free program!!! downlod now",
+                self.archetype.label(),
+                spec.exe.file_name
+            )
+        };
+        (text, useful)
+    }
+
+    /// Decide a remark on a comment with ground-truth usefulness
+    /// `comment_useful`: `true` = positive remark.
+    pub fn remark_on(&self, comment_useful: bool, rng: &mut impl Rng) -> bool {
+        if rng.gen_bool(self.archetype.remark_accuracy()) {
+            comment_useful
+        } else {
+            !comment_useful
+        }
+    }
+}
+
+/// Build a population with the given archetype mix. `mix` entries are
+/// (archetype, weight); weights need not sum to 1.
+pub fn build_population(
+    count: usize,
+    mix: &[(Archetype, f64)],
+    universe_size: usize,
+    installs_per_user: usize,
+    rng: &mut impl Rng,
+) -> Vec<SimUser> {
+    use rand::distributions::{Distribution, WeightedIndex};
+    use rand::seq::index::sample;
+
+    let dist = WeightedIndex::new(mix.iter().map(|(_, w)| w.max(0.0))).expect("positive weights");
+    (0..count)
+        .map(|i| {
+            let archetype = mix[dist.sample(rng)].0;
+            let installs = installs_per_user.min(universe_size);
+            let installed = sample(rng, universe_size, installs).into_vec();
+            SimUser { name: format!("user{i:05}"), archetype, installed }
+        })
+        .collect()
+}
+
+/// The default archetype mix used by the headline experiments.
+pub const DEFAULT_MIX: [(Archetype, f64); 4] = [
+    (Archetype::Expert, 0.10),
+    (Archetype::Average, 0.55),
+    (Archetype::Novice, 0.25),
+    (Archetype::Ignorant, 0.10),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Universe, UniverseConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> SoftwareSpec {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = UniverseConfig { programs: 1, ..Default::default() };
+        Universe::generate(&config, &mut rng).specs.remove(0)
+    }
+
+    fn user(archetype: Archetype) -> SimUser {
+        SimUser { name: "u".into(), archetype, installed: vec![0] }
+    }
+
+    #[test]
+    fn experts_vote_closer_to_truth_than_ignorants() {
+        let spec = spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = |archetype: Archetype, rng: &mut StdRng| {
+            let u = user(archetype);
+            let total: f64 = (0..300)
+                .map(|_| (f64::from(u.perceive_score(&spec, rng)) - spec.true_quality).abs())
+                .sum();
+            total / 300.0
+        };
+        let expert_err = err(Archetype::Expert, &mut rng);
+        let ignorant_err = err(Archetype::Ignorant, &mut rng);
+        assert!(
+            expert_err + 1.0 < ignorant_err,
+            "expert {expert_err:.2} vs ignorant {ignorant_err:.2}"
+        );
+    }
+
+    #[test]
+    fn scores_stay_in_range() {
+        let spec = spec();
+        let mut rng = StdRng::seed_from_u64(3);
+        for archetype in
+            [Archetype::Expert, Archetype::Average, Archetype::Novice, Archetype::Ignorant]
+        {
+            let u = user(archetype);
+            for _ in 0..200 {
+                let s = u.perceive_score(&spec, &mut rng);
+                assert!((1..=10).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn experts_notice_more_behaviours() {
+        let mut spec = spec();
+        spec.behaviours = vec!["popup_ads".into(), "tracking".into(), "keylogger".into()];
+        let mut rng = StdRng::seed_from_u64(4);
+        let count = |archetype: Archetype, rng: &mut StdRng| -> usize {
+            let u = user(archetype);
+            (0..200).map(|_| u.observe_behaviours(&spec, rng).len()).sum()
+        };
+        assert!(count(Archetype::Expert, &mut rng) > count(Archetype::Ignorant, &mut rng) * 3);
+    }
+
+    #[test]
+    fn comment_usefulness_tracks_archetype() {
+        let spec = spec();
+        let mut rng = StdRng::seed_from_u64(5);
+        let useful_count = |archetype: Archetype, rng: &mut StdRng| -> usize {
+            let u = user(archetype);
+            (0..200).filter(|_| u.write_comment(&spec, rng).1).count()
+        };
+        let expert = useful_count(Archetype::Expert, &mut rng);
+        let ignorant = useful_count(Archetype::Ignorant, &mut rng);
+        assert!(expert > 170);
+        assert!(ignorant < 50);
+    }
+
+    #[test]
+    fn remarks_follow_accuracy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let expert = user(Archetype::Expert);
+        let correct = (0..300).filter(|_| expert.remark_on(true, &mut rng)).count();
+        assert!(correct > 260, "experts usually upvote useful comments, got {correct}");
+    }
+
+    #[test]
+    fn population_respects_mix_and_installs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pop = build_population(400, &DEFAULT_MIX, 50, 10, &mut rng);
+        assert_eq!(pop.len(), 400);
+        let experts = pop.iter().filter(|u| u.archetype == Archetype::Expert).count();
+        assert!((10..=80).contains(&experts), "≈10% experts, got {experts}");
+        for u in &pop {
+            assert_eq!(u.installed.len(), 10);
+            let distinct: std::collections::HashSet<_> = u.installed.iter().collect();
+            assert_eq!(distinct.len(), 10, "installs are distinct programs");
+            assert!(u.installed.iter().all(|&i| i < 50));
+        }
+        // Names are unique.
+        let names: std::collections::HashSet<_> = pop.iter().map(|u| &u.name).collect();
+        assert_eq!(names.len(), 400);
+    }
+}

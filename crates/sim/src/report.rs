@@ -1,0 +1,130 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The bench harnesses print "the same rows/series the paper reports";
+//! this is the shared formatter so every experiment's output looks alike.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl TextTable {
+    /// A table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are any `Display`able values, pre-rendered).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "row arity must match header");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column) for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimals, or a dash for `None`.
+pub fn fmt_opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["a-much-longer-name".into(), "23.5".into()]);
+        t.note("a footnote");
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("a-much-longer-name  23.5"));
+        assert!(rendered.contains("note: a footnote"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(1, 1), "23.5");
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(fmt_opt(Some(1.234)), "1.23");
+        assert_eq!(fmt_opt(None), "—");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

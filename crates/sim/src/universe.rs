@@ -1,0 +1,437 @@
+//! Synthetic software universe.
+//!
+//! Generates a corpus with per-program ground truth spanning all nine
+//! cells of Table 1. Ground truth drives everything downstream: agents
+//! *perceive* quality with archetype-dependent noise, behaviours feed the
+//! policy engine, honesty of disclosure drives the Table 2 transform, and
+//! category determines what the anti-virus baseline may flag.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+use softrep_core::identity::{SoftwareId, SyntheticExecutable};
+use softrep_core::taxonomy::{ConsentLevel, ConsequenceLevel, PisCategory};
+
+/// Behaviour tags used across the workspace (clients report these with
+/// votes; policies match on them; §4.3 names ads / settings changes /
+/// broken uninstallers explicitly).
+pub mod behaviours {
+    /// Displays pop-up advertisements.
+    pub const POPUP_ADS: &str = "popup_ads";
+    /// Tracks browsing/usage and phones home.
+    pub const TRACKING: &str = "tracking";
+    /// Registers itself to start with the system.
+    pub const STARTUP_REGISTRATION: &str = "startup_registration";
+    /// Uninstaller leaves the software (partially) behind.
+    pub const INCOMPLETE_UNINSTALL: &str = "incomplete_uninstall";
+    /// Changes browser/system settings.
+    pub const SETTINGS_CHANGE: &str = "settings_change";
+    /// Records keystrokes.
+    pub const KEYLOGGER: &str = "keylogger";
+    /// Exfiltrates personal data.
+    pub const DATA_EXFILTRATION: &str = "data_exfiltration";
+}
+
+/// Ground truth for one program in the corpus.
+#[derive(Debug, Clone)]
+pub struct SoftwareSpec {
+    /// The executable (hashable bytes + embedded metadata).
+    pub exe: SyntheticExecutable,
+    /// Table 1 cell.
+    pub category: PisCategory,
+    /// The score (1–10) a fully-informed expert would assign.
+    pub true_quality: f64,
+    /// Behaviours the program actually exhibits.
+    pub behaviours: Vec<String>,
+    /// Does its EULA/description honestly disclose those behaviours?
+    /// (Drives the Table 2 transform.)
+    pub honestly_disclosed: bool,
+    /// EULA length in words (flavour from §1: "sometimes spanning well
+    /// over 5000 words").
+    pub eula_words: u32,
+    /// Is this an essential OS component (blocking it crashes the OS)?
+    pub essential: bool,
+    /// Vendor index in [`Universe::vendors`], if the binary declares one.
+    pub vendor_index: Option<usize>,
+}
+
+impl SoftwareSpec {
+    /// Hex software id (SHA-1, per the paper).
+    pub fn id_hex(&self) -> String {
+        self.exe.id_sha1().to_hex()
+    }
+
+    /// The typed software id.
+    pub fn id(&self) -> SoftwareId {
+        self.exe.id_sha1()
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Number of programs.
+    pub programs: usize,
+    /// Number of vendors to spread programs over.
+    pub vendors: usize,
+    /// Weights over the nine Table 1 cells (cell 1 first). The default
+    /// skews toward legitimate software with a substantial grey zone,
+    /// matching §1's "well over 80% of home PCs are infected" framing
+    /// (many machines run a few PIS programs among mostly-legitimate
+    /// software).
+    pub category_weights: [f64; 9],
+    /// Fraction of programs that are essential OS components (always from
+    /// the legitimate cell).
+    pub essential_fraction: f64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            programs: 1_000,
+            vendors: 60,
+            //         1     2     3     4     5     6     7     8     9
+            category_weights: [0.40, 0.08, 0.02, 0.12, 0.14, 0.04, 0.06, 0.09, 0.05],
+            essential_fraction: 0.03,
+        }
+    }
+}
+
+/// The generated corpus.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// All programs.
+    pub specs: Vec<SoftwareSpec>,
+    /// Vendor names (referenced by index from specs).
+    pub vendors: Vec<String>,
+}
+
+impl Universe {
+    /// Generate a corpus from `config` with `rng`.
+    pub fn generate(config: &UniverseConfig, rng: &mut impl Rng) -> Self {
+        let vendors: Vec<String> = (0..config.vendors.max(1))
+            .map(|i| format!("{} {}", VENDOR_STEMS[i % VENDOR_STEMS.len()], i / VENDOR_STEMS.len()))
+            .map(|name| name.trim_end_matches(" 0").to_string())
+            .collect();
+
+        let dist = WeightedIndex::new(config.category_weights.iter().map(|w| w.max(0.0)))
+            .expect("at least one positive weight");
+        let categories = PisCategory::all();
+
+        let essential_count = (config.programs as f64 * config.essential_fraction) as usize;
+
+        let specs = (0..config.programs)
+            .map(|i| {
+                let essential = i < essential_count;
+                let category = if essential {
+                    PisCategory::LegitimateSoftware
+                } else {
+                    categories[dist.sample(rng)]
+                };
+                Self::spec_for(i, category, essential, &vendors, rng)
+            })
+            .collect();
+
+        Universe { specs, vendors }
+    }
+
+    fn spec_for(
+        index: usize,
+        category: PisCategory,
+        essential: bool,
+        vendors: &[String],
+        rng: &mut impl Rng,
+    ) -> SoftwareSpec {
+        let true_quality = sample_quality(category, rng);
+        let behaviours = sample_behaviours(category, rng);
+        // Malware always lies; legitimate software is honest; grey-zone
+        // software honestly discloses with the probability that makes the
+        // grey zone a genuine mix (§4.1's transform needs both kinds).
+        let honestly_disclosed = match category.consent() {
+            ConsentLevel::High => true,
+            ConsentLevel::Low => false,
+            ConsentLevel::Medium => rng.gen_bool(0.5),
+        };
+        // §1: EULAs "sometimes spanning well over 5000 words"; dishonest
+        // software hides behind longer ones.
+        let eula_words = if honestly_disclosed {
+            rng.gen_range(200..2_000)
+        } else {
+            rng.gen_range(3_000..9_000)
+        };
+        // Low-consent software often strips its vendor metadata (§3.3's
+        // "signal for PIS").
+        let strip_vendor =
+            category.consent() == ConsentLevel::Low && rng.gen_bool(0.6) && !essential;
+        let vendor_index = if strip_vendor { None } else { Some(rng.gen_range(0..vendors.len())) };
+
+        let file_name = format!("{}-{index}.exe", file_stem(category));
+        // The body carries runtime behaviour markers (see
+        // `softrep_analysis::markers`) so the §5 sandbox can observe the
+        // program's true behaviours, padded with random bytes.
+        let mut body: Vec<u8> = (0..rng.gen_range(64..512)).map(|_| rng.gen()).collect();
+        softrep_analysis::markers::embed_markers(&mut body, &behaviours);
+        let exe = match vendor_index {
+            Some(v) => SyntheticExecutable::new(
+                file_name,
+                vendors[v].clone(),
+                format!("{}.{}", rng.gen_range(1..6), rng.gen_range(0..10)),
+                body,
+            ),
+            None => SyntheticExecutable::anonymous(file_name, body),
+        };
+
+        SoftwareSpec {
+            exe,
+            category,
+            true_quality,
+            behaviours,
+            honestly_disclosed,
+            eula_words,
+            essential,
+            vendor_index,
+        }
+    }
+
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Programs counted per Table 1 cell (index = cell_number − 1).
+    pub fn cell_counts(&self) -> [usize; 9] {
+        let mut counts = [0usize; 9];
+        for spec in &self.specs {
+            counts[(spec.category.cell_number() - 1) as usize] += 1;
+        }
+        counts
+    }
+
+    /// The vendor name for a spec, if declared.
+    pub fn vendor_of(&self, spec: &SoftwareSpec) -> Option<&str> {
+        spec.vendor_index.map(|i| self.vendors[i].as_str())
+    }
+}
+
+/// Quality distribution per cell: consent and consequence both hurt the
+/// informed-expert score. Values are anchored so cell 1 centres high and
+/// cell 9 centres at the floor.
+fn sample_quality(category: PisCategory, rng: &mut impl Rng) -> f64 {
+    let centre = match category.cell_number() {
+        1 => 8.5,
+        2 => 6.0,
+        3 => 3.0,
+        4 => 7.0,
+        5 => 4.5,
+        6 => 2.5,
+        7 => 3.5,
+        8 => 2.0,
+        _ => 1.3,
+    };
+    // Triangular-ish noise from two uniform draws.
+    let noise = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * 1.2;
+    (centre + noise).clamp(1.0, 10.0)
+}
+
+fn sample_behaviours(category: PisCategory, rng: &mut impl Rng) -> Vec<String> {
+    use behaviours::*;
+    let mut out = Vec::new();
+    let consequence = category.consequence();
+    let consent = category.consent();
+
+    if consequence != ConsequenceLevel::Tolerable {
+        if rng.gen_bool(0.75) {
+            out.push(POPUP_ADS.to_string());
+        }
+        if rng.gen_bool(0.6) {
+            out.push(TRACKING.to_string());
+        }
+        if rng.gen_bool(0.4) {
+            out.push(SETTINGS_CHANGE.to_string());
+        }
+        if rng.gen_bool(0.5) {
+            out.push(INCOMPLETE_UNINSTALL.to_string());
+        }
+    } else if rng.gen_bool(0.15) {
+        // Even tolerable software occasionally registers at startup.
+        out.push(STARTUP_REGISTRATION.to_string());
+    }
+    if consequence == ConsequenceLevel::Severe {
+        if rng.gen_bool(0.6) {
+            out.push(KEYLOGGER.to_string());
+        }
+        out.push(DATA_EXFILTRATION.to_string());
+    }
+    if consent == ConsentLevel::Low && rng.gen_bool(0.5) {
+        out.push(STARTUP_REGISTRATION.to_string());
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn file_stem(category: PisCategory) -> &'static str {
+    match category.cell_number() {
+        1 => "app",
+        2 => "adbar",
+        3 => "agent",
+        4 => "shareware",
+        5 => "toolbar",
+        6 => "bundle",
+        7 => "quietsvc",
+        8 => "freegame",
+        _ => "codec",
+    }
+}
+
+const VENDOR_STEMS: [&str; 12] = [
+    "Acme Software",
+    "Globex Systems",
+    "Initech",
+    "Umbrella Apps",
+    "Contoso",
+    "NorthWind Tools",
+    "BlueSky Media",
+    "Pied Piper",
+    "Hooli Labs",
+    "Vandelay Industries",
+    "Wayne Utilities",
+    "Stark Freeware",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn universe(n: usize, seed: u64) -> Universe {
+        let config = UniverseConfig { programs: n, ..UniverseConfig::default() };
+        Universe::generate(&config, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn generates_requested_size_with_unique_ids() {
+        let u = universe(300, 1);
+        assert_eq!(u.len(), 300);
+        let ids: std::collections::HashSet<String> =
+            u.specs.iter().map(SoftwareSpec::id_hex).collect();
+        assert_eq!(ids.len(), 300, "content digests must be unique");
+    }
+
+    #[test]
+    fn all_nine_cells_are_populated_at_scale() {
+        let u = universe(2_000, 2);
+        for (i, count) in u.cell_counts().iter().enumerate() {
+            assert!(*count > 0, "cell {} is empty", i + 1);
+        }
+    }
+
+    #[test]
+    fn quality_orders_with_severity() {
+        let u = universe(3_000, 3);
+        let mean_quality = |cell: u8| {
+            let qs: Vec<f64> = u
+                .specs
+                .iter()
+                .filter(|s| s.category.cell_number() == cell)
+                .map(|s| s.true_quality)
+                .collect();
+            qs.iter().sum::<f64>() / qs.len() as f64
+        };
+        assert!(mean_quality(1) > mean_quality(5));
+        assert!(mean_quality(5) > mean_quality(9));
+        assert!(mean_quality(1) > 7.0);
+        assert!(mean_quality(9) < 3.0);
+    }
+
+    #[test]
+    fn honesty_follows_consent_rows() {
+        let u = universe(2_000, 4);
+        for spec in &u.specs {
+            match spec.category.consent() {
+                ConsentLevel::High => assert!(spec.honestly_disclosed),
+                ConsentLevel::Low => assert!(!spec.honestly_disclosed),
+                ConsentLevel::Medium => {} // mixed by design
+            }
+        }
+        let medium: Vec<&SoftwareSpec> =
+            u.specs.iter().filter(|s| s.category.consent() == ConsentLevel::Medium).collect();
+        let honest = medium.iter().filter(|s| s.honestly_disclosed).count();
+        assert!(honest > 0 && honest < medium.len(), "grey zone must be a mix");
+    }
+
+    #[test]
+    fn severe_software_carries_severe_behaviours() {
+        let u = universe(1_000, 5);
+        for spec in &u.specs {
+            if spec.category.consequence() == ConsequenceLevel::Severe {
+                assert!(
+                    spec.behaviours.iter().any(|b| b == behaviours::DATA_EXFILTRATION),
+                    "severe software must exfiltrate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn essential_components_are_legitimate_and_first() {
+        let config =
+            UniverseConfig { programs: 100, essential_fraction: 0.1, ..Default::default() };
+        let u = Universe::generate(&config, &mut StdRng::seed_from_u64(6));
+        let essentials: Vec<&SoftwareSpec> = u.specs.iter().filter(|s| s.essential).collect();
+        assert_eq!(essentials.len(), 10);
+        for e in essentials {
+            assert_eq!(e.category, PisCategory::LegitimateSoftware);
+        }
+    }
+
+    #[test]
+    fn some_low_consent_software_strips_vendor() {
+        let u = universe(2_000, 7);
+        let stripped = u
+            .specs
+            .iter()
+            .filter(|s| s.category.consent() == ConsentLevel::Low && s.vendor_index.is_none())
+            .count();
+        assert!(stripped > 0, "vendor stripping must occur in the low-consent rows");
+        // And high-consent software never strips.
+        for spec in &u.specs {
+            if spec.category.consent() == ConsentLevel::High {
+                assert!(spec.vendor_index.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dishonest_eulas_are_longer() {
+        let u = universe(2_000, 8);
+        let mean = |honest: bool| {
+            let ws: Vec<f64> = u
+                .specs
+                .iter()
+                .filter(|s| s.honestly_disclosed == honest)
+                .map(|s| f64::from(s.eula_words))
+                .collect();
+            ws.iter().sum::<f64>() / ws.len() as f64
+        };
+        assert!(mean(false) > mean(true) * 2.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = universe(100, 42);
+        let b = universe(100, 42);
+        for (x, y) in a.specs.iter().zip(&b.specs) {
+            assert_eq!(x.id_hex(), y.id_hex());
+            assert_eq!(x.true_quality, y.true_quality);
+        }
+        let c = universe(100, 43);
+        assert_ne!(a.specs[0].id_hex(), c.specs[0].id_hex());
+    }
+}

@@ -1,0 +1,200 @@
+//! Atomic write batches.
+//!
+//! A [`WriteBatch`] collects puts and deletes across any number of trees and
+//! is applied by [`crate::store::Store::apply`] as a unit: one WAL entry, one
+//! in-memory mutation under the store lock. Crash-recovery therefore sees
+//! either all of a batch's effects or none — the property the server's
+//! "vote + comment + index update" transactions rely on.
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::{StorageError, StorageResult};
+
+/// One operation inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` in `tree`.
+    Put {
+        /// Target tree.
+        tree: String,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove `key` from `tree` (no-op if absent).
+    Delete {
+        /// Target tree.
+        tree: String,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl BatchOp {
+    /// The tree this operation touches.
+    pub fn tree(&self) -> &str {
+        match self {
+            BatchOp::Put { tree, .. } | BatchOp::Delete { tree, .. } => tree,
+        }
+    }
+}
+
+/// An ordered collection of operations applied atomically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<BatchOp>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queue a put.
+    pub fn put(
+        &mut self,
+        tree: impl Into<String>,
+        key: impl Into<Vec<u8>>,
+        value: impl Into<Vec<u8>>,
+    ) -> &mut Self {
+        self.ops.push(BatchOp::Put { tree: tree.into(), key: key.into(), value: value.into() });
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(&mut self, tree: impl Into<String>, key: impl Into<Vec<u8>>) -> &mut Self {
+        self.ops.push(BatchOp::Delete { tree: tree.into(), key: key.into() });
+        self
+    }
+
+    /// The queued operations, in application order.
+    pub fn ops(&self) -> &[BatchOp] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Merge another batch's operations after this one's.
+    pub fn extend(&mut self, other: WriteBatch) {
+        self.ops.extend(other.ops);
+    }
+}
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+impl Encode for WriteBatch {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                BatchOp::Put { tree, key, value } => {
+                    w.put_u8(OP_PUT);
+                    w.put_str(tree);
+                    w.put_bytes(key);
+                    w.put_bytes(value);
+                }
+                BatchOp::Delete { tree, key } => {
+                    w.put_u8(OP_DELETE);
+                    w.put_str(tree);
+                    w.put_bytes(key);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for WriteBatch {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let count = r.get_varint()? as usize;
+        let mut ops = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let tag = r.get_u8()?;
+            let tree = r.get_str()?;
+            let key = r.get_bytes()?;
+            let op = match tag {
+                OP_PUT => BatchOp::Put { tree, key, value: r.get_bytes()? },
+                OP_DELETE => BatchOp::Delete { tree, key },
+                other => return Err(StorageError::Decode(format!("invalid batch op tag {other}"))),
+            };
+            ops.push(op);
+        }
+        Ok(WriteBatch { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let mut b = WriteBatch::new();
+        b.put("users", b"alice".to_vec(), b"1".to_vec());
+        b.delete("votes", b"v1".to_vec());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ops()[0].tree(), "users");
+        assert_eq!(b.ops()[1].tree(), "votes");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put("t1", b"k1".to_vec(), b"v1".to_vec());
+        b.delete("t2", b"k2".to_vec());
+        b.put("t1", Vec::new(), Vec::new());
+        let bytes = b.encode_to_bytes();
+        assert_eq!(WriteBatch::decode_from_bytes(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let mut w = Writer::new();
+        w.put_varint(1);
+        w.put_u8(9);
+        w.put_str("t");
+        w.put_bytes(b"k");
+        assert!(WriteBatch::decode_from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = WriteBatch::new();
+        a.put("t", b"1".to_vec(), b"x".to_vec());
+        let mut b = WriteBatch::new();
+        b.delete("t", b"1".to_vec());
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert!(matches!(a.ops()[1], BatchOp::Delete { .. }));
+    }
+
+    fn arb_op() -> impl Strategy<Value = BatchOp> {
+        prop_oneof![
+            ("[a-z]{1,8}", any::<Vec<u8>>(), any::<Vec<u8>>()).prop_map(|(t, k, v)| BatchOp::Put {
+                tree: t,
+                key: k,
+                value: v
+            }),
+            ("[a-z]{1,8}", any::<Vec<u8>>()).prop_map(|(t, k)| BatchOp::Delete { tree: t, key: k }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(ops in proptest::collection::vec(arb_op(), 0..20)) {
+            let batch = WriteBatch { ops };
+            let bytes = batch.encode_to_bytes();
+            prop_assert_eq!(WriteBatch::decode_from_bytes(&bytes).unwrap(), batch);
+        }
+    }
+}

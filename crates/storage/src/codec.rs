@@ -1,0 +1,481 @@
+//! Compact binary record codec.
+//!
+//! Every value the engine persists — WAL entries, snapshot rows, table
+//! records — goes through this codec. It is deliberately minimal: varint
+//! unsigned integers, zig-zag signed integers, IEEE-754 floats, length-
+//! prefixed strings/bytes, and structural combinators (`Option`, `Vec`,
+//! tuples). Encoding is byte-stable across runs, which the deterministic
+//! aggregation invariant (DESIGN.md §5.5) depends on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{StorageError, StorageResult};
+
+/// Streaming encoder over a growable buffer.
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Fresh writer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// LEB128-style varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Zig-zag encoded signed integer.
+    pub fn put_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// IEEE-754 double as 8 little-endian bytes.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    /// Single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Encoded length so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Streaming decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn decode_err(what: &str) -> StorageError {
+        StorageError::Decode(format!("unexpected end of input reading {what}"))
+    }
+
+    /// Decode a varint.
+    pub fn get_varint(&mut self) -> StorageResult<u64> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if !self.buf.has_remaining() {
+                return Err(Self::decode_err("varint"));
+            }
+            let byte = self.buf.get_u8();
+            if shift >= 64 {
+                return Err(StorageError::Decode("varint overflows u64".into()));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decode a zig-zag signed integer.
+    pub fn get_signed(&mut self) -> StorageResult<i64> {
+        let raw = self.get_varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+
+    /// Decode an f64.
+    pub fn get_f64(&mut self) -> StorageResult<f64> {
+        if self.buf.remaining() < 8 {
+            return Err(Self::decode_err("f64"));
+        }
+        Ok(f64::from_bits(self.buf.get_u64_le()))
+    }
+
+    /// Decode one byte.
+    pub fn get_u8(&mut self) -> StorageResult<u8> {
+        if !self.buf.has_remaining() {
+            return Err(Self::decode_err("u8"));
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Decode a boolean; any value other than 0/1 is corruption.
+    pub fn get_bool(&mut self) -> StorageResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Decode(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Decode length-prefixed bytes.
+    pub fn get_bytes(&mut self) -> StorageResult<Vec<u8>> {
+        let len = self.get_varint()? as usize;
+        if self.buf.remaining() < len {
+            return Err(Self::decode_err("bytes body"));
+        }
+        let mut out = vec![0u8; len];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Decode a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> StorageResult<String> {
+        let raw = self.get_bytes()?;
+        String::from_utf8(raw).map_err(|_| StorageError::Decode("invalid UTF-8 string".into()))
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Assert the input was fully consumed (trailing bytes mean schema
+    /// drift).
+    pub fn expect_end(&self) -> StorageResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StorageError::Decode(format!("{} trailing bytes after record", self.remaining())))
+        }
+    }
+}
+
+/// Types that can encode themselves into a [`Writer`].
+pub trait Encode {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encode into a fresh buffer.
+    fn encode_to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+}
+
+/// Types that can decode themselves from a [`Reader`].
+pub trait Decode: Sized {
+    /// Consume this value's encoding from `r`.
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self>;
+
+    /// Convenience: decode a full buffer, requiring exact consumption.
+    fn decode_from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+macro_rules! impl_codec_uint {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.put_varint(u64::from(*self));
+            }
+        }
+        impl Decode for $ty {
+            fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+                let raw = r.get_varint()?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| StorageError::Decode(format!("{raw} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_codec_uint!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_varint(*self as u64);
+    }
+}
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        let raw = r.get_varint()?;
+        usize::try_from(raw).map_err(|_| StorageError::Decode("usize overflow".into()))
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_signed(*self);
+    }
+}
+impl Decode for i64 {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        r.get_signed()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        r.get_f64()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(*self);
+    }
+}
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        r.get_bool()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        r.get_str()
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+}
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        r.get_bytes()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(StorageError::Decode(format!("invalid Option tag {other}"))),
+        }
+    }
+}
+
+/// Encode a sequence as `len` followed by each element.
+///
+/// A free function rather than `impl Encode for Vec<T>` because that blanket
+/// impl would overlap with the byte-optimised `Vec<u8>` impl above.
+pub fn put_seq<T: Encode>(w: &mut Writer, items: &[T]) {
+    w.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decode a sequence written by [`put_seq`].
+pub fn get_seq<T: Decode>(r: &mut Reader<'_>) -> StorageResult<Vec<T>> {
+    let len = r.get_varint()? as usize;
+    // Guard against hostile lengths: never pre-reserve more than the bytes
+    // that could plausibly remain.
+    let mut out = Vec::with_capacity(len.min(r.remaining().max(16)));
+    for _ in 0..len {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+}
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX] {
+            let mut w = Writer::new();
+            w.put_varint(v);
+            let bytes = w.finish();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.get_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_boundaries() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -128, 127] {
+            let mut w = Writer::new();
+            w.put_signed(v);
+            let bytes = w.finish();
+            assert_eq!(Reader::new(&bytes).get_signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_not_panics() {
+        let mut w = Writer::new();
+        w.put_str("hello world");
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.get_str().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut r = Reader::new(&[2]);
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn option_rejects_bad_tag() {
+        assert!(Option::<u64>::decode_from_bytes(&[7]).is_err());
+        assert_eq!(Option::<u64>::decode_from_bytes(&[0]).unwrap(), None);
+    }
+
+    #[test]
+    fn expect_end_catches_trailing_garbage() {
+        let mut w = Writer::new();
+        w.put_varint(5);
+        w.put_u8(99);
+        let bytes = w.finish();
+        assert!(u64::decode_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.finish();
+        assert!(String::decode_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn u8_range_check() {
+        let mut w = Writer::new();
+        w.put_varint(300);
+        let bytes = w.finish();
+        assert!(u8::decode_from_bytes(&bytes).is_err());
+        assert_eq!(u16::decode_from_bytes(&bytes).unwrap(), 300);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_tuple(a: u64, b: i64, c in any::<f64>().prop_filter("NaN breaks eq", |f| !f.is_nan())) {
+            let bytes = (a, b, c).encode_to_bytes();
+            let (ra, rb, rc) = <(u64, i64, f64)>::decode_from_bytes(&bytes).unwrap();
+            prop_assert_eq!((a, b, c), (ra, rb, rc));
+        }
+
+        #[test]
+        fn roundtrip_string(s: String) {
+            let bytes = s.clone().encode_to_bytes();
+            prop_assert_eq!(String::decode_from_bytes(&bytes).unwrap(), s);
+        }
+
+        #[test]
+        fn roundtrip_bytes_and_option(v: Vec<u8>, o: Option<String>) {
+            let bytes = (v.clone(), o.clone()).encode_to_bytes();
+            let (rv, ro) = <(Vec<u8>, Option<String>)>::decode_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(rv, v);
+            prop_assert_eq!(ro, o);
+        }
+
+        #[test]
+        fn encoding_is_deterministic(s: String, n: u64) {
+            let one = (s.clone(), n).encode_to_bytes();
+            let two = (s, n).encode_to_bytes();
+            prop_assert_eq!(one, two);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Any error produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A persisted value failed to decode (schema drift or corruption that
+    /// slipped past the CRC).
+    Corrupt(String),
+    /// A record failed to decode into the expected type.
+    Decode(String),
+    /// The named tree does not exist.
+    UnknownTree(String),
+    /// A uniqueness constraint (e.g. a unique secondary index) was violated.
+    UniqueViolation {
+        /// The violated index's tree name.
+        index: String,
+        /// Hex preview of the conflicting secondary key.
+        key: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::Decode(msg) => write!(f, "record decode error: {msg}"),
+            StorageError::UnknownTree(name) => write!(f, "unknown tree: {name}"),
+            StorageError::UniqueViolation { index, key } => {
+                write!(f, "unique index {index} already contains key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used across the engine.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::UnknownTree("votes".into());
+        assert!(e.to_string().contains("votes"));
+        let e = StorageError::UniqueViolation { index: "users_by_email".into(), key: "ab".into() };
+        assert!(e.to_string().contains("users_by_email"));
+        let e = StorageError::from(io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = StorageError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(StorageError::Corrupt("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Embedded storage engine for the softwareputation reputation server.
+//!
+//! The paper's server keeps "a database containing registered user
+//! information, ratings and comments" (§3.2). The original proof-of-concept
+//! used an off-the-shelf RDBMS; per the reproduction's substitution rule we
+//! build the substrate ourselves. The engine is a small, durable,
+//! log-structured store:
+//!
+//! * [`codec`] — a compact binary record codec (varints, zig-zag, length
+//!   prefixes) used for every persisted value.
+//! * [`crc`] — CRC-32 (IEEE) for WAL entry integrity.
+//! * [`wal`] — an append-only, CRC-checked write-ahead log with torn-tail
+//!   truncation on replay.
+//! * [`store`] — named B-tree keyspaces ("trees") with atomic write
+//!   batches, WAL durability, snapshot + replay recovery, and compaction.
+//! * [`table`] — a typed table layer (key/record codecs + schema names)
+//!   over raw trees.
+//! * [`index`] — secondary indexes maintained transactionally with their
+//!   base table.
+//!
+//! Disk layout under a store directory:
+//!
+//! ```text
+//! store/
+//!   SNAPSHOT        # full dump of all trees at the last compaction
+//!   WAL             # entries applied after the snapshot
+//! ```
+//!
+//! The engine also runs fully in memory ([`store::Store::in_memory`]) for
+//! the agent simulations, where durability is irrelevant but the API and
+//! constraint checks must match production exactly.
+
+pub mod batch;
+pub mod codec;
+pub mod crc;
+pub mod error;
+pub mod index;
+pub mod store;
+pub mod table;
+pub mod wal;
+
+pub use batch::WriteBatch;
+pub use codec::{Decode, Encode, Reader, Writer};
+pub use error::{StorageError, StorageResult};
+pub use store::{Store, StoreStats, TreeName};
+pub use table::{KeyCodec, Table, TableSchema};

@@ -1,0 +1,448 @@
+//! The store: named B-tree keyspaces with WAL durability and snapshots.
+//!
+//! Concurrency model: one `parking_lot::Mutex` around the whole store. The
+//! reputation server's write volume (votes, comments, registrations) is
+//! modest and every request touches several trees transactionally, so a
+//! single lock is both correct and simpler than per-tree latching; the D10
+//! throughput benchmarks measure exactly this configuration.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::batch::{BatchOp, WriteBatch};
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::crc::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::wal::Wal;
+
+/// A tree (keyspace) name. Plain `&str` newtype used to make call sites
+/// self-documenting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeName(pub &'static str);
+
+impl std::fmt::Display for TreeName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+type Tree = BTreeMap<Vec<u8>, Vec<u8>>;
+
+struct Inner {
+    trees: BTreeMap<String, Tree>,
+    wal: Option<Wal>,
+    dir: Option<PathBuf>,
+    ops_since_compaction: u64,
+}
+
+/// Counters exposed for the D10 benchmarks and operational visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Number of trees.
+    pub trees: usize,
+    /// Total number of live keys across all trees.
+    pub keys: usize,
+    /// Batches applied since the store was opened.
+    pub batches_applied: u64,
+    /// Operations applied since the last compaction.
+    pub ops_since_compaction: u64,
+    /// Current WAL length in bytes (0 for in-memory stores).
+    pub wal_bytes: u64,
+}
+
+/// An embedded key-value store with named trees.
+pub struct Store {
+    inner: Mutex<Inner>,
+    batches_applied: Mutex<u64>,
+}
+
+const SNAPSHOT_FILE: &str = "SNAPSHOT";
+const WAL_FILE: &str = "WAL";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SREPSNP1";
+
+impl Store {
+    /// Open a durable store rooted at `dir`, creating it if absent. Loads
+    /// the last snapshot and replays the WAL on top.
+    pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut trees = Self::load_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        for payload in Wal::replay(dir.join(WAL_FILE))? {
+            let batch = WriteBatch::decode_from_bytes(&payload)?;
+            Self::apply_to_trees(&mut trees, &batch);
+        }
+        let wal = Wal::open(dir.join(WAL_FILE))?;
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                trees,
+                wal: Some(wal),
+                dir: Some(dir),
+                ops_since_compaction: 0,
+            }),
+            batches_applied: Mutex::new(0),
+        })
+    }
+
+    /// Open a volatile store with no disk backing. API-identical to a
+    /// durable store; used by the agent simulations.
+    pub fn in_memory() -> Self {
+        Store {
+            inner: Mutex::new(Inner {
+                trees: BTreeMap::new(),
+                wal: None,
+                dir: None,
+                ops_since_compaction: 0,
+            }),
+            batches_applied: Mutex::new(0),
+        }
+    }
+
+    /// Apply `batch` atomically: journal first, then mutate memory.
+    pub fn apply(&self, batch: &WriteBatch) -> StorageResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(&batch.encode_to_bytes())?;
+            wal.flush()?;
+        }
+        Self::apply_to_trees(&mut inner.trees, batch);
+        inner.ops_since_compaction += batch.len() as u64;
+        *self.batches_applied.lock() += 1;
+        Ok(())
+    }
+
+    /// Single-key put (one-op batch).
+    pub fn put(
+        &self,
+        tree: &str,
+        key: impl Into<Vec<u8>>,
+        value: impl Into<Vec<u8>>,
+    ) -> StorageResult<()> {
+        let mut b = WriteBatch::new();
+        b.put(tree, key, value);
+        self.apply(&b)
+    }
+
+    /// Single-key delete (one-op batch).
+    pub fn delete(&self, tree: &str, key: impl Into<Vec<u8>>) -> StorageResult<()> {
+        let mut b = WriteBatch::new();
+        b.delete(tree, key);
+        self.apply(&b)
+    }
+
+    /// Fetch a value. Unknown trees read as empty.
+    pub fn get(&self, tree: &str, key: &[u8]) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner.trees.get(tree).and_then(|t| t.get(key).cloned())
+    }
+
+    /// True if `key` exists in `tree`.
+    pub fn contains(&self, tree: &str, key: &[u8]) -> bool {
+        let inner = self.inner.lock();
+        inner.trees.get(tree).is_some_and(|t| t.contains_key(key))
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, tree: &str, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.lock();
+        let Some(t) = inner.trees.get(tree) else { return Vec::new() };
+        t.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All pairs in `tree`, in key order.
+    pub fn scan_all(&self, tree: &str) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.scan_prefix(tree, &[])
+    }
+
+    /// Number of keys in `tree` (0 for unknown trees).
+    pub fn tree_len(&self, tree: &str) -> usize {
+        let inner = self.inner.lock();
+        inner.trees.get(tree).map_or(0, BTreeMap::len)
+    }
+
+    /// Names of all trees that have ever been written.
+    pub fn tree_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        inner.trees.keys().cloned().collect()
+    }
+
+    /// fsync the WAL (no-op in memory).
+    pub fn sync(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Write a full snapshot and truncate the WAL.
+    ///
+    /// The snapshot is written to a temp file and atomically renamed, so a
+    /// crash during compaction leaves the previous snapshot + WAL intact.
+    pub fn compact(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let Some(dir) = inner.dir.clone() else { return Ok(()) };
+
+        let bytes = Self::encode_snapshot(&inner.trees);
+        let tmp = dir.join("SNAPSHOT.tmp");
+        let final_path = dir.join(SNAPSHOT_FILE);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.truncate()?;
+        }
+        inner.ops_since_compaction = 0;
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            trees: inner.trees.len(),
+            keys: inner.trees.values().map(BTreeMap::len).sum(),
+            batches_applied: *self.batches_applied.lock(),
+            ops_since_compaction: inner.ops_since_compaction,
+            wal_bytes: inner.wal.as_ref().map_or(0, Wal::len_bytes),
+        }
+    }
+
+    fn apply_to_trees(trees: &mut BTreeMap<String, Tree>, batch: &WriteBatch) {
+        for op in batch.ops() {
+            match op {
+                BatchOp::Put { tree, key, value } => {
+                    trees.entry(tree.clone()).or_default().insert(key.clone(), value.clone());
+                }
+                BatchOp::Delete { tree, key } => {
+                    if let Some(t) = trees.get_mut(tree) {
+                        t.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn encode_snapshot(trees: &BTreeMap<String, Tree>) -> Vec<u8> {
+        let mut w = Writer::with_capacity(4096);
+        w.put_varint(trees.len() as u64);
+        for (name, tree) in trees {
+            w.put_str(name);
+            w.put_varint(tree.len() as u64);
+            for (k, v) in tree {
+                w.put_bytes(k);
+                w.put_bytes(v);
+            }
+        }
+        let body = w.finish();
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn load_snapshot(path: &Path) -> StorageResult<BTreeMap<String, Tree>> {
+        if !path.exists() {
+            return Ok(BTreeMap::new());
+        }
+        let mut raw = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut raw)?;
+        if raw.len() < 12 || &raw[..8] != SNAPSHOT_MAGIC {
+            return Err(StorageError::Corrupt("snapshot header malformed".into()));
+        }
+        let crc = u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes"));
+        let body = &raw[12..];
+        if crc32(body) != crc {
+            return Err(StorageError::Corrupt("snapshot CRC mismatch".into()));
+        }
+        let mut r = Reader::new(body);
+        let tree_count = r.get_varint()? as usize;
+        let mut trees = BTreeMap::new();
+        for _ in 0..tree_count {
+            let name = r.get_str()?;
+            let entry_count = r.get_varint()? as usize;
+            let mut tree = Tree::new();
+            for _ in 0..entry_count {
+                let k = r.get_bytes()?;
+                let v = r.get_bytes()?;
+                tree.insert(k, v);
+            }
+            trees.insert(name, tree);
+        }
+        r.expect_end()?;
+        Ok(trees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("softrep-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_delete_in_memory() {
+        let s = Store::in_memory();
+        s.put("users", b"alice".to_vec(), b"record".to_vec()).unwrap();
+        assert_eq!(s.get("users", b"alice").unwrap(), b"record");
+        assert!(s.contains("users", b"alice"));
+        s.delete("users", b"alice".to_vec()).unwrap();
+        assert!(s.get("users", b"alice").is_none());
+        assert!(!s.contains("users", b"alice"));
+    }
+
+    #[test]
+    fn unknown_tree_reads_empty() {
+        let s = Store::in_memory();
+        assert!(s.get("nope", b"k").is_none());
+        assert_eq!(s.tree_len("nope"), 0);
+        assert!(s.scan_all("nope").is_empty());
+    }
+
+    #[test]
+    fn scan_prefix_respects_order_and_bounds() {
+        let s = Store::in_memory();
+        for k in ["a1", "a2", "a3", "b1", "b2"] {
+            s.put("t", k.as_bytes().to_vec(), k.as_bytes().to_vec()).unwrap();
+        }
+        let hits = s.scan_prefix("t", b"a");
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].0, b"a1");
+        assert_eq!(hits[2].0, b"a3");
+        assert_eq!(s.scan_prefix("t", b"b2").len(), 1);
+        assert_eq!(s.scan_prefix("t", b"c").len(), 0);
+        assert_eq!(s.scan_all("t").len(), 5);
+    }
+
+    #[test]
+    fn batch_is_atomic_across_trees() {
+        let s = Store::in_memory();
+        let mut b = WriteBatch::new();
+        b.put("votes", b"v1".to_vec(), b"10".to_vec());
+        b.put("index", b"u1:v1".to_vec(), Vec::new());
+        s.apply(&b).unwrap();
+        assert!(s.contains("votes", b"v1"));
+        assert!(s.contains("index", b"u1:v1"));
+        assert_eq!(s.stats().batches_applied, 1);
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let s = Store::open(&dir).unwrap();
+            s.put("software", b"abc".to_vec(), b"rating=7".to_vec()).unwrap();
+            s.put("software", b"def".to_vec(), b"rating=3".to_vec()).unwrap();
+            s.delete("software", b"def".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get("software", b"abc").unwrap(), b"rating=7");
+        assert!(s.get("software", b"def").is_none());
+        assert_eq!(s.tree_len("software"), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_data_and_truncates_wal() {
+        let dir = tmpdir("compact");
+        {
+            let s = Store::open(&dir).unwrap();
+            for i in 0..100u64 {
+                s.put("t", i.to_be_bytes().to_vec(), vec![i as u8]).unwrap();
+            }
+            assert!(s.stats().wal_bytes > 0);
+            s.compact().unwrap();
+            assert_eq!(s.stats().wal_bytes, 0);
+            assert_eq!(s.stats().ops_since_compaction, 0);
+            // Post-compaction writes land in the fresh WAL.
+            s.put("t", 200u64.to_be_bytes().to_vec(), vec![200u8.wrapping_add(0)]).unwrap();
+            s.sync().unwrap();
+        }
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.tree_len("t"), 101);
+        assert_eq!(s.get("t", &42u64.to_be_bytes()).unwrap(), vec![42]);
+        assert_eq!(s.get("t", &200u64.to_be_bytes()).unwrap(), vec![200]);
+    }
+
+    #[test]
+    fn snapshot_crc_detects_corruption() {
+        let dir = tmpdir("snapcrc");
+        {
+            let s = Store::open(&dir).unwrap();
+            s.put("t", b"k".to_vec(), b"v".to_vec()).unwrap();
+            s.compact().unwrap();
+        }
+        // Flip a byte in the snapshot body.
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut raw = fs::read(&snap).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xff;
+        fs::write(&snap, &raw).unwrap();
+        assert!(matches!(Store::open(&dir), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn reopen_after_torn_wal_drops_only_torn_batch() {
+        let dir = tmpdir("tornwal");
+        {
+            let s = Store::open(&dir).unwrap();
+            s.put("t", b"safe".to_vec(), b"1".to_vec()).unwrap();
+            s.put("t", b"torn".to_vec(), b"2".to_vec()).unwrap();
+            s.sync().unwrap();
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let raw = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &raw[..raw.len() - 1]).unwrap();
+
+        let s = Store::open(&dir).unwrap();
+        assert!(s.contains("t", b"safe"));
+        assert!(!s.contains("t", b"torn"));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let s = Store::in_memory();
+        s.apply(&WriteBatch::new()).unwrap();
+        assert_eq!(s.stats().batches_applied, 0);
+    }
+
+    #[test]
+    fn stats_count_keys_and_trees() {
+        let s = Store::in_memory();
+        s.put("a", b"1".to_vec(), b"x".to_vec()).unwrap();
+        s.put("a", b"2".to_vec(), b"x".to_vec()).unwrap();
+        s.put("b", b"1".to_vec(), b"x".to_vec()).unwrap();
+        let st = s.stats();
+        assert_eq!(st.trees, 2);
+        assert_eq!(st.keys, 3);
+        assert_eq!(s.tree_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let s = Store::in_memory();
+        s.put("t", b"k".to_vec(), b"old".to_vec()).unwrap();
+        s.put("t", b"k".to_vec(), b"new".to_vec()).unwrap();
+        assert_eq!(s.get("t", b"k").unwrap(), b"new");
+        assert_eq!(s.tree_len("t"), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! Typed tables over raw trees.
+//!
+//! A [`TableSchema`] pairs a tree name with key and record types; a
+//! [`Table`] binds the schema to a [`Store`] and exposes typed CRUD plus
+//! ordered scans. Keys use an **order-preserving** encoding ([`KeyCodec`])
+//! so that prefix scans over composite keys (e.g. "all votes for software
+//! S") work directly on the underlying B-tree.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::codec::{Decode, Encode};
+use crate::error::StorageResult;
+use crate::store::Store;
+
+/// Order-preserving key encoding.
+///
+/// * Unsigned integers encode as fixed-width big-endian bytes.
+/// * Strings and byte strings use the escaped-terminator scheme
+///   (`0x00 → 0x00 0xFF`, terminator `0x00 0x01`), which preserves
+///   lexicographic order and composes inside tuples.
+/// * Tuples concatenate component encodings.
+pub trait KeyCodec: Sized {
+    /// Append this key's encoding to `out`.
+    fn write_key(&self, out: &mut Vec<u8>);
+
+    /// Consume one key from the front of `input`, returning the key and the
+    /// unconsumed tail. Returns `None` on malformed input.
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])>;
+
+    /// Encode to a fresh buffer.
+    fn to_key_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.write_key(&mut out);
+        out
+    }
+
+    /// Decode a full key, requiring exact consumption.
+    fn from_key_bytes(input: &[u8]) -> Option<Self> {
+        let (key, rest) = Self::read_key(input)?;
+        rest.is_empty().then_some(key)
+    }
+}
+
+impl KeyCodec for u64 {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        if input.len() < 8 {
+            return None;
+        }
+        let (head, tail) = input.split_at(8);
+        Some((u64::from_be_bytes(head.try_into().expect("8 bytes")), tail))
+    }
+}
+
+impl KeyCodec for u32 {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        if input.len() < 4 {
+            return None;
+        }
+        let (head, tail) = input.split_at(4);
+        Some((u32::from_be_bytes(head.try_into().expect("4 bytes")), tail))
+    }
+}
+
+const ESCAPE: u8 = 0x00;
+const ESCAPED_ZERO: u8 = 0xFF;
+const TERMINATOR: u8 = 0x01;
+
+fn write_escaped(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        if b == ESCAPE {
+            out.push(ESCAPE);
+            out.push(ESCAPED_ZERO);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(ESCAPE);
+    out.push(TERMINATOR);
+}
+
+fn read_escaped(input: &[u8]) -> Option<(Vec<u8>, &[u8])> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        if b == ESCAPE {
+            let next = *input.get(i + 1)?;
+            match next {
+                ESCAPED_ZERO => {
+                    out.push(0x00);
+                    i += 2;
+                }
+                TERMINATOR => return Some((out, &input[i + 2..])),
+                _ => return None,
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    None
+}
+
+impl KeyCodec for Vec<u8> {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        write_escaped(self, out);
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        read_escaped(input)
+    }
+}
+
+impl KeyCodec for String {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        write_escaped(self.as_bytes(), out);
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        let (raw, rest) = read_escaped(input)?;
+        Some((String::from_utf8(raw).ok()?, rest))
+    }
+}
+
+impl<A: KeyCodec, B: KeyCodec> KeyCodec for (A, B) {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        self.0.write_key(out);
+        self.1.write_key(out);
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        let (a, rest) = A::read_key(input)?;
+        let (b, rest) = B::read_key(rest)?;
+        Some(((a, b), rest))
+    }
+}
+
+impl<A: KeyCodec, B: KeyCodec, C: KeyCodec> KeyCodec for (A, B, C) {
+    fn write_key(&self, out: &mut Vec<u8>) {
+        self.0.write_key(out);
+        self.1.write_key(out);
+        self.2.write_key(out);
+    }
+
+    fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
+        let (a, rest) = A::read_key(input)?;
+        let (b, rest) = B::read_key(rest)?;
+        let (c, rest) = C::read_key(rest)?;
+        Some(((a, b, c), rest))
+    }
+}
+
+/// Static description of a table: tree name plus key/record types.
+pub struct TableSchema<K, V> {
+    /// The backing tree name.
+    pub tree: &'static str,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> TableSchema<K, V> {
+    /// Define a schema over `tree`.
+    pub const fn new(tree: &'static str) -> Self {
+        TableSchema { tree, _marker: PhantomData }
+    }
+}
+
+/// A typed table bound to a store.
+pub struct Table<K: 'static, V: 'static> {
+    store: Arc<Store>,
+    schema: &'static TableSchema<K, V>,
+}
+
+impl<K: 'static, V: 'static> Clone for Table<K, V> {
+    fn clone(&self) -> Self {
+        Table { store: Arc::clone(&self.store), schema: self.schema }
+    }
+}
+
+impl<K: KeyCodec + 'static, V: Encode + Decode + 'static> Table<K, V> {
+    /// Bind `schema` to `store`.
+    pub fn bind(store: Arc<Store>, schema: &'static TableSchema<K, V>) -> Self {
+        Table { store, schema }
+    }
+
+    /// The backing tree name.
+    pub fn tree(&self) -> &'static str {
+        self.schema.tree
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Insert or overwrite the record at `key`.
+    pub fn put(&self, key: &K, value: &V) -> StorageResult<()> {
+        self.store.put(self.schema.tree, key.to_key_bytes(), value.encode_to_bytes().to_vec())
+    }
+
+    /// Fetch the record at `key`.
+    pub fn get(&self, key: &K) -> StorageResult<Option<V>> {
+        match self.store.get(self.schema.tree, &key.to_key_bytes()) {
+            None => Ok(None),
+            Some(raw) => Ok(Some(V::decode_from_bytes(&raw)?)),
+        }
+    }
+
+    /// Remove the record at `key` (no-op if absent).
+    pub fn remove(&self, key: &K) -> StorageResult<()> {
+        self.store.delete(self.schema.tree, key.to_key_bytes())
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.store.contains(self.schema.tree, &key.to_key_bytes())
+    }
+
+    /// All `(key, record)` pairs in key order.
+    pub fn scan(&self) -> StorageResult<Vec<(K, V)>> {
+        self.decode_pairs(self.store.scan_all(self.schema.tree))
+    }
+
+    /// All pairs whose encoded key starts with `prefix`'s encoding. With
+    /// composite keys, passing the first component(s) scans that subtree.
+    pub fn scan_key_prefix<P: KeyCodec>(&self, prefix: &P) -> StorageResult<Vec<(K, V)>> {
+        self.decode_pairs(self.store.scan_prefix(self.schema.tree, &prefix.to_key_bytes()))
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.store.tree_len(self.schema.tree)
+    }
+
+    /// True when the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn decode_pairs(&self, raw: Vec<(Vec<u8>, Vec<u8>)>) -> StorageResult<Vec<(K, V)>> {
+        let mut out = Vec::with_capacity(raw.len());
+        for (k, v) in raw {
+            let key = K::from_key_bytes(&k).ok_or_else(|| {
+                crate::error::StorageError::Decode(format!(
+                    "malformed key in tree {}",
+                    self.schema.tree
+                ))
+            })?;
+            out.push((key, V::decode_from_bytes(&v)?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u64_keys_sort_numerically() {
+        let mut keys: Vec<Vec<u8>> =
+            [3u64, 1, 200, 45, u64::MAX, 0].iter().map(|k| k.to_key_bytes()).collect();
+        keys.sort();
+        let decoded: Vec<u64> = keys.iter().map(|k| u64::from_key_bytes(k).unwrap()).collect();
+        assert_eq!(decoded, vec![0, 1, 3, 45, 200, u64::MAX]);
+    }
+
+    #[test]
+    fn string_keys_with_embedded_zero_roundtrip() {
+        let key = String::from_utf8(vec![b'a', 0, 0, b'b']).unwrap_or_else(|_| unreachable!());
+        let bytes = key.to_key_bytes();
+        assert_eq!(String::from_key_bytes(&bytes).unwrap(), key);
+    }
+
+    #[test]
+    fn tuple_keys_compose_and_prefix_scan_works() {
+        static SCHEMA: TableSchema<(String, String), u64> = TableSchema::new("votes");
+        let table = Table::bind(Arc::new(Store::in_memory()), &SCHEMA);
+        table.put(&("softA".into(), "alice".into()), &8).unwrap();
+        table.put(&("softA".into(), "bob".into()), &3).unwrap();
+        table.put(&("softB".into(), "alice".into()), &10).unwrap();
+
+        let a_votes = table.scan_key_prefix(&"softA".to_string()).unwrap();
+        assert_eq!(a_votes.len(), 2);
+        assert_eq!(a_votes[0].0 .1, "alice");
+        assert_eq!(a_votes[1].0 .1, "bob");
+
+        // "softA" must not also match "softAB" style keys.
+        table.put(&("softAB".into(), "eve".into()), &1).unwrap();
+        assert_eq!(table.scan_key_prefix(&"softA".to_string()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn typed_crud_roundtrip() {
+        static SCHEMA: TableSchema<u64, (String, u64)> = TableSchema::new("t");
+        let table = Table::bind(Arc::new(Store::in_memory()), &SCHEMA);
+        assert!(table.is_empty());
+        table.put(&7, &("seven".into(), 77)).unwrap();
+        assert_eq!(table.get(&7).unwrap().unwrap(), ("seven".into(), 77));
+        assert!(table.contains(&7));
+        assert_eq!(table.len(), 1);
+        table.remove(&7).unwrap();
+        assert!(table.get(&7).unwrap().is_none());
+    }
+
+    #[test]
+    fn scan_returns_key_order() {
+        static SCHEMA: TableSchema<u64, u64> = TableSchema::new("nums");
+        let table = Table::bind(Arc::new(Store::in_memory()), &SCHEMA);
+        for k in [5u64, 1, 9, 3] {
+            table.put(&k, &(k * 10)).unwrap();
+        }
+        let all = table.scan().unwrap();
+        let keys: Vec<u64> = all.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn malformed_escape_is_rejected() {
+        assert!(read_escaped(&[0x00, 0x02]).is_none());
+        assert!(read_escaped(&[0x00]).is_none());
+        assert!(read_escaped(b"never terminated").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn escaped_roundtrip(bytes: Vec<u8>, tail: Vec<u8>) {
+            let mut enc = Vec::new();
+            write_escaped(&bytes, &mut enc);
+            enc.extend_from_slice(&tail);
+            let (dec, rest) = read_escaped(&enc).unwrap();
+            prop_assert_eq!(dec, bytes);
+            prop_assert_eq!(rest, &tail[..]);
+        }
+
+        #[test]
+        fn escaped_encoding_preserves_order(a: Vec<u8>, b: Vec<u8>) {
+            let mut ea = Vec::new();
+            let mut eb = Vec::new();
+            write_escaped(&a, &mut ea);
+            write_escaped(&b, &mut eb);
+            prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+        }
+
+        #[test]
+        fn tuple_key_roundtrip(a in "[a-zA-Z0-9@._-]{0,24}", b: u64) {
+            let key = (a.clone(), b);
+            let bytes = key.to_key_bytes();
+            prop_assert_eq!(<(String, u64)>::from_key_bytes(&bytes).unwrap(), (a, b));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Model-based testing: the store against a reference `BTreeMap` model,
+//! through random operation sequences, durable reopen cycles, and
+//! compactions interleaved at arbitrary points.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use softrep_storage::{Store, WriteBatch};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { tree: u8, key: Vec<u8>, value: Vec<u8> },
+    Delete { tree: u8, key: Vec<u8> },
+    Batch { ops: Vec<(u8, Vec<u8>, Option<Vec<u8>>)> },
+    Compact,
+    Reopen,
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space on purpose: collisions exercise overwrite/delete.
+    proptest::collection::vec(0u8..8, 1..4)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..3, arb_key(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(tree, key, value)| Op::Put { tree, key, value }),
+        2 => (0u8..3, arb_key()).prop_map(|(tree, key)| Op::Delete { tree, key }),
+        2 => proptest::collection::vec(
+                (0u8..3, arb_key(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..8))),
+                1..6,
+            ).prop_map(|ops| Op::Batch { ops }),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn tree_name(tree: u8) -> String {
+    format!("tree{tree}")
+}
+
+type Model = BTreeMap<(String, Vec<u8>), Vec<u8>>;
+
+fn apply_to_model(model: &mut Model, op: &Op) {
+    match op {
+        Op::Put { tree, key, value } => {
+            model.insert((tree_name(*tree), key.clone()), value.clone());
+        }
+        Op::Delete { tree, key } => {
+            model.remove(&(tree_name(*tree), key.clone()));
+        }
+        Op::Batch { ops } => {
+            for (tree, key, value) in ops {
+                match value {
+                    Some(v) => {
+                        model.insert((tree_name(*tree), key.clone()), v.clone());
+                    }
+                    None => {
+                        model.remove(&(tree_name(*tree), key.clone()));
+                    }
+                }
+            }
+        }
+        Op::Compact | Op::Reopen => {}
+    }
+}
+
+fn check_equivalence(store: &Store, model: &Model) {
+    for tree in 0u8..3 {
+        let name = tree_name(tree);
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+            .iter()
+            .filter(|((t, _), _)| *t == name)
+            .map(|((_, k), v)| (k.clone(), v.clone()))
+            .collect();
+        let actual = store.scan_all(&name);
+        assert_eq!(actual, expected, "tree {name} diverged from the model");
+        assert_eq!(store.tree_len(&name), expected.len());
+        for (k, v) in &expected {
+            assert_eq!(store.get(&name, k).as_ref(), Some(v));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn in_memory_store_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let store = Store::in_memory();
+        let mut model = Model::new();
+        for op in &ops {
+            match op {
+                Op::Put { tree, key, value } => {
+                    store.put(tree_name(*tree).as_str(), key.clone(), value.clone()).unwrap();
+                }
+                Op::Delete { tree, key } => {
+                    store.delete(tree_name(*tree).as_str(), key.clone()).unwrap();
+                }
+                Op::Batch { ops } => {
+                    let mut batch = WriteBatch::new();
+                    for (tree, key, value) in ops {
+                        match value {
+                            Some(v) => batch.put(tree_name(*tree), key.clone(), v.clone()),
+                            None => batch.delete(tree_name(*tree), key.clone()),
+                        };
+                    }
+                    store.apply(&batch).unwrap();
+                }
+                Op::Compact | Op::Reopen => { /* no-ops in memory */ }
+            }
+            apply_to_model(&mut model, op);
+        }
+        check_equivalence(&store, &model);
+    }
+
+    #[test]
+    fn durable_store_matches_model_across_reopens(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        case_id in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "softrep-model-{}-{case_id}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Store::open(&dir).unwrap();
+        let mut model = Model::new();
+
+        for op in &ops {
+            match op {
+                Op::Put { tree, key, value } => {
+                    store.put(tree_name(*tree).as_str(), key.clone(), value.clone()).unwrap();
+                }
+                Op::Delete { tree, key } => {
+                    store.delete(tree_name(*tree).as_str(), key.clone()).unwrap();
+                }
+                Op::Batch { ops } => {
+                    let mut batch = WriteBatch::new();
+                    for (tree, key, value) in ops {
+                        match value {
+                            Some(v) => batch.put(tree_name(*tree), key.clone(), v.clone()),
+                            None => batch.delete(tree_name(*tree), key.clone()),
+                        };
+                    }
+                    store.apply(&batch).unwrap();
+                }
+                Op::Compact => store.compact().unwrap(),
+                Op::Reopen => {
+                    store.sync().unwrap();
+                    drop(store);
+                    store = Store::open(&dir).unwrap();
+                }
+            }
+            apply_to_model(&mut model, op);
+        }
+        check_equivalence(&store, &model);
+
+        // One final reopen must also preserve everything.
+        store.sync().unwrap();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        check_equivalence(&store, &model);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_never_corrupt_earlier_state(
+        ops in proptest::collection::vec(
+            (0u8..2, arb_key(), proptest::collection::vec(any::<u8>(), 0..12)),
+            2..20,
+        ),
+        cut in 1usize..64,
+        case_id in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "softrep-torn-{}-{case_id}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Store::open(&dir).unwrap();
+            for (tree, key, value) in &ops {
+                store.put(tree_name(*tree).as_str(), key.clone(), value.clone()).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Tear an arbitrary number of bytes off the WAL tail.
+        let wal = dir.join("WAL");
+        let bytes = std::fs::read(&wal).unwrap();
+        let keep = bytes.len().saturating_sub(cut);
+        std::fs::write(&wal, &bytes[..keep]).unwrap();
+
+        // Recovery must succeed and yield a *prefix* of the write history.
+        let store = Store::open(&dir).unwrap();
+        let mut prefix_model = Model::new();
+        let mut matched = store.tree_len(&tree_name(0)) == 0 && store.tree_len(&tree_name(1)) == 0;
+        for i in 0..=ops.len() {
+            if i > 0 {
+                let (tree, key, value) = &ops[i - 1];
+                prefix_model.insert((tree_name(*tree), key.clone()), value.clone());
+            }
+            let candidate: Vec<(String, Vec<u8>, Vec<u8>)> = prefix_model
+                .iter()
+                .map(|((t, k), v)| (t.clone(), k.clone(), v.clone()))
+                .collect();
+            let all_present = candidate
+                .iter()
+                .all(|(t, k, v)| store.get(t, k).as_ref() == Some(v));
+            let sizes_match = store.tree_len(&tree_name(0)) + store.tree_len(&tree_name(1))
+                == prefix_model.len();
+            if all_present && sizes_match {
+                matched = true;
+            }
+        }
+        prop_assert!(matched, "recovered state is not any prefix of the write history");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

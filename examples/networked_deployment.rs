@@ -1,0 +1,105 @@
+//! A real networked deployment: framed XML over TCP sockets.
+//!
+//! Starts the server on an ephemeral local port, connects three client
+//! processes' worth of traffic through real `TcpStream`s, and prints the
+//! execution-time report a client renders from the wire messages —
+//! exactly the §3.2 topology ("the clients communicate with the server
+//! through a web-server"), minus HTTP.
+//!
+//! Run with `cargo run --example networked_deployment`.
+
+use std::sync::Arc;
+
+use softwareputation::core::clock::SystemClock;
+use softwareputation::core::db::ReputationDb;
+use softwareputation::core::identity::SyntheticExecutable;
+use softwareputation::crypto::puzzle::Challenge;
+use softwareputation::proto::{Request, Response};
+use softwareputation::server::tcp::{TcpClient, TcpServer};
+use softwareputation::server::{ReputationServer, ServerConfig};
+
+fn join(client: &mut TcpClient, name: &str) -> String {
+    let Response::Puzzle { challenge } = client.call(&Request::GetPuzzle).unwrap() else {
+        panic!("expected puzzle")
+    };
+    let (solution, cost) = Challenge::decode(&challenge).unwrap().solve();
+    println!("{name}: solved registration puzzle in {cost} hash evaluations");
+    let resp = client
+        .call(&Request::Register {
+            username: name.into(),
+            password: "pw".into(),
+            email: format!("{name}@example.com"),
+            puzzle_challenge: challenge,
+            puzzle_solution: solution.nonce,
+        })
+        .unwrap();
+    let Response::Registered { activation_token } = resp else { panic!("{resp:?}") };
+    client.call(&Request::Activate { username: name.into(), token: activation_token }).unwrap();
+    let Response::Session { token } =
+        client.call(&Request::Login { username: name.into(), password: "pw".into() }).unwrap()
+    else {
+        panic!("login failed")
+    };
+    token
+}
+
+fn main() {
+    // The server binary: real clock, puzzle difficulty 8.
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("tcp-pepper"),
+        Arc::new(SystemClock),
+        ServerConfig { puzzle_difficulty: 8, ..ServerConfig::default() },
+        2007,
+    ));
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+    println!("reputation server listening on {}", tcp.local_addr());
+
+    let toolbar = SyntheticExecutable::new(
+        "search-toolbar.exe",
+        "BrightAds Media",
+        "4.2",
+        b"toolbar with a tracking beacon".to_vec(),
+    );
+    let id = toolbar.id_sha1().to_hex();
+
+    // Two raters connect over real sockets.
+    for (name, score, behaviour) in [("raterA", 3u8, "tracking"), ("raterB", 2u8, "popup_ads")] {
+        let mut client = TcpClient::connect(tcp.local_addr()).expect("connect");
+        let session = join(&mut client, name);
+        client
+            .call(&Request::RegisterSoftware {
+                software_id: id.clone(),
+                file_name: toolbar.file_name.clone(),
+                file_size: toolbar.file_size(),
+                company: toolbar.company.clone(),
+                version: toolbar.version.clone(),
+            })
+            .unwrap();
+        let resp = client
+            .call(&Request::SubmitVote {
+                session,
+                software_id: id.clone(),
+                score,
+                behaviours: vec![behaviour.into()],
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        println!("{name}: voted {score}/10 over TCP");
+    }
+
+    // Publish the rating (in production the 24 h scheduler does this).
+    server.db().force_aggregation(server.now()).unwrap();
+
+    // A third client queries before running the toolbar.
+    let mut client = TcpClient::connect(tcp.local_addr()).expect("connect");
+    let resp = client.call(&Request::QuerySoftware { software_id: id.clone() }).unwrap();
+    let Response::Software(info) = resp else { panic!("{resp:?}") };
+    println!("\nexecution-time report for {}:", info.file_name.as_deref().unwrap_or("?"));
+    println!("  vendor:  {}", info.company.as_deref().unwrap_or("(stripped)"));
+    println!("  rating:  {:.1}/10 from {} votes", info.rating.unwrap(), info.vote_count);
+    println!("  reports: {}", info.behaviours.join(", "));
+    assert!(info.rating.unwrap() < 4.0);
+    println!("\nverdict: a cautious user blocks this installer.");
+
+    tcp.shutdown();
+}

@@ -1,0 +1,113 @@
+//! §5 future work, live: a runtime-analysis sandbox turns unobserved
+//! behaviour into hard evidence, and an expert feed protects subscribers
+//! at cold start.
+//!
+//! Run with `cargo run --example runtime_analysis`.
+
+use std::sync::Arc;
+
+use softwareputation::analysis::markers::embed_markers;
+use softwareputation::analysis::{AnalysisService, Sandbox};
+use softwareputation::client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softwareputation::client::{InProcessConnector, ReputationClient};
+use softwareputation::core::clock::SimClock;
+use softwareputation::core::db::ReputationDb;
+use softwareputation::core::identity::SyntheticExecutable;
+use softwareputation::proto::message::SoftwareInfo;
+use softwareputation::proto::{Request, Response};
+use softwareputation::server::{ReputationServer, ServerConfig};
+
+struct Quiet;
+impl UserAgent for Quiet {
+    fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+        UserChoice::AllowOnce
+    }
+    fn rate(&mut self, _f: &str, _r: Option<&SoftwareInfo>) -> Option<RatingSubmission> {
+        None
+    }
+}
+
+fn main() {
+    let clock = SimClock::new();
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("analysis-pepper"),
+        Arc::new(clock.clone()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            analyzer_token: Some("lab-shared-secret".into()),
+            ..ServerConfig::default()
+        },
+        5,
+    ));
+
+    // A "free codec pack" that quietly exfiltrates data. Nobody has voted
+    // on it yet — the §1 problem case.
+    let mut body = vec![0u8; 200];
+    embed_markers(&mut body, &["popup_ads".into(), "data_exfiltration".into()]);
+    let codec = SyntheticExecutable::new("free-codec-pack.exe", "QuickMedia", "1.1", body);
+    println!("fresh release: {} ({})", codec.file_name, codec.id_sha1().short());
+
+    // --- The sandbox analyses it and submits hard evidence --------------
+    let transport = {
+        let server = Arc::clone(&server);
+        move |req: &Request| -> Response { server.handle(req, "analysis-lab") }
+    };
+    let mut lab =
+        AnalysisService::new(Sandbox::default(), "sandbox-v1", "lab-shared-secret", transport);
+    let report = lab.analyse_and_submit(&codec);
+    println!(
+        "sandbox observed: {:?} in {} instructions (truncated: {})",
+        report.behaviours, report.instructions_executed, report.truncated
+    );
+    assert_eq!(lab.submitted(), 1);
+
+    // --- A client's policy acts on the verified evidence -----------------
+    let connector = InProcessConnector::new(Arc::clone(&server), "workstation");
+    let mut client = ReputationClient::new(connector, Arc::new(clock.clone()));
+    client
+        .set_policy_text(
+            r#"
+            deny if verified("data_exfiltration") or verified("keylogger")
+            ask otherwise
+            "#,
+        )
+        .unwrap();
+    let outcome = client.handle_execution(&codec, None, &mut Quiet);
+    println!(
+        "policy verdict on first-ever execution: {} (source {:?})",
+        if outcome.allowed { "RAN" } else { "BLOCKED" },
+        outcome.source
+    );
+    assert!(!outcome.allowed, "verified exfiltration blocks without a single vote");
+
+    // --- An expert feed protects a subscriber too (§4.2) -----------------
+    let connector = InProcessConnector::new(Arc::clone(&server), "expert-host");
+    let mut expert = ReputationClient::new(connector, Arc::new(clock.clone()));
+    expert.register_and_login("sec_team", "pw", "sec@corp.example").unwrap();
+    expert.create_feed("sec-advisories").unwrap();
+    expert
+        .publish_feed_entry(
+            "sec-advisories",
+            &codec.id_sha1().to_hex(),
+            1.5,
+            vec!["data_exfiltration".into()],
+        )
+        .unwrap();
+    println!("sec_team published a 1.5/10 advisory into feed 'sec-advisories'");
+
+    let connector = InProcessConnector::new(Arc::clone(&server), "subscriber-host");
+    let mut subscriber = ReputationClient::new(connector, Arc::new(clock.clone()));
+    subscriber.subscribe_feed("sec-advisories");
+    subscriber.set_policy_text("deny if feed_rating <= 4\nask otherwise").unwrap();
+    let outcome = subscriber.handle_execution(&codec, None, &mut Quiet);
+    println!(
+        "subscriber verdict: {} (source {:?})",
+        if outcome.allowed { "RAN" } else { "BLOCKED" },
+        outcome.source
+    );
+    assert!(!outcome.allowed);
+
+    println!(
+        "\nboth §4.2 subscriptions and §5 hard evidence protect before any community votes exist"
+    );
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # softwareputation
+//!
+//! A production-quality Rust reproduction of *"Preventing Privacy-Invasive
+//! Software Using Collaborative Reputation Systems"* (Boldt, Carlsson,
+//! Larsson, Lindén — SDM 2007, co-located with VLDB 2007).
+//!
+//! The paper proposes a collaborative reputation system for software: a
+//! desktop client intercepts every program execution, identifies the
+//! executable by a content hash, fetches other users' ratings and comments
+//! from a central server, and lets the user (or an automated policy)
+//! decide whether the program runs. This crate is the facade over the full
+//! implementation:
+//!
+//! | module | crate | what it is |
+//! |--------|-------|------------|
+//! | [`core`] | `softrep-core` | the reputation system: trust factors, 24 h aggregation, the PIS taxonomy, the reputation database |
+//! | [`server`] | `softrep-server` | sessions, puzzle-gated registration, flood guard, request dispatch, TCP transport |
+//! | [`client`] | `softrep-client` | execution hook, white/black lists, rating prompts, signature whitelisting, policy enforcement |
+//! | [`policy`] | `softrep-policy` | the §4.2 policy-manager DSL |
+//! | [`proto`] | `softrep-proto` | the XML wire protocol |
+//! | [`storage`] | `softrep-storage` | the embedded storage engine (WAL + snapshots) |
+//! | [`crypto`] | `softrep-crypto` | SHA-1/SHA-256, HMAC, salted digests, client puzzles, hash-based signatures |
+//! | [`anonymity`] | `softrep-anonymity` | the Tor-style mix network of §2.2 |
+//! | [`baseline`] | `softrep-baseline` | the §4.3 anti-virus comparison engine |
+//! | [`sim`] | `softrep-sim` | the agent simulation and every experiment of EXPERIMENTS.md |
+//! | [`analysis`] | `softrep-analysis` | the §5 runtime-analysis sandbox feeding hard evidence |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use softwareputation::core::clock::SimClock;
+//! use softwareputation::core::db::ReputationDb;
+//! use softwareputation::core::identity::SyntheticExecutable;
+//! use softwareputation::server::{ReputationServer, ServerConfig};
+//! use softwareputation::client::{InProcessConnector, ReputationClient};
+//!
+//! // Stand up a server on a simulated clock.
+//! let clock = SimClock::new();
+//! let server = Arc::new(ReputationServer::new(
+//!     ReputationDb::in_memory("pepper"),
+//!     Arc::new(clock.clone()),
+//!     ServerConfig { puzzle_difficulty: 2, ..ServerConfig::default() },
+//!     42,
+//! ));
+//!
+//! // A client joins the community (puzzle → register → activate → login).
+//! let connector = InProcessConnector::new(Arc::clone(&server), "10.0.0.1");
+//! let mut client = ReputationClient::new(connector, Arc::new(clock.clone()));
+//! client.register_and_login("alice", "pw", "alice@example.com").unwrap();
+//!
+//! // An executable is identified by its content hash.
+//! let exe = SyntheticExecutable::new("weatherbar.exe", "Acme", "1.0", vec![1, 2, 3]);
+//! assert_eq!(exe.id_sha1().to_hex().len(), 40);
+//! ```
+//!
+//! See `examples/` for complete scenarios and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the system inventory and the reproduced tables.
+
+pub use softrep_analysis as analysis;
+pub use softrep_anonymity as anonymity;
+pub use softrep_baseline as baseline;
+pub use softrep_client as client;
+pub use softrep_core as core;
+pub use softrep_crypto as crypto;
+pub use softrep_policy as policy;
+pub use softrep_proto as proto;
+pub use softrep_server as server;
+pub use softrep_sim as sim;
+pub use softrep_storage as storage;

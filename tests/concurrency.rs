@@ -1,0 +1,184 @@
+//! Concurrency integration: the server must stay consistent under
+//! parallel clients — votes, queries, aggregations and registrations all
+//! racing. (The deployment model is thread-per-connection, §3.2.)
+
+use std::sync::Arc;
+
+use softwareputation::core::clock::SimClock;
+use softwareputation::core::db::ReputationDb;
+use softwareputation::proto::{Request, Response};
+use softwareputation::server::{ReputationServer, ServerConfig};
+
+fn server() -> (Arc<ReputationServer>, SimClock) {
+    let clock = SimClock::new();
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("conc"),
+        Arc::new(clock.clone()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        1,
+    ));
+    (server, clock)
+}
+
+fn join(server: &ReputationServer, name: &str) -> String {
+    let Response::Registered { activation_token } = server.handle(
+        &Request::Register {
+            username: name.into(),
+            password: "pw".into(),
+            email: format!("{name}@c.example"),
+            puzzle_challenge: String::new(),
+            puzzle_solution: 0,
+        },
+        name,
+    ) else {
+        panic!("registration failed for {name}")
+    };
+    server.handle(&Request::Activate { username: name.into(), token: activation_token }, name);
+    let Response::Session { token } =
+        server.handle(&Request::Login { username: name.into(), password: "pw".into() }, name)
+    else {
+        panic!("login failed for {name}")
+    };
+    token
+}
+
+#[test]
+fn parallel_voters_preserve_one_vote_per_user() {
+    let (server, _clock) = server();
+    let software: Vec<String> = (0..8).map(|i| format!("{i:040x}")).collect();
+    for id in &software {
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: id.clone(),
+                file_name: "app.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "seed",
+        );
+    }
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let software = software.clone();
+            std::thread::spawn(move || {
+                let name = format!("voter{t}");
+                let session = join(&server, &name);
+                // Each voter re-votes on every program many times from its
+                // own thread; replacements must never duplicate.
+                for round in 0..20u8 {
+                    for id in &software {
+                        let resp = server.handle(
+                            &Request::SubmitVote {
+                                session: session.clone(),
+                                software_id: id.clone(),
+                                score: (round % 10) + 1,
+                                behaviours: vec![],
+                            },
+                            &name,
+                        );
+                        assert_eq!(resp, Response::Ok);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Exactly 8 voters × 8 programs ballots, despite 160 submissions each.
+    assert_eq!(server.db().vote_count(), 64);
+    for id in &software {
+        assert_eq!(server.db().votes_for(id).unwrap().len(), 8);
+    }
+}
+
+#[test]
+fn aggregation_races_with_writes_without_corruption() {
+    let (server, clock) = server();
+    let id = format!("{0:040x}", 7);
+    server.handle(
+        &Request::RegisterSoftware {
+            software_id: id.clone(),
+            file_name: "app.exe".into(),
+            file_size: 1,
+            company: None,
+            version: None,
+        },
+        "seed",
+    );
+    let session = join(&server, "racer");
+
+    let writer = {
+        let server = Arc::clone(&server);
+        let id = id.clone();
+        std::thread::spawn(move || {
+            for round in 0..200u32 {
+                server.handle(
+                    &Request::SubmitVote {
+                        session: session.clone(),
+                        software_id: id.clone(),
+                        score: ((round % 10) + 1) as u8,
+                        behaviours: vec![],
+                    },
+                    "racer",
+                );
+            }
+        })
+    };
+    let aggregator = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for _ in 0..50 {
+                clock.advance_days(1);
+                server.tick();
+            }
+        })
+    };
+    writer.join().unwrap();
+    aggregator.join().unwrap();
+
+    // Final state is consistent: one ballot, and a final aggregation
+    // reflects exactly it.
+    server.db().force_aggregation(server.now()).unwrap();
+    let rating = server.db().rating(&id).unwrap().unwrap();
+    assert_eq!(rating.vote_count, 1);
+    let ballot = server.db().votes_for(&id).unwrap().remove(0);
+    assert_eq!(rating.rating, f64::from(ballot.score));
+}
+
+#[test]
+fn parallel_registrations_never_duplicate_emails() {
+    let (server, _clock) = server();
+    // 8 threads race to register with only 4 distinct e-mail addresses;
+    // exactly 4 must win.
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let resp = server.handle(
+                    &Request::Register {
+                        username: format!("dup{t}"),
+                        password: "pw".into(),
+                        email: format!("shared{}@c.example", t % 4),
+                        puzzle_challenge: String::new(),
+                        puzzle_solution: 0,
+                    },
+                    "race",
+                );
+                matches!(resp, Response::Registered { .. })
+            })
+        })
+        .collect();
+    let winners = threads.into_iter().map(|t| t.join().unwrap()).filter(|won| *won).count();
+    assert_eq!(winners, 4, "exactly one registration per distinct address");
+    assert_eq!(server.db().user_count(), 4);
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration: the full client → TCP → server → storage
+//! pipeline, exercising every §3 component in one scenario.
+
+use std::sync::Arc;
+
+use softwareputation::client::client::{PromptContext, RatingSubmission, UserAgent, UserChoice};
+use softwareputation::client::prompt::RatingPromptPolicy;
+use softwareputation::client::{DecisionSource, InProcessConnector, ReputationClient};
+use softwareputation::core::clock::SimClock;
+use softwareputation::core::db::ReputationDb;
+use softwareputation::core::identity::SyntheticExecutable;
+use softwareputation::crypto::puzzle::Challenge;
+use softwareputation::proto::{Request, Response};
+use softwareputation::server::tcp::{TcpClient, TcpServer};
+use softwareputation::server::{ReputationServer, ServerConfig};
+
+struct Scripted {
+    choice: UserChoice,
+    rating: Option<RatingSubmission>,
+}
+
+impl UserAgent for Scripted {
+    fn decide(&mut self, _ctx: &PromptContext) -> UserChoice {
+        self.choice
+    }
+    fn rate(
+        &mut self,
+        _f: &str,
+        _r: Option<&softwareputation::proto::message::SoftwareInfo>,
+    ) -> Option<RatingSubmission> {
+        self.rating.clone()
+    }
+}
+
+fn test_server(puzzle: u8) -> (Arc<ReputationServer>, SimClock) {
+    let clock = SimClock::new();
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("e2e"),
+        Arc::new(clock.clone()),
+        ServerConfig {
+            puzzle_difficulty: puzzle,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        3,
+    ));
+    (server, clock)
+}
+
+#[test]
+fn community_lifecycle_through_the_public_api() {
+    let (server, clock) = test_server(2);
+    let adware = SyntheticExecutable::new("dealfinder.exe", "AdCo", "1.0", vec![0xBA; 300]);
+
+    // Three members rate through the client API (ratings need >threshold
+    // executions, so lower the prompt policy for the test).
+    for (i, score) in [(0, 2u8), (1, 3), (2, 2)] {
+        let connector = InProcessConnector::new(Arc::clone(&server), format!("host{i}"));
+        let mut member = ReputationClient::new(connector, Arc::new(clock.clone()));
+        member.register_and_login(&format!("member{i}"), "pw", &format!("m{i}@x.example")).unwrap();
+        member.set_prompt_policy(RatingPromptPolicy::new(1, 10));
+        let mut agent = Scripted {
+            choice: UserChoice::AllowOnce,
+            rating: Some(RatingSubmission {
+                score,
+                behaviours: vec!["popup_ads".into()],
+                comment: Some("bundles an ad engine".into()),
+            }),
+        };
+        // Two executions: the second crosses the threshold and submits.
+        member.handle_execution(&adware, None, &mut agent);
+        let outcome = member.handle_execution(&adware, None, &mut agent);
+        assert!(outcome.rating_submitted, "member{i} vote must land");
+    }
+    assert_eq!(server.db().vote_count(), 3);
+
+    // The batch publishes; a fourth member's dialog now warns.
+    clock.advance_days(1);
+    assert!(server.tick() >= 1);
+
+    let connector = InProcessConnector::new(Arc::clone(&server), "host-new");
+    let mut newcomer = ReputationClient::new(connector, Arc::new(clock.clone()));
+    newcomer.register_and_login("newcomer", "pw", "new@x.example").unwrap();
+    struct WarnChecker;
+    impl UserAgent for WarnChecker {
+        fn decide(&mut self, ctx: &PromptContext) -> UserChoice {
+            let report = ctx.report.as_ref().expect("report must be present");
+            assert!(report.rating.unwrap() < 3.0);
+            assert!(report.behaviours.contains(&"popup_ads".to_string()));
+            assert!(!report.comments.is_empty());
+            UserChoice::DenyAlways
+        }
+        fn rate(
+            &mut self,
+            _f: &str,
+            _r: Option<&softwareputation::proto::message::SoftwareInfo>,
+        ) -> Option<RatingSubmission> {
+            None
+        }
+    }
+    let outcome = newcomer.handle_execution(&adware, None, &mut WarnChecker);
+    assert!(!outcome.allowed);
+    assert_eq!(outcome.source, DecisionSource::User);
+}
+
+#[test]
+fn tcp_transport_carries_the_full_protocol() {
+    let (server, _clock) = test_server(2);
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+
+    // Register with a real puzzle over the socket.
+    let Response::Puzzle { challenge } = client.call(&Request::GetPuzzle).unwrap() else {
+        panic!("expected puzzle")
+    };
+    let (solution, _) = Challenge::decode(&challenge).unwrap().solve();
+    let resp = client
+        .call(&Request::Register {
+            username: "sockuser".into(),
+            password: "pw".into(),
+            email: "sock@x.example".into(),
+            puzzle_challenge: challenge.clone(),
+            puzzle_solution: solution.nonce,
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Registered { .. }));
+
+    // Replaying the same puzzle must fail.
+    let replay = client
+        .call(&Request::Register {
+            username: "sockuser2".into(),
+            password: "pw".into(),
+            email: "sock2@x.example".into(),
+            puzzle_challenge: challenge,
+            puzzle_solution: solution.nonce,
+        })
+        .unwrap();
+    assert!(matches!(replay, Response::Error { ref code, .. } if code == "bad-puzzle"));
+    tcp.shutdown();
+}
+
+#[test]
+fn vendor_reputation_spans_versions() {
+    let (server, clock) = test_server(0);
+    let v1 = SyntheticExecutable::new("player.exe", "MediaSoft", "1.0", vec![1; 64]);
+    let v2 = v1.next_version("2.0", vec![2; 64]);
+    assert_ne!(v1.id_sha1(), v2.id_sha1());
+
+    let connector = InProcessConnector::new(Arc::clone(&server), "host");
+    let mut member = ReputationClient::new(connector, Arc::new(clock.clone()));
+    member.register_and_login("vendorfan", "pw", "vf@x.example").unwrap();
+
+    for (exe, score) in [(&v1, 8u8), (&v2, 4u8)] {
+        let id = exe.id_sha1().to_hex();
+        server
+            .db()
+            .register_software(
+                &id,
+                &exe.file_name,
+                exe.file_size(),
+                exe.company.clone(),
+                exe.version.clone(),
+                clock.now(),
+            )
+            .unwrap();
+        server.db().submit_vote("vendorfan", &id, score, vec![], clock.now()).unwrap();
+    }
+    server.db().force_aggregation(clock.now()).unwrap();
+
+    // Versions rate separately; the vendor view averages them (§3.3).
+    assert_eq!(server.db().rating(&v1.id_sha1().to_hex()).unwrap().unwrap().rating, 8.0);
+    assert_eq!(server.db().rating(&v2.id_sha1().to_hex()).unwrap().unwrap().rating, 4.0);
+    let vendor = server.db().vendor_report("MediaSoft").unwrap();
+    assert_eq!(vendor.software_count, 2);
+    assert_eq!(vendor.rating.unwrap(), 6.0);
+
+    // And it is visible through the protocol too.
+    let resp = server.handle(&Request::QueryVendor { vendor: "MediaSoft".into() }, "q");
+    assert_eq!(
+        resp,
+        Response::Vendor { vendor: "MediaSoft".into(), rating: Some(6.0), software_count: 2 }
+    );
+}

@@ -1,0 +1,239 @@
+//! Property-based integration tests: random operation sequences against
+//! the live server, checked against a simple in-test model of the paper's
+//! invariants (DESIGN.md §5).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use softwareputation::core::clock::{SimClock, WEEK_SECS};
+use softwareputation::core::db::ReputationDb;
+use softwareputation::core::trust::{MAX_TRUST, MIN_TRUST};
+use softwareputation::proto::{Request, Response};
+use softwareputation::server::{ReputationServer, ServerConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Vote { user: usize, program: usize, score: u8 },
+    Comment { user: usize, program: usize },
+    Remark { user: usize, comment_index: usize, positive: bool },
+    AdvanceHours { hours: u64 },
+}
+
+fn op_strategy(users: usize, programs: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..users, 0..programs, 1u8..=10).prop_map(|(user, program, score)| Op::Vote { user, program, score }),
+        2 => (0..users, 0..programs).prop_map(|(user, program)| Op::Comment { user, program }),
+        3 => (0..users, 0usize..20, any::<bool>())
+            .prop_map(|(user, comment_index, positive)| Op::Remark { user, comment_index, positive }),
+        1 => (1u64..48).prop_map(|hours| Op::AdvanceHours { hours }),
+    ]
+}
+
+struct World {
+    server: Arc<ReputationServer>,
+    clock: SimClock,
+    sessions: Vec<String>,
+    programs: Vec<String>,
+    comment_ids: Vec<(u64, usize)>, // (id, author index)
+}
+
+fn build_world(users: usize, programs: usize) -> World {
+    let clock = SimClock::new();
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("prop"),
+        Arc::new(clock.clone()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            session_ttl_secs: 365 * 24 * 3_600,
+            ..ServerConfig::default()
+        },
+        99,
+    ));
+    let mut sessions = Vec::new();
+    for i in 0..users {
+        let name = format!("pu{i:03}");
+        let Response::Registered { activation_token } = server.handle(
+            &Request::Register {
+                username: name.clone(),
+                password: "pw".into(),
+                email: format!("{name}@p.example"),
+                puzzle_challenge: String::new(),
+                puzzle_solution: 0,
+            },
+            "prop-host",
+        ) else {
+            panic!("registration failed")
+        };
+        server.handle(&Request::Activate { username: name.clone(), token: activation_token }, "h");
+        let Response::Session { token } =
+            server.handle(&Request::Login { username: name, password: "pw".into() }, "h")
+        else {
+            panic!("login failed")
+        };
+        sessions.push(token);
+    }
+    let mut program_ids = Vec::new();
+    for p in 0..programs {
+        let id = format!("{p:040x}");
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: id.clone(),
+                file_name: format!("p{p}.exe"),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "h",
+        );
+        program_ids.push(id);
+    }
+    World { server, clock, sessions, programs: program_ids, comment_ids: Vec::new() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_op_sequences_preserve_every_invariant(
+        ops in proptest::collection::vec(op_strategy(5, 4), 1..60)
+    ) {
+        let mut world = build_world(5, 4);
+        // Model: the latest vote per (user, program).
+        let mut model_votes: HashMap<(usize, usize), u8> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Vote { user, program, score } => {
+                    let resp = world.server.handle(&Request::SubmitVote {
+                        session: world.sessions[user].clone(),
+                        software_id: world.programs[program].clone(),
+                        score,
+                        behaviours: vec![],
+                    }, "h");
+                    prop_assert_eq!(resp, Response::Ok);
+                    model_votes.insert((user, program), score);
+                }
+                Op::Comment { user, program } => {
+                    let resp = world.server.handle(&Request::SubmitComment {
+                        session: world.sessions[user].clone(),
+                        software_id: world.programs[program].clone(),
+                        text: format!("comment by {user} on {program}"),
+                    }, "h");
+                    prop_assert_eq!(resp, Response::Ok);
+                    // Recover the id from the report (comments are listed).
+                    let Response::Software(info) = world.server.handle(
+                        &Request::QueryDetails { software_id: world.programs[program].clone() }, "h")
+                    else { panic!("report expected") };
+                    if let Some(c) = info.comments.iter().max_by_key(|c| c.id) {
+                        if !world.comment_ids.iter().any(|(id, _)| *id == c.id) {
+                            world.comment_ids.push((c.id, user));
+                        }
+                    }
+                }
+                Op::Remark { user, comment_index, positive } => {
+                    if world.comment_ids.is_empty() { continue; }
+                    let (comment_id, author) =
+                        world.comment_ids[comment_index % world.comment_ids.len()];
+                    let resp = world.server.handle(&Request::RateComment {
+                        session: world.sessions[user].clone(),
+                        comment_id,
+                        positive,
+                    }, "h");
+                    if user == author {
+                        let is_self_remark =
+                            matches!(resp, Response::Error { ref code, .. } if code == "self-remark");
+                        prop_assert!(is_self_remark);
+                    } else {
+                        prop_assert_eq!(resp, Response::Ok);
+                    }
+                }
+                Op::AdvanceHours { hours } => {
+                    world.clock.advance_secs(hours * 3_600);
+                    world.server.tick();
+                }
+            }
+
+            // Invariant 1: ballot count equals the model's distinct pairs.
+            prop_assert_eq!(world.server.db().vote_count(), model_votes.len());
+
+            // Invariant 2: every trust factor within bounds and schedule.
+            let week = world.server.now().week_index();
+            for i in 0..world.sessions.len() {
+                if let Some(trust) = world.server.db().trust_of(&format!("pu{i:03}")).unwrap() {
+                    prop_assert!((MIN_TRUST..=MAX_TRUST).contains(&trust));
+                    prop_assert!(trust <= MIN_TRUST + 5.0 * (week as f64 + 1.0));
+                }
+            }
+        }
+
+        // Final aggregation equals the trust-weighted mean of the model.
+        world.server.db().force_aggregation(world.server.now()).unwrap();
+        for (p, program_id) in world.programs.iter().enumerate() {
+            let expected: Vec<(usize, u8)> = model_votes
+                .iter()
+                .filter(|((_, prog), _)| *prog == p)
+                .map(|((u, _), s)| (*u, *s))
+                .collect();
+            let rating = world.server.db().rating(program_id).unwrap();
+            prop_assert_eq!(rating.is_some(), !expected.is_empty());
+            if let Some(rating) = rating {
+                prop_assert_eq!(rating.vote_count as usize, expected.len());
+                let mut mass = 0.0;
+                let mut weight = 0.0;
+                for (u, s) in &expected {
+                    let t = world.server.db().trust_of(&format!("pu{u:03}")).unwrap().unwrap();
+                    mass += f64::from(*s) * t;
+                    weight += t;
+                }
+                prop_assert!((rating.rating - mass / weight).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trust_growth_cap_holds_under_remark_storms(
+        remark_weeks in proptest::collection::vec(0u64..6, 1..40)
+    ) {
+        // One author, many fans, remarks scattered over weeks: the
+        // author's trust must never exceed the §3.2 schedule.
+        let world = build_world(1, 1);
+        let db = world.server.db();
+        let author_comment = db
+            .submit_comment("pu000", &world.programs[0], "seed comment", world.server.now())
+            .unwrap();
+
+        let mut rng_i = 0usize;
+        let mut seen_weeks = HashSet::new();
+        let mut current_week = 0u64;
+        for &week in &remark_weeks {
+            // Time is monotone in any real deployment; clamp the sampled
+            // week so the sequence never runs backwards.
+            current_week = current_week.max(week);
+            let week = current_week;
+            seen_weeks.insert(week);
+            rng_i += 1;
+            let fan = format!("fan{rng_i:04}");
+            // Direct DB registration for speed.
+            let mut rng = rand::rngs::OsRng;
+            let token = db
+                .register_user(&fan, "pw", &format!("{fan}@f.example"), world.server.now(), &mut rng)
+                .unwrap();
+            db.activate_user(&fan, &token).unwrap();
+            db.remark_comment(
+                &fan,
+                author_comment,
+                true,
+                softwareputation::core::clock::Timestamp(week * WEEK_SECS + 10),
+            )
+            .unwrap();
+
+            let trust = db.trust_of("pu000").unwrap().unwrap();
+            prop_assert!(trust <= MIN_TRUST + 5.0 * seen_weeks.len() as f64);
+            prop_assert!(trust <= MAX_TRUST);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! One integration test per headline claim of the paper, each running the
+//! corresponding experiment at quick scale and asserting the claim's
+//! *shape* (who wins, in which direction) — the contract EXPERIMENTS.md
+//! records at full scale.
+
+use softwareputation::sim::experiments::*;
+
+#[test]
+fn claim_table1_nine_cell_classification_is_total() {
+    // §1.1/Table 1: every program lands in exactly one of nine named cells.
+    let r = t1_taxonomy::run(&t1_taxonomy::Config::quick());
+    assert_eq!(r.cell_counts.iter().sum::<usize>(), 200);
+    let (l, s, m) = r.group_counts;
+    assert_eq!(l + s + m, 200);
+    assert!(s > 0, "the grey zone exists");
+}
+
+#[test]
+fn claim_table2_reputation_collapses_the_grey_zone() {
+    // §4.1/Table 2: covered medium-consent software resolves to high or
+    // low consent; nothing is lost.
+    let r = t2_transform::run(&t2_transform::Config::quick());
+    let medium_before: usize = r.before[3..6].iter().sum();
+    let medium_after: usize = r.after[3..6].iter().sum();
+    assert!(medium_after < medium_before);
+    assert_eq!(r.before.iter().sum::<usize>(), r.after.iter().sum::<usize>());
+}
+
+#[test]
+fn claim_bootstrapping_fixes_the_budding_phase() {
+    // §2.1: bootstrapping ensures "no common program has few or zero
+    // votes" from day one.
+    let r = d1_coldstart::run(&d1_coldstart::Config::quick());
+    assert!(r.bootstrapped.coverage[0] > r.plain.coverage[0]);
+}
+
+#[test]
+fn claim_trust_weighting_tips_the_balance() {
+    // §2.1: experienced users' opinions "carry a higher weight, tipping
+    // the balance in a more correct direction".
+    let r = d2_trust_weighting::run(&d2_trust_weighting::Config::quick());
+    let heavy = r.points.last().unwrap();
+    assert!(heavy.expert_trust > heavy.ignorant_trust);
+    assert!(heavy.mae_weighted.unwrap() <= heavy.mae_unweighted.unwrap() + 0.05);
+}
+
+#[test]
+fn claim_registration_costs_blunt_sybil_attacks() {
+    // §2.1/§5: one-vote + e-mail dedup + puzzles bound what an attacker
+    // can do.
+    let r = d3_attacks::run(&d3_attacks::Config::quick());
+    assert!(r.arms[1].accounts < r.arms[0].accounts, "dedup caps accounts");
+    assert!(r.arms[2].hash_cost > 0, "puzzles charge for what remains");
+    assert_eq!(r.flood.2, 1, "vote flooding leaves exactly one ballot");
+}
+
+#[test]
+fn claim_trust_cap_schedule_matches_section_3_2() {
+    // §3.2: max 5/week, ceiling 100, newcomers weigh 1.
+    let r = d4_trust_growth::run(&d4_trust_growth::Config::quick());
+    for s in &r.samples {
+        assert!(s.expert <= 1.0 + 5.0 * (s.week as f64 + 1.0));
+    }
+    assert!(r.samples.last().unwrap().attacker_share < r.samples[0].attacker_share);
+}
+
+#[test]
+fn claim_prompt_policy_minimises_interruption() {
+    // §3.1: the 50-execution threshold + 2/week cap keeps interruptions
+    // bounded.
+    let r = d5_interruption::run(&d5_interruption::Config::quick());
+    for p in &r.grid {
+        assert!(p.prompts_per_week <= f64::from(p.cap));
+    }
+}
+
+#[test]
+fn claim_reputation_penetrates_the_grey_zone_av_cannot() {
+    // §4.3: AV is blind to (or sued out of) the grey zone; the reputation
+    // system covers it.
+    let r = d6_baseline::run(&d6_baseline::Config::quick());
+    assert_eq!(r.av_conservative.spyware, 0.0);
+    assert!(r.reputation.spyware > 0.0);
+    assert!(r.av_conservative.malware > 0.9);
+}
+
+#[test]
+fn claim_vendor_aggregation_defeats_polymorphism() {
+    // §3.3: per-version ratings dilute; vendor-level ratings do not.
+    let r = d7_identity::run(&d7_identity::Config::quick());
+    let last = r.points.last().unwrap();
+    assert!(last.vendor_rating.is_some());
+    assert!(r.stripped_flagged);
+}
+
+#[test]
+fn claim_stored_data_puts_no_user_at_risk() {
+    // §2.2/§3.2: "it is impossible to directly or indirectly associate
+    // this data with a particular host".
+    let r = d8_privacy::run(&d8_privacy::Config::quick());
+    assert_eq!(r.email_recovery.2, 0.0);
+    assert_eq!(r.host_linkage.1, 0.0);
+    assert_eq!(r.mix_client_exposure, 0.0);
+}
+
+#[test]
+fn claim_policies_lower_the_need_for_user_interaction() {
+    // §4.2: signatures + policies "considerably lower the need for user
+    // interaction" while improving protection over no client at all.
+    let r = d9_policy::run(&d9_policy::Config::quick());
+    let baseline = &r.arms[0];
+    let strict = r.arms.last().unwrap();
+    assert_eq!(baseline.pis_ran, 1.0);
+    assert!(strict.pis_ran < 0.5);
+    assert_eq!(strict.dialog_rate, 0.0);
+    let (without, with) = r.crashes;
+    assert!(without > 0 && with == 0, "the white list prevents the §4.2 crash");
+}
