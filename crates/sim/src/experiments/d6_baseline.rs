@@ -54,9 +54,9 @@ impl Config {
     pub fn quick() -> Self {
         Config {
             programs: 40,
-            users: 30,
+            users: 40,
             installs_per_user: 12,
-            weeks: 6,
+            weeks: 8,
             release_spread_weeks: 3,
             warn_threshold: 4.0,
             lawsuit_probability: 0.5,

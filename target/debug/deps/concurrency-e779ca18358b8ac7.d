@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-e779ca18358b8ac7.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-e779ca18358b8ac7: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-9c17a61fe1a362b4.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-9c17a61fe1a362b4: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-41625eaddc7f82cb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-41625eaddc7f82cb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-8c79b0b2be6f0aee.d: crates/proto/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-8c79b0b2be6f0aee: crates/proto/tests/fuzz.rs
+
+crates/proto/tests/fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-2fcc3b1520be1658.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-2fcc3b1520be1658: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-4ee3f3840c9bddbc.d: vendor/loom/src/lib.rs vendor/loom/src/sched.rs
+
+/root/repo/target/debug/deps/loom-4ee3f3840c9bddbc: vendor/loom/src/lib.rs vendor/loom/src/sched.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/sched.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loom-ed8371ec5bcc9fd6.d: vendor/loom/src/lib.rs vendor/loom/src/sched.rs
+
+/root/repo/target/debug/deps/libloom-ed8371ec5bcc9fd6.rlib: vendor/loom/src/lib.rs vendor/loom/src/sched.rs
+
+/root/repo/target/debug/deps/libloom-ed8371ec5bcc9fd6.rmeta: vendor/loom/src/lib.rs vendor/loom/src/sched.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-9a42fa3be22cc308.d: crates/storage/tests/model.rs
+
+/root/repo/target/debug/deps/model-9a42fa3be22cc308: crates/storage/tests/model.rs
+
+crates/storage/tests/model.rs:

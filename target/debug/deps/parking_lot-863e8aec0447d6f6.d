@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-863e8aec0447d6f6.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-863e8aec0447d6f6: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

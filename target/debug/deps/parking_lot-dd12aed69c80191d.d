@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-dd12aed69c80191d.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dd12aed69c80191d.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-dd12aed69c80191d.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

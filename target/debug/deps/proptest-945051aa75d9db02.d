@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-945051aa75d9db02.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/regex.rs
+
+/root/repo/target/debug/deps/proptest-945051aa75d9db02: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/regex.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/regex.rs:

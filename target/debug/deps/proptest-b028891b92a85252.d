@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-b028891b92a85252.d: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/regex.rs
+
+/root/repo/target/debug/deps/libproptest-b028891b92a85252.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/regex.rs
+
+/root/repo/target/debug/deps/libproptest-b028891b92a85252.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/arbitrary.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/sample.rs vendor/proptest/src/strategy.rs vendor/proptest/src/regex.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/arbitrary.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/sample.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/regex.rs:

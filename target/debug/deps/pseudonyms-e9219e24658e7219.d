@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pseudonyms-e9219e24658e7219.d: tests/pseudonyms.rs
+
+/root/repo/target/debug/deps/pseudonyms-e9219e24658e7219: tests/pseudonyms.rs
+
+tests/pseudonyms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-5573acad4034adf3.d: crates/server/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-5573acad4034adf3: crates/server/tests/robustness.rs
+
+crates/server/tests/robustness.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softrep_analysis-4aa9d0f0bb289e35.d: crates/analysis/src/lib.rs crates/analysis/src/markers.rs crates/analysis/src/sandbox.rs crates/analysis/src/service.rs
+
+/root/repo/target/debug/deps/libsoftrep_analysis-4aa9d0f0bb289e35.rlib: crates/analysis/src/lib.rs crates/analysis/src/markers.rs crates/analysis/src/sandbox.rs crates/analysis/src/service.rs
+
+/root/repo/target/debug/deps/libsoftrep_analysis-4aa9d0f0bb289e35.rmeta: crates/analysis/src/lib.rs crates/analysis/src/markers.rs crates/analysis/src/sandbox.rs crates/analysis/src/service.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/markers.rs:
+crates/analysis/src/sandbox.rs:
+crates/analysis/src/service.rs:

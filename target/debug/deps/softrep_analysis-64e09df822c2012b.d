@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/softrep_analysis-64e09df822c2012b.d: crates/analysis/src/lib.rs crates/analysis/src/markers.rs crates/analysis/src/sandbox.rs crates/analysis/src/service.rs
+
+/root/repo/target/debug/deps/softrep_analysis-64e09df822c2012b: crates/analysis/src/lib.rs crates/analysis/src/markers.rs crates/analysis/src/sandbox.rs crates/analysis/src/service.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/markers.rs:
+crates/analysis/src/sandbox.rs:
+crates/analysis/src/service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softrep_anonymity-5099886f08838c22.d: crates/anonymity/src/lib.rs crates/anonymity/src/circuit.rs crates/anonymity/src/directory.rs crates/anonymity/src/network.rs crates/anonymity/src/relay.rs
+
+/root/repo/target/debug/deps/softrep_anonymity-5099886f08838c22: crates/anonymity/src/lib.rs crates/anonymity/src/circuit.rs crates/anonymity/src/directory.rs crates/anonymity/src/network.rs crates/anonymity/src/relay.rs
+
+crates/anonymity/src/lib.rs:
+crates/anonymity/src/circuit.rs:
+crates/anonymity/src/directory.rs:
+crates/anonymity/src/network.rs:
+crates/anonymity/src/relay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softrep_anonymity-bc79c9733e75b8d7.d: crates/anonymity/src/lib.rs crates/anonymity/src/circuit.rs crates/anonymity/src/directory.rs crates/anonymity/src/network.rs crates/anonymity/src/relay.rs
+
+/root/repo/target/debug/deps/libsoftrep_anonymity-bc79c9733e75b8d7.rlib: crates/anonymity/src/lib.rs crates/anonymity/src/circuit.rs crates/anonymity/src/directory.rs crates/anonymity/src/network.rs crates/anonymity/src/relay.rs
+
+/root/repo/target/debug/deps/libsoftrep_anonymity-bc79c9733e75b8d7.rmeta: crates/anonymity/src/lib.rs crates/anonymity/src/circuit.rs crates/anonymity/src/directory.rs crates/anonymity/src/network.rs crates/anonymity/src/relay.rs
+
+crates/anonymity/src/lib.rs:
+crates/anonymity/src/circuit.rs:
+crates/anonymity/src/directory.rs:
+crates/anonymity/src/network.rs:
+crates/anonymity/src/relay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softrep_baseline-1b9cd13ca8fffcd3.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs crates/baseline/src/lab.rs crates/baseline/src/legal.rs crates/baseline/src/signature_db.rs
+
+/root/repo/target/debug/deps/softrep_baseline-1b9cd13ca8fffcd3: crates/baseline/src/lib.rs crates/baseline/src/engine.rs crates/baseline/src/lab.rs crates/baseline/src/legal.rs crates/baseline/src/signature_db.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/lab.rs:
+crates/baseline/src/legal.rs:
+crates/baseline/src/signature_db.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softrep_baseline-54f94d447dd06ceb.d: crates/baseline/src/lib.rs crates/baseline/src/engine.rs crates/baseline/src/lab.rs crates/baseline/src/legal.rs crates/baseline/src/signature_db.rs
+
+/root/repo/target/debug/deps/libsoftrep_baseline-54f94d447dd06ceb.rlib: crates/baseline/src/lib.rs crates/baseline/src/engine.rs crates/baseline/src/lab.rs crates/baseline/src/legal.rs crates/baseline/src/signature_db.rs
+
+/root/repo/target/debug/deps/libsoftrep_baseline-54f94d447dd06ceb.rmeta: crates/baseline/src/lib.rs crates/baseline/src/engine.rs crates/baseline/src/lab.rs crates/baseline/src/legal.rs crates/baseline/src/signature_db.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/engine.rs:
+crates/baseline/src/lab.rs:
+crates/baseline/src/legal.rs:
+crates/baseline/src/signature_db.rs:

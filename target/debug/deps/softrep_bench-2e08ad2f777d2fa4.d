@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softrep_bench-2e08ad2f777d2fa4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftrep_bench-2e08ad2f777d2fa4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftrep_bench-2e08ad2f777d2fa4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softrep_bench-b080199c381c7ca9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/softrep_bench-b080199c381c7ca9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

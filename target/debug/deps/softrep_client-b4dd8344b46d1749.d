@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softrep_client-b4dd8344b46d1749.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/connector.rs crates/client/src/lists.rs crates/client/src/os.rs crates/client/src/prompt.rs crates/client/src/signature.rs
+
+/root/repo/target/debug/deps/libsoftrep_client-b4dd8344b46d1749.rlib: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/connector.rs crates/client/src/lists.rs crates/client/src/os.rs crates/client/src/prompt.rs crates/client/src/signature.rs
+
+/root/repo/target/debug/deps/libsoftrep_client-b4dd8344b46d1749.rmeta: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/connector.rs crates/client/src/lists.rs crates/client/src/os.rs crates/client/src/prompt.rs crates/client/src/signature.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/connector.rs:
+crates/client/src/lists.rs:
+crates/client/src/os.rs:
+crates/client/src/prompt.rs:
+crates/client/src/signature.rs:

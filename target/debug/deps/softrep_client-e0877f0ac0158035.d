@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softrep_client-e0877f0ac0158035.d: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/connector.rs crates/client/src/lists.rs crates/client/src/os.rs crates/client/src/prompt.rs crates/client/src/signature.rs
+
+/root/repo/target/debug/deps/softrep_client-e0877f0ac0158035: crates/client/src/lib.rs crates/client/src/client.rs crates/client/src/connector.rs crates/client/src/lists.rs crates/client/src/os.rs crates/client/src/prompt.rs crates/client/src/signature.rs
+
+crates/client/src/lib.rs:
+crates/client/src/client.rs:
+crates/client/src/connector.rs:
+crates/client/src/lists.rs:
+crates/client/src/os.rs:
+crates/client/src/prompt.rs:
+crates/client/src/signature.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/softrep_core-120de4411fc52c88.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bootstrap.rs crates/core/src/clock.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/extensions.rs crates/core/src/identity.rs crates/core/src/model.rs crates/core/src/moderation.rs crates/core/src/taxonomy.rs crates/core/src/trust.rs
+
+/root/repo/target/debug/deps/softrep_core-120de4411fc52c88: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bootstrap.rs crates/core/src/clock.rs crates/core/src/db.rs crates/core/src/error.rs crates/core/src/extensions.rs crates/core/src/identity.rs crates/core/src/model.rs crates/core/src/moderation.rs crates/core/src/taxonomy.rs crates/core/src/trust.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bootstrap.rs:
+crates/core/src/clock.rs:
+crates/core/src/db.rs:
+crates/core/src/error.rs:
+crates/core/src/extensions.rs:
+crates/core/src/identity.rs:
+crates/core/src/model.rs:
+crates/core/src/moderation.rs:
+crates/core/src/taxonomy.rs:
+crates/core/src/trust.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/softrep_crypto-0f7337b3a9bfde64.d: crates/crypto/src/lib.rs crates/crypto/src/bignum.rs crates/crypto/src/digest.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/ots.rs crates/crypto/src/puzzle.rs crates/crypto/src/rsa.rs crates/crypto/src/salted.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/stream.rs
+
+/root/repo/target/debug/deps/libsoftrep_crypto-0f7337b3a9bfde64.rlib: crates/crypto/src/lib.rs crates/crypto/src/bignum.rs crates/crypto/src/digest.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/ots.rs crates/crypto/src/puzzle.rs crates/crypto/src/rsa.rs crates/crypto/src/salted.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/stream.rs
+
+/root/repo/target/debug/deps/libsoftrep_crypto-0f7337b3a9bfde64.rmeta: crates/crypto/src/lib.rs crates/crypto/src/bignum.rs crates/crypto/src/digest.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/ots.rs crates/crypto/src/puzzle.rs crates/crypto/src/rsa.rs crates/crypto/src/salted.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/stream.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/bignum.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/ots.rs:
+crates/crypto/src/puzzle.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/salted.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/stream.rs:

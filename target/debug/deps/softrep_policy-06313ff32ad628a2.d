@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softrep_policy-06313ff32ad628a2.d: crates/policy/src/lib.rs crates/policy/src/ast.rs crates/policy/src/eval.rs crates/policy/src/lexer.rs crates/policy/src/parser.rs
+
+/root/repo/target/debug/deps/softrep_policy-06313ff32ad628a2: crates/policy/src/lib.rs crates/policy/src/ast.rs crates/policy/src/eval.rs crates/policy/src/lexer.rs crates/policy/src/parser.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/ast.rs:
+crates/policy/src/eval.rs:
+crates/policy/src/lexer.rs:
+crates/policy/src/parser.rs:

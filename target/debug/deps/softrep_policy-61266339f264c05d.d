@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softrep_policy-61266339f264c05d.d: crates/policy/src/lib.rs crates/policy/src/ast.rs crates/policy/src/eval.rs crates/policy/src/lexer.rs crates/policy/src/parser.rs
+
+/root/repo/target/debug/deps/libsoftrep_policy-61266339f264c05d.rlib: crates/policy/src/lib.rs crates/policy/src/ast.rs crates/policy/src/eval.rs crates/policy/src/lexer.rs crates/policy/src/parser.rs
+
+/root/repo/target/debug/deps/libsoftrep_policy-61266339f264c05d.rmeta: crates/policy/src/lib.rs crates/policy/src/ast.rs crates/policy/src/eval.rs crates/policy/src/lexer.rs crates/policy/src/parser.rs
+
+crates/policy/src/lib.rs:
+crates/policy/src/ast.rs:
+crates/policy/src/eval.rs:
+crates/policy/src/lexer.rs:
+crates/policy/src/parser.rs:

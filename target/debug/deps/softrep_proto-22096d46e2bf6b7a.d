@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softrep_proto-22096d46e2bf6b7a.d: crates/proto/src/lib.rs crates/proto/src/framing.rs crates/proto/src/message.rs crates/proto/src/xml.rs
+
+/root/repo/target/debug/deps/libsoftrep_proto-22096d46e2bf6b7a.rlib: crates/proto/src/lib.rs crates/proto/src/framing.rs crates/proto/src/message.rs crates/proto/src/xml.rs
+
+/root/repo/target/debug/deps/libsoftrep_proto-22096d46e2bf6b7a.rmeta: crates/proto/src/lib.rs crates/proto/src/framing.rs crates/proto/src/message.rs crates/proto/src/xml.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/framing.rs:
+crates/proto/src/message.rs:
+crates/proto/src/xml.rs:

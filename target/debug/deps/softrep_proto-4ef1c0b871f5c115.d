@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/softrep_proto-4ef1c0b871f5c115.d: crates/proto/src/lib.rs crates/proto/src/framing.rs crates/proto/src/message.rs crates/proto/src/xml.rs
+
+/root/repo/target/debug/deps/softrep_proto-4ef1c0b871f5c115: crates/proto/src/lib.rs crates/proto/src/framing.rs crates/proto/src/message.rs crates/proto/src/xml.rs
+
+crates/proto/src/lib.rs:
+crates/proto/src/framing.rs:
+crates/proto/src/message.rs:
+crates/proto/src/xml.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softrep_server-a7595e652cd010b3.d: crates/server/src/lib.rs crates/server/src/flood.rs crates/server/src/handler.rs crates/server/src/puzzle_gate.rs crates/server/src/session.rs crates/server/src/tcp.rs crates/server/src/web.rs
+
+/root/repo/target/debug/deps/libsoftrep_server-a7595e652cd010b3.rlib: crates/server/src/lib.rs crates/server/src/flood.rs crates/server/src/handler.rs crates/server/src/puzzle_gate.rs crates/server/src/session.rs crates/server/src/tcp.rs crates/server/src/web.rs
+
+/root/repo/target/debug/deps/libsoftrep_server-a7595e652cd010b3.rmeta: crates/server/src/lib.rs crates/server/src/flood.rs crates/server/src/handler.rs crates/server/src/puzzle_gate.rs crates/server/src/session.rs crates/server/src/tcp.rs crates/server/src/web.rs
+
+crates/server/src/lib.rs:
+crates/server/src/flood.rs:
+crates/server/src/handler.rs:
+crates/server/src/puzzle_gate.rs:
+crates/server/src/session.rs:
+crates/server/src/tcp.rs:
+crates/server/src/web.rs:

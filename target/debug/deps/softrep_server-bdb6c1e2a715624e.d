@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softrep_server-bdb6c1e2a715624e.d: crates/server/src/lib.rs crates/server/src/flood.rs crates/server/src/handler.rs crates/server/src/puzzle_gate.rs crates/server/src/session.rs crates/server/src/tcp.rs crates/server/src/web.rs
+
+/root/repo/target/debug/deps/softrep_server-bdb6c1e2a715624e: crates/server/src/lib.rs crates/server/src/flood.rs crates/server/src/handler.rs crates/server/src/puzzle_gate.rs crates/server/src/session.rs crates/server/src/tcp.rs crates/server/src/web.rs
+
+crates/server/src/lib.rs:
+crates/server/src/flood.rs:
+crates/server/src/handler.rs:
+crates/server/src/puzzle_gate.rs:
+crates/server/src/session.rs:
+crates/server/src/tcp.rs:
+crates/server/src/web.rs:

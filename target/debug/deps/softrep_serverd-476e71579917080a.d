@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softrep_serverd-476e71579917080a.d: src/bin/softrep_serverd.rs
+
+/root/repo/target/debug/deps/softrep_serverd-476e71579917080a: src/bin/softrep_serverd.rs
+
+src/bin/softrep_serverd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softrep_serverd-fac613a2ffd6e625.d: src/bin/softrep_serverd.rs
+
+/root/repo/target/debug/deps/softrep_serverd-fac613a2ffd6e625: src/bin/softrep_serverd.rs
+
+src/bin/softrep_serverd.rs:

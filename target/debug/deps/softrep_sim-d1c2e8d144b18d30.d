@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/softrep_sim-d1c2e8d144b18d30.d: crates/sim/src/lib.rs crates/sim/src/attack.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/d1_coldstart.rs crates/sim/src/experiments/d2_trust_weighting.rs crates/sim/src/experiments/d3_attacks.rs crates/sim/src/experiments/d4_trust_growth.rs crates/sim/src/experiments/d5_interruption.rs crates/sim/src/experiments/d6_baseline.rs crates/sim/src/experiments/d7_identity.rs crates/sim/src/experiments/d8_privacy.rs crates/sim/src/experiments/d9_policy.rs crates/sim/src/experiments/t1_taxonomy.rs crates/sim/src/experiments/t2_transform.rs crates/sim/src/experiments/x1_evidence.rs crates/sim/src/experiments/x2_feeds.rs crates/sim/src/experiments/x3_pseudonyms.rs crates/sim/src/harness.rs crates/sim/src/metrics.rs crates/sim/src/population.rs crates/sim/src/report.rs crates/sim/src/universe.rs
+
+/root/repo/target/debug/deps/softrep_sim-d1c2e8d144b18d30: crates/sim/src/lib.rs crates/sim/src/attack.rs crates/sim/src/experiments/mod.rs crates/sim/src/experiments/d1_coldstart.rs crates/sim/src/experiments/d2_trust_weighting.rs crates/sim/src/experiments/d3_attacks.rs crates/sim/src/experiments/d4_trust_growth.rs crates/sim/src/experiments/d5_interruption.rs crates/sim/src/experiments/d6_baseline.rs crates/sim/src/experiments/d7_identity.rs crates/sim/src/experiments/d8_privacy.rs crates/sim/src/experiments/d9_policy.rs crates/sim/src/experiments/t1_taxonomy.rs crates/sim/src/experiments/t2_transform.rs crates/sim/src/experiments/x1_evidence.rs crates/sim/src/experiments/x2_feeds.rs crates/sim/src/experiments/x3_pseudonyms.rs crates/sim/src/harness.rs crates/sim/src/metrics.rs crates/sim/src/population.rs crates/sim/src/report.rs crates/sim/src/universe.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/attack.rs:
+crates/sim/src/experiments/mod.rs:
+crates/sim/src/experiments/d1_coldstart.rs:
+crates/sim/src/experiments/d2_trust_weighting.rs:
+crates/sim/src/experiments/d3_attacks.rs:
+crates/sim/src/experiments/d4_trust_growth.rs:
+crates/sim/src/experiments/d5_interruption.rs:
+crates/sim/src/experiments/d6_baseline.rs:
+crates/sim/src/experiments/d7_identity.rs:
+crates/sim/src/experiments/d8_privacy.rs:
+crates/sim/src/experiments/d9_policy.rs:
+crates/sim/src/experiments/t1_taxonomy.rs:
+crates/sim/src/experiments/t2_transform.rs:
+crates/sim/src/experiments/x1_evidence.rs:
+crates/sim/src/experiments/x2_feeds.rs:
+crates/sim/src/experiments/x3_pseudonyms.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/population.rs:
+crates/sim/src/report.rs:
+crates/sim/src/universe.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softrep_storage-408df43300c26bc2.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/codec.rs crates/storage/src/crc.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/softrep_storage-408df43300c26bc2: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/codec.rs crates/storage/src/crc.rs crates/storage/src/error.rs crates/storage/src/index.rs crates/storage/src/store.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/codec.rs:
+crates/storage/src/crc.rs:
+crates/storage/src/error.rs:
+crates/storage/src/index.rs:
+crates/storage/src/store.rs:
+crates/storage/src/table.rs:
+crates/storage/src/wal.rs:

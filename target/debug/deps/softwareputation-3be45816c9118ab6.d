@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softwareputation-3be45816c9118ab6.d: src/lib.rs
+
+/root/repo/target/debug/deps/softwareputation-3be45816c9118ab6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softwareputation-5475ad591163d057.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftwareputation-5475ad591163d057.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftwareputation-5475ad591163d057.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_d6probe-5c36565b787c4c73.d: examples/_d6probe.rs
+
+/root/repo/target/debug/examples/_d6probe-5c36565b787c4c73: examples/_d6probe.rs
+
+examples/_d6probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anonymous_community-f387621cdb35216a.d: examples/anonymous_community.rs
+
+/root/repo/target/debug/examples/anonymous_community-f387621cdb35216a: examples/anonymous_community.rs
+
+examples/anonymous_community.rs:

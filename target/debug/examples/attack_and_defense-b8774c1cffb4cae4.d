@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_and_defense-b8774c1cffb4cae4.d: examples/attack_and_defense.rs
+
+/root/repo/target/debug/examples/attack_and_defense-b8774c1cffb4cae4: examples/attack_and_defense.rs
+
+examples/attack_and_defense.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/networked_deployment-e771683ba772e2ef.d: examples/networked_deployment.rs
+
+/root/repo/target/debug/examples/networked_deployment-e771683ba772e2ef: examples/networked_deployment.rs
+
+examples/networked_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_manager-69af0be063ac1ff4.d: examples/policy_manager.rs
+
+/root/repo/target/debug/examples/policy_manager-69af0be063ac1ff4: examples/policy_manager.rs
+
+examples/policy_manager.rs:

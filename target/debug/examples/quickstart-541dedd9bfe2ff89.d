@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-541dedd9bfe2ff89.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-541dedd9bfe2ff89: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runtime_analysis-d136f534c906d227.d: examples/runtime_analysis.rs
+
+/root/repo/target/debug/examples/runtime_analysis-d136f534c906d227: examples/runtime_analysis.rs
+
+examples/runtime_analysis.rs:

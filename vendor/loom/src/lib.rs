@@ -1,0 +1,135 @@
+//! Offline vendored stand-in for `loom`: bounded randomized exploration of
+//! thread interleavings.
+//!
+//! Real loom exhaustively enumerates interleavings with DPOR; that crate is
+//! unavailable in this network-less build environment, so this stand-in
+//! implements the next best thing — a cooperative scheduler that fully
+//! serialises model threads and re-runs the body under many seeds, forcing
+//! a different interleaving each time. The vendored `parking_lot` calls
+//! [`hook::yield_point`] around every lock operation, so production
+//! structures (session table, flood guard, puzzle gate, WAL) get
+//! scheduling points injected without any code changes.
+//!
+//! ```ignore
+//! loom::model(|| {
+//!     let table = Arc::new(SessionTable::new(...));
+//!     let a = loom::thread::spawn({ let t = table.clone(); move || t.insert(...) });
+//!     a.join().unwrap();
+//!     assert!(table.invariant_holds());
+//! });
+//! ```
+
+mod sched;
+
+pub use sched::{model, model_with_stats, ModelStats};
+
+/// Instrumentation hooks used by the vendored sync primitives.
+pub mod hook {
+    /// True when the calling thread is running inside [`crate::model`].
+    pub use crate::sched::is_active;
+    /// Scheduling point; no-op outside a model.
+    pub use crate::sched::yield_point;
+}
+
+/// Model-aware threading, mirroring `loom::thread`.
+pub mod thread {
+    pub use crate::sched::{spawn, JoinHandle};
+
+    /// Explicit scheduling point, mirroring `loom::thread::yield_now`.
+    pub fn yield_now() {
+        crate::sched::yield_point();
+    }
+}
+
+/// Model-aware sync primitives, mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Mutex whose lock operations are scheduling points.
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// New unlocked mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire, yielding to the scheduler while contended.
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            if crate::hook::is_active() {
+                loop {
+                    crate::hook::yield_point();
+                    match self.0.try_lock() {
+                        Ok(guard) => return Ok(guard),
+                        Err(std::sync::TryLockError::Poisoned(p)) => return Err(p),
+                        Err(std::sync::TryLockError::WouldBlock) => continue,
+                    }
+                }
+            }
+            self.0.lock()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_body_under_every_seed() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let runs2 = Arc::clone(&runs);
+        let stats = super::model_with_stats(move || {
+            runs2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), stats.schedules);
+    }
+
+    #[test]
+    fn two_increment_threads_explore_distinct_schedules() {
+        let stats = super::model_with_stats(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        super::thread::yield_now();
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+        assert!(
+            stats.distinct_schedules >= 3,
+            "expected >=3 distinct interleavings, saw {}",
+            stats.distinct_schedules
+        );
+    }
+
+    #[test]
+    fn model_mutex_serialises_critical_sections() {
+        super::model(|| {
+            let shared = Arc::new(super::sync::Mutex::new(0u32));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let s = Arc::clone(&shared);
+                    super::thread::spawn(move || {
+                        let mut guard = s.lock().unwrap();
+                        *guard += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*shared.lock().unwrap(), 3);
+        });
+    }
+}

@@ -1,0 +1,252 @@
+//! The cooperative scheduler behind [`model`](crate::model).
+//!
+//! One OS thread per model thread, but only ONE is ever runnable: every
+//! participant blocks on a condvar until the scheduler hands it the run
+//! token. At each yield point (injected by the vendored `parking_lot`
+//! before lock acquisition and after release, and callable explicitly) the
+//! running thread picks the next runnable thread with a seeded PRNG and
+//! parks itself. Re-running the closure under many seeds explores many
+//! distinct interleavings; the decision trace of each run is recorded so
+//! callers can assert how many schedules were actually distinct.
+//!
+//! This is bounded randomized systematic testing, not loom's exhaustive
+//! DPOR exploration — the honest trade-off for a network-less build
+//! environment. Racy outcomes still differ across seeds, which is what the
+//! race-detection tests assert on.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on scheduling decisions per run; beyond this we declare a
+/// livelock rather than hang the test suite.
+const MAX_STEPS: usize = 1_000_000;
+
+/// Idle sentinel: no thread currently holds the run token.
+const NOBODY: usize = usize::MAX;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+struct State {
+    /// `true` while the thread is registered and not yet finished.
+    alive: Vec<bool>,
+    current: usize,
+    rng: u64,
+    trace: Vec<usize>,
+    steps: usize,
+}
+
+impl Shared {
+    fn new(seed: u64) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                alive: Vec::new(),
+                current: NOBODY,
+                // splitmix64 of the seed so consecutive seeds diverge fast.
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_0F_1CE5,
+                trace: Vec::new(),
+                steps: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn register(&self) -> usize {
+        let mut st = self.locked();
+        st.alive.push(true);
+        st.alive.len() - 1
+    }
+
+    /// Pick the next runnable thread and wake it. Must hold the lock.
+    fn dispatch(&self, st: &mut State) {
+        let runnable: Vec<usize> =
+            st.alive.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect();
+        if runnable.is_empty() {
+            st.current = NOBODY;
+            return;
+        }
+        // xorshift step of the schedule PRNG.
+        let mut x = st.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        st.rng = x;
+        let next = runnable[(x % runnable.len() as u64) as usize];
+        st.current = next;
+        st.trace.push(next);
+        st.steps += 1;
+        assert!(
+            st.steps < MAX_STEPS,
+            "loom model exceeded {MAX_STEPS} scheduling steps: likely livelock"
+        );
+        self.cv.notify_all();
+    }
+
+    /// Give up the run token and block until it comes back to `me`.
+    fn yield_from(&self, me: usize) {
+        let mut st = self.locked();
+        debug_assert!(st.alive[me], "finished thread yielded");
+        self.dispatch(&mut st);
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Block until the scheduler first selects `me`.
+    fn wait_until_scheduled(&self, me: usize) {
+        let mut st = self.locked();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Mark `me` finished and hand the token to someone else.
+    fn finish(&self, me: usize) {
+        let mut st = self.locked();
+        st.alive[me] = false;
+        self.dispatch(&mut st);
+    }
+
+    fn is_finished(&self, id: usize) -> bool {
+        !self.locked().alive[id]
+    }
+
+    fn live_count(&self) -> usize {
+        self.locked().alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Current thread's model context, if it is participating in one.
+fn ctx() -> Option<(Arc<Shared>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread runs under an active model.
+pub fn is_active() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Scheduling point: under a model, hand the token to a (seeded-) randomly
+/// chosen runnable thread. Outside a model this is a no-op.
+pub fn yield_point() {
+    if let Some((shared, me)) = ctx() {
+        shared.yield_from(me);
+    }
+}
+
+/// Model-thread handle, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    shared: Arc<Shared>,
+    id: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (cooperatively) for the thread to finish and take its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        let me = ctx().map(|(_, id)| id);
+        while !self.shared.is_finished(self.id) {
+            match me {
+                Some(_) => yield_point(),
+                None => std::thread::yield_now(),
+            }
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread that participates in the ambient model.
+///
+/// Panics when called outside [`model`]; mirrors `loom::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (shared, _) = ctx().expect("loom::thread::spawn called outside loom::model");
+    let id = shared.register();
+    let shared_child = Arc::clone(&shared);
+    let inner = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared_child), id)));
+            shared_child.wait_until_scheduled(id);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            CTX.with(|c| *c.borrow_mut() = None);
+            shared_child.finish(id);
+            match result {
+                Ok(v) => v,
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+        .expect("spawn loom model thread");
+    // Branch point: the child may run before the spawner continues.
+    yield_point();
+    JoinHandle { inner, shared, id }
+}
+
+/// Summary of one [`model_with_stats`] exploration.
+#[derive(Clone, Debug)]
+pub struct ModelStats {
+    /// Number of seeds (schedules) executed.
+    pub schedules: usize,
+    /// Number of distinct scheduling-decision traces observed.
+    pub distinct_schedules: usize,
+}
+
+fn configured_schedules() -> usize {
+    std::env::var("LOOM_SCHEDULES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Run `f` under many seeded schedules. Panics propagate (failing the
+/// test), mirroring `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with_stats(f);
+}
+
+/// [`model`], but also report how many distinct interleavings were seen.
+pub fn model_with_stats<F>(f: F) -> ModelStats
+where
+    F: Fn(),
+{
+    assert!(!is_active(), "nested loom::model is not supported");
+    let schedules = configured_schedules();
+    let mut traces: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for seed in 0..schedules as u64 {
+        let shared = Arc::new(Shared::new(seed));
+        let me = shared.register();
+        {
+            let mut st = shared.locked();
+            st.current = me;
+        }
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), me)));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        // Drain stragglers so their OS threads exit before the next seed;
+        // on panic we still drain to avoid leaking blocked threads.
+        while shared.live_count() > 1 {
+            shared.yield_from(me);
+        }
+        shared.finish(me);
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
+        traces.insert(shared.locked().trace.clone());
+    }
+    ModelStats { schedules, distinct_schedules: traces.len() }
+}

@@ -1,0 +1,261 @@
+//! Offline vendored stand-in for `parking_lot`.
+//!
+//! Mirrors the `parking_lot 0.12` API subset the workspace uses: `Mutex`
+//! and `RwLock` that return guards directly (no `Result`, no poisoning).
+//! Backed by `std::sync`; a panicked holder's poison flag is swallowed,
+//! matching parking_lot's no-poisoning semantics.
+//!
+//! Every lock operation is also a scheduling point for the vendored `loom`
+//! model checker: before each acquisition attempt and after each release
+//! the thread yields to the model scheduler (a no-op outside
+//! `loom::model`). That lets the race-detection tests in
+//! `crates/server/tests/loom.rs` interleave production structures without
+//! any `#[cfg(loom)]` forks in the production code itself.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+
+/// Mutual exclusion lock; `lock` returns the guard directly.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(ManuallyDrop<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// New unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex and return its value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if loom::hook::is_active() {
+            loop {
+                loom::hook::yield_point();
+                match self.0.try_lock() {
+                    Ok(guard) => return MutexGuard(ManuallyDrop::new(guard)),
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return MutexGuard(ManuallyDrop::new(p.into_inner()))
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+        MutexGuard(ManuallyDrop::new(self.0.lock().unwrap_or_else(|p| p.into_inner())))
+    }
+
+    /// Acquire only if free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        loom::hook::yield_point();
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(ManuallyDrop::new(guard))),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard(ManuallyDrop::new(p.into_inner())))
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release first, then yield: the post-release state becomes visible
+        // to whichever thread the model scheduler picks next.
+        // SAFETY: the inner guard is dropped exactly once, here.
+        unsafe { ManuallyDrop::drop(&mut self.0) };
+        loom::hook::yield_point();
+    }
+}
+
+/// Reader-writer lock; `read`/`write` return guards directly.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>);
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>);
+
+impl<T> RwLock<T> {
+    /// New unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock and return its value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if loom::hook::is_active() {
+            loop {
+                loom::hook::yield_point();
+                match self.0.try_read() {
+                    Ok(guard) => return RwLockReadGuard(ManuallyDrop::new(guard)),
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return RwLockReadGuard(ManuallyDrop::new(p.into_inner()))
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+        RwLockReadGuard(ManuallyDrop::new(self.0.read().unwrap_or_else(|p| p.into_inner())))
+    }
+
+    /// Acquire the exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if loom::hook::is_active() {
+            loop {
+                loom::hook::yield_point();
+                match self.0.try_write() {
+                    Ok(guard) => return RwLockWriteGuard(ManuallyDrop::new(guard)),
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return RwLockWriteGuard(ManuallyDrop::new(p.into_inner()))
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                }
+            }
+        }
+        RwLockWriteGuard(ManuallyDrop::new(self.0.write().unwrap_or_else(|p| p.into_inner())))
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the inner guard is dropped exactly once, here.
+        unsafe { ManuallyDrop::drop(&mut self.0) };
+        loom::hook::yield_point();
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the inner guard is dropped exactly once, here.
+        unsafe { ManuallyDrop::drop(&mut self.0) };
+        loom::hook::yield_point();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // parking_lot semantics: no poisoning, the lock stays usable.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! `any::<T>()`: the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Mix uniform bits with boundary values so off-by-one bugs
+                // surface without shrinking support.
+                match rng.gen_range(0u8..8) {
+                    0 => 0 as $ty,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 => 1 as $ty,
+                    _ => rng.gen::<$ty>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        rng.gen::<u128>()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.gen_range(0u8..10) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            5 => f64::MIN_POSITIVE,
+            // Raw bit patterns cover subnormals and extreme exponents.
+            6 | 7 => f64::from_bits(rng.gen::<u64>()),
+            _ => (rng.gen::<f64>() - 0.5) * 2e6,
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        rng.gen::<char>()
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| rng.gen::<char>()).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.gen_range(0usize..64);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_hits_boundary_values() {
+        let mut rng = TestRng::for_test("arbitrary-boundaries");
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..200 {
+            let v: u32 = any::<u32>().generate(&mut rng);
+            saw_zero |= v == 0;
+            saw_max |= v == u32::MAX;
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn arbitrary_strings_are_valid_unicode() {
+        let mut rng = TestRng::for_test("arbitrary-strings");
+        for _ in 0..100 {
+            let s = String::arbitrary(&mut rng);
+            assert!(s.chars().count() <= 32);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Element-count range for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl SizeRange {
+    pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate vectors whose length falls in `size`, mirroring
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+/// Generate maps with up to `size` entries (duplicate generated keys
+/// coalesce, exactly as upstream), mirroring
+/// `proptest::collection::btree_map`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size: size.into() }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = std::collections::BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = TestRng::for_test("collection-vec");
+        let strategy = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bound() {
+        let mut rng = TestRng::for_test("collection-map");
+        let strategy = btree_map(0u8..50, any::<bool>(), 0..10);
+        for _ in 0..100 {
+            let m = strategy.generate(&mut rng);
+            assert!(m.len() < 10);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the API subset of proptest that its test suites use: the [`proptest!`]
+//! macro (both `name: Type` and `name in strategy` parameter forms, plus
+//! `#![proptest_config(..)]`), `prop_assert*`/`prop_assume!`,
+//! [`prop_oneof!`], `any::<T>()`, tuple/range/regex-literal strategies,
+//! `prop_map`/`prop_filter`, and the `collection`/`option`/`sample`
+//! strategy modules.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking.** A failing case reports the generated inputs verbatim.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name (SipHash with fixed keys), so failures reproduce exactly;
+//!   set `PROPTEST_SEED_OFFSET` to explore different streams and
+//!   `PROPTEST_CASES` to override the case count globally.
+//! * Regex strategies support the subset used here: character classes with
+//!   ranges and escapes, literals, and `{m}`/`{m,n}`/`?`/`*`/`+` repetition.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+
+mod regex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Items `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Random source threaded through every strategy.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_test(name: &str) -> TestRng {
+        use std::hash::{Hash, Hasher};
+        // DefaultHasher uses fixed keys, so the seed — and therefore the
+        // whole generated stream — is stable across runs and machines.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        let offset: u64 = std::env::var("PROPTEST_SEED_OFFSET")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        TestRng(StdRng::seed_from_u64(hasher.finish() ^ offset))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a rejection (`prop_assume!`).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Build a failure (`prop_assert*`).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-case outcome used by the generated test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Knobs for a `proptest!` block, mirroring `proptest::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drive one property: generate cases until `config.cases` succeed.
+///
+/// Called by the expansion of [`proptest!`]; not part of upstream's public
+/// API surface but harmless to expose.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < cases.saturating_mul(20).max(1024),
+                    "proptest '{name}': too many rejected cases ({rejected}) — \
+                     prop_assume! condition is almost never satisfied"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed after {passed} passing cases: {msg}");
+            }
+        }
+    }
+}
+
+/// Property-test entry macro; see the crate docs for the supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expand each `fn` inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run($cfg, stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let mut __proptest_case = || -> $crate::TestCaseResult {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                };
+                __proptest_case()
+            });
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Internal: bind one `proptest!` parameter list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+    };
+    ($rng:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, mut $name:ident in $strategy:expr) => {
+        let mut $name = $crate::Strategy::generate(&($strategy), $rng);
+    };
+    ($rng:ident, mut $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let mut $name = $crate::Strategy::generate(&($strategy), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident: $ty:ty) => {
+        let $name = $crate::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:ident, $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, mut $name:ident: $ty:ty) => {
+        let mut $name = $crate::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:ident, mut $name:ident: $ty:ty, $($rest:tt)*) => {
+        let mut $name = $crate::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// immediately) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(({ $weight } as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}

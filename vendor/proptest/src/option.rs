@@ -1,0 +1,48 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+
+/// Strategy for `Option<T>`; see [`of`].
+pub struct OptionStrategy<S>(S);
+
+/// Generate `None` about a quarter of the time and `Some` otherwise,
+/// mirroring `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_generates_both_variants() {
+        let mut rng = TestRng::for_test("option-of");
+        let strategy = of(0u8..10);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                None => saw_none = true,
+                Some(v) => {
+                    assert!(v < 10);
+                    saw_some = true;
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+}

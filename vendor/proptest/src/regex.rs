@@ -1,0 +1,206 @@
+//! Generator for the regex subset used by string-literal strategies.
+//!
+//! Supported syntax: literal characters, `\x` escapes, character classes
+//! `[...]` with ranges (`a-z`) and escapes (a trailing or leading `-` is a
+//! literal), and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded
+//! forms cap at 8 repetitions). Groups, alternation and anchors are not
+//! supported — the workspace's patterns don't use them — and an
+//! unsupported pattern panics loudly rather than generating junk.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One generatable unit: a set of candidate chars plus a repetition range.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: usize = 8;
+
+/// Generate a string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex strategy {pattern:?}"));
+                i += 1;
+                vec![unescape(c)]
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex construct {:?} in strategy {pattern:?}", chars[i])
+            }
+            '.' => {
+                i += 1;
+                // Any printable ASCII is a faithful-enough universe for `.`.
+                (0x20u8..0x7f).map(char::from).collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Parse the body of a `[...]` class starting at `start` (past the `[`).
+/// Returns the candidate set and the index just past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], start: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    let mut i = start;
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "negated classes are not supported in regex strategy {pattern:?}"
+    );
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in regex strategy {pattern:?}")),
+            )
+        } else {
+            chars[i]
+        };
+        // `a-z` range, unless the `-` is the final char of the class.
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted range {c}-{hi} in regex strategy {pattern:?}");
+            for v in c..=hi {
+                set.push(v);
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in regex strategy {pattern:?}");
+    assert!(!set.is_empty(), "empty class in regex strategy {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parse an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex strategy {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in regex strategy {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("regex-unit-tests")
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9.:-]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_tail_after_class() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[a-z]{1,12}@[a-z]{1,8}\\.com", &mut rng);
+            let (local, rest) = s.split_once('@').expect("has @");
+            assert!(!local.is_empty() && local.len() <= 12);
+            assert!(rest.ends_with(".com"));
+        }
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            assert_eq!(generate_matching("[a-f0-9]{8}", &mut rng).len(), 8);
+        }
+    }
+
+    #[test]
+    fn quote_class_from_robustness_suite() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z0-9<>&\"' ]{1,24}", &mut rng);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn groups_are_rejected() {
+        let mut rng = rng();
+        generate_matching("(ab)+", &mut rng);
+    }
+}

@@ -1,0 +1,45 @@
+//! Sampling strategies over concrete collections.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::seq::index;
+
+/// Strategy yielding order-preserving subsequences; see [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+/// Pick a random subsequence of `values` (order preserved) whose length is
+/// in `size`, mirroring `proptest::sample::subsequence`.
+pub fn subsequence<T: Clone>(values: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence { values, size: size.into() }
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = self.size.pick(rng).min(self.values.len());
+        let mut picked = index::sample(rng, self.values.len(), want).into_vec();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequence_preserves_order_and_uniqueness() {
+        let mut rng = TestRng::for_test("sample-subsequence");
+        let values: Vec<u32> = (0..10).collect();
+        let strategy = subsequence(values, 0..7);
+        for _ in 0..100 {
+            let sub = strategy.generate(&mut rng);
+            assert!(sub.len() < 7);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "not ordered: {sub:?}");
+        }
+    }
+}

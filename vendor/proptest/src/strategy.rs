@@ -1,0 +1,245 @@
+//! The [`Strategy`] trait and combinators (generate-only; no shrinking).
+
+use crate::TestRng;
+use rand::Rng;
+
+/// How many times a filtered strategy retries before giving up.
+const FILTER_RETRIES: usize = 10_000;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `reason` labels give-up panics.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason: reason.into(), pred }
+    }
+
+    /// Type-erase for heterogeneous composition (e.g. [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let candidate = self.inner.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter gave up after {FILTER_RETRIES} rejections: {}", self.reason);
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+trait ObjStrategy<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> ObjStrategy<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, mirroring `proptest::strategy::BoxedStrategy`.
+pub struct BoxedStrategy<T>(Box<dyn ObjStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Weighted choice among boxed strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one nonzero weight");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if roll < weight {
+                return arm.generate(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("roll exceeded total weight");
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String literals act as regex-subset strategies generating matching
+/// strings, mirroring proptest's `&str` strategy.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::regex::generate_matching(self, rng)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A);
+impl_strategy_for_tuple!(A, B);
+impl_strategy_for_tuple!(A, B, C);
+impl_strategy_for_tuple!(A, B, C, D);
+impl_strategy_for_tuple!(A, B, C, D, E);
+impl_strategy_for_tuple!(A, B, C, D, E, F);
+impl_strategy_for_tuple!(A, B, C, D, E, F, G);
+impl_strategy_for_tuple!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-unit-tests")
+    }
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let mut rng = rng();
+        let strategy = (1u8..10, 0usize..=3).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = rng();
+        let strategy = crate::prop_oneof![
+            1 => Just(0u8),
+            0 => Just(1u8),
+        ];
+        for _ in 0..100 {
+            assert_eq!(strategy.generate(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_satisfied() {
+        let mut rng = rng();
+        let strategy = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strategy.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn regex_literal_generates_matching_strings() {
+        let mut rng = rng();
+        let strategy = "[a-z]{2,4}";
+        for _ in 0..100 {
+            let s = strategy.generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad chars: {s:?}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Distributions: the [`Standard`] uniform distribution behind `Rng::gen`
+//! and the weighted categorical [`WeightedIndex`].
+
+use crate::Rng;
+
+/// Types that can be sampled given a generator.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution for a type (`Rng::gen`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<char> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> char {
+        // Uniform over Unicode scalar values: skip the surrogate gap.
+        loop {
+            let v = (rng.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Error building a [`WeightedIndex`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// Every weight was zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Categorical distribution over indices `0..n`, each drawn with
+/// probability proportional to its weight.
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from an iterator of non-negative weights.
+    pub fn new<I>(weights: I) -> Result<WeightedIndex, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: IntoWeight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = w.into_weight();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let target: f64 = crate::random_f64(rng) * self.total;
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("finite")) {
+            // Exact hit on a cumulative boundary belongs to the next bucket.
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Weight types accepted by [`WeightedIndex::new`].
+pub trait IntoWeight {
+    /// Convert to `f64` mass.
+    fn into_weight(self) -> f64;
+}
+
+macro_rules! impl_into_weight {
+    ($($ty:ty),*) => {$(
+        impl IntoWeight for $ty {
+            fn into_weight(self) -> f64 {
+                self as f64
+            }
+        }
+        impl IntoWeight for &$ty {
+            fn into_weight(self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+impl_into_weight!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_mass() {
+        let dist = WeightedIndex::new([0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_input() {
+        assert_eq!(WeightedIndex::new(Vec::<f64>::new()).unwrap_err(), WeightedError::NoItem);
+        assert_eq!(WeightedIndex::new([-1.0]).unwrap_err(), WeightedError::InvalidWeight);
+        assert_eq!(WeightedIndex::new([0.0, 0.0]).unwrap_err(), WeightedError::AllWeightsZero);
+    }
+
+    #[test]
+    fn weighted_index_covers_all_buckets() {
+        let dist = WeightedIndex::new([1u32, 1, 1]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            seen[dist.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,107 @@
+//! Concrete generators: the seedable [`StdRng`] and the entropy-backed
+//! [`OsRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ — fast, high-quality, and seedable; the workspace's default
+/// deterministic generator (upstream `StdRng` is ChaCha12; simulations here
+/// only need statistical quality plus reproducibility, not a CSPRNG).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(bytes);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s = [0x9E37_79B9_7F4A_7C15, 0xD1B5_4A32_D192_ED03, 0xAB0E_9B89_83F9_19CF, 0x5]
+        }
+        StdRng { s }
+    }
+}
+
+/// Operating-system entropy source.
+///
+/// Upstream reads `getrandom`; this stand-in derives entropy from the
+/// standard library's `RandomState` (which itself is OS-entropy seeded) and
+/// then streams xoshiro output from it. Statistically random, per-process
+/// unique, not cryptographically hardened — which matches how the workspace
+/// uses it (salts, registration tokens in tests and the demo binary).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsRng;
+
+impl RngCore for OsRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        use std::cell::RefCell;
+        use std::hash::{BuildHasher, Hasher};
+
+        thread_local! {
+            static STATE: RefCell<StdRng> = RefCell::new({
+                // Two independent RandomState instances give 128 bits of
+                // OS-seeded entropy to expand into the full xoshiro state.
+                let a = std::collections::hash_map::RandomState::new().build_hasher().finish();
+                let b = std::collections::hash_map::RandomState::new().build_hasher().finish();
+                StdRng::seed_from_u64(a ^ b.rotate_left(32))
+            });
+        }
+        STATE.with(|s| s.borrow_mut().next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_rng_produces_varied_output() {
+        let mut rng = OsRng;
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_seed_is_escaped() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

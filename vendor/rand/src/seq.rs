@@ -1,0 +1,151 @@
+//! Sequence helpers: random choice, shuffling, and index sampling without
+//! replacement.
+
+use crate::RngCore;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Uniformly pick one element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Pick up to `amount` distinct elements in random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::SampleRange::sample_single(0..self.len(), rng)])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        let picked = index::sample(rng, self.len(), amount);
+        picked.into_vec().into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, crate::SampleRange::sample_single(0..=i, rng));
+        }
+    }
+}
+
+/// Index sampling, mirroring `rand::seq::index`.
+pub mod index {
+    use crate::RngCore;
+
+    /// A set of sampled indices.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Consume into a plain `Vec<usize>`.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterate the sampled indices.
+        pub fn iter(&self) -> std::slice::Iter<'_, usize> {
+            self.0.iter()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when nothing was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Sample `amount` distinct indices from `0..length`, uniformly.
+    ///
+    /// Panics if `amount > length`, matching upstream behaviour.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from a range of length {length}"
+        );
+        // Partial Fisher–Yates over an index table; O(length) memory is fine
+        // at the population sizes the simulations use.
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = crate::SampleRange::sample_single(i..length, rng);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        IndexVec(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = index::sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(picked.len(), 10);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(picked.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = [1, 2, 3];
+        let picked: Vec<&i32> = v.choose_multiple(&mut rng, 10).collect();
+        assert_eq!(picked.len(), 3);
+    }
+}
