@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# The full verification gauntlet, in increasing order of cost:
+#
+#   1. cargo fmt --check            formatting
+#   2. cargo clippy -D warnings     compiler-adjacent lints, all targets
+#   3. softrep-lint                 the workspace's own invariant pass
+#                                   (no-panic request path, clock
+#                                   discipline, trust bounds, Request
+#                                   exhaustiveness — see DESIGN.md §7)
+#   4. cargo build --release        tier-1 build
+#   5. cargo test                   the whole workspace
+#   6. loom shard                   race detection on the server's
+#                                   concurrent structures
+#   7. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
+#                                   toolchain; skipped otherwise
+#
+# Usage: ./ci.sh            (from the workspace root)
+#        CI_TSAN=1 ./ci.sh  (also run the sanitizer shard)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "1/7 cargo fmt --check"
+cargo fmt --all -- --check
+
+step "2/7 cargo clippy --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+step "3/7 softrep-lint"
+cargo run --offline -q -p softrep-lint
+
+step "4/7 cargo build --release"
+cargo build --offline --release
+
+step "5/7 cargo test (workspace)"
+cargo test --offline -q --workspace
+
+step "6/7 loom race-detection shard"
+cargo test --offline -q -p softrep-server --features loom --test loom
+
+nightly_has_tsan_deps() {
+    rustup toolchain list 2>/dev/null | grep -q nightly \
+        && rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src.*(installed)'
+}
+
+if [ "${CI_TSAN:-0}" = "1" ]; then
+    if nightly_has_tsan_deps; then
+        step "7/7 ThreadSanitizer shard (nightly)"
+        # TSan needs the std rebuilt with the sanitizer; restrict to the
+        # concurrent server structures to keep the shard's runtime sane.
+        RUSTFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test --offline -q -p softrep-server \
+            -Z build-std --target x86_64-unknown-linux-gnu \
+            session flood puzzle_gate
+    else
+        step "7/7 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+    fi
+else
+    step "7/7 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+fi
+
+printf '\nci.sh: all enabled shards passed\n'

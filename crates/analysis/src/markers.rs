@@ -111,6 +111,75 @@ mod tests {
         assert_eq!(detect_markers(&body), vec!["settings_change".to_string()]);
     }
 
+    #[test]
+    fn overlapping_magic_prefix_still_detected() {
+        // A stray 0xB7 immediately before a real marker means the scanner's
+        // first 3-byte window [B7, B7, 3A] misses; it must re-sync one byte
+        // later and still find [B7, 3A, C5, tag].
+        let body = [0xB7, 0xB7, 0x3A, 0xC5, 0x02];
+        assert_eq!(detect_markers(&body), vec!["tracking".to_string()]);
+    }
+
+    #[test]
+    fn unknown_tag_after_magic_is_ignored() {
+        // Magic followed by a tag byte outside TAGS: recorded during the
+        // scan but filtered out of the result, not panicking and not
+        // misattributed to a neighbouring tag.
+        let body = [0xB7, 0x3A, 0xC5, 0xEE];
+        assert!(detect_markers(&body).is_empty());
+        // An unknown tag must not mask a later valid marker either.
+        let mut body = body.to_vec();
+        body.extend_from_slice(&[0xB7, 0x3A, 0xC5, 0x06]);
+        assert_eq!(detect_markers(&body), vec!["keylogger".to_string()]);
+    }
+
+    #[test]
+    fn marker_flush_with_body_end_is_detected() {
+        // Tag byte is the final byte: the `i + 4 <= len` bound must accept
+        // exactly-at-end markers (an off-by-one here silently drops the
+        // last behaviour of every generated executable).
+        let mut body = vec![9, 8, 7];
+        embed_markers(&mut body, &["data_exfiltration".into()]);
+        assert_eq!(body.len(), 7);
+        assert_eq!(detect_markers(&body), vec!["data_exfiltration".to_string()]);
+    }
+
+    #[test]
+    fn empty_behaviour_list_embeds_nothing() {
+        let mut body = vec![1, 2, 3];
+        embed_markers(&mut body, &[]);
+        assert_eq!(body, vec![1, 2, 3]);
+        let mut empty = Vec::new();
+        embed_markers(&mut empty, &[]);
+        assert!(empty.is_empty());
+        assert!(detect_markers(&empty).is_empty());
+    }
+
+    #[test]
+    fn raw_duplicate_marker_bytes_deduplicate() {
+        // Dedup must hold for hand-crafted bodies too, not only bodies
+        // produced by embed_markers.
+        let mut body = Vec::new();
+        for _ in 0..5 {
+            body.extend_from_slice(&[0xB7, 0x3A, 0xC5, 0x01]);
+            body.push(0x00); // spacer so every marker is scanned cleanly
+        }
+        assert_eq!(detect_markers(&body), vec!["popup_ads".to_string()]);
+    }
+
+    #[test]
+    fn results_come_back_in_tag_order_regardless_of_embed_order() {
+        let mut body = Vec::new();
+        embed_markers(
+            &mut body,
+            &["data_exfiltration".into(), "popup_ads".into(), "keylogger".into()],
+        );
+        assert_eq!(
+            detect_markers(&body),
+            vec!["popup_ads".to_string(), "keylogger".to_string(), "data_exfiltration".to_string()]
+        );
+    }
+
     proptest! {
         #[test]
         fn detection_finds_all_embedded(

@@ -630,11 +630,10 @@ impl ReputationDb {
 
     /// Instant of the last completed batch, if any.
     pub fn last_aggregation(&self) -> CoreResult<Option<Timestamp>> {
-        Ok(self.store.get(META_TREE, META_LAST_AGGREGATION).map(|raw| {
-            let mut bytes = [0u8; 8];
-            bytes.copy_from_slice(&raw[..8]);
-            Timestamp(u64::from_be_bytes(bytes))
-        }))
+        match self.store.get(META_TREE, META_LAST_AGGREGATION) {
+            None => Ok(None),
+            Some(raw) => Ok(Some(Timestamp(decode_meta_u64(&raw)?))),
+        }
     }
 
     /// Published rating for one software, if a batch has covered it.
@@ -817,10 +816,7 @@ impl ReputationDb {
     pub fn top_rated(&self, limit: usize) -> CoreResult<Vec<RatingRecord>> {
         let mut all: Vec<RatingRecord> = self.ratings.scan()?.into_iter().map(|(_, r)| r).collect();
         all.sort_by(|a, b| {
-            b.rating
-                .partial_cmp(&a.rating)
-                .expect("ratings are never NaN")
-                .then(a.software_id.cmp(&b.software_id))
+            b.rating.total_cmp(&a.rating).then_with(|| a.software_id.cmp(&b.software_id))
         });
         all.truncate(limit);
         Ok(all)
@@ -831,10 +827,7 @@ impl ReputationDb {
     pub fn bottom_rated(&self, limit: usize) -> CoreResult<Vec<RatingRecord>> {
         let mut all: Vec<RatingRecord> = self.ratings.scan()?.into_iter().map(|(_, r)| r).collect();
         all.sort_by(|a, b| {
-            a.rating
-                .partial_cmp(&b.rating)
-                .expect("ratings are never NaN")
-                .then(a.software_id.cmp(&b.software_id))
+            a.rating.total_cmp(&b.rating).then_with(|| a.software_id.cmp(&b.software_id))
         });
         all.truncate(limit);
         Ok(all)
@@ -964,15 +957,10 @@ impl ReputationDb {
     // -----------------------------------------------------------------
 
     fn next_comment_id(&self) -> CoreResult<u64> {
-        let next = self
-            .store
-            .get(META_TREE, META_NEXT_COMMENT_ID)
-            .map(|raw| {
-                let mut bytes = [0u8; 8];
-                bytes.copy_from_slice(&raw[..8]);
-                u64::from_be_bytes(bytes)
-            })
-            .unwrap_or(1);
+        let next = match self.store.get(META_TREE, META_NEXT_COMMENT_ID) {
+            None => 1,
+            Some(raw) => decode_meta_u64(&raw)?,
+        };
         self.store.put(
             META_TREE,
             META_NEXT_COMMENT_ID.to_vec(),
@@ -985,6 +973,19 @@ impl ReputationDb {
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
     }
+}
+
+/// Decode a big-endian `u64` meta value without panicking on a short or
+/// overlong buffer (a corrupt meta tree must surface as an error, not a
+/// crash in the request path).
+fn decode_meta_u64(raw: &[u8]) -> CoreResult<u64> {
+    let bytes: [u8; 8] = raw.try_into().map_err(|_| {
+        CoreError::Storage(softrep_storage::StorageError::Corrupt(format!(
+            "meta value is {} bytes, expected 8",
+            raw.len()
+        )))
+    })?;
+    Ok(u64::from_be_bytes(bytes))
 }
 
 fn validate_username(username: &str) -> CoreResult<()> {

@@ -1,0 +1,396 @@
+//! A small Rust lexer: just enough structure for token-pattern linting.
+//!
+//! The pass runs in environments without network access, so it cannot lean
+//! on `syn`/`proc-macro2`. A full parse is also unnecessary: every rule in
+//! [`crate::rules`] is expressible over a comment- and string-aware token
+//! stream with line numbers. The lexer therefore handles exactly the parts
+//! of Rust that would otherwise produce false positives — comments (line,
+//! nested block), string/char/byte literals, raw strings with arbitrary
+//! hash fences, lifetimes vs char literals — and flattens everything else
+//! into identifiers, numbers and (multi-char) operator tokens.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String / char / byte-string literal (contents are opaque).
+    Literal,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Operator or delimiter; multi-char operators are one token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text (for `Literal`, the raw literal including quotes).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// A `// lint: allow(rule, ...)` directive found while lexing.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the directive comment appears on.
+    pub line: usize,
+    /// Rule name inside the parentheses.
+    pub rule: String,
+}
+
+/// Lexer output: the token stream plus side-channel facts the rules need.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens outside comments.
+    pub tokens: Vec<Token>,
+    /// Every allow directive, one entry per rule name listed.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&&", "||", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex `source` into tokens and directives.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if peek(&bytes, i + 1) == Some('/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = bytes[start..i].iter().collect();
+                collect_allows(&comment, line, &mut out.allows);
+            }
+            '/' if peek(&bytes, i + 1) == Some('*') => {
+                // Nested block comments; count newlines for line tracking.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && peek(&bytes, i + 1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && peek(&bytes, i + 1) == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (text, nl) = read_string(&bytes, &mut i);
+                out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                line += nl;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&bytes, i) => {
+                let (text, nl) = read_prefixed_literal(&bytes, &mut i);
+                out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                line += nl;
+            }
+            '\'' => {
+                if is_char_literal(&bytes, i) {
+                    let (text, nl) = read_char(&bytes, &mut i);
+                    out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                    line += nl;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                    let text: String = bytes[start..i].iter().collect();
+                    out.tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                // A fractional part: exactly one dot followed by a digit —
+                // never consume `..` range syntax.
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && peek(&bytes, i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.tokens.push(Token { kind: TokenKind::Num, text, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.tokens.push(Token { kind: TokenKind::Ident, text, line });
+            }
+            _ => {
+                let text = read_operator(&bytes, &mut i);
+                out.tokens.push(Token { kind: TokenKind::Punct, text, line });
+            }
+        }
+    }
+    out
+}
+
+fn peek(bytes: &[char], i: usize) -> Option<char> {
+    bytes.get(i).copied()
+}
+
+/// True when `r`/`b` at `i` starts a literal (`r"`, `r#"`, `b"`, `b'`,
+/// `br#"`, …) rather than an identifier like `radius`.
+fn starts_raw_or_byte_literal(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if peek(bytes, j) == Some('b') {
+        j += 1;
+        if peek(bytes, j) == Some('\'') {
+            return true; // byte char b'x'
+        }
+    }
+    if peek(bytes, j) == Some('r') {
+        j += 1;
+        while peek(bytes, j) == Some('#') {
+            j += 1;
+        }
+    }
+    peek(bytes, j) == Some('"')
+}
+
+/// Read a plain `"..."` string starting at `*i`; returns (text, newlines).
+fn read_string(bytes: &[char], i: &mut usize) -> (String, usize) {
+    let start = *i;
+    let mut nl = 0;
+    *i += 1; // opening quote
+    while *i < bytes.len() {
+        match bytes[*i] {
+            '\\' => *i += 2,
+            '"' => {
+                *i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    nl += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+    (bytes[start..(*i).min(bytes.len())].iter().collect(), nl)
+}
+
+/// Read a `r`/`b`-prefixed string literal (raw fences included).
+fn read_prefixed_literal(bytes: &[char], i: &mut usize) -> (String, usize) {
+    let start = *i;
+    let mut nl = 0;
+    if peek(bytes, *i) == Some('b') {
+        *i += 1;
+        if peek(bytes, *i) == Some('\'') {
+            // Byte char: reuse the char reader.
+            let (_, n) = read_char(bytes, i);
+            return (bytes[start..*i].iter().collect(), n);
+        }
+    }
+    let raw = peek(bytes, *i) == Some('r');
+    if raw {
+        *i += 1;
+    }
+    let mut hashes = 0;
+    while peek(bytes, *i) == Some('#') {
+        hashes += 1;
+        *i += 1;
+    }
+    *i += 1; // opening quote
+    while *i < bytes.len() {
+        let c = bytes[*i];
+        if c == '\n' {
+            nl += 1;
+        }
+        if c == '\\' && !raw {
+            *i += 2;
+            continue;
+        }
+        if c == '"' {
+            // A raw string ends only at `"` followed by `hashes` hashes.
+            let mut j = *i + 1;
+            let mut seen = 0;
+            while seen < hashes && peek(bytes, j) == Some('#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                *i = j;
+                break;
+            }
+        }
+        *i += 1;
+    }
+    (bytes[start..(*i).min(bytes.len())].iter().collect(), nl)
+}
+
+/// Disambiguate `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match peek(bytes, i + 1) {
+        Some('\\') => true,
+        Some(_) => peek(bytes, i + 2) == Some('\''),
+        None => false,
+    }
+}
+
+fn read_char(bytes: &[char], i: &mut usize) -> (String, usize) {
+    let start = *i;
+    *i += 1; // opening quote
+    while *i < bytes.len() {
+        match bytes[*i] {
+            '\\' => *i += 2,
+            '\'' => {
+                *i += 1;
+                break;
+            }
+            _ => *i += 1,
+        }
+    }
+    (bytes[start..(*i).min(bytes.len())].iter().collect(), 0)
+}
+
+fn read_operator(bytes: &[char], i: &mut usize) -> String {
+    for op in OPERATORS {
+        let chars: Vec<char> = op.chars().collect();
+        if bytes[*i..].starts_with(&chars) {
+            *i += chars.len();
+            return (*op).to_string();
+        }
+    }
+    let c = bytes[*i];
+    *i += 1;
+    c.to_string()
+}
+
+/// Extract `lint: allow(a, b)` rule names from a line comment.
+fn collect_allows(comment: &str, line: usize, allows: &mut Vec<AllowDirective>) {
+    let Some(idx) = comment.find("lint: allow(") else { return };
+    let rest = &comment[idx + "lint: allow(".len()..];
+    let Some(close) = rest.find(')') else { return };
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            allows.push(AllowDirective { line, rule: rule.to_string() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "call .unwrap() here";
+            let r = r#"panic!("raw")"#;
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").tokens;
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).map(|t| &t.text).collect();
+        assert_eq!(chars, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let texts: Vec<String> = lex("a == b; c => d; e..=f; g::h; i != j")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text != ";")
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["==", "=>", "..=", "::", "!="]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..8 { x[i] }").tokens;
+        let nums: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Num).collect();
+        assert_eq!(nums.len(), 2);
+        assert!(toks.iter().any(|t| t.text == ".."));
+    }
+
+    #[test]
+    fn float_literals_lex_whole() {
+        let toks = lex("let x = 1.5e3 + 100.0f64;").tokens;
+        let nums: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Num).map(|t| t.text.clone()).collect();
+        assert_eq!(nums, ["1.5e3", "100.0f64"]);
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let src = "let t = now(); // lint: allow(clock, panic)\n";
+        let lexed = lex(src);
+        let rules: Vec<_> = lexed.allows.iter().map(|a| (a.line, a.rule.as_str())).collect();
+        assert_eq!(rules, [(1, "clock"), (1, "panic")]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* one\ntwo */\nlet a = \"x\ny\";\nb";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").map(|t| t.line);
+        assert_eq!(b, Some(5));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex(r###"let a = b"bytes"; let c = br#"raw"#; let d = b'x'; ident"###).tokens;
+        assert!(toks.iter().any(|t| t.text == "ident" && t.kind == TokenKind::Ident));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Literal).count(), 3);
+    }
+}

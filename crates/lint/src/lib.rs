@@ -1,0 +1,218 @@
+//! `softrep-lint` — a workspace-local static-analysis pass.
+//!
+//! The reputation system's correctness arguments (DESIGN.md, "Static
+//! verification layer") lean on four implementation invariants that the
+//! type system cannot express. This crate checks them mechanically:
+//!
+//! 1. **panic** — the request path (server handler, storage wal/store/
+//!    table, core db) never calls `unwrap`/`expect`, never invokes a
+//!    `panic!`-family macro, and never indexes a slice without `.get()`.
+//!    One malformed record or hostile frame must degrade into a typed
+//!    error, not a crashed server.
+//! 2. **clock** — `SystemTime::now`/`Instant::now` appear only in
+//!    `crates/core/src/clock.rs`. Everything else takes a `Clock`
+//!    injection so simulated weeks stay deterministic.
+//! 3. **trust** — trust-factor fields are written only through the
+//!    clamping helpers in `crates/core/src/trust.rs`, keeping every
+//!    stored value inside `[MIN_TRUST, MAX_TRUST]`.
+//! 4. **exhaustive** — the server dispatcher matches every `Request`
+//!    variant by name, with no `_ =>` arm to silently drop a
+//!    newly-added protocol message.
+//!
+//! Findings can be suppressed per line with `// lint: allow(<rule>)`.
+//! Run it with `cargo run -p softrep-lint` from the workspace root.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_exhaustiveness, Diagnostic, FileCheck};
+
+/// Errors from driving the lint over a directory tree.
+#[derive(Debug)]
+pub enum LintError {
+    /// An I/O failure reading the tree or a source file.
+    Io(PathBuf, std::io::Error),
+    /// The proto source defining `enum Request` was not found.
+    MissingProto(PathBuf),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::MissingProto(path) => {
+                write!(f, "proto source not found at {}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// Scans `crates/*/src/**/*.rs` and `src/**/*.rs`; `vendor/`, test
+/// targets, benches, and examples are out of scope. Diagnostics come
+/// back sorted by file, then line.
+pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    let mut out = Vec::new();
+    let mut handler_check = None;
+
+    for path in source_files(root)? {
+        let rel = relative_slash_path(root, &path);
+        let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+        let check = FileCheck::new(rel.clone(), &source);
+        out.extend(check.check());
+        if rel == rules::HANDLER_FILE {
+            handler_check = Some(check);
+        }
+    }
+
+    if let Some(handler) = handler_check {
+        let proto_path = root.join(rules::PROTO_FILE);
+        let proto = std::fs::read_to_string(&proto_path)
+            .map_err(|_| LintError::MissingProto(proto_path))?;
+        out.extend(check_exhaustiveness(&proto, &handler));
+    }
+
+    out.sort();
+    Ok(out)
+}
+
+/// Collect the `.rs` files in scope, deterministically ordered.
+fn source_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut roots = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        roots.push(top_src);
+    }
+
+    let mut files = Vec::new();
+    for dir in roots {
+        collect_rs(&dir, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let iter = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut entries = Vec::new();
+    for entry in iter {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+/// Workspace-relative path with `/` separators regardless of platform,
+/// so rule scoping and diagnostics are stable.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(root: &Path, rel: &str, contents: &str) {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("rel paths have parents")).expect("mkdir");
+        std::fs::write(path, contents).expect("write fixture");
+    }
+
+    fn fixture_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("softrep-lint-lib-{name}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clean fixture");
+        }
+        std::fs::create_dir_all(&dir).expect("mkdir fixture");
+        dir
+    }
+
+    fn minimal_proto() -> &'static str {
+        "pub enum Request { Ping }"
+    }
+
+    #[test]
+    fn clean_fixture_yields_no_diagnostics() {
+        let root = fixture_root("clean");
+        write(&root, "crates/proto/src/message.rs", minimal_proto());
+        write(
+            &root,
+            "crates/server/src/handler.rs",
+            "fn h(r: &Request) { match r { Request::Ping => {} } }",
+        );
+        write(&root, "crates/core/src/db.rs", "fn f(v: &[u8]) -> Option<&u8> { v.get(0) }");
+        let diags = run_lint(&root).expect("lint runs");
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn seeded_violations_are_found_with_paths_and_lines() {
+        let root = fixture_root("seeded");
+        write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping, Pong }");
+        write(
+            &root,
+            "crates/server/src/handler.rs",
+            "fn h(r: &Request) {\n    match r {\n        Request::Ping => {}\n        _ => {}\n    }\n}\n",
+        );
+        write(
+            &root,
+            "crates/core/src/db.rs",
+            "fn f(v: Vec<u8>) -> u8 {\n    v.first().copied().unwrap()\n}\n",
+        );
+        write(
+            &root,
+            "crates/sim/src/agents.rs",
+            "fn now() -> std::time::Instant { std::time::Instant::now() }",
+        );
+        let diags = run_lint(&root).expect("lint runs");
+        let lines: Vec<_> = diags.iter().map(|d| (d.file.as_str(), d.line, d.rule)).collect();
+        assert!(lines.contains(&("crates/core/src/db.rs", 2, "panic")), "{lines:?}");
+        assert!(lines.contains(&("crates/server/src/handler.rs", 4, "exhaustive")), "{lines:?}");
+        assert!(lines.contains(&("crates/sim/src/agents.rs", 1, "clock")), "{lines:?}");
+        assert!(
+            diags.iter().any(|d| d.rule == "exhaustive" && d.message.contains("Request::Pong")),
+            "{diags:?}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn vendor_and_tests_dirs_are_out_of_scope() {
+        let root = fixture_root("scope");
+        write(&root, "vendor/rand/src/lib.rs", "fn f() { x.unwrap(); panic!(); }");
+        write(&root, "crates/core/tests/it.rs", "fn f() { x.unwrap(); }");
+        write(&root, "crates/core/src/db.rs", "fn ok() {}");
+        let diags = run_lint(&root).expect("lint runs");
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

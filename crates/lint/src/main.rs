@@ -1,0 +1,29 @@
+//! CLI driver for the workspace lint: `cargo run -p softrep-lint`.
+//!
+//! Prints one `{file}:{line}: [{rule}] {message}` per finding and exits
+//! nonzero if anything was flagged. Pass a directory argument to lint a
+//! tree other than the current workspace.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args_os().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+
+    let diags = match softrep_lint::run_lint(&root) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("softrep-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("softrep-lint: clean ({} rules enforced)", 4);
+        std::process::exit(0);
+    }
+    eprintln!("softrep-lint: {} violation(s)", diags.len());
+    std::process::exit(1);
+}

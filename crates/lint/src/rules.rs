@@ -1,0 +1,621 @@
+//! The invariant rules enforced by `softrep-lint`.
+//!
+//! Each rule is a token-pattern check over [`crate::lexer::Lexed`] output,
+//! scoped to the files named in DESIGN.md's static-verification section:
+//!
+//! * **panic** — no `unwrap`/`expect`/`panic!`-family/indexing in the
+//!   request path (server handler, storage wal/store/table, core db);
+//! * **clock** — no raw `SystemTime::now`/`Instant::now` outside
+//!   `crates/core/src/clock.rs`;
+//! * **trust** — trust-factor field writes route through the clamping
+//!   helpers in `crates/core/src/trust.rs`;
+//! * **exhaustive** — the server handler matches every `Request` variant
+//!   by name, with no wildcard arm to swallow new ones.
+//!
+//! Any finding can be suppressed with a same-line (or preceding
+//! comment-only line) `// lint: allow(<rule>)` directive.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path using `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name (`panic`, `clock`, `trust`, `exhaustive`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Files under the no-panic rule: the paper's request path. A panic in any
+/// of these turns one bad record or one hostile request into an outage.
+pub const NO_PANIC_FILES: &[&str] = &[
+    "crates/server/src/handler.rs",
+    "crates/storage/src/wal.rs",
+    "crates/storage/src/store.rs",
+    "crates/storage/src/table.rs",
+    "crates/core/src/db.rs",
+];
+
+/// The one module allowed to read the OS clock.
+pub const CLOCK_HOME: &str = "crates/core/src/clock.rs";
+
+/// The one module allowed to write trust-factor fields directly (it owns
+/// the `MIN_TRUST`/`MAX_TRUST` clamp and the weekly growth cap).
+pub const TRUST_HOME: &str = "crates/core/src/trust.rs";
+
+/// Where the wire protocol's `Request` enum lives.
+pub const PROTO_FILE: &str = "crates/proto/src/message.rs";
+
+/// The dispatcher that must match `Request` exhaustively by name.
+pub const HANDLER_FILE: &str = "crates/server/src/handler.rs";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// A lexed file plus the derived facts the rules share.
+pub struct FileCheck {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    lexed: Lexed,
+    /// Token-index ranges belonging to `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Lines that contain at least one code token.
+    code_lines: BTreeSet<usize>,
+}
+
+impl FileCheck {
+    /// Lex `source` as the file at `path` (workspace-relative).
+    pub fn new(path: impl Into<String>, source: &str) -> Self {
+        let lexed = lex(source);
+        let test_ranges = find_test_ranges(&lexed.tokens);
+        let code_lines = lexed.tokens.iter().map(|t| t.line).collect();
+        FileCheck { path: path.into(), lexed, test_ranges, code_lines }
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi)
+    }
+
+    /// Is `rule` suppressed on `line`? A directive suppresses its own line;
+    /// a directive on a comment-only line suppresses the next code line.
+    fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.lexed.allows.iter().any(|a| {
+            a.rule == rule
+                && (a.line == line || (a.line < line && !self.code_lines.contains(&a.line)))
+                && (a.line == line || a.line + 1 == line)
+        })
+    }
+
+    fn push(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: usize, message: String) {
+        if !self.allowed(rule, line) {
+            out.push(Diagnostic { file: self.path.clone(), line, rule, message });
+        }
+    }
+
+    /// Run every file-local rule appropriate for this path.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if NO_PANIC_FILES.contains(&self.path.as_str()) {
+            self.check_no_panic(&mut out);
+        }
+        if self.path != CLOCK_HOME {
+            self.check_clock(&mut out);
+        }
+        if self.path != TRUST_HOME {
+            self.check_trust(&mut out);
+        }
+        if self.path == HANDLER_FILE {
+            self.check_no_wildcard_arm(&mut out);
+        }
+        out
+    }
+
+    /// Rule `panic`: no `.unwrap()`, `.expect()`, `panic!`-family macros,
+    /// or `container[index]` expressions (which panic out of bounds).
+    fn check_no_panic(&self, out: &mut Vec<Diagnostic>) {
+        let toks = self.tokens();
+        for (i, tok) in toks.iter().enumerate() {
+            if self.in_test(i) {
+                continue;
+            }
+            match tok.kind {
+                TokenKind::Ident => {
+                    let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+                    let next = toks.get(i + 1);
+                    if PANIC_METHODS.contains(&tok.text.as_str())
+                        && prev.is_some_and(|p| p.text == ".")
+                        && next.is_some_and(|n| n.text == "(")
+                    {
+                        self.push(
+                            out,
+                            "panic",
+                            tok.line,
+                            format!(
+                                ".{}() may panic in the request path; return a typed error \
+                                 (CoreError/StorageError) instead",
+                                tok.text
+                            ),
+                        );
+                    }
+                    if PANIC_MACROS.contains(&tok.text.as_str())
+                        && next.is_some_and(|n| n.text == "!")
+                        && prev.is_none_or(|p| p.text != "debug_assert")
+                    {
+                        self.push(
+                            out,
+                            "panic",
+                            tok.line,
+                            format!("{}! is forbidden in the request path", tok.text),
+                        );
+                    }
+                }
+                TokenKind::Punct if tok.text == "[" => {
+                    // An index *expression*: `[` directly after an
+                    // identifier, `)`, or `]`. Array types/literals and
+                    // attributes follow `:`, `=`, `#`, `&`, … instead.
+                    let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+                    let indexes = prev.is_some_and(|p| {
+                        (p.kind == TokenKind::Ident && p.text != "_")
+                            || p.text == ")"
+                            || p.text == "]"
+                    });
+                    if indexes {
+                        self.push(
+                            out,
+                            "panic",
+                            tok.line,
+                            "slice/array indexing panics out of bounds; use .get()/.get_mut()"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Rule `clock`: the OS clock is read only inside `clock.rs`, so every
+    /// other component stays deterministic under a `Clock` injection.
+    fn check_clock(&self, out: &mut Vec<Diagnostic>) {
+        let toks = self.tokens();
+        for (i, tok) in toks.iter().enumerate() {
+            if self.in_test(i) || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if (tok.text == "SystemTime" || tok.text == "Instant")
+                && toks.get(i + 1).is_some_and(|t| t.text == "::")
+                && toks.get(i + 2).is_some_and(|t| t.text == "now")
+            {
+                self.push(
+                    out,
+                    "clock",
+                    tok.line,
+                    format!(
+                        "{}::now() outside crates/core/src/clock.rs breaks clock injection; \
+                         take a Clock/Timestamp instead",
+                        tok.text
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Rule `trust`: direct writes to a `trust` field (assignment, or a
+    /// struct-literal init from a bare numeric literal) bypass the
+    /// `MIN_TRUST`/`MAX_TRUST` clamp and the weekly growth cap.
+    fn check_trust(&self, out: &mut Vec<Diagnostic>) {
+        let toks = self.tokens();
+        for (i, tok) in toks.iter().enumerate() {
+            if self.in_test(i) || !(tok.kind == TokenKind::Ident && tok.text == "trust") {
+                continue;
+            }
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            let next = toks.get(i + 1);
+            if prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| matches!(n.text.as_str(), "=" | "+=" | "-=" | "*=" | "/="))
+            {
+                self.push(
+                    out,
+                    "trust",
+                    tok.line,
+                    "direct `.trust` assignment bypasses the MIN_TRUST/MAX_TRUST clamp; \
+                     route the change through TrustEngine::apply_delta"
+                        .to_string(),
+                );
+            }
+            // Struct-literal init `trust: <expr>` where <expr> contains a
+            // bare numeric literal (named constants are fine — they carry
+            // their own justification and stay inside the bounds).
+            if prev.is_none_or(|p| p.text != ".") && next.is_some_and(|n| n.text == ":") {
+                if let Some(lit_line) = numeric_literal_in_field_value(toks, i + 2) {
+                    self.push(
+                        out,
+                        "trust",
+                        lit_line,
+                        "trust field initialised from a raw numeric literal; use a named \
+                         constant from crates/core/src/trust.rs (MIN_TRUST/MAX_TRUST) or a \
+                         clamped helper"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Part of rule `exhaustive`: a `_ =>` arm in the dispatcher would let
+    /// a newly-added `Request` variant fall through silently.
+    fn check_no_wildcard_arm(&self, out: &mut Vec<Diagnostic>) {
+        let toks = self.tokens();
+        for (i, tok) in toks.iter().enumerate() {
+            if self.in_test(i) {
+                continue;
+            }
+            if tok.kind == TokenKind::Ident
+                && tok.text == "_"
+                && toks.get(i + 1).is_some_and(|t| t.text == "=>")
+            {
+                self.push(
+                    out,
+                    "exhaustive",
+                    tok.line,
+                    "wildcard `_ =>` arm in the request dispatcher swallows new Request \
+                     variants; match every variant by name"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Scan the tokens after a field's `:` up to the matching `,`/`}`; return
+/// the line of the first numeric literal, if any.
+fn numeric_literal_in_field_value(toks: &[Token], mut i: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    while let Some(tok) = toks.get(i) {
+        match tok.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" if depth == 0 => return None,
+            "}" => depth -= 1,
+            "," if depth == 0 => return None,
+            ";" if depth == 0 => return None,
+            _ if tok.kind == TokenKind::Num => return Some(tok.line),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items (usually
+/// `mod tests { … }`): from the attribute through the item's closing
+/// brace or terminating semicolon.
+fn find_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let start = i;
+            // Skip to the end of this attribute's `]`.
+            let mut j = i + 2; // after `#` `[`
+            let mut depth = 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip any further attributes between cfg(test) and the item.
+            while j < toks.len() && toks[j].text == "#" {
+                j += 1; // `#`
+                let mut d = 0;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // The item body: through a balanced `{ … }` or a bare `;`.
+            let mut brace = 0i32;
+            let mut entered = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "{" => {
+                        brace += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        brace -= 1;
+                        if entered && brace == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    ";" if !entered => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            ranges.push((start, j));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.text == "#")
+        && toks.get(i + 1).is_some_and(|t| t.text == "[")
+        && toks.get(i + 2).is_some_and(|t| t.text == "cfg")
+        && toks.get(i + 3).is_some_and(|t| t.text == "(")
+        && toks.get(i + 4).is_some_and(|t| t.text == "test")
+        && toks.get(i + 5).is_some_and(|t| t.text == ")")
+        && toks.get(i + 6).is_some_and(|t| t.text == "]")
+}
+
+/// Rule `exhaustive`, cross-file part: every variant of `enum Request` in
+/// the proto source must be matched by name (`Request::Variant`) in the
+/// handler source.
+pub fn check_exhaustiveness(proto_source: &str, handler: &FileCheck) -> Vec<Diagnostic> {
+    let variants = request_variants(proto_source);
+    let toks = handler.tokens();
+    let mut matched = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if handler.in_test(i) {
+            continue;
+        }
+        if tok.kind == TokenKind::Ident
+            && tok.text == "Request"
+            && toks.get(i + 1).is_some_and(|t| t.text == "::")
+        {
+            if let Some(v) = toks.get(i + 2) {
+                matched.insert(v.text.clone());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for v in &variants {
+        if !matched.contains(v) && !handler.allowed("exhaustive", 1) {
+            out.push(Diagnostic {
+                file: handler.path.clone(),
+                line: 1,
+                rule: "exhaustive",
+                message: format!(
+                    "Request::{v} has no arm in the request dispatcher; every protocol \
+                     variant must be handled by name"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Parse the variant names of `pub enum Request` from the proto source.
+pub fn request_variants(proto_source: &str) -> Vec<String> {
+    let toks = lex(proto_source).tokens;
+    let mut i = 0;
+    // Find `enum Request {`.
+    while i < toks.len() {
+        if toks[i].text == "enum" && toks.get(i + 1).is_some_and(|t| t.text == "Request") {
+            break;
+        }
+        i += 1;
+    }
+    let mut variants = Vec::new();
+    let Some(open) = toks.iter().skip(i).position(|t| t.text == "{").map(|p| p + i) else {
+        return variants;
+    };
+    let mut j = open + 1;
+    let mut depth = 1i32;
+    let mut expect_variant = true;
+    while j < toks.len() && depth > 0 {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                depth += 1;
+                j += 1;
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                j += 1;
+            }
+            "#" if depth == 1 => {
+                // Skip attribute `#[ … ]`.
+                j += 1;
+                let mut d = 0;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => d += 1,
+                        "]" => {
+                            d -= 1;
+                            if d == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            "," if depth == 1 => {
+                expect_variant = true;
+                j += 1;
+            }
+            _ => {
+                if depth == 1 && expect_variant && t.kind == TokenKind::Ident {
+                    variants.push(t.text.clone());
+                    expect_variant = false;
+                }
+                j += 1;
+            }
+        }
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        FileCheck::new(path, src).check()
+    }
+
+    #[test]
+    fn unwrap_in_scoped_file_is_flagged_with_line() {
+        let src = "fn f() {\n    let x = y.unwrap();\n}\n";
+        let d = diags("crates/core/src/db.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, "panic");
+    }
+
+    #[test]
+    fn unwrap_outside_scope_is_fine() {
+        let src = "fn f() { let x = y.unwrap(); }";
+        assert!(diags("crates/sim/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(diags("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_types_and_attrs_are_not() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f(v: &[u8]) -> u8 { v[0] }\n";
+        let d = diags("crates/storage/src/wal.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_debug_assert_ok() {
+        let src = "fn f() {\n    debug_assert!(true);\n    panic!(\"boom\");\n}\n";
+        let d = diags("crates/storage/src/store.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); v[0]; panic!(); }\n}\n";
+        assert!(diags("crates/core/src/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_line_and_next_line() {
+        let same = "fn f() { y.unwrap(); } // lint: allow(panic)\n";
+        assert!(diags("crates/core/src/db.rs", same).is_empty());
+        let next = "// lint: allow(panic)\nfn f() { y.unwrap(); }\n";
+        assert!(diags("crates/core/src/db.rs", next).is_empty());
+        let wrong_rule = "fn f() { y.unwrap(); } // lint: allow(clock)\n";
+        assert_eq!(diags("crates/core/src/db.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn clock_rule_fires_everywhere_but_clock_rs() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert_eq!(diags("crates/sim/src/lib.rs", src).len(), 1);
+        assert!(diags("crates/core/src/clock.rs", src).is_empty());
+        let inst = "fn f() { let t = Instant::now(); }";
+        assert_eq!(diags("crates/bench/src/lib.rs", inst).len(), 1);
+    }
+
+    #[test]
+    fn trust_assignment_and_raw_literal_init_flagged() {
+        let assign = "fn f(r: &mut TrustRecord) { r.trust = 50.0; }";
+        assert_eq!(diags("crates/core/src/db.rs", assign).len(), 1);
+        let add = "fn f(r: &mut TrustRecord) { r.trust += 1.0; }";
+        assert_eq!(diags("crates/sim/src/agents.rs", add).len(), 1);
+        let init = "fn f() { let r = TrustRecord { trust: 7.5, week: 0 }; }";
+        let d = diags("crates/core/src/db.rs", init);
+        assert_eq!(d.iter().filter(|d| d.rule == "trust").count(), 1);
+    }
+
+    #[test]
+    fn trust_named_constant_and_type_decl_are_fine() {
+        let src = "struct T { pub trust: f64 }\nfn f() { let r = TrustRecord { trust: MIN_TRUST }; let t = T { trust: r.get_f64()? }; }";
+        assert!(diags("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trust_rule_silent_inside_trust_rs() {
+        let src =
+            "fn f(r: &mut TrustRecord) { r.trust = (r.trust + d).clamp(MIN_TRUST, MAX_TRUST); }";
+        assert!(diags("crates/core/src/trust.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_arm_in_handler_is_flagged() {
+        let src = "fn h(r: &Request) {\n    match r {\n        Request::GetPuzzle => {}\n        _ => {}\n    }\n}\n";
+        let d = diags("crates/server/src/handler.rs", src);
+        assert!(d.iter().any(|d| d.rule == "exhaustive" && d.line == 4));
+    }
+
+    #[test]
+    fn underscore_in_tuple_pattern_is_not_a_wildcard_arm() {
+        let src = "fn h() { match x { Ok(_) => 1, Err(e) => 2 }; }";
+        assert!(diags("crates/server/src/handler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn request_variants_parse_fields_and_attrs() {
+        let proto = "pub enum Request {\n    GetPuzzle,\n    #[allow(dead_code)]\n    Register { username: String, solution: u64 },\n    Login { user: String },\n}";
+        assert_eq!(request_variants(proto), ["GetPuzzle", "Register", "Login"]);
+    }
+
+    #[test]
+    fn missing_variant_arm_is_reported() {
+        let proto = "pub enum Request { A, B { x: u64 } }";
+        let handler =
+            FileCheck::new(HANDLER_FILE, "fn h(r: &Request) { match r { Request::A => {} } }");
+        let d = check_exhaustiveness(proto, &handler);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Request::B"));
+    }
+
+    #[test]
+    fn all_variants_matched_is_clean() {
+        let proto = "pub enum Request { A, B }";
+        let handler = FileCheck::new(
+            HANDLER_FILE,
+            "fn h(r: &Request) { match r { Request::A | Request::B => {} } }",
+        );
+        assert!(check_exhaustiveness(proto, &handler).is_empty());
+    }
+}

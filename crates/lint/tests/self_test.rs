@@ -1,0 +1,171 @@
+//! End-to-end self-tests: run the built `softrep-lint` binary on the real
+//! workspace (must be clean) and on fixture trees with seeded violations
+//! (must fail with file:line diagnostics).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_softrep-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn run_on(root: &Path) -> Output {
+    Command::new(lint_binary()).arg(root).output().expect("spawn softrep-lint")
+}
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    std::fs::create_dir_all(path.parent().expect("rel paths have parents")).expect("mkdir");
+    std::fs::write(path, contents).expect("write fixture");
+}
+
+fn fixture_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("softrep-lint-bin-{name}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean fixture");
+    }
+    std::fs::create_dir_all(&dir).expect("mkdir fixture");
+    dir
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let out = run_on(&workspace_root());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "softrep-lint flagged the workspace:\n{stdout}\n{stderr}");
+    assert!(stdout.trim().is_empty(), "clean run printed diagnostics:\n{stdout}");
+}
+
+#[test]
+fn seeded_unwrap_fails_with_file_and_line() {
+    let root = fixture_root("unwrap");
+    write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping }");
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    write(
+        &root,
+        "crates/storage/src/wal.rs",
+        "fn replay(raw: &[u8]) -> u8 {\n    let len = raw.first().unwrap();\n    raw[1] + len\n}\n",
+    );
+    let out = run_on(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/storage/src/wal.rs:2: [panic]"),
+        "missing unwrap diagnostic:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/storage/src/wal.rs:3: [panic]"),
+        "missing indexing diagnostic:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn seeded_clock_and_trust_violations_fail() {
+    let root = fixture_root("clock-trust");
+    write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping }");
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    write(
+        &root,
+        "crates/core/src/aggregate.rs",
+        "fn stamp() -> std::time::SystemTime {\n    std::time::SystemTime::now()\n}\nfn boost(r: &mut Rec) {\n    r.trust += 10.0;\n}\n",
+    );
+    let out = run_on(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/aggregate.rs:2: [clock]"),
+        "missing clock diagnostic:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/aggregate.rs:5: [trust]"),
+        "missing trust diagnostic:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn seeded_missing_request_arm_fails() {
+    let root = fixture_root("exhaustive");
+    write(
+        &root,
+        "crates/proto/src/message.rs",
+        "pub enum Request { Ping, Shutdown { reason: String } }",
+    );
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    let out = run_on(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[exhaustive]") && stdout.contains("Request::Shutdown"),
+        "missing exhaustiveness diagnostic:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn allow_directive_turns_failure_into_clean_exit() {
+    let root = fixture_root("allow");
+    write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping }");
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    write(
+        &root,
+        "crates/core/src/db.rs",
+        "fn f(v: &[u8]) -> u8 {\n    // length checked by caller\n    v[0] // lint: allow(panic)\n}\n",
+    );
+    let out = run_on(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "allow directive ignored:\n{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn missing_proto_without_handler_is_not_an_error() {
+    // Exhaustiveness is only checked when the handler file is in the tree,
+    // so a partial fixture without proto/handler still lints cleanly.
+    let root = fixture_root("no-proto");
+    write(&root, "crates/core/src/db.rs", "fn ok() {}");
+    let out = run_on(&root);
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn handler_without_proto_exits_with_driver_error() {
+    let root = fixture_root("no-proto-handler");
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    let out = run_on(&root);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("proto source not found"), "stderr:\n{stderr}");
+    std::fs::remove_dir_all(&root).ok();
+}

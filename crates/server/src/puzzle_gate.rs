@@ -67,8 +67,14 @@ impl PuzzleGate {
         if !challenge.verify(Solution { nonce: solution }) {
             return Err(PuzzleRejection::WrongSolution);
         }
-        self.outstanding.lock().remove(encoded_challenge);
-        Ok(())
+        // Consumption must be atomic: whoever wins this `remove` redeemed
+        // the challenge; a concurrent redeemer that passed the `contains`
+        // check above loses here instead of double-spending the puzzle.
+        if self.outstanding.lock().remove(encoded_challenge) {
+            Ok(())
+        } else {
+            Err(PuzzleRejection::UnknownChallenge)
+        }
     }
 
     /// Challenges issued so far.

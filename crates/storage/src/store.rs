@@ -262,11 +262,12 @@ impl Store {
         }
         let mut raw = Vec::new();
         fs::File::open(path)?.read_to_end(&mut raw)?;
-        if raw.len() < 12 || &raw[..8] != SNAPSHOT_MAGIC {
+        let header_ok = raw.get(..8).is_some_and(|magic| magic == SNAPSHOT_MAGIC);
+        let crc_bytes: Option<[u8; 4]> = raw.get(8..12).and_then(|slice| slice.try_into().ok());
+        let (Some(crc_bytes), Some(body), true) = (crc_bytes, raw.get(12..), header_ok) else {
             return Err(StorageError::Corrupt("snapshot header malformed".into()));
-        }
-        let crc = u32::from_le_bytes(raw[8..12].try_into().expect("4 bytes"));
-        let body = &raw[12..];
+        };
+        let crc = u32::from_le_bytes(crc_bytes);
         if crc32(body) != crc {
             return Err(StorageError::Corrupt("snapshot CRC mismatch".into()));
         }

@@ -48,11 +48,8 @@ impl KeyCodec for u64 {
     }
 
     fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
-        if input.len() < 8 {
-            return None;
-        }
-        let (head, tail) = input.split_at(8);
-        Some((u64::from_be_bytes(head.try_into().expect("8 bytes")), tail))
+        let head: [u8; 8] = input.get(..8)?.try_into().ok()?;
+        Some((u64::from_be_bytes(head), input.get(8..)?))
     }
 }
 
@@ -62,11 +59,8 @@ impl KeyCodec for u32 {
     }
 
     fn read_key(input: &[u8]) -> Option<(Self, &[u8])> {
-        if input.len() < 4 {
-            return None;
-        }
-        let (head, tail) = input.split_at(4);
-        Some((u32::from_be_bytes(head.try_into().expect("4 bytes")), tail))
+        let head: [u8; 4] = input.get(..4)?.try_into().ok()?;
+        Some((u32::from_be_bytes(head), input.get(4..)?))
     }
 }
 
@@ -90,8 +84,7 @@ fn write_escaped(bytes: &[u8], out: &mut Vec<u8>) {
 fn read_escaped(input: &[u8]) -> Option<(Vec<u8>, &[u8])> {
     let mut out = Vec::new();
     let mut i = 0;
-    while i < input.len() {
-        let b = input[i];
+    while let Some(&b) = input.get(i) {
         if b == ESCAPE {
             let next = *input.get(i + 1)?;
             match next {
@@ -99,7 +92,7 @@ fn read_escaped(input: &[u8]) -> Option<(Vec<u8>, &[u8])> {
                     out.push(0x00);
                     i += 2;
                 }
-                TERMINATOR => return Some((out, &input[i + 2..])),
+                TERMINATOR => return Some((out, input.get(i + 2..)?)),
                 _ => return None,
             }
         } else {

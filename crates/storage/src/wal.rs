@@ -111,29 +111,25 @@ impl Wal {
         let mut entries = Vec::new();
         let mut offset = 0usize;
         let valid_prefix = loop {
-            let remaining = raw.len() - offset;
-            if remaining == 0 {
+            // A missing or truncated header is a torn tail.
+            let Some((len, crc)) = frame_header(&raw, offset) else {
                 break offset;
-            }
-            if remaining < 8 {
-                break offset; // torn header
-            }
-            let len = u32::from_le_bytes(raw[offset..offset + 4].try_into().expect("4 bytes"));
-            let crc = u32::from_le_bytes(raw[offset + 4..offset + 8].try_into().expect("4 bytes"));
+            };
             if len > MAX_ENTRY_LEN {
                 break offset; // corrupt length field
             }
             let body_start = offset + 8;
-            let body_end = body_start + len as usize;
-            if body_end > raw.len() {
+            let Some(body) = body_start
+                .checked_add(len as usize)
+                .and_then(|body_end| raw.get(body_start..body_end))
+            else {
                 break offset; // torn body
-            }
-            let body = &raw[body_start..body_end];
+            };
             if crc32(body) != crc {
                 break offset; // corrupted entry — treat as torn tail
             }
             entries.push(body.to_vec());
-            offset = body_end;
+            offset = body_start + body.len();
         };
 
         if valid_prefix < raw.len() {
@@ -145,6 +141,16 @@ impl Wal {
         }
         Ok(entries)
     }
+}
+
+/// Decode the `(len, crc)` frame header at `offset`, or `None` when fewer
+/// than 8 bytes remain (a clean end of log or a torn header — the caller
+/// treats both as the end of the valid prefix).
+fn frame_header(raw: &[u8], offset: usize) -> Option<(u32, u32)> {
+    let header = raw.get(offset..offset.checked_add(8)?)?;
+    let len = u32::from_le_bytes(header.get(..4)?.try_into().ok()?);
+    let crc = u32::from_le_bytes(header.get(4..8)?.try_into().ok()?);
+    Some((len, crc))
 }
 
 #[cfg(test)]

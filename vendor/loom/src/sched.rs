@@ -51,7 +51,7 @@ impl Shared {
                 alive: Vec::new(),
                 current: NOBODY,
                 // splitmix64 of the seed so consecutive seeds diverge fast.
-                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_0F_1CE5,
+                rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E_ED0F_1CE5,
                 trace: Vec::new(),
                 steps: 0,
             }),

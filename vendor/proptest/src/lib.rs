@@ -50,10 +50,8 @@ impl TestRng {
         // whole generated stream — is stable across runs and machines.
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         name.hash(&mut hasher);
-        let offset: u64 = std::env::var("PROPTEST_SEED_OFFSET")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
+        let offset: u64 =
+            std::env::var("PROPTEST_SEED_OFFSET").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
         TestRng(StdRng::seed_from_u64(hasher.finish() ^ offset))
     }
 }
@@ -122,10 +120,8 @@ pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
 where
     F: FnMut(&mut TestRng) -> TestCaseResult,
 {
-    let cases = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(config.cases);
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases);
     let mut rng = TestRng::for_test(name);
     let mut passed = 0u32;
     let mut rejected = 0u32;

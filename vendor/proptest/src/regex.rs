@@ -117,11 +117,10 @@ fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, u
         Some('*') => (0, UNBOUNDED_CAP, i + 1),
         Some('+') => (1, UNBOUNDED_CAP, i + 1),
         Some('{') => {
-            let close = chars[i..]
-                .iter()
-                .position(|&c| c == '}')
-                .unwrap_or_else(|| panic!("unterminated quantifier in regex strategy {pattern:?}"))
-                + i;
+            let close =
+                chars[i..].iter().position(|&c| c == '}').unwrap_or_else(|| {
+                    panic!("unterminated quantifier in regex strategy {pattern:?}")
+                }) + i;
             let body: String = chars[i + 1..close].iter().collect();
             let (min, max) = match body.split_once(',') {
                 Some((lo, hi)) => (

@@ -92,10 +92,7 @@ pub mod index {
     ///
     /// Panics if `amount > length`, matching upstream behaviour.
     pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
-        assert!(
-            amount <= length,
-            "cannot sample {amount} indices from a range of length {length}"
-        );
+        assert!(amount <= length, "cannot sample {amount} indices from a range of length {length}");
         // Partial Fisher–Yates over an index table; O(length) memory is fine
         // at the population sizes the simulations use.
         let mut indices: Vec<usize> = (0..length).collect();
