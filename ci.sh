@@ -4,7 +4,8 @@
 #   1. cargo fmt --check            formatting
 #   2. cargo clippy -D warnings     compiler-adjacent lints, all targets
 #   3. softrep-lint                 the workspace's own invariant pass
-#                                   (no-panic request path, clock
+#                                   (no-panic request path — handler,
+#                                   TCP front end, pool, stats — clock
 #                                   discipline, trust bounds, Request
 #                                   exhaustiveness — see DESIGN.md §7)
 #   4. cargo build --release        tier-1 build
@@ -54,7 +55,7 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
         RUSTFLAGS="-Zsanitizer=thread" \
             cargo +nightly test --offline -q -p softrep-server \
             -Z build-std --target x86_64-unknown-linux-gnu \
-            session flood puzzle_gate
+            session flood puzzle_gate pool stats
     else
         step "7/7 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi

@@ -11,6 +11,8 @@ use rand::{Rng, SeedableRng};
 use softrep_core::clock::{SimClock, Timestamp};
 use softrep_core::db::ReputationDb;
 use softrep_proto::{Request, Response};
+use softrep_server::flood::FloodGuard;
+use softrep_server::tcp::{TcpClient, TcpServer};
 use softrep_server::{ReputationServer, ServerConfig};
 
 fn sw_id(i: u64) -> String {
@@ -147,5 +149,69 @@ fn bench_registration_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_request_throughput, bench_aggregation, bench_registration_path);
+/// The TCP front end's framed round-trip: the in-process `server.handle`
+/// numbers above, plus framing, the socket, and the worker pool. The
+/// reconnect variant prices what the reconnect-per-request flooder pays
+/// per attempt (connection setup dominates — throttling it is cheap for
+/// us and expensive for them).
+fn bench_tcp_round_trip(c: &mut Criterion) {
+    let db = seeded_db(50, 100, 1_000, 3);
+    db.force_aggregation(Timestamp(2)).unwrap();
+    let server = Arc::new(server_over(db));
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").expect("bind loopback");
+    let addr = tcp.local_addr();
+    let query = Request::QuerySoftware { software_id: sw_id(7) };
+
+    let mut group = c.benchmark_group("tcp_round_trip");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(20);
+    let mut client = TcpClient::connect(addr).expect("connect");
+    group.bench_function("persistent_connection", |b| {
+        b.iter(|| client.call(black_box(&query)).expect("call"))
+    });
+    group.bench_function("reconnect_per_request", |b| {
+        b.iter(|| {
+            let mut fresh = TcpClient::connect(addr).expect("connect");
+            fresh.call(black_box(&query)).expect("call")
+        })
+    });
+    group.finish();
+    drop(client);
+    tcp.shutdown();
+}
+
+/// The flood guard's admission check, on the paths the TCP front end
+/// actually exercises: a single hot identity (the common case — one
+/// bucket lookup), and unique-identity churn pinned at the tracking bound
+/// so every admission also pays the eviction sweep (the worst case an
+/// identity-rotating attacker can force).
+fn bench_flood_guard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_guard");
+    group.throughput(Throughput::Elements(1));
+
+    let hot = FloodGuard::new(u32::MAX, u32::MAX);
+    group.bench_function("single_identity", |b| {
+        b.iter(|| hot.allow(black_box("10.0.0.1"), Timestamp(0)))
+    });
+
+    let bound = 1_024;
+    let churn = FloodGuard::with_limits(4, 1, bound);
+    let mut i = 0u64;
+    group.bench_function("identity_churn_at_bound", |b| {
+        b.iter(|| {
+            i += 1;
+            churn.allow(black_box(&format!("churn-{i}")), Timestamp(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_request_throughput,
+    bench_aggregation,
+    bench_registration_path,
+    bench_tcp_round_trip,
+    bench_flood_guard
+);
 criterion_main!(benches);

@@ -4,10 +4,22 @@
 //! server; the networked examples speak framed XML over TCP. Both paths
 //! carry the identical [`Request`]/[`Response`] messages, so the client
 //! logic is transport-blind.
+//!
+//! The TCP path is resilient: [`TcpConnector`] owns connect/call
+//! deadlines, bounded exponential backoff with jitter, and automatic
+//! reconnect when the server restarts mid-conversation. Its error
+//! taxonomy ([`CallError`]) separates transport failures that retrying
+//! can fix from protocol violations that it cannot.
 
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use softrep_proto::{Request, Response};
+use softrep_server::tcp::TcpClient;
 use softrep_server::ReputationServer;
 
 /// Anything that can deliver a request and return the response.
@@ -50,6 +62,217 @@ impl<F: FnMut(&Request) -> Response> Connector for F {
     }
 }
 
+/// Why a [`TcpConnector`] call ultimately failed.
+#[derive(Debug)]
+pub enum CallError {
+    /// Every attempt hit a retryable transport failure (connection
+    /// refused, reset, closed, timed out); the last one is carried along.
+    /// Retrying later — e.g. after the server comes back — may succeed.
+    Exhausted {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// The final attempt's failure.
+        last_error: String,
+    },
+    /// The peer violated the protocol (oversized frame, undecodable
+    /// response, non-UTF-8 body). Retrying cannot help; something is
+    /// wrong with the software on one end.
+    Fatal(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Exhausted { attempts, last_error } => {
+                write!(f, "transport failed after {attempts} attempt(s): {last_error}")
+            }
+            CallError::Fatal(e) => write!(f, "fatal protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl CallError {
+    /// Whether waiting and calling again could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CallError::Exhausted { .. })
+    }
+}
+
+/// Retry/timeout tuning for [`TcpConnector`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one request/response exchange (socket read timeout).
+    pub call_timeout: Duration,
+    /// Total attempts per call (first try plus retries), minimum 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`], then jittered.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff sleep (pre-jitter).
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomly shaved off (0.0 = none, 1.0 =
+    /// full jitter down to zero), de-synchronizing reconnect stampedes.
+    pub jitter: f64,
+    /// Seed for the jitter RNG, so tests are reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: Duration::from_secs(2),
+            call_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `retry` (1-based), jittered via `rng`.
+    /// Bounded: never exceeds `max_backoff`, never negative.
+    pub fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let raw = self.base_backoff.saturating_mul(2u32.saturating_pow(exp)).min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - jitter * rng.gen::<f64>();
+        raw.mul_f64(scale)
+    }
+}
+
+/// A framed-XML TCP connector with timeouts, bounded exponential backoff
+/// with jitter, and automatic reconnect across server restarts.
+pub struct TcpConnector {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    client: Option<TcpClient>,
+    rng: StdRng,
+}
+
+impl TcpConnector {
+    /// Resolve `addr` and build a connector. No connection is attempted
+    /// yet; the first call establishes (and re-establishes) it.
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let rng = StdRng::seed_from_u64(policy.jitter_seed);
+        Ok(TcpConnector { addr, policy, client: None, rng })
+    }
+
+    /// Build a connector and eagerly establish the first connection,
+    /// retrying per the policy.
+    pub fn connect(addr: impl ToSocketAddrs, policy: RetryPolicy) -> Result<Self, CallError> {
+        let mut connector = TcpConnector::new(addr, policy)
+            .map_err(|e| CallError::Fatal(format!("bad address: {e}")))?;
+        let max = connector.policy.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 1..=max {
+            if attempt > 1 {
+                let nap = connector.policy.backoff(attempt - 1, &mut connector.rng);
+                std::thread::sleep(nap);
+            }
+            match connector.ensure_connected() {
+                Ok(()) => return Ok(connector),
+                Err(e) => last_error = e,
+            }
+        }
+        Err(CallError::Exhausted { attempts: max, last_error })
+    }
+
+    /// The resolved server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Is there a live (last we knew) connection?
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), String> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.policy.connect_timeout)
+            .map_err(|e| format!("connect to {}: {e}", self.addr))?;
+        let client = TcpClient::from_stream(stream).map_err(|e| format!("clone stream: {e}"))?;
+        client
+            .set_timeouts(Some(self.policy.call_timeout), Some(self.policy.call_timeout))
+            .map_err(|e| format!("set deadlines: {e}"))?;
+        self.client = Some(client);
+        Ok(())
+    }
+
+    /// One attempt: connect if needed, exchange one frame pair.
+    fn attempt(&mut self, request: &Request) -> Result<Response, AttemptFailure> {
+        self.ensure_connected().map_err(AttemptFailure::Retryable)?;
+        let Some(client) = self.client.as_mut() else {
+            return Err(AttemptFailure::Retryable("no connection".to_string()));
+        };
+        match client.call(request) {
+            Ok(response) => Ok(response),
+            Err(e) if e.is_disconnect() => {
+                // Reconnect on the next attempt; the old stream is dead.
+                self.client = None;
+                Err(AttemptFailure::Retryable(e.to_string()))
+            }
+            Err(e) => {
+                // Protocol violation: the stream may be desynchronized, so
+                // drop it — but do not retry, the peer is misbehaving.
+                self.client = None;
+                Err(AttemptFailure::Fatal(e.to_string()))
+            }
+        }
+    }
+
+    /// Perform one exchange with retries, backoff, and reconnect.
+    pub fn try_call(&mut self, request: &Request) -> Result<Response, CallError> {
+        let max = self.policy.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 1..=max {
+            if attempt > 1 {
+                let nap = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(nap);
+            }
+            match self.attempt(request) {
+                Ok(response) => return Ok(response),
+                Err(AttemptFailure::Retryable(e)) => last_error = e,
+                Err(AttemptFailure::Fatal(e)) => return Err(CallError::Fatal(e)),
+            }
+        }
+        Err(CallError::Exhausted { attempts: max, last_error })
+    }
+}
+
+enum AttemptFailure {
+    Retryable(String),
+    Fatal(String),
+}
+
+impl Connector for TcpConnector {
+    /// Infallible facade over [`TcpConnector::try_call`]: transport
+    /// failures degrade into protocol-level error responses, so callers
+    /// built against [`Connector`] keep working over a flaky network.
+    fn call(&mut self, request: &Request) -> Response {
+        match self.try_call(request) {
+            Ok(response) => response,
+            Err(e @ CallError::Exhausted { .. }) => {
+                Response::error("transport-unavailable", e.to_string())
+            }
+            Err(e @ CallError::Fatal(_)) => Response::error("transport-protocol", e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +298,68 @@ mod tests {
     fn closures_are_connectors() {
         let mut conn = |_req: &Request| Response::Ok;
         assert_eq!(Connector::call(&mut conn, &Request::GetPuzzle), Response::Ok);
+    }
+
+    #[test]
+    fn backoff_is_exponential_bounded_and_jitter_free_when_disabled() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(200));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(400));
+        // Capped thereafter — even for absurd retry counts.
+        assert_eq!(policy.backoff(4, &mut rng), Duration::from_millis(450));
+        assert_eq!(policy.backoff(40, &mut rng), Duration::from_millis(450));
+    }
+
+    #[test]
+    fn jitter_only_ever_shortens_the_backoff() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(80),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for retry in 1..10 {
+            let nap = policy.backoff(retry, &mut rng);
+            let ceiling = policy
+                .base_backoff
+                .saturating_mul(2u32.saturating_pow(retry - 1))
+                .min(policy.max_backoff);
+            assert!(nap <= ceiling, "jitter must never lengthen the sleep");
+            assert!(nap >= ceiling.mul_f64(0.5), "jitter shaves at most the configured fraction");
+        }
+    }
+
+    #[test]
+    fn unreachable_server_exhausts_as_retryable() {
+        // A port from the ephemeral range with nothing listening:
+        // connection refused, which is retryable — and must be reported
+        // as Exhausted, not Fatal.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            connect_timeout: Duration::from_millis(200),
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
+        };
+        let mut conn = TcpConnector::new("127.0.0.1:9", policy).expect("resolve");
+        let err = conn.try_call(&Request::GetPuzzle).expect_err("nothing listens on port 9");
+        assert!(err.is_retryable(), "refused connection must be retryable: {err}");
+        let CallError::Exhausted { attempts, .. } = err else { panic!("{err}") };
+        assert_eq!(attempts, 2);
+        // The infallible facade degrades the same failure into an error
+        // response instead of panicking the caller.
+        let resp = Connector::call(&mut conn, &Request::GetPuzzle);
+        assert!(
+            matches!(resp, Response::Error { ref code, .. } if code == "transport-unavailable"),
+            "{resp:?}"
+        );
     }
 }

@@ -18,7 +18,9 @@
 //! * [`prompt`] — the rating-prompt policy: ask only after 50 executions,
 //!   at most 2 prompts per week (§3.1).
 //! * [`connector`] — the transport abstraction (in-process or framed TCP)
-//!   the client talks to the server through.
+//!   the client talks to the server through; the TCP path retries with
+//!   bounded exponential backoff + jitter and reconnects across server
+//!   restarts.
 //! * [`client`] — [`client::ReputationClient`]: the full execution-time
 //!   flow: lists → signatures → server query → policy → user dialog, plus
 //!   the rate-your-software flow.
@@ -33,7 +35,7 @@ pub mod signature;
 pub use client::{
     ClientHook, ClientStats, DecisionSource, ExecOutcome, ReputationClient, UserAgent, UserChoice,
 };
-pub use connector::{Connector, InProcessConnector};
+pub use connector::{CallError, Connector, InProcessConnector, RetryPolicy, TcpConnector};
 pub use lists::WhiteBlackLists;
 pub use os::{HookVerdict, LaunchOutcome, SimOs};
 pub use prompt::RatingPromptPolicy;

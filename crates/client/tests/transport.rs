@@ -1,0 +1,227 @@
+//! Socket-level tests for the resilient TCP connector: reconnect across a
+//! server restart, the retryable-vs-fatal taxonomy over real sockets, and
+//! interplay with the server's load shedding.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use softrep_client::{CallError, Connector, RetryPolicy, TcpConnector};
+use softrep_core::clock::SimClock;
+use softrep_core::db::ReputationDb;
+use softrep_proto::framing::{read_frame, write_frame};
+use softrep_proto::{Request, Response};
+use softrep_server::tcp::TcpServer;
+use softrep_server::{ReputationServer, ServerConfig};
+
+fn reputation_server() -> Arc<ReputationServer> {
+    Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("client-transport-pepper"),
+        Arc::new(SimClock::new()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        11,
+    ))
+}
+
+fn quick_policy() -> RetryPolicy {
+    RetryPolicy {
+        connect_timeout: Duration::from_millis(500),
+        call_timeout: Duration::from_secs(5),
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        jitter: 0.5,
+        jitter_seed: 42,
+    }
+}
+
+fn query() -> Request {
+    Request::QuerySoftware { software_id: "ef".repeat(20) }
+}
+
+/// The headline resilience property: a connector that was mid-conversation
+/// when the server restarted reconnects on the next call — the caller sees
+/// only a successful response.
+#[test]
+fn connector_survives_a_server_restart_on_the_same_port() {
+    let server = reputation_server();
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let addr = tcp.local_addr();
+
+    let mut conn = TcpConnector::connect(addr, quick_policy()).unwrap();
+    let resp = conn.try_call(&query()).unwrap();
+    assert!(matches!(resp, Response::UnknownSoftware { .. }));
+    assert!(conn.is_connected());
+
+    // Restart: full shutdown (joins every worker), then rebind the same
+    // port. SO_REUSEADDR makes the rebind race-free on Unix.
+    tcp.shutdown();
+    let tcp = TcpServer::spawn(Arc::clone(&server), addr).unwrap();
+
+    // The connector's cached stream is dead; the call must detect the
+    // disconnect, back off, reconnect, and succeed — invisibly.
+    let resp = conn.try_call(&query()).unwrap();
+    assert!(matches!(resp, Response::UnknownSoftware { .. }));
+    tcp.shutdown();
+}
+
+/// While the server is down entirely, calls exhaust as retryable; once it
+/// is back, the same connector recovers without being rebuilt.
+#[test]
+fn downtime_is_retryable_and_recovery_is_automatic() {
+    let server = reputation_server();
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let addr = tcp.local_addr();
+
+    let mut conn = TcpConnector::connect(addr, quick_policy()).unwrap();
+    conn.try_call(&query()).unwrap();
+    tcp.shutdown();
+
+    // Server gone: every attempt is refused → Exhausted, is_retryable().
+    let err = conn.try_call(&query()).expect_err("server is down");
+    assert!(err.is_retryable(), "downtime must be retryable: {err}");
+    let CallError::Exhausted { attempts, .. } = err else { panic!("{err}") };
+    assert_eq!(attempts, 8, "every configured attempt was spent");
+    assert!(!conn.is_connected());
+
+    // Server back on the same port: next call just works.
+    let tcp = TcpServer::spawn(Arc::clone(&server), addr).unwrap();
+    let resp = conn.try_call(&query()).unwrap();
+    assert!(matches!(resp, Response::UnknownSoftware { .. }));
+    tcp.shutdown();
+}
+
+/// A peer that answers with well-framed garbage is a protocol violation:
+/// fatal on the first occurrence, no retry storm against a broken server.
+#[test]
+fn garbage_response_is_fatal_not_retried() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let bogus = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let _ = read_frame(&mut reader).unwrap();
+        write_frame(&mut writer, "<<<not a protocol message>>>").unwrap();
+    });
+
+    let mut conn = TcpConnector::connect(addr, quick_policy()).unwrap();
+    let err = conn.try_call(&query()).expect_err("garbage must not parse");
+    assert!(matches!(err, CallError::Fatal(_)), "got {err}");
+    assert!(!err.is_retryable());
+    // The poisoned stream was dropped — the connector won't silently reuse
+    // a desynchronized connection.
+    assert!(!conn.is_connected());
+    bogus.join().unwrap();
+
+    // The infallible facade surfaces the same failure as an error
+    // response with the protocol code (now also Exhausted → unavailable,
+    // since nothing listens any more — either way, never a panic).
+    let resp = Connector::call(&mut conn, &query());
+    assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+}
+
+/// `TcpConnector::connect` (the eager variant) retries the initial
+/// connection too: a server that comes up a moment late is not fatal.
+#[test]
+fn eager_connect_retries_until_the_server_is_up() {
+    // Reserve a port, then free it so the connector's first attempts fail.
+    let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = placeholder.local_addr().unwrap();
+    drop(placeholder);
+
+    let server = reputation_server();
+    let starter = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        TcpServer::spawn(server, addr).unwrap()
+    });
+
+    let policy = RetryPolicy { max_attempts: 20, ..quick_policy() };
+    let mut conn = TcpConnector::connect(addr, policy).expect("server comes up mid-retry");
+    let resp = conn.try_call(&query()).unwrap();
+    assert!(matches!(resp, Response::UnknownSoftware { .. }));
+    starter.join().unwrap().shutdown();
+}
+
+/// The connector presents the peer's IP (not ip:port) to the server-side
+/// flood guard exactly like any client: reconnecting through the resilient
+/// path cannot launder a flooder's identity.
+#[test]
+fn reconnects_do_not_reset_the_server_side_flood_bucket() {
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("client-flood-pepper"),
+        Arc::new(SimClock::new()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: 2,
+            flood_refill_per_hour: 1,
+            ..ServerConfig::default()
+        },
+        11,
+    ));
+    let tcp = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    let mut throttled = 0;
+    for _ in 0..5 {
+        // A brand-new connector (fresh socket, fresh ephemeral port) per
+        // request — the strongest version of the reconnect trick.
+        let mut conn = TcpConnector::connect(tcp.local_addr(), quick_policy()).unwrap();
+        let resp = conn.try_call(&query()).unwrap();
+        if matches!(resp, Response::Error { ref code, .. } if code == "throttled") {
+            throttled += 1;
+        }
+    }
+    assert_eq!(throttled, 3, "burst of 2, then throttled despite reconnects");
+    assert_eq!(server.flood_guard().tracked_identities(), 1);
+    tcp.shutdown();
+}
+
+/// Deadlines propagate to the socket: a server that accepts but never
+/// answers trips the call timeout instead of hanging the client forever.
+#[test]
+fn silent_server_trips_the_call_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let silent = std::thread::spawn(move || {
+        // Accept and hold the connection open, reading nothing, saying
+        // nothing, until the client gives up.
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let policy =
+        RetryPolicy { call_timeout: Duration::from_millis(200), max_attempts: 2, ..quick_policy() };
+    let mut conn = TcpConnector::connect(addr, policy).unwrap();
+    let err = conn.try_call(&query()).expect_err("silence must not hang");
+    assert!(err.is_retryable(), "a timeout is worth retrying later: {err}");
+    silent.join().unwrap();
+}
+
+/// Sanity: the raw `TcpStream` path and the connector agree on the wire
+/// format (no connector-specific framing drift).
+#[test]
+fn connector_and_raw_framing_interoperate() {
+    let server = reputation_server();
+    let tcp = TcpServer::spawn(server, "127.0.0.1:0").unwrap();
+
+    // Raw client writes the frame by hand…
+    let stream = TcpStream::connect(tcp.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, &query().encode()).unwrap();
+    let raw = Response::decode(&read_frame(&mut reader).unwrap()).unwrap();
+
+    // …and the connector gets the identical answer.
+    let mut conn = TcpConnector::connect(tcp.local_addr(), quick_policy()).unwrap();
+    let via_conn = conn.try_call(&query()).unwrap();
+    assert_eq!(raw, via_conn);
+    tcp.shutdown();
+}

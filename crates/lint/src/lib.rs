@@ -4,8 +4,9 @@
 //! verification layer") lean on four implementation invariants that the
 //! type system cannot express. This crate checks them mechanically:
 //!
-//! 1. **panic** — the request path (server handler, storage wal/store/
-//!    table, core db) never calls `unwrap`/`expect`, never invokes a
+//! 1. **panic** — the request path (server handler, the TCP front end
+//!    with its worker pool and stats counters, storage wal/store/table,
+//!    core db) never calls `unwrap`/`expect`, never invokes a
 //!    `panic!`-family macro, and never indexes a slice without `.get()`.
 //!    One malformed record or hostile frame must degrade into a typed
 //!    error, not a crashed server.

@@ -38,10 +38,15 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
-/// Files under the no-panic rule: the paper's request path. A panic in any
-/// of these turns one bad record or one hostile request into an outage.
+/// Files under the no-panic rule: the paper's request path, from the TCP
+/// front end (accept/admission, worker pool, stats) down through the
+/// handler to storage. A panic in any of these turns one bad record or
+/// one hostile request into an outage.
 pub const NO_PANIC_FILES: &[&str] = &[
     "crates/server/src/handler.rs",
+    "crates/server/src/pool.rs",
+    "crates/server/src/stats.rs",
+    "crates/server/src/tcp.rs",
     "crates/storage/src/wal.rs",
     "crates/storage/src/store.rs",
     "crates/storage/src/table.rs",
@@ -501,6 +506,19 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 2);
         assert_eq!(d[0].rule, "panic");
+    }
+
+    #[test]
+    fn transport_files_are_under_the_no_panic_rule() {
+        // The TCP front end is reachable by any remote peer; a panic there
+        // is a remote crash. The rule must cover all three transport
+        // modules, not just the handler below them.
+        let src = "fn f() { let x = y.unwrap(); }";
+        for file in
+            ["crates/server/src/tcp.rs", "crates/server/src/pool.rs", "crates/server/src/stats.rs"]
+        {
+            assert_eq!(diags(file, src).len(), 1, "{file} must be under the panic rule");
+        }
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub enum FrameError {
     NotUtf8,
     /// Clean end-of-stream between frames.
     Closed,
+    /// The frame arrived intact but its body was not a valid protocol
+    /// message. The stream itself may be desynchronized, so callers must
+    /// not reuse the connection.
+    Decode(String),
+}
+
+impl FrameError {
+    /// Does this error mean the connection is gone (or no longer
+    /// trustworthy), so that reconnecting could help? `TooLarge`,
+    /// `NotUtf8` and `Decode` are protocol violations a retry cannot fix;
+    /// `Io`/`Closed` are transport failures a fresh connection might.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, FrameError::Io(_) | FrameError::Closed)
+    }
 }
 
 impl std::fmt::Display for FrameError {
@@ -31,6 +45,7 @@ impl std::fmt::Display for FrameError {
             FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             FrameError::NotUtf8 => f.write_str("frame body is not valid UTF-8"),
             FrameError::Closed => f.write_str("stream closed"),
+            FrameError::Decode(e) => write!(f, "frame body is not a valid message: {e}"),
         }
     }
 }
@@ -124,6 +139,15 @@ mod tests {
         buf.extend_from_slice(&2u32.to_be_bytes());
         buf.extend_from_slice(&[0xff, 0xfe]);
         assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn disconnect_classification_separates_retryable_from_fatal() {
+        assert!(FrameError::Closed.is_disconnect());
+        assert!(FrameError::Io(io::Error::other("boom")).is_disconnect());
+        assert!(!FrameError::TooLarge(9).is_disconnect());
+        assert!(!FrameError::NotUtf8.is_disconnect());
+        assert!(!FrameError::Decode("bad xml".into()).is_disconnect());
     }
 
     #[test]

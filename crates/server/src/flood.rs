@@ -6,12 +6,24 @@
 //! bucket of `capacity` requests refilling at `refill_per_hour`; normal
 //! usage never notices, while a flooder exhausts the bucket and gets
 //! throttled long before the database does.
+//!
+//! The bucket map itself is bounded (`max_tracked`): an attacker churning
+//! through unique identities must not be able to grow server memory
+//! without limit. When the map saturates, buckets that have idled long
+//! enough to refill completely are evicted first — a full bucket carries
+//! no throttling information, so dropping it is behaviour-preserving —
+//! and if every bucket is still live, the least-recently-seen half is
+//! shed. Actively throttled identities refresh `last_refill` on every
+//! (rejected) request, so the hottest offenders always survive eviction.
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
 use softrep_core::clock::Timestamp;
+
+/// Default bound on tracked identities (~a few MiB of buckets).
+pub const DEFAULT_MAX_TRACKED: usize = 65_536;
 
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
@@ -24,17 +36,26 @@ pub struct FloodGuard {
     buckets: Mutex<HashMap<String, Bucket>>,
     capacity: f64,
     refill_per_hour: f64,
+    max_tracked: usize,
     rejected: Mutex<u64>,
 }
 
 impl FloodGuard {
     /// A guard allowing bursts of `capacity` and `refill_per_hour`
-    /// sustained requests per hour per identity.
+    /// sustained requests per hour per identity, tracking at most
+    /// [`DEFAULT_MAX_TRACKED`] identities.
     pub fn new(capacity: u32, refill_per_hour: u32) -> Self {
+        FloodGuard::with_limits(capacity, refill_per_hour, DEFAULT_MAX_TRACKED)
+    }
+
+    /// A guard with an explicit bound on tracked identities (clamped to at
+    /// least one).
+    pub fn with_limits(capacity: u32, refill_per_hour: u32, max_tracked: usize) -> Self {
         FloodGuard {
             buckets: Mutex::new(HashMap::new()),
             capacity: f64::from(capacity.max(1)),
             refill_per_hour: f64::from(refill_per_hour.max(1)),
+            max_tracked: max_tracked.max(1),
             rejected: Mutex::new(0),
         }
     }
@@ -43,6 +64,9 @@ impl FloodGuard {
     /// when the identity is throttled.
     pub fn allow(&self, identity: &str, now: Timestamp) -> bool {
         let mut buckets = self.buckets.lock();
+        if buckets.len() >= self.max_tracked && !buckets.contains_key(identity) {
+            self.evict(&mut buckets, now);
+        }
         let bucket = buckets
             .entry(identity.to_string())
             .or_insert(Bucket { tokens: self.capacity, last_refill: now });
@@ -61,6 +85,42 @@ impl FloodGuard {
         }
     }
 
+    /// Drop buckets that carry no information, then — if the map is still
+    /// saturated — the least-recently-seen half.
+    fn evict(&self, buckets: &mut HashMap<String, Bucket>, now: Timestamp) {
+        let capacity = self.capacity;
+        let refill = self.refill_per_hour;
+        // Pass 1: a bucket idle long enough to have refilled completely is
+        // indistinguishable from an absent one.
+        buckets.retain(|_, b| {
+            let refilled = b.tokens + (now.since(b.last_refill) as f64 / 3_600.0) * refill;
+            refilled < capacity
+        });
+        if buckets.len() < self.max_tracked {
+            return;
+        }
+        // Pass 2: every bucket is live; shed down to half capacity.
+        // Non-throttled buckets go before throttled ones (a throttled
+        // bucket is the guard's whole point — evicting it would hand the
+        // flooder a fresh burst), least-recently-seen first within each
+        // class. The key tie-break keeps the order deterministic.
+        let keep = self.max_tracked / 2;
+        let mut order: Vec<(bool, u64, String)> = buckets
+            .iter()
+            .map(|(k, b)| {
+                let refilled = b.tokens + (now.since(b.last_refill) as f64 / 3_600.0) * refill;
+                (refilled < 1.0, b.last_refill.0, k.clone())
+            })
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)).then_with(|| a.2.cmp(&b.2))
+        });
+        let evict_n = order.len().saturating_sub(keep);
+        for (_, _, key) in order.into_iter().take(evict_n) {
+            buckets.remove(&key);
+        }
+    }
+
     /// Requests rejected so far (experiment D3's throttling measure).
     pub fn rejected_count(&self) -> u64 {
         *self.rejected.lock()
@@ -69,6 +129,11 @@ impl FloodGuard {
     /// Identities currently tracked.
     pub fn tracked_identities(&self) -> usize {
         self.buckets.lock().len()
+    }
+
+    /// The bound on tracked identities.
+    pub fn max_tracked(&self) -> usize {
+        self.max_tracked
     }
 }
 
@@ -123,5 +188,54 @@ mod tests {
         let guard = FloodGuard::new(0, 0);
         assert!(guard.allow("u", Timestamp(0)), "capacity clamps to 1");
         assert!(!guard.allow("u", Timestamp(0)));
+    }
+
+    #[test]
+    fn identity_churn_cannot_grow_the_map_without_bound() {
+        // An attacker cycling through unique identities at one instant —
+        // no bucket is ever stale, so the LRU half-shed must bound memory.
+        let guard = FloodGuard::with_limits(4, 1, 256);
+        for i in 0..10_000 {
+            guard.allow(&format!("churn-{i}"), Timestamp(0));
+        }
+        assert!(
+            guard.tracked_identities() <= 256,
+            "map grew to {} despite the bound",
+            guard.tracked_identities()
+        );
+    }
+
+    #[test]
+    fn stale_refilled_buckets_are_evicted_first() {
+        // Capacity 4, refill 3600/hour = 1 token/second: a bucket idle for
+        // 10 s is fully refilled and therefore evictable.
+        let guard = FloodGuard::with_limits(4, 3_600, 8);
+        for i in 0..8 {
+            assert!(guard.allow(&format!("old-{i}"), Timestamp(i)));
+        }
+        assert_eq!(guard.tracked_identities(), 8);
+        // Much later, a new identity arrives: the stale buckets are shed,
+        // not the map blown past its bound.
+        assert!(guard.allow("fresh", Timestamp(1_000)));
+        assert_eq!(guard.tracked_identities(), 1, "all idle buckets evicted");
+    }
+
+    #[test]
+    fn actively_throttled_identity_survives_churn() {
+        // Refill 1/hour, capacity 2: once exhausted, the attacker stays
+        // throttled for the whole (simulated) test window.
+        let guard = FloodGuard::with_limits(2, 1, 64);
+        assert!(guard.allow("attacker", Timestamp(0)));
+        assert!(guard.allow("attacker", Timestamp(0)));
+        assert!(!guard.allow("attacker", Timestamp(0)));
+        // Churn thousands of one-shot identities while the attacker keeps
+        // retrying; its bucket must never be evicted (which would hand it
+        // a fresh burst).
+        for i in 0..2_000u64 {
+            let now = Timestamp(i / 10); // slow clock: refill stays < 1 token
+            guard.allow(&format!("bystander-{i}"), now);
+            assert!(!guard.allow("attacker", now), "attacker got un-throttled at churn step {i}");
+        }
+        assert!(guard.tracked_identities() <= 64);
     }
 }

@@ -31,6 +31,10 @@ pub struct ServerConfig {
     pub flood_capacity: u32,
     /// Flood-guard sustained requests/hour per identity.
     pub flood_refill_per_hour: u32,
+    /// Upper bound on identities the flood guard tracks at once; beyond
+    /// it, stale (fully refilled) buckets are evicted so identity churn
+    /// cannot exhaust server memory.
+    pub flood_max_identities: usize,
     /// Maximum comments returned in a software report.
     pub max_comments_in_report: usize,
     /// Shared secret authenticating runtime analyzers (§5 evidence
@@ -49,6 +53,7 @@ impl Default for ServerConfig {
             session_ttl_secs: 24 * 3_600,
             flood_capacity: 60,
             flood_refill_per_hour: 120,
+            flood_max_identities: crate::flood::DEFAULT_MAX_TRACKED,
             max_comments_in_report: 10,
             analyzer_token: None,
             pseudonym_key_bits: 0,
@@ -84,7 +89,11 @@ impl ReputationServer {
         ReputationServer {
             sessions: SessionManager::new(config.session_ttl_secs),
             puzzles: PuzzleGate::new(config.puzzle_difficulty),
-            flood: FloodGuard::new(config.flood_capacity, config.flood_refill_per_hour),
+            flood: FloodGuard::with_limits(
+                config.flood_capacity,
+                config.flood_refill_per_hour,
+                config.flood_max_identities,
+            ),
             rng: Mutex::new(rng),
             db,
             clock,

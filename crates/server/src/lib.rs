@@ -16,19 +16,29 @@
 //! * [`handler`] — [`handler::ReputationServer`]: the full request
 //!   dispatcher mapping protocol [`softrep_proto::Request`]s onto the
 //!   reputation database.
-//! * [`tcp`] — a thread-per-connection TCP front end speaking the framed
-//!   XML protocol (used by the networked examples; tests and simulations
-//!   call the handler in-process).
+//! * [`pool`] — a bounded worker pool: explicit admission control instead
+//!   of unbounded thread-per-connection spawning.
+//! * [`stats`] — transport counters (accepted / active / rejected /
+//!   timed-out / served) so load-shedding is measurable, not guessed.
+//! * [`tcp`] — the TCP front end speaking the framed XML protocol over a
+//!   bounded worker pool, with connection deadlines and graceful,
+//!   handle-joining shutdown (used by the networked examples; tests and
+//!   simulations call the handler in-process).
 //! * [`web`] — the §3 read-only web interface: searching, software and
 //!   vendor detail pages, deployment statistics.
 
 pub mod flood;
 pub mod handler;
+pub mod pool;
 pub mod puzzle_gate;
 pub mod session;
+pub mod stats;
 pub mod tcp;
 pub mod web;
 
 pub use flood::FloodGuard;
 pub use handler::{ReputationServer, ServerConfig};
+pub use pool::{PoolRejected, WorkerPool};
 pub use session::SessionManager;
+pub use stats::{ServerStats, StatsSnapshot};
+pub use tcp::{TcpClient, TcpServer, TcpServerConfig};

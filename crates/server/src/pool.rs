@@ -1,0 +1,245 @@
+//! A bounded worker pool for the TCP front end.
+//!
+//! The seed transport spawned one unbounded thread per accepted
+//! connection, so a connection flood translated directly into thread
+//! exhaustion — the availability failure §2.1 warns about. The pool caps
+//! concurrent workers: admission is an explicit [`WorkerPool::try_acquire`]
+//! that either returns a [`WorkerPermit`] or tells the caller to shed load
+//! *before* any thread is created. Every spawned worker's [`JoinHandle`]
+//! is retained so shutdown can drain and join them instead of leaking.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Why the pool refused to run a job.
+#[derive(Debug)]
+pub enum PoolRejected {
+    /// Every worker slot is occupied; shed load.
+    Full,
+    /// The OS refused to create a thread.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for PoolRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolRejected::Full => f.write_str("worker pool is at capacity"),
+            PoolRejected::Spawn(e) => write!(f, "could not spawn worker thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolRejected {}
+
+#[derive(Default)]
+struct PoolState {
+    active: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// A bounded pool of worker threads.
+pub struct WorkerPool {
+    max_workers: usize,
+    state: Arc<Mutex<PoolState>>,
+}
+
+/// An occupied worker slot. Dropping the permit releases the slot, so a
+/// worker that panics still frees capacity.
+pub struct WorkerPermit {
+    state: Arc<Mutex<PoolState>>,
+}
+
+impl Drop for WorkerPermit {
+    fn drop(&mut self) {
+        let mut st = self.state.lock();
+        st.active = st.active.saturating_sub(1);
+    }
+}
+
+impl WorkerPool {
+    /// A pool running at most `max_workers` jobs concurrently (clamped to
+    /// at least one).
+    pub fn new(max_workers: usize) -> Self {
+        WorkerPool { max_workers: max_workers.max(1), state: Arc::default() }
+    }
+
+    /// The configured concurrency bound.
+    pub fn max_workers(&self) -> usize {
+        self.max_workers
+    }
+
+    /// Workers currently holding a slot.
+    pub fn active(&self) -> usize {
+        self.state.lock().active
+    }
+
+    /// Claim a worker slot, or `None` when the pool is saturated.
+    pub fn try_acquire(&self) -> Option<WorkerPermit> {
+        let mut st = self.state.lock();
+        if st.active >= self.max_workers {
+            return None;
+        }
+        st.active += 1;
+        Some(WorkerPermit { state: Arc::clone(&self.state) })
+    }
+
+    /// Run `f` on a new worker thread holding `permit`. The permit is
+    /// released when `f` returns (or panics); the join handle is retained
+    /// for [`WorkerPool::join_deadline`].
+    pub fn spawn(
+        &self,
+        permit: WorkerPermit,
+        f: impl FnOnce() + Send + 'static,
+    ) -> Result<(), PoolRejected> {
+        let spawned =
+            std::thread::Builder::new().name("softrep-tcp-worker".to_string()).spawn(move || {
+                let _slot = permit;
+                f();
+            });
+        match spawned {
+            Ok(handle) => {
+                let mut st = self.state.lock();
+                st.handles.push(handle);
+                // Opportunistically shed finished handles so the vec stays
+                // bounded by the concurrency cap plus recent churn.
+                let finished = take_finished(&mut st);
+                drop(st);
+                join_all(finished);
+                Ok(())
+            }
+            Err(e) => Err(PoolRejected::Spawn(e)),
+        }
+    }
+
+    /// Acquire-and-spawn in one step.
+    pub fn try_spawn(&self, f: impl FnOnce() + Send + 'static) -> Result<(), PoolRejected> {
+        let permit = self.try_acquire().ok_or(PoolRejected::Full)?;
+        self.spawn(permit, f)
+    }
+
+    /// Join every worker, waiting up to `deadline` for stragglers. Returns
+    /// `true` when all workers finished and were joined; `false` when the
+    /// deadline passed with workers still running (their handles are kept,
+    /// so a later call can finish the join).
+    pub fn join_deadline(&self, deadline: Duration) -> bool {
+        let step = Duration::from_millis(2);
+        let mut waited = Duration::ZERO;
+        loop {
+            let (finished, pending) = {
+                let mut st = self.state.lock();
+                let finished = take_finished(&mut st);
+                (finished, st.handles.len())
+            };
+            join_all(finished);
+            if pending == 0 {
+                return true;
+            }
+            if waited >= deadline {
+                return false;
+            }
+            let nap = step.min(deadline - waited);
+            std::thread::sleep(nap);
+            waited += nap;
+        }
+    }
+}
+
+/// Pull the finished handles out of the state (joined outside the lock).
+fn take_finished(st: &mut PoolState) -> Vec<JoinHandle<()>> {
+    let mut finished = Vec::new();
+    let mut pending = Vec::new();
+    for handle in st.handles.drain(..) {
+        if handle.is_finished() {
+            finished.push(handle);
+        } else {
+            pending.push(handle);
+        }
+    }
+    st.handles = pending;
+    finished
+}
+
+fn join_all(handles: Vec<JoinHandle<()>>) {
+    for handle in handles {
+        // A worker that panicked already released its permit via Drop;
+        // there is nothing further to propagate.
+        let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn capacity_is_enforced_and_slots_are_reusable() {
+        let pool = WorkerPool::new(2);
+        let a = pool.try_acquire().expect("slot 1");
+        let _b = pool.try_acquire().expect("slot 2");
+        assert!(pool.try_acquire().is_none(), "third acquire must fail");
+        assert_eq!(pool.active(), 2);
+        drop(a);
+        assert_eq!(pool.active(), 1);
+        assert!(pool.try_acquire().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn try_spawn_runs_jobs_and_releases_slots() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.try_spawn(move || tx.send(42u32).expect("send")).expect("spawn");
+        assert_eq!(rx.recv().expect("worker ran"), 42);
+        assert!(pool.join_deadline(Duration::from_secs(5)), "worker joins");
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn saturated_pool_rejects_with_full() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_spawn(move || {
+            started_tx.send(()).expect("signal start");
+            let _ = rx.recv(); // hold the slot until the test releases it
+        })
+        .expect("first spawn");
+        started_rx.recv().expect("worker started");
+        assert!(matches!(pool.try_spawn(|| {}), Err(PoolRejected::Full)));
+        drop(tx);
+        assert!(pool.join_deadline(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn join_deadline_gives_up_on_stragglers_then_finishes_later() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.try_spawn(move || {
+            let _ = rx.recv();
+        })
+        .expect("spawn");
+        assert!(!pool.join_deadline(Duration::from_millis(20)), "worker still blocked");
+        drop(tx); // unblock
+        assert!(pool.join_deadline(Duration::from_secs(5)), "worker joins after unblock");
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn permit_released_even_when_worker_panics() {
+        let pool = WorkerPool::new(1);
+        pool.try_spawn(|| panic!("worker exploded")).expect("spawn");
+        assert!(pool.join_deadline(Duration::from_secs(5)));
+        assert_eq!(pool.active(), 0, "panicking worker must release its slot");
+        assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.max_workers(), 1);
+        assert!(pool.try_acquire().is_some());
+    }
+}

@@ -1,78 +1,291 @@
-//! TCP front end: framed XML over `std::net`, one thread per connection.
+//! TCP front end: framed XML over `std::net`, served by a bounded worker
+//! pool.
 //!
-//! Used by the networked examples; the agent simulations call
-//! [`crate::handler::ReputationServer::handle`] in-process for speed. The
-//! source identity given to the flood guard is the peer address — which is
-//! observed only transiently for throttling and never persisted (§2.2).
+//! Used by the networked examples and the deployment binary; the agent
+//! simulations call [`crate::handler::ReputationServer::handle`]
+//! in-process for speed. Robustness properties (§2.1's availability
+//! requirement):
+//!
+//! * **Bounded concurrency** — at most
+//!   [`TcpServerConfig::max_connections`] workers; excess connections get
+//!   an immediate `overloaded` error frame and are closed instead of
+//!   spawning unboundedly.
+//! * **Connection deadlines** — per-connection read/write timeouts so a
+//!   dead or silent peer cannot pin a worker forever.
+//! * **Graceful shutdown** — stop accepting (a self-connect nudge wakes
+//!   the blocking accept immediately), drain in-flight requests up to
+//!   [`TcpServerConfig::drain_deadline`], then force-close stragglers and
+//!   join every worker handle.
+//! * **Flood identity** — the flood guard is keyed on the peer *IP only*.
+//!   Keying on `ip:port` would mint a fresh token bucket per reconnect,
+//!   letting a reconnect-per-request flooder bypass throttling entirely.
+//!   The identity is observed only transiently and never persisted (§2.2).
+//!
+//! Everything the front end does is counted in [`ServerStats`], so tests
+//! and experiments can assert throttling instead of guessing.
 
+use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use softrep_proto::framing::{read_frame, write_frame, FrameError};
 use softrep_proto::{Request, Response};
 
 use crate::handler::ReputationServer;
+use crate::pool::WorkerPool;
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Tuning knobs for the TCP front end.
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// Maximum concurrently served connections; one beyond this is
+    /// answered with an `overloaded` error frame and closed.
+    pub max_connections: usize,
+    /// A connection idle (no complete frame) past this deadline is
+    /// dropped, freeing its worker.
+    pub read_timeout: Duration,
+    /// A peer that will not accept response bytes past this deadline is
+    /// dropped.
+    pub write_timeout: Duration,
+    /// How long shutdown waits for in-flight requests before force-closing
+    /// remaining connections.
+    pub drain_deadline: Duration,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Live connections indexed by id, kept so shutdown can force-close
+/// stragglers that are blocked reading from silent peers.
+#[derive(Default)]
+struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    next_id: u64,
+    conns: HashMap<u64, TcpStream>,
+}
+
+impl ConnRegistry {
+    /// Track a clone of `stream`; `None` when the clone fails (the
+    /// connection is still served, just not force-closable).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id = inner.next_id.wrapping_add(1);
+        inner.conns.insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.inner.lock().conns.remove(&id);
+    }
+
+    /// Shut down every tracked socket, unblocking workers stuck in reads.
+    fn close_all(&self) {
+        for conn in self.inner.lock().conns.values() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
 
 /// A running TCP server.
 pub struct TcpServer {
-    local_addr: std::net::SocketAddr,
+    local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+    stats: Arc<ServerStats>,
+    registry: Arc<ConnRegistry>,
+    drain_deadline: Duration,
 }
 
 impl TcpServer {
-    /// Bind `addr` and serve `server` until [`TcpServer::shutdown`].
+    /// Bind `addr` and serve `server` with [`TcpServerConfig::default`]
+    /// until [`TcpServer::shutdown`].
     pub fn spawn(server: Arc<ReputationServer>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        TcpServer::spawn_with(server, addr, TcpServerConfig::default())
+    }
+
+    /// Bind `addr` and serve `server` with explicit tuning knobs.
+    pub fn spawn_with(
+        server: Arc<ReputationServer>,
+        addr: impl ToSocketAddrs,
+        config: TcpServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(WorkerPool::new(config.max_connections));
+        let stats = Arc::new(ServerStats::new());
+        let registry = Arc::new(ConnRegistry::default());
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::spawn(move || {
-            // Non-blocking accept loop so shutdown is observed promptly.
-            listener.set_nonblocking(true).expect("set_nonblocking");
-            while !accept_shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, peer)) => {
-                        let server = Arc::clone(&server);
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(&server, stream, &peer.to_string());
-                        });
+        let accept_pool = Arc::clone(&pool);
+        let accept_stats = Arc::clone(&stats);
+        let accept_registry = Arc::clone(&registry);
+        let accept_config = config.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("softrep-tcp-accept".to_string())
+            .spawn(move || {
+                // Blocking accept; shutdown() wakes it with a self-connect
+                // nudge, so there is no sleep-poll burning CPU and no
+                // latency between the flag flipping and the loop exiting.
+                loop {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            if accept_shutdown.load(Ordering::SeqCst) {
+                                break; // the nudge itself, or a late client
+                            }
+                            handle_accept(
+                                &server,
+                                &accept_pool,
+                                &accept_stats,
+                                &accept_registry,
+                                &accept_shutdown,
+                                &accept_config,
+                                stream,
+                                peer,
+                            );
+                        }
+                        Err(_) if accept_shutdown.load(Ordering::SeqCst) => break,
+                        Err(_) => {
+                            // Transient accept failure (e.g. fd exhaustion):
+                            // back off briefly rather than spinning.
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
                     }
-                    Err(_) => break,
                 }
-            }
-        });
+            })?;
 
-        Ok(TcpServer { local_addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(TcpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            pool,
+            stats,
+            registry,
+            drain_deadline: config.drain_deadline,
+        })
     }
 
     /// The bound address (use port 0 to get an ephemeral port).
-    pub fn local_addr(&self) -> std::net::SocketAddr {
+    pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Stop accepting and join the accept thread. Existing connections
-    /// finish their in-flight request.
+    /// A consistent snapshot of the transport counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// A handle to the live counters, usable after shutdown consumes the
+    /// server.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Connections being served right now.
+    pub fn active_connections(&self) -> usize {
+        self.pool.active()
+    }
+
+    /// Stop accepting, drain in-flight requests up to the configured
+    /// deadline, force-close stragglers, and join every worker.
     pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return; // already shut down
+        };
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        // Wake the blocking accept immediately.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        let _ = handle.join();
+        // Give in-flight requests the drain deadline; then force-close
+        // whatever is left (idle keep-alive peers, silent sockets) and
+        // join the unblocked workers.
+        if !self.pool.join_deadline(self.drain_deadline) {
+            self.registry.close_all();
+            let _ = self.pool.join_deadline(self.drain_deadline.max(Duration::from_millis(250)));
         }
     }
 }
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        self.shutdown_impl();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_accept(
+    server: &Arc<ReputationServer>,
+    pool: &Arc<WorkerPool>,
+    stats: &Arc<ServerStats>,
+    registry: &Arc<ConnRegistry>,
+    shutdown: &Arc<AtomicBool>,
+    config: &TcpServerConfig,
+    stream: TcpStream,
+    peer: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+
+    let Some(permit) = pool.try_acquire() else {
+        // Shed load explicitly: tell the peer why, then close. Never
+        // spawn beyond the bound.
+        stats.record_rejected_overload();
+        let mut writer = stream;
+        let overloaded =
+            Response::error("overloaded", "server is at connection capacity; retry later");
+        let _ = write_frame(&mut writer, &overloaded.encode());
+        return;
+    };
+
+    // The flood-guard identity is the peer IP only — see module docs.
+    let peer_ip = peer.ip().to_string();
+    let reg_id = registry.register(&stream);
+    let worker_server = Arc::clone(server);
+    let worker_stats = Arc::clone(stats);
+    let worker_registry = Arc::clone(registry);
+    let worker_shutdown = Arc::clone(shutdown);
+    let spawned = pool.spawn(permit, move || {
+        worker_stats.record_accepted();
+        let _ = serve_connection(&worker_server, stream, &peer_ip, &worker_stats, &worker_shutdown);
+        if let Some(id) = reg_id {
+            worker_registry.deregister(id);
+        }
+        worker_stats.record_closed();
+    });
+    if spawned.is_err() {
+        // Thread creation failed: the closure (and stream) were dropped,
+        // closing the connection; account for it and untrack the clone.
+        stats.record_rejected_overload();
+        if let Some(id) = reg_id {
+            registry.deregister(id);
         }
     }
 }
@@ -80,7 +293,9 @@ impl Drop for TcpServer {
 fn serve_connection(
     server: &ReputationServer,
     stream: TcpStream,
-    peer: &str,
+    peer_ip: &str,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
 ) -> Result<(), FrameError> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -88,14 +303,28 @@ fn serve_connection(
         let body = match read_frame(&mut reader) {
             Ok(body) => body,
             Err(FrameError::Closed) => return Ok(()),
+            Err(FrameError::Io(e)) if is_timeout(&e) => {
+                stats.record_timed_out();
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         let response = match Request::decode(&body) {
-            Ok(request) => server.handle(&request, peer),
+            Ok(request) => server.handle(&request, peer_ip),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
         write_frame(&mut writer, &response.encode())?;
+        stats.record_request_served();
+        // Drain semantics: the request already in flight is answered, then
+        // the connection closes so shutdown can complete.
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
     }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
 /// A blocking protocol client for the TCP front end.
@@ -107,18 +336,33 @@ pub struct TcpClient {
 impl TcpClient {
     /// Connect to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        TcpClient::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wrap an already-connected stream (used by the retrying connector,
+    /// which owns connect timeouts).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         let writer = stream.try_clone()?;
         Ok(TcpClient { reader: BufReader::new(stream), writer })
     }
 
-    /// Send a request and wait for its response.
+    /// Apply read/write deadlines to the underlying socket.
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(read)?;
+        self.writer.set_write_timeout(write)
+    }
+
+    /// Send a request and wait for its response. A response frame that
+    /// does not decode is a hard protocol error: the stream may be
+    /// desynchronized, so the caller must not keep using this connection.
     pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
         write_frame(&mut self.writer, &request.encode())?;
         let body = read_frame(&mut self.reader)?;
-        Response::decode(&body)
-            .map_err(|_| FrameError::NotUtf8)
-            .or_else(|_| Ok(Response::error("bad-response", "could not decode server response")))
+        Response::decode(&body).map_err(|e| FrameError::Decode(e.to_string()))
     }
 }
 
@@ -204,6 +448,11 @@ mod tests {
         let Response::Software(info) = resp else { panic!("{resp:?}") };
         assert_eq!(info.rating, Some(9.0));
 
+        let stats = tcp.stats();
+        assert_eq!(stats.accepted, 1);
+        assert!(stats.requests_served >= 6);
+        assert_eq!(stats.rejected_overload, 0);
+
         tcp.shutdown();
     }
 
@@ -240,6 +489,60 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        let stats = tcp.stats();
+        assert_eq!(stats.accepted, 4);
+        assert_eq!(stats.requests_served, 20);
         tcp.shutdown();
+    }
+
+    #[test]
+    fn undecodable_server_response_is_a_decode_error_not_a_synthetic_ok() {
+        // A hand-rolled "server" that answers one frame with well-framed
+        // garbage: the client must surface a decode error (the stream may
+        // be desynchronized) rather than fabricating an Ok response.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bogus = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = read_frame(&mut reader).unwrap();
+            write_frame(&mut writer, "<<<this is not a Response>>>").unwrap();
+        });
+
+        let mut client = TcpClient::connect(addr).unwrap();
+        let err = client.call(&Request::GetPuzzle).unwrap_err();
+        assert!(matches!(err, FrameError::Decode(_)), "got {err:?}");
+        bogus.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_joins_all_workers_and_stops_accepting() {
+        let (tcp, _server) = spawn_server();
+        let addr = tcp.local_addr();
+        let mut client = TcpClient::connect(addr).unwrap();
+        let resp = client.call(&Request::QuerySoftware { software_id: "cd".repeat(20) }).unwrap();
+        assert!(matches!(resp, Response::UnknownSoftware { .. }));
+
+        let stats = tcp.stats_handle();
+        tcp.shutdown();
+        // Every accepted connection has been closed and joined.
+        let s = stats.snapshot();
+        assert_eq!(s.active, 0, "shutdown must drain every worker: {s:?}");
+        assert_eq!(s.accepted, s.closed);
+        // And the port no longer accepts protocol traffic.
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => {}
+            Ok(stream) => {
+                // A connect may still succeed transiently; the server side
+                // must not answer frames any more.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let _ = write_frame(&mut writer, "<request><get-puzzle/></request>");
+                assert!(read_frame(&mut reader).is_err(), "no worker should answer");
+            }
+        }
     }
 }

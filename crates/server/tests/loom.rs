@@ -23,8 +23,10 @@ use rand::SeedableRng;
 use softrep_core::clock::Timestamp;
 use softrep_crypto::puzzle::Challenge;
 use softrep_server::flood::FloodGuard;
+use softrep_server::pool::WorkerPool;
 use softrep_server::puzzle_gate::{PuzzleGate, PuzzleRejection};
 use softrep_server::session::SessionManager;
+use softrep_server::stats::ServerStats;
 use softrep_storage::wal::Wal;
 
 const MIN_DISTINCT: usize = 3;
@@ -136,6 +138,83 @@ fn puzzle_redeem_is_exactly_once_under_races() {
             .iter()
             .all(|r| matches!(r, Ok(()) | Err(PuzzleRejection::UnknownChallenge))));
         assert_eq!(gate.outstanding_count(), 0, "challenge fully consumed");
+    });
+    assert!(
+        stats.distinct_schedules >= MIN_DISTINCT,
+        "explored only {} distinct schedules",
+        stats.distinct_schedules
+    );
+}
+
+#[test]
+fn worker_pool_grants_the_last_slot_exactly_once() {
+    let stats = loom::model_with_stats(|| {
+        // One free slot, two racing acceptors: a lost update on the active
+        // count would admit both and break the concurrency bound the whole
+        // overload defence rests on.
+        let pool = Arc::new(WorkerPool::new(1));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                loom::thread::spawn(move || p.try_acquire())
+            })
+            .collect();
+        let permits: Vec<_> = handles.into_iter().map(|h| h.join().expect("acceptor")).collect();
+        let admitted = permits.iter().filter(|p| p.is_some()).count();
+        assert_eq!(admitted, 1, "exactly one acceptor may claim the last slot");
+        assert_eq!(pool.active(), 1);
+
+        // Releasing the permit (from whichever thread won) makes the slot
+        // reusable — and never double-frees below zero.
+        drop(permits);
+        assert_eq!(pool.active(), 0);
+        assert!(pool.try_acquire().is_some(), "released slot is reusable");
+    });
+    assert!(
+        stats.distinct_schedules >= MIN_DISTINCT,
+        "explored only {} distinct schedules",
+        stats.distinct_schedules
+    );
+}
+
+#[test]
+fn server_stats_snapshots_stay_internally_consistent() {
+    let stats = loom::model_with_stats(|| {
+        // Two connection lifecycles race a snapshot reader. Because every
+        // counter lives behind one lock, any snapshot must satisfy the
+        // lifecycle invariant active == accepted - closed; split atomics
+        // would let a reader observe a torn intermediate state.
+        let counters = Arc::new(ServerStats::new());
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counters);
+                loom::thread::spawn(move || {
+                    c.record_accepted();
+                    c.record_request_served();
+                    c.record_closed();
+                })
+            })
+            .collect();
+        let reader = {
+            let c = Arc::clone(&counters);
+            loom::thread::spawn(move || c.snapshot())
+        };
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let mid = reader.join().expect("reader");
+        assert_eq!(
+            mid.active as i64,
+            mid.accepted as i64 - mid.closed as i64,
+            "torn snapshot: {mid:?}"
+        );
+        assert!(mid.requests_served <= mid.accepted, "torn snapshot: {mid:?}");
+
+        let fin = counters.snapshot();
+        assert_eq!(fin.accepted, 2);
+        assert_eq!(fin.closed, 2);
+        assert_eq!(fin.active, 0);
+        assert_eq!(fin.requests_served, 2);
     });
     assert!(
         stats.distinct_schedules >= MIN_DISTINCT,

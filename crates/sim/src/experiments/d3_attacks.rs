@@ -17,9 +17,23 @@
 //! Measured: Sybil accounts created, attacker hash cost, and the mean
 //! rating distortion on the targets. One-vote-per-user and the trust cap
 //! are structural and active in every arm.
+//!
+//! A third scenario measures the *transport* half of the §2.1 defence: a
+//! flooder that opens a fresh TCP connection per request (the trick that
+//! defeated the old `ip:port` flood-guard keying) against the real socket
+//! front end, counting how many requests the IP-keyed token bucket
+//! throttles.
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use softrep_core::clock::SimClock;
+use softrep_core::db::ReputationDb;
+use softrep_proto::{Request, Response};
+use softrep_server::tcp::{TcpClient, TcpServer};
+use softrep_server::{ReputationServer, ServerConfig};
 
 use crate::attack::{
     pick_discredit_targets, run_sybil_attack, run_vote_flood, AttackPlan, Defenses,
@@ -51,6 +65,10 @@ pub struct Config {
     pub attacker_hash_budget: u64,
     /// Puzzle difficulty in the puzzle arms.
     pub puzzle_difficulty: u8,
+    /// Requests the transport flooder sends (one fresh connection each).
+    pub transport_flood_requests: usize,
+    /// Flood-guard burst capacity in the transport-flood scenario.
+    pub transport_flood_capacity: u32,
     /// RNG seed.
     pub seed: u64,
 }
@@ -68,6 +86,8 @@ impl Config {
             attacker_emails: 8,
             attacker_hash_budget: 2_000,
             puzzle_difficulty: 6,
+            transport_flood_requests: 24,
+            transport_flood_capacity: 4,
             seed: 51,
         }
     }
@@ -84,6 +104,8 @@ impl Config {
             attacker_emails: 40,
             attacker_hash_budget: 200_000,
             puzzle_difficulty: 12,
+            transport_flood_requests: 200,
+            transport_flood_capacity: 20,
             seed: 51,
         }
     }
@@ -102,6 +124,20 @@ pub struct ArmResult {
     pub mean_distortion: Option<f64>,
 }
 
+/// Outcome of the transport-level reconnect flood.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportFlood {
+    /// Requests sent, each over a brand-new TCP connection.
+    pub requests: usize,
+    /// Responses answered with the `throttled` error.
+    pub throttled: usize,
+    /// The server-side flood guard's rejection counter.
+    pub rejected: u64,
+    /// Identities the guard ended up tracking (1 ⇒ IP-keyed, as intended;
+    /// one per connection would mean the `ip:port` bug is back).
+    pub identities: usize,
+}
+
 /// Structured result.
 #[derive(Debug, Clone)]
 pub struct Result {
@@ -109,6 +145,8 @@ pub struct Result {
     pub arms: Vec<ArmResult>,
     /// Vote-flood outcome: (attempts, accepted, final ballot count).
     pub flood: (usize, usize, usize),
+    /// Transport-level reconnect-flood outcome.
+    pub transport_flood: TransportFlood,
     /// Printable tables.
     pub tables: Vec<TextTable>,
 }
@@ -173,6 +211,45 @@ fn run_arm(config: &Config, label: &str, defenses: Defenses, weeks: usize) -> Ar
     }
 }
 
+/// Reconnect-per-request flooder from one IP against the real TCP front
+/// end. Every request rides a fresh connection (and thus a fresh ephemeral
+/// port); the IP-keyed guard must still see one identity and throttle
+/// everything beyond the burst capacity.
+fn run_transport_flood(config: &Config) -> TransportFlood {
+    let server = Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("d3-transport-pepper"),
+        Arc::new(SimClock::new()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: config.transport_flood_capacity,
+            flood_refill_per_hour: 1,
+            ..ServerConfig::default()
+        },
+        config.seed,
+    ));
+    let Ok(tcp) = TcpServer::spawn(Arc::clone(&server), "127.0.0.1:0") else {
+        // No loopback available (hermetic sandbox): report zero activity
+        // rather than aborting the whole experiment.
+        return TransportFlood { requests: 0, throttled: 0, rejected: 0, identities: 0 };
+    };
+
+    let probe = Request::QuerySoftware { software_id: "ab".repeat(20) };
+    let mut throttled = 0;
+    for _ in 0..config.transport_flood_requests {
+        let response = TcpClient::connect(tcp.local_addr())
+            .map_err(softrep_proto::framing::FrameError::Io)
+            .and_then(|mut client| client.call(&probe));
+        if matches!(response, Ok(Response::Error { ref code, .. }) if code == "throttled") {
+            throttled += 1;
+        }
+    }
+
+    let rejected = server.flood_guard().rejected_count();
+    let identities = server.flood_guard().tracked_identities();
+    tcp.shutdown();
+    TransportFlood { requests: config.transport_flood_requests, throttled, rejected, identities }
+}
+
 /// Run the experiment.
 pub fn run(config: &Config) -> Result {
     let arms = vec![
@@ -232,7 +309,29 @@ pub fn run(config: &Config) -> Result {
     flood_table.row(vec![attempts.to_string(), accepted.to_string(), final_count.to_string()]);
     flood_table.note("the (software, user) composite key makes flooding a no-op (§2.1)");
 
-    Result { arms, flood: (attempts, accepted, final_count), tables: vec![table, flood_table] }
+    let transport_flood = run_transport_flood(config);
+    let mut transport_table = TextTable::new(
+        format!(
+            "D3 — transport flood (reconnect per request from one IP, burst capacity {})",
+            config.transport_flood_capacity
+        ),
+        &["requests", "throttled", "guard rejections", "identities tracked"],
+    );
+    transport_table.row(vec![
+        transport_flood.requests.to_string(),
+        transport_flood.throttled.to_string(),
+        transport_flood.rejected.to_string(),
+        transport_flood.identities.to_string(),
+    ]);
+    transport_table
+        .note("the guard keys on the peer IP, so fresh connections (fresh ports) share one bucket");
+
+    Result {
+        arms,
+        flood: (attempts, accepted, final_count),
+        transport_flood,
+        tables: vec![table, flood_table, transport_table],
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +370,21 @@ mod tests {
         let result = run(&Config::quick());
         let (_, _, final_count) = result.flood;
         assert_eq!(final_count, 1);
+    }
+
+    #[test]
+    fn reconnect_flooding_is_throttled_at_the_transport() {
+        let config = Config::quick();
+        let flood = run_transport_flood(&config);
+        assert_eq!(flood.requests, config.transport_flood_requests);
+        assert_eq!(
+            flood.identities, 1,
+            "all reconnects come from 127.0.0.1 and must share one bucket"
+        );
+        // Burst capacity passes, everything after is throttled — and the
+        // client-observed count agrees with the server-side counter.
+        let expected = config.transport_flood_requests - config.transport_flood_capacity as usize;
+        assert_eq!(flood.throttled, expected);
+        assert_eq!(flood.rejected, expected as u64);
     }
 }
