@@ -23,22 +23,33 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/7 cargo fmt --check"
+step "1/8 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/7 cargo clippy --all-targets -- -D warnings"
+step "2/8 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/7 softrep-lint"
+step "3/8 softrep-lint"
 cargo run --offline -q -p softrep-lint
 
-step "4/7 cargo build --release"
+step "4/8 cargo build --release"
 cargo build --offline --release
 
-step "5/7 cargo test (workspace)"
+step "5/8 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/7 loom race-detection shard"
+step "6/8 property shard (fixed + randomized seed)"
+# Fixed seed: reproduces the checked-in baseline exactly.
+SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
+    cargo test --offline -q --test properties
+# Randomized seed: each CI run explores fresh workloads. The harness
+# prints the seed on failure, so any counterexample is replayable.
+PROP_SEED="$(date +%s)"
+printf 'property shard randomized seed: %s\n' "$PROP_SEED"
+SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
+    cargo test --offline -q --test properties
+
+step "7/8 loom race-detection shard"
 cargo test --offline -q -p softrep-server --features loom --test loom
 
 nightly_has_tsan_deps() {
@@ -49,7 +60,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "7/7 ThreadSanitizer shard (nightly)"
+        step "8/8 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -57,10 +68,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "7/7 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "8/8 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "7/7 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "8/8 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -1,7 +1,13 @@
-//! D10 (storage): WAL append/replay, store writes, scans and recovery.
+//! D10 (storage): WAL append/replay, store writes, scans and recovery —
+//! plus the full-vs-incremental aggregation contrast over that storage.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use softrep_core::bootstrap::BootstrapEntry;
+use softrep_core::clock::Timestamp;
+use softrep_core::db::ReputationDb;
 use softrep_storage::{Store, WriteBatch};
 
 fn bench_store_writes(c: &mut Criterion) {
@@ -87,5 +93,57 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_store_writes, bench_durable_store, bench_scans, bench_recovery);
+/// The tentpole contrast: recomputing 1 dirty title out of 10 000 with the
+/// incremental engine versus the paper's full batch over all 10 000. The
+/// incremental iteration includes the vote submission that dirties the
+/// title, so it measures the whole hot path, not just the recompute.
+fn bench_aggregation(c: &mut Criterion) {
+    const TITLES: usize = 10_000;
+    let db = ReputationDb::in_memory("bench-agg");
+    let entries: Vec<BootstrapEntry> = (0..TITLES)
+        .map(|i| BootstrapEntry {
+            software_id: format!("{i:040x}"),
+            rating: 1.0 + (i % 90) as f64 / 10.0,
+            vote_count: 1,
+            behaviours: vec![],
+        })
+        .collect();
+    db.bootstrap(&entries, Timestamp(0)).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let token =
+        db.register_user("bench_user", "pw", "bench@example.test", Timestamp(0), &mut rng).unwrap();
+    db.activate_user("bench_user", &token).unwrap();
+    // Settle the seeded dirty set so each incremental iteration recomputes
+    // exactly the one title the fresh vote dirties.
+    db.force_aggregation_full(Timestamp(10)).unwrap();
+
+    let hot = format!("{:040x}", 7);
+    let mut group = c.benchmark_group("aggregation");
+    group.sample_size(20);
+    let mut t = 1_000u64;
+    group.bench_function("incremental_1_dirty_of_10k", |b| {
+        b.iter(|| {
+            t += 1;
+            db.submit_vote("bench_user", &hot, ((t % 10) + 1) as u8, vec![], Timestamp(t)).unwrap();
+            black_box(db.force_aggregation_incremental(Timestamp(t)).unwrap());
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_batch_10k_titles", |b| {
+        b.iter(|| {
+            t += 1;
+            black_box(db.force_aggregation_full(Timestamp(t)).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_writes,
+    bench_durable_store,
+    bench_scans,
+    bench_recovery,
+    bench_aggregation
+);
 criterion_main!(benches);

@@ -52,6 +52,22 @@ pub fn aggregate_software(
     trust_of: impl Fn(&str) -> Option<f64>,
     now: Timestamp,
 ) -> Option<RatingRecord> {
+    aggregate_software_with_masses(software_id, votes, trust_of, now).map(|(rating, _)| rating)
+}
+
+/// [`aggregate_software`], also returning the raw score mass (`Σ w·s`).
+///
+/// The published record carries the trust mass but only the *quotient* of
+/// the score mass; the incremental engine persists both masses verbatim in
+/// its accumulator table, so they must come from this exact summation
+/// rather than being reconstructed as `rating × trust_mass` (which can
+/// differ in the last ulp).
+pub fn aggregate_software_with_masses(
+    software_id: &str,
+    votes: &[VoteRecord],
+    trust_of: impl Fn(&str) -> Option<f64>,
+    now: Timestamp,
+) -> Option<(RatingRecord, f64)> {
     if votes.is_empty() {
         return None;
     }
@@ -78,14 +94,15 @@ pub fn aggregate_software(
         behaviour_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
     behaviours.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
 
-    Some(RatingRecord {
+    let record = RatingRecord {
         software_id: software_id.to_string(),
         rating: score_mass / trust_mass,
         vote_count: votes.len() as u64,
         trust_mass,
         behaviours,
         computed_at: now,
-    })
+    };
+    Some((record, score_mass))
 }
 
 /// Derive a vendor's rating as the mean over its software ratings (§3.3).
@@ -101,10 +118,20 @@ pub fn vendor_rating(software_ratings: impl IntoIterator<Item = f64>) -> Option<
 
 /// Decide whether a batch run is due: the previous run was `last` (or
 /// `None` before the first run).
+///
+/// A clock stepped *backwards* past `last` (NTP correction, VM restore,
+/// operator mistake) must not wedge the schedule: with `now < last`,
+/// `now.since(last)` saturates to 0 and the naive rule would wait until
+/// the clock re-reaches `last + 24 h` — potentially years. If `last` is
+/// more than one interval in the future we declare the batch due, which
+/// re-stamps `last = now` and re-anchors the schedule to the new clock.
 pub fn aggregation_due(last: Option<Timestamp>, now: Timestamp) -> bool {
     match last {
         None => true,
-        Some(last) => now.since(last) >= AGGREGATION_INTERVAL_SECS,
+        Some(last) => {
+            now.since(last) >= AGGREGATION_INTERVAL_SECS
+                || last.since(now) >= AGGREGATION_INTERVAL_SECS
+        }
     }
 }
 
@@ -200,6 +227,22 @@ mod tests {
         let last = Timestamp(1_000);
         assert!(!aggregation_due(Some(last), Timestamp(1_000 + AGGREGATION_INTERVAL_SECS - 1)));
         assert!(aggregation_due(Some(last), Timestamp(1_000 + AGGREGATION_INTERVAL_SECS)));
+    }
+
+    #[test]
+    fn aggregation_due_survives_clock_step_backwards() {
+        // A backward step smaller than one interval delays the next batch
+        // but never wedges it…
+        let last = Timestamp(10 * AGGREGATION_INTERVAL_SECS);
+        let slipped = Timestamp(10 * AGGREGATION_INTERVAL_SECS - 3_600);
+        assert!(!aggregation_due(Some(last), slipped));
+        assert!(aggregation_due(Some(last), Timestamp(11 * AGGREGATION_INTERVAL_SECS)));
+        // …while a step back past a full interval (clock reset to the
+        // epoch, say) re-anchors immediately instead of waiting for the
+        // clock to catch back up to `last`.
+        assert!(aggregation_due(Some(last), Timestamp(0)));
+        // Exactly one interval behind is the re-anchor boundary.
+        assert!(aggregation_due(Some(last), Timestamp(9 * AGGREGATION_INTERVAL_SECS)));
     }
 
     #[test]

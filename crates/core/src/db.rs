@@ -15,6 +15,7 @@
 //! which the experiment harnesses rely on.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,18 +24,20 @@ use rand::RngCore;
 use softrep_crypto::hex;
 use softrep_crypto::salted::{PasswordHash, SecretPepper};
 use softrep_crypto::sha256::Sha256;
+use softrep_storage::codec::Encode;
 use softrep_storage::index::{IndexDef, IndexKind, IndexedTable};
-use softrep_storage::table::{Table, TableSchema};
-use softrep_storage::{Store, StoreStats};
+use softrep_storage::table::{KeyCodec, Table, TableSchema};
+use softrep_storage::{Store, StoreStats, WriteBatch};
 
 use crate::aggregate;
+use crate::aggregate_engine::{self, AggregationStats, DEFAULT_SHARDS, DEFAULT_WORKERS};
 use crate::bootstrap::{expand_entry, BootstrapEntry, BOOTSTRAP_USER_PREFIX};
 use crate::clock::Timestamp;
 use crate::error::{CoreError, CoreResult};
 use crate::extensions::{EvidenceRecord, FeedEntryRecord, FeedRecord};
 use crate::model::{
-    CommentRecord, CommentStatus, RatingRecord, RemarkRecord, SoftwareRecord, TrustRecord,
-    UserRecord, VoteRecord, MAX_SCORE, MIN_SCORE,
+    AccumulatorRecord, CommentRecord, CommentStatus, RatingRecord, RemarkRecord, SoftwareRecord,
+    TrustRecord, UserRecord, VoteRecord, MAX_SCORE, MIN_SCORE,
 };
 use crate::moderation::{apply_decision, ModerationDecision, ModerationPolicy, ModerationStats};
 use crate::trust::{deltas, TrustEngine};
@@ -47,8 +50,20 @@ static EVIDENCE: TableSchema<String, EvidenceRecord> = TableSchema::new("evidenc
 static FEEDS: TableSchema<String, FeedRecord> = TableSchema::new("feeds");
 static FEED_ENTRIES: TableSchema<(String, String), FeedEntryRecord> =
     TableSchema::new("feed_entries");
+/// Reverse vote index `(username, software_id) → cast_at`: lets a trust
+/// change dirty every title the user voted on without scanning all votes.
+static VOTES_BY_USER: TableSchema<(String, String), Timestamp> = TableSchema::new("votes_by_user");
+/// Persisted `(Σ w·s, Σ w)` accumulators; see [`AccumulatorRecord`].
+static ACCUMULATORS: TableSchema<String, AccumulatorRecord> = TableSchema::new("agg_accumulators");
 
 const META_TREE: &str = "meta";
+/// Dirty set of the incremental aggregation engine: key is the key-codec
+/// encoding of the software id, value is empty. Marks are written in the
+/// same [`WriteBatch`] as the mutation that caused them.
+const AGG_DIRTY_TREE: &str = "agg_dirty";
+/// Read-side caches are cleared wholesale when they exceed this many
+/// entries — crude, but bounds memory without an LRU dependency.
+const READ_CACHE_CAP: usize = 4096;
 const SPENT_PSEUDONYM_TOKENS_TREE: &str = "spent_pseudonym_tokens";
 const META_NEXT_COMMENT_ID: &[u8] = b"next_comment_id";
 const META_LAST_AGGREGATION: &[u8] = b"last_aggregation";
@@ -114,8 +129,10 @@ pub struct ReputationDb {
     software: IndexedTable<String, SoftwareRecord>,
     comments: IndexedTable<u64, CommentRecord>,
     votes: Table<(String, String), VoteRecord>,
+    votes_by_user: Table<(String, String), Timestamp>,
     remarks: Table<(u64, String), RemarkRecord>,
     ratings: Table<String, RatingRecord>,
+    accumulators: Table<String, AccumulatorRecord>,
     trust: Table<String, TrustRecord>,
     evidence: Table<String, EvidenceRecord>,
     feeds: Table<String, FeedRecord>,
@@ -123,6 +140,13 @@ pub struct ReputationDb {
     pepper: SecretPepper,
     moderation_policy: ModerationPolicy,
     moderation_stats: Mutex<ModerationStats>,
+    /// Memoised [`software_report`](Self::software_report) results,
+    /// invalidated by every mutation that can change a report.
+    report_cache: Mutex<HashMap<String, SoftwareReport>>,
+    /// Memoised [`vendor_report`](Self::vendor_report) results, keyed by
+    /// company name.
+    vendor_cache: Mutex<HashMap<String, VendorReport>>,
+    agg_counters: AggCounters,
     /// Serialises multi-step mutations (check-then-act sequences such as
     /// the duplicate-username check, the unique e-mail index check, and
     /// the comment-id counter) against concurrent callers. Reads and
@@ -182,8 +206,10 @@ impl ReputationDb {
         );
         ReputationDb {
             votes: Table::bind(Arc::clone(&store), &VOTES),
+            votes_by_user: Table::bind(Arc::clone(&store), &VOTES_BY_USER),
             remarks: Table::bind(Arc::clone(&store), &REMARKS),
             ratings: Table::bind(Arc::clone(&store), &RATINGS),
+            accumulators: Table::bind(Arc::clone(&store), &ACCUMULATORS),
             trust: Table::bind(Arc::clone(&store), &TRUST),
             evidence: Table::bind(Arc::clone(&store), &EVIDENCE),
             feeds: Table::bind(Arc::clone(&store), &FEEDS),
@@ -195,6 +221,9 @@ impl ReputationDb {
             pepper,
             moderation_policy,
             moderation_stats: Mutex::new(ModerationStats::default()),
+            report_cache: Mutex::new(HashMap::new()),
+            vendor_cache: Mutex::new(HashMap::new()),
+            agg_counters: AggCounters::default(),
             write_gate: Mutex::new(()),
         }
     }
@@ -362,6 +391,9 @@ impl ReputationDb {
             first_seen: now,
         };
         self.software.put(&key, &record)?;
+        if let Some(company) = &record.company {
+            self.vendor_cache.lock().remove(company);
+        }
         Ok(true)
     }
 
@@ -403,7 +435,23 @@ impl ReputationDb {
             behaviours,
             cast_at: now,
         };
-        self.votes.put(&(software_id.to_string(), username.to_string()), &record)?;
+        // Vote, reverse index, and dirty mark land in one batch: a crash
+        // (or a concurrent incremental batch) can never observe the vote
+        // without the mark that schedules its recompute.
+        let mut batch = WriteBatch::new();
+        batch.put(
+            self.votes.tree(),
+            (software_id.to_string(), username.to_string()).to_key_bytes(),
+            record.encode_to_bytes().to_vec(),
+        );
+        batch.put(
+            self.votes_by_user.tree(),
+            (username.to_string(), software_id.to_string()).to_key_bytes(),
+            now.encode_to_bytes().to_vec(),
+        );
+        batch.put(AGG_DIRTY_TREE, software_id.to_string().to_key_bytes(), Vec::new());
+        self.store.apply(&batch)?;
+        self.agg_counters.dirty_marks.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -455,6 +503,7 @@ impl ReputationDb {
         if status == CommentStatus::PendingReview {
             self.moderation_stats.lock().on_enqueue();
         }
+        self.report_cache.lock().remove(software_id);
         Ok(id)
     }
 
@@ -509,6 +558,7 @@ impl ReputationDb {
         if delta != 0.0 {
             self.adjust_trust_locked(&comment.author, delta, now)?;
         }
+        self.report_cache.lock().remove(&comment.software_id);
         Ok(())
     }
 
@@ -547,6 +597,19 @@ impl ReputationDb {
             self.trust.get(&key)?.unwrap_or_else(|| TrustEngine::new_user(username, now));
         let applied = TrustEngine::apply_delta(&mut record, delta, now);
         self.trust.put(&key, &record)?;
+        if applied != 0.0 {
+            // The user's weight changed, so every rating their ballot
+            // contributes to is stale: dirty all of them (dirty rule 2).
+            let voted_on = self.votes_by_user.scan_key_prefix(&key)?;
+            if !voted_on.is_empty() {
+                let mut marks = WriteBatch::new();
+                for ((_, software_id), _) in &voted_on {
+                    marks.put(AGG_DIRTY_TREE, software_id.to_string().to_key_bytes(), Vec::new());
+                }
+                self.store.apply(&marks)?;
+                self.agg_counters.dirty_marks.fetch_add(voted_on.len() as u64, Ordering::Relaxed);
+            }
+        }
         Ok(applied)
     }
 
@@ -582,6 +645,11 @@ impl ReputationDb {
         }
         self.moderation_stats.lock().on_decision(decision, comment.written_at, now);
         self.comments.put(&comment_id, &comment)?;
+        // A published (or rejected) comment changes the software report,
+        // and moderation outcomes feed future trust remarks — schedule a
+        // recompute for the affected title as well.
+        self.mark_dirty(&comment.software_id)?;
+        self.report_cache.lock().remove(&comment.software_id);
         Ok(())
     }
 
@@ -596,16 +664,32 @@ impl ReputationDb {
 
     /// Run the batch job if 24 h have passed since the last run. Returns
     /// the number of software ratings recomputed (0 if not due).
+    ///
+    /// Since the incremental engine landed this runs
+    /// [`force_aggregation_incremental`](Self::force_aggregation_incremental):
+    /// only titles marked dirty since the previous batch are recomputed.
     pub fn run_aggregation_if_due(&self, now: Timestamp) -> CoreResult<usize> {
         if !aggregate::aggregation_due(self.last_aggregation()?, now) {
             return Ok(0);
         }
-        self.force_aggregation(now)
+        self.force_aggregation_incremental(now)
     }
 
     /// Unconditionally recompute every software rating from the current
-    /// votes and trust snapshot.
+    /// votes and trust snapshot — the paper-faithful full batch. Kept both
+    /// as the golden reference the incremental path is checked against and
+    /// as an operator command.
     pub fn force_aggregation(&self, now: Timestamp) -> CoreResult<usize> {
+        self.force_aggregation_full(now)
+    }
+
+    /// The full (paper §3.2) batch: every title, one trust snapshot.
+    pub fn force_aggregation_full(&self, now: Timestamp) -> CoreResult<usize> {
+        // Drain pending dirty marks *before* reading any votes: the full
+        // scan subsumes them, and a vote that lands mid-scan either makes
+        // it into this batch or re-marks itself for the next one.
+        self.drain_dirty_marks()?;
+
         // Snapshot trust once: aggregation within a batch sees one
         // consistent trust state (determinism, invariant 5).
         let trust_snapshot: HashMap<String, f64> =
@@ -614,18 +698,189 @@ impl ReputationDb {
         let mut recomputed = 0;
         for (software_id, _) in self.software.scan()? {
             let votes = self.votes_for(&software_id)?;
-            if let Some(rating) = aggregate::aggregate_software(
+            if let Some((rating, score_mass)) = aggregate::aggregate_software_with_masses(
                 &software_id,
                 &votes,
                 |user| trust_snapshot.get(user).copied(),
                 now,
             ) {
-                self.ratings.put(&software_id, &rating)?;
+                self.write_rating(&rating, score_mass, now)?;
                 recomputed += 1;
             }
         }
+        self.report_cache.lock().clear();
+        self.vendor_cache.lock().clear();
         self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
+        self.agg_counters.full_runs.fetch_add(1, Ordering::Relaxed);
+        self.agg_counters.titles_recomputed_full.fetch_add(recomputed as u64, Ordering::Relaxed);
         Ok(recomputed)
+    }
+
+    /// The incremental batch: recompute only the titles in the dirty set,
+    /// sharded over a small worker pool. Produces rating records
+    /// content-identical to [`force_aggregation_full`](Self::force_aggregation_full)
+    /// (see `aggregate_engine` module docs for the argument; only
+    /// `computed_at` of untouched titles differs). Stamps the schedule even
+    /// when the dirty set is empty — a no-op batch still counts as a run.
+    pub fn force_aggregation_incremental(&self, now: Timestamp) -> CoreResult<usize> {
+        // Protocol: delete the marks *before* reading votes. A vote that
+        // lands after the delete re-marks its title for the next batch; a
+        // vote that lands before our read is folded into this one. Either
+        // way no vote is ever dropped (at worst a title is recomputed
+        // twice with identical results).
+        let dirty = self.drain_dirty_marks()?;
+        let plan = aggregate_engine::plan_shards(dirty.iter().cloned(), DEFAULT_SHARDS);
+        let results: Vec<CoreResult<(RatingRecord, f64)>> =
+            aggregate_engine::run_sharded(&plan, DEFAULT_WORKERS, |software_id| {
+                self.recompute_one(software_id, now).transpose()
+            });
+
+        let mut fresh = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for result in results {
+            match result {
+                Ok(pair) => fresh.push(pair),
+                Err(e) => {
+                    first_err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            // Nothing has been written yet: put every drained mark back so
+            // the next batch retries the whole set, then surface the error.
+            let mut remark = WriteBatch::new();
+            for software_id in &dirty {
+                remark.put(AGG_DIRTY_TREE, software_id.to_key_bytes(), Vec::new());
+            }
+            self.store.apply(&remark)?;
+            return Err(err);
+        }
+
+        let recomputed = fresh.len();
+        for (rating, score_mass) in fresh {
+            self.write_rating(&rating, score_mass, now)?;
+            self.report_cache.lock().remove(&rating.software_id);
+            self.invalidate_vendor_cache_for(&rating.software_id)?;
+        }
+        self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
+        self.agg_counters.incremental_runs.fetch_add(1, Ordering::Relaxed);
+        self.agg_counters
+            .titles_recomputed_incremental
+            .fetch_add(recomputed as u64, Ordering::Relaxed);
+        Ok(recomputed)
+    }
+
+    /// Recompute one title from its current votes and per-voter trust
+    /// lookups. `Ok(None)` when the title has no votes (nothing to
+    /// publish; any stale record is left in place, exactly like the full
+    /// path).
+    fn recompute_one(
+        &self,
+        software_id: &str,
+        now: Timestamp,
+    ) -> CoreResult<Option<(RatingRecord, f64)>> {
+        let votes = self.votes_for(software_id)?;
+        // Point lookups instead of a full trust snapshot: only this
+        // title's voters matter, which is what makes a 1-dirty-in-10k
+        // batch cheap. Values are identical to a snapshot's — trust writes
+        // racing the batch fall under the this-batch-or-next guarantee.
+        let mut trust_of_voter: HashMap<&str, f64> = HashMap::with_capacity(votes.len());
+        for vote in &votes {
+            if !trust_of_voter.contains_key(vote.username.as_str()) {
+                if let Some(rec) = self.trust.get(&vote.username)? {
+                    trust_of_voter.insert(vote.username.as_str(), rec.trust);
+                }
+            }
+        }
+        Ok(aggregate::aggregate_software_with_masses(
+            software_id,
+            &votes,
+            |user| trust_of_voter.get(user).copied(),
+            now,
+        ))
+    }
+
+    /// Persist one recomputed rating plus its raw-mass accumulator.
+    fn write_rating(
+        &self,
+        rating: &RatingRecord,
+        score_mass: f64,
+        now: Timestamp,
+    ) -> CoreResult<()> {
+        self.accumulators.put(
+            &rating.software_id,
+            &AccumulatorRecord {
+                software_id: rating.software_id.clone(),
+                score_mass,
+                weight_mass: rating.trust_mass,
+                vote_count: rating.vote_count,
+                updated_at: now,
+            },
+        )?;
+        self.ratings.put(&rating.software_id, rating)?;
+        Ok(())
+    }
+
+    /// Remove and return the dirty set. Deleting before the caller reads
+    /// votes is what makes concurrent marks safe (see
+    /// [`force_aggregation_incremental`](Self::force_aggregation_incremental)).
+    fn drain_dirty_marks(&self) -> CoreResult<Vec<String>> {
+        let raw = self.store.scan_all(AGG_DIRTY_TREE);
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut ids = Vec::with_capacity(raw.len());
+        let mut purge = WriteBatch::new();
+        for (key, _) in raw {
+            if let Some(id) = String::from_key_bytes(&key) {
+                ids.push(id);
+            }
+            purge.delete(AGG_DIRTY_TREE, key);
+        }
+        self.store.apply(&purge)?;
+        Ok(ids)
+    }
+
+    /// Mark one title for recompute by the next incremental batch.
+    fn mark_dirty(&self, software_id: &str) -> CoreResult<()> {
+        self.store.put(AGG_DIRTY_TREE, software_id.to_string().to_key_bytes(), Vec::new())?;
+        self.agg_counters.dirty_marks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drop the cached vendor report of the company owning `software_id`.
+    fn invalidate_vendor_cache_for(&self, software_id: &str) -> CoreResult<()> {
+        if let Some(sw) = self.software.get(&software_id.to_string())? {
+            if let Some(company) = sw.company {
+                self.vendor_cache.lock().remove(&company);
+            }
+        }
+        Ok(())
+    }
+
+    /// Titles currently marked for recompute (diagnostics and tests).
+    pub fn dirty_software(&self) -> Vec<String> {
+        self.store
+            .scan_all(AGG_DIRTY_TREE)
+            .into_iter()
+            .filter_map(|(key, _)| String::from_key_bytes(&key))
+            .collect()
+    }
+
+    /// Size of the dirty set.
+    pub fn dirty_count(&self) -> usize {
+        self.store.tree_len(AGG_DIRTY_TREE)
+    }
+
+    /// The persisted accumulator for one title, if any batch published it.
+    pub fn accumulator(&self, software_id: &str) -> CoreResult<Option<AccumulatorRecord>> {
+        Ok(self.accumulators.get(&software_id.to_string())?)
+    }
+
+    /// Aggregation-engine and read-cache counters.
+    pub fn aggregation_stats(&self) -> AggregationStats {
+        self.agg_counters.snapshot()
     }
 
     /// Instant of the last completed batch, if any.
@@ -641,20 +896,55 @@ impl ReputationDb {
         Ok(self.ratings.get(&software_id.to_string())?)
     }
 
-    /// The full execution-time report for a software.
+    /// Every published rating, in key (software id) order. The equivalence
+    /// harness compares two databases' entire rating tables through this.
+    pub fn ratings_snapshot(&self) -> CoreResult<Vec<RatingRecord>> {
+        Ok(self.ratings.scan()?.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// The full execution-time report for a software. Memoised: repeated
+    /// reads between mutations are served from the report cache instead of
+    /// re-deriving comments/remarks/evidence per request.
     pub fn software_report(&self, software_id: &str) -> CoreResult<Option<SoftwareReport>> {
+        {
+            let cache = self.report_cache.lock();
+            if let Some(hit) = cache.get(software_id) {
+                let out = hit.clone();
+                drop(cache);
+                self.agg_counters.report_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(out));
+            }
+        }
+        self.agg_counters.report_cache_misses.fetch_add(1, Ordering::Relaxed);
         let Some(software) = self.software(software_id)? else { return Ok(None) };
-        Ok(Some(SoftwareReport {
+        let report = SoftwareReport {
             rating: self.rating(software_id)?,
             comments: self.comments_for(software_id)?,
             evidence: self.evidence(software_id)?,
             software,
-        }))
+        };
+        let mut cache = self.report_cache.lock();
+        if cache.len() >= READ_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(software_id.to_string(), report.clone());
+        Ok(Some(report))
     }
 
     /// Derived vendor reputation: mean of the vendor's published software
-    /// ratings (§3.3).
+    /// ratings (§3.3). Memoised like
+    /// [`software_report`](Self::software_report).
     pub fn vendor_report(&self, vendor: &str) -> CoreResult<VendorReport> {
+        {
+            let cache = self.vendor_cache.lock();
+            if let Some(hit) = cache.get(vendor) {
+                let out = hit.clone();
+                drop(cache);
+                self.agg_counters.vendor_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(out);
+            }
+        }
+        self.agg_counters.vendor_cache_misses.fetch_add(1, Ordering::Relaxed);
         let titles = self.software.lookup("software_by_company", vendor.as_bytes())?;
         let mut ratings = Vec::new();
         for software_id in &titles {
@@ -662,11 +952,17 @@ impl ReputationDb {
                 ratings.push(r.rating);
             }
         }
-        Ok(VendorReport {
+        let report = VendorReport {
             vendor: vendor.to_string(),
             rating: aggregate::vendor_rating(ratings),
             software_count: titles.len() as u64,
-        })
+        };
+        let mut cache = self.vendor_cache.lock();
+        if cache.len() >= READ_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(vendor.to_string(), report.clone());
+        Ok(report)
     }
 
     // -----------------------------------------------------------------
@@ -708,7 +1004,22 @@ impl ReputationDb {
                         },
                     )?;
                 }
-                self.votes.put(&(vote.software_id.clone(), vote.username.clone()), &vote)?;
+                // Same atomic triple as `submit_vote`: vote, reverse
+                // index, dirty mark.
+                let mut batch = WriteBatch::new();
+                batch.put(
+                    self.votes.tree(),
+                    (vote.software_id.clone(), vote.username.clone()).to_key_bytes(),
+                    vote.encode_to_bytes().to_vec(),
+                );
+                batch.put(
+                    self.votes_by_user.tree(),
+                    (vote.username.clone(), vote.software_id.clone()).to_key_bytes(),
+                    now.encode_to_bytes().to_vec(),
+                );
+                batch.put(AGG_DIRTY_TREE, vote.software_id.clone().to_key_bytes(), Vec::new());
+                self.store.apply(&batch)?;
+                self.agg_counters.dirty_marks.fetch_add(1, Ordering::Relaxed);
                 seeded += 1;
             }
         }
@@ -872,6 +1183,7 @@ impl ReputationDb {
                 analyzed_at: now,
             },
         )?;
+        self.report_cache.lock().remove(software_id);
         Ok(())
     }
 
@@ -978,6 +1290,38 @@ impl ReputationDb {
 /// Decode a big-endian `u64` meta value without panicking on a short or
 /// overlong buffer (a corrupt meta tree must surface as an error, not a
 /// crash in the request path).
+/// Lock-free counters behind [`ReputationDb::aggregation_stats`].
+#[derive(Default)]
+struct AggCounters {
+    incremental_runs: AtomicU64,
+    full_runs: AtomicU64,
+    titles_recomputed_incremental: AtomicU64,
+    titles_recomputed_full: AtomicU64,
+    dirty_marks: AtomicU64,
+    report_cache_hits: AtomicU64,
+    report_cache_misses: AtomicU64,
+    vendor_cache_hits: AtomicU64,
+    vendor_cache_misses: AtomicU64,
+}
+
+impl AggCounters {
+    fn snapshot(&self) -> AggregationStats {
+        AggregationStats {
+            incremental_runs: self.incremental_runs.load(Ordering::Relaxed),
+            full_runs: self.full_runs.load(Ordering::Relaxed),
+            titles_recomputed_incremental: self
+                .titles_recomputed_incremental
+                .load(Ordering::Relaxed),
+            titles_recomputed_full: self.titles_recomputed_full.load(Ordering::Relaxed),
+            dirty_marks: self.dirty_marks.load(Ordering::Relaxed),
+            report_cache_hits: self.report_cache_hits.load(Ordering::Relaxed),
+            report_cache_misses: self.report_cache_misses.load(Ordering::Relaxed),
+            vendor_cache_hits: self.vendor_cache_hits.load(Ordering::Relaxed),
+            vendor_cache_misses: self.vendor_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 fn decode_meta_u64(raw: &[u8]) -> CoreResult<u64> {
     let bytes: [u8; 8] = raw.try_into().map_err(|_| {
         CoreError::Storage(softrep_storage::StorageError::Corrupt(format!(
@@ -1186,9 +1530,15 @@ mod tests {
         assert!((r1.rating - 22.0 / 7.0).abs() < 1e-12);
         assert_eq!(r1.vote_count, 2);
 
-        // Not due again until +24 h.
+        // Not due again until +24 h; a fresh vote waits in the dirty set
+        // until the schedule fires, then is folded in incrementally.
+        db.submit_vote("alice", &sw_id(1), 9, vec![], Timestamp(150)).unwrap();
         assert_eq!(db.run_aggregation_if_due(Timestamp(200)).unwrap(), 0);
+        assert_eq!(db.dirty_count(), 1);
         assert_eq!(db.run_aggregation_if_due(Timestamp(100 + DAY_SECS)).unwrap(), 1);
+        assert_eq!(db.dirty_count(), 0);
+        // Nothing dirty → the next due batch recomputes nothing.
+        assert_eq!(db.run_aggregation_if_due(Timestamp(100 + 2 * DAY_SECS)).unwrap(), 0);
     }
 
     #[test]

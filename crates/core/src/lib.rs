@@ -21,6 +21,9 @@
 //!   at +5 per week (§3.2).
 //! * [`aggregate`] — trust-weighted rating aggregation on the 24 h batch
 //!   schedule, behaviour tallies, and vendor ratings (§3.2–3.3).
+//! * [`aggregate_engine`] — the incremental, sharded recompute engine:
+//!   dirty-set planning, FNV shard assignment, and the bounded worker
+//!   fan-out behind `ReputationDb::force_aggregation_incremental`.
 //! * [`bootstrap`] — seeding the database from an existing rating corpus,
 //!   the second cold-start mitigation of §2.1.
 //! * [`moderation`] — the third mitigation of §2.1: an administrator queue
@@ -34,6 +37,7 @@
 //! * [`error`] — crate-wide error type.
 
 pub mod aggregate;
+pub mod aggregate_engine;
 pub mod bootstrap;
 pub mod clock;
 pub mod db;

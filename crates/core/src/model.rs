@@ -320,6 +320,62 @@ impl Decode for RatingRecord {
     }
 }
 
+impl RatingRecord {
+    /// Canonical encoding of the rating's *mathematical* content —
+    /// everything except `computed_at`, which records when a batch touched
+    /// the record, not what it computed. The incremental engine leaves
+    /// untouched titles with their original timestamp while the full batch
+    /// re-stamps everything, so the equivalence harness
+    /// (`tests/properties.rs`, `tests/golden_aggregation.rs`) compares
+    /// these bytes: bit-exact on `rating`, `vote_count`, `trust_mass` and
+    /// the behaviour tallies.
+    pub fn content_bytes(&self) -> Vec<u8> {
+        let mut normalized = self.clone();
+        normalized.computed_at = Timestamp(0);
+        normalized.encode_to_bytes().to_vec()
+    }
+}
+
+/// Persisted per-software aggregation accumulators: the running
+/// `(Σ w·s, Σ w)` pair behind the published rating, maintained by both
+/// aggregation paths. A restart reloads these (and the published
+/// [`RatingRecord`]s) instead of forcing a cold full scan of every vote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulatorRecord {
+    /// Target software (hex id, also the table key).
+    pub software_id: String,
+    /// Σ (trust weight × score) over the title's votes.
+    pub score_mass: f64,
+    /// Σ trust weight over the title's votes.
+    pub weight_mass: f64,
+    /// Number of votes folded into the masses.
+    pub vote_count: u64,
+    /// Batch instant that last refreshed this accumulator.
+    pub updated_at: Timestamp,
+}
+
+impl Encode for AccumulatorRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.software_id);
+        w.put_f64(self.score_mass);
+        w.put_f64(self.weight_mass);
+        w.put_varint(self.vote_count);
+        self.updated_at.encode(w);
+    }
+}
+
+impl Decode for AccumulatorRecord {
+    fn decode(r: &mut Reader<'_>) -> StorageResult<Self> {
+        Ok(AccumulatorRecord {
+            software_id: r.get_str()?,
+            score_mass: r.get_f64()?,
+            weight_mass: r.get_f64()?,
+            vote_count: r.get_varint()?,
+            updated_at: Timestamp::decode(r)?,
+        })
+    }
+}
+
 /// Per-user trust state (see [`crate::trust`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrustRecord {
@@ -440,6 +496,36 @@ mod tests {
             computed_at: Timestamp(86_400),
         };
         assert_eq!(RatingRecord::decode_from_bytes(&rec.encode_to_bytes()).unwrap(), rec);
+    }
+
+    #[test]
+    fn rating_content_bytes_ignore_only_computed_at() {
+        let rec = RatingRecord {
+            software_id: "abc".into(),
+            rating: 7.25,
+            vote_count: 42,
+            trust_mass: 99.5,
+            behaviours: vec![("popup_ads".into(), 12)],
+            computed_at: Timestamp(86_400),
+        };
+        let restamped = RatingRecord { computed_at: Timestamp(999), ..rec.clone() };
+        assert_eq!(rec.content_bytes(), restamped.content_bytes());
+        let drifted = RatingRecord { rating: 7.25 + f64::EPSILON * 8.0, ..rec.clone() };
+        assert_ne!(rec.content_bytes(), drifted.content_bytes(), "one ulp of drift is caught");
+        let fewer = RatingRecord { vote_count: 41, ..rec };
+        assert_ne!(fewer.content_bytes(), restamped.content_bytes());
+    }
+
+    #[test]
+    fn accumulator_roundtrip() {
+        let rec = AccumulatorRecord {
+            software_id: "ab".repeat(20),
+            score_mass: 123.456,
+            weight_mass: 41.0,
+            vote_count: 17,
+            updated_at: Timestamp(86_400 * 3),
+        };
+        assert_eq!(AccumulatorRecord::decode_from_bytes(&rec.encode_to_bytes()).unwrap(), rec);
     }
 
     proptest! {

@@ -18,6 +18,7 @@ use softrep_proto::{Request, Response};
 use crate::flood::FloodGuard;
 use crate::puzzle_gate::{PuzzleGate, PuzzleRejection};
 use crate::session::SessionManager;
+use crate::stats::ServerStats;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -72,6 +73,7 @@ pub struct ReputationServer {
     config: ServerConfig,
     rng: Mutex<StdRng>,
     pseudonym_key: Option<RsaKeypair>,
+    stats: Arc<ServerStats>,
 }
 
 impl ReputationServer {
@@ -99,7 +101,14 @@ impl ReputationServer {
             clock,
             config,
             pseudonym_key,
+            stats: Arc::new(ServerStats::new()),
         }
+    }
+
+    /// The shared counter sink. The TCP front end records transport events
+    /// here, so one snapshot covers both transport and aggregation work.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The wrapped database (used by simulations for direct inspection).
@@ -122,12 +131,27 @@ impl ReputationServer {
         &self.flood
     }
 
-    /// Run periodic maintenance: the 24 h aggregation batch and session
-    /// pruning. Returns the number of ratings recomputed.
+    /// Run periodic maintenance: the 24 h aggregation batch (incremental —
+    /// only titles dirtied since the previous batch) and session pruning.
+    /// Returns the number of ratings recomputed.
     pub fn tick(&self) -> usize {
         let now = self.clock.now();
         self.sessions.prune(now);
-        self.db.run_aggregation_if_due(now).unwrap_or(0)
+        let before = self.db.aggregation_stats().incremental_runs;
+        let recomputed = self.db.run_aggregation_if_due(now).unwrap_or(0);
+        if self.db.aggregation_stats().incremental_runs > before {
+            self.stats.record_aggregation_incremental(recomputed as u64);
+        }
+        recomputed
+    }
+
+    /// Operator command: run the paper-faithful full batch immediately,
+    /// regardless of schedule or dirty set. Returns the number of ratings
+    /// recomputed.
+    pub fn run_full_aggregation(&self) -> usize {
+        let recomputed = self.db.force_aggregation_full(self.clock.now()).unwrap_or(0);
+        self.stats.record_aggregation_full(recomputed as u64);
+        recomputed
     }
 
     /// Handle one request from `source` (a transport-level identity used
@@ -601,10 +625,28 @@ mod tests {
             &Request::SubmitVote { session, software_id: sw_id(1), score: 8, behaviours: vec![] },
             "alice",
         );
-        assert_eq!(server.tick(), 1, "first tick aggregates");
+        assert_eq!(server.tick(), 1, "first tick aggregates the new vote");
         assert_eq!(server.tick(), 0, "second tick is before the next 24h boundary");
         clock.advance_days(1);
-        assert_eq!(server.tick(), 1);
+        assert_eq!(server.tick(), 0, "due, but nothing dirty: incremental batch is a no-op");
+        server.handle(
+            &Request::SubmitVote {
+                session: join(&server, "bob"),
+                software_id: sw_id(1),
+                score: 4,
+                behaviours: vec![],
+            },
+            "bob",
+        );
+        clock.advance_days(1);
+        assert_eq!(server.tick(), 1, "fresh vote dirtied the title for the next batch");
+        let stats = server.stats_handle().snapshot();
+        assert!(stats.agg_incremental_runs >= 3, "every due tick counts as a run");
+        assert_eq!(stats.agg_titles_recomputed, 2);
+        // The operator's full batch recomputes everything and is counted
+        // separately.
+        assert_eq!(server.run_full_aggregation(), 1);
+        assert_eq!(server.stats_handle().snapshot().agg_full_runs, 1);
     }
 
     #[test]

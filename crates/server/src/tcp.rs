@@ -134,7 +134,9 @@ impl TcpServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(WorkerPool::new(config.max_connections));
-        let stats = Arc::new(ServerStats::new());
+        // Share the handler's counter sink: one snapshot covers transport
+        // events and the aggregation batches the handler runs.
+        let stats = server.stats_handle();
         let registry = Arc::new(ConnRegistry::default());
 
         let accept_shutdown = Arc::clone(&shutdown);

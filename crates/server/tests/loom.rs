@@ -28,6 +28,7 @@ use softrep_server::puzzle_gate::{PuzzleGate, PuzzleRejection};
 use softrep_server::session::SessionManager;
 use softrep_server::stats::ServerStats;
 use softrep_storage::wal::Wal;
+use softrep_storage::{Store, WriteBatch};
 
 const MIN_DISTINCT: usize = 3;
 
@@ -215,6 +216,66 @@ fn server_stats_snapshots_stay_internally_consistent() {
         assert_eq!(fin.closed, 2);
         assert_eq!(fin.active, 0);
         assert_eq!(fin.requests_served, 2);
+    });
+    assert!(
+        stats.distinct_schedules >= MIN_DISTINCT,
+        "explored only {} distinct schedules",
+        stats.distinct_schedules
+    );
+}
+
+#[test]
+fn vote_racing_aggregation_drain_lands_in_this_batch_or_the_next() {
+    let stats = loom::model_with_stats(|| {
+        // The incremental aggregation protocol at store level: a voter
+        // applies {vote, dirty mark} in one batch while the aggregator
+        // drains the marks and *then* reads the votes. Whatever the
+        // interleaving, the vote must be visible to this batch's read or
+        // its mark must survive for the next batch — a vote observed by
+        // neither would fall out of the published ratings forever.
+        let store = Arc::new(Store::in_memory());
+        let voter = {
+            let store = Arc::clone(&store);
+            loom::thread::spawn(move || {
+                let mut batch = WriteBatch::new();
+                batch.put("votes", b"sw1/alice".to_vec(), b"score9".to_vec());
+                batch.put("agg_dirty", b"sw1".to_vec(), Vec::new());
+                store.apply(&batch).expect("vote batch");
+            })
+        };
+        let aggregator = {
+            let store = Arc::clone(&store);
+            loom::thread::spawn(move || {
+                // Drain: delete the marks before reading any votes.
+                let marks = store.scan_all("agg_dirty");
+                if !marks.is_empty() {
+                    let mut purge = WriteBatch::new();
+                    for (key, _) in &marks {
+                        purge.delete("agg_dirty", key.clone());
+                    }
+                    store.apply(&purge).expect("purge marks");
+                }
+                let votes_seen = store.scan_prefix("votes", b"sw1").len();
+                (marks.len(), votes_seen)
+            })
+        };
+        voter.join().expect("voter");
+        let (drained, votes_seen) = aggregator.join().expect("aggregator");
+
+        if drained == 1 {
+            // The mark was visible, so the atomic batch had landed — the
+            // later vote read must have seen the ballot (it is folded into
+            // this aggregation).
+            assert_eq!(votes_seen, 1, "drained the mark but missed the vote");
+        }
+        // Never dropped: the vote made this batch, or its mark is intact
+        // for the next one.
+        let mark_remains = store.contains("agg_dirty", b"sw1");
+        assert!(
+            votes_seen == 1 || mark_remains,
+            "vote invisible to this batch and unmarked for the next (drained={drained})"
+        );
+        assert_eq!(mark_remains, drained == 0, "drain must consume exactly the marks it saw");
     });
     assert!(
         stats.distinct_schedules >= MIN_DISTINCT,

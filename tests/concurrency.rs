@@ -156,6 +156,91 @@ fn aggregation_races_with_writes_without_corruption() {
 }
 
 #[test]
+fn votes_racing_incremental_aggregation_are_never_dropped() {
+    // The incremental engine's drain-before-read protocol guarantees that
+    // a vote landing mid-recompute is folded into that batch or leaves its
+    // dirty mark for the next one — never lost. Hammer the protocol:
+    // voters and incremental batches race freely, then one final batch
+    // must account for every ballot.
+    let (server, _clock) = server();
+    let software: Vec<String> = (0..4).map(|i| format!("{i:040x}")).collect();
+    for id in &software {
+        server.handle(
+            &Request::RegisterSoftware {
+                software_id: id.clone(),
+                file_name: "app.exe".into(),
+                file_size: 1,
+                company: None,
+                version: None,
+            },
+            "seed",
+        );
+    }
+
+    let voters: Vec<_> = (0..4)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let software = software.clone();
+            std::thread::spawn(move || {
+                let name = format!("racer{t}");
+                let session = join(&server, &name);
+                for round in 0..100u32 {
+                    for id in &software {
+                        server.handle(
+                            &Request::SubmitVote {
+                                session: session.clone(),
+                                software_id: id.clone(),
+                                score: ((round % 10) + 1) as u8,
+                                behaviours: vec![],
+                            },
+                            &name,
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    let aggregator = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                server.db().force_aggregation_incremental(server.now()).unwrap();
+            }
+        })
+    };
+    for t in voters {
+        t.join().unwrap();
+    }
+    aggregator.join().unwrap();
+
+    // Every vote either made an earlier batch or is still marked dirty;
+    // one final incremental batch settles the remainder, after which the
+    // published ratings must match a from-scratch full recompute exactly.
+    server.db().force_aggregation_incremental(server.now()).unwrap();
+    assert_eq!(server.db().dirty_count(), 0, "no marks survive a quiescent batch");
+    let incremental: Vec<_> = server
+        .db()
+        .ratings_snapshot()
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.software_id.clone(), r.content_bytes()))
+        .collect();
+    server.db().force_aggregation_full(server.now()).unwrap();
+    let full: Vec<_> = server
+        .db()
+        .ratings_snapshot()
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.software_id.clone(), r.content_bytes()))
+        .collect();
+    assert_eq!(incremental, full, "a vote was dropped or double-counted");
+    for id in &software {
+        let rating = server.db().rating(id).unwrap().unwrap();
+        assert_eq!(rating.vote_count, 4, "one ballot per racer survives re-voting");
+    }
+}
+
+#[test]
 fn parallel_registrations_never_duplicate_emails() {
     let (server, _clock) = server();
     // 8 threads race to register with only 4 distinct e-mail addresses;

@@ -1,0 +1,144 @@
+//! Golden-equivalence regression: a fixed 10 000-vote scenario whose
+//! published ratings are pinned bit-for-bit.
+//!
+//! The scenario is fully deterministic (bootstrap-seeded votes, a few real
+//! members with staggered trust, no randomness), so the aggregation output
+//! must never change across refactors — neither for the paper-faithful
+//! full batch nor for the incremental engine, and the two must agree with
+//! each other. Expected ratings are stored as `f64::to_bits` so the check
+//! is exact, not epsilon-based.
+//!
+//! Regenerate `EXPECTED` after an *intentional* semantic change with:
+//! `SOFTREP_GOLDEN_REGEN=1 cargo test --test golden_aggregation -- --nocapture`
+
+use std::sync::Arc;
+
+use softrep_core::bootstrap::BootstrapEntry;
+use softrep_core::clock::{Timestamp, DAY_SECS};
+use softrep_core::db::ReputationDb;
+use softrep_core::moderation::ModerationPolicy;
+use softrep_crypto::salted::SecretPepper;
+use softrep_storage::Store;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Titles in the scenario.
+const TITLES: usize = 16;
+
+/// `(software_id, rating.to_bits(), vote_count, trust_mass.to_bits())` for
+/// every published rating, in key order.
+const EXPECTED: &[(&str, u64, u64, u64)] = &[
+    ("0000000000000000000000000000000000000000", 0x3ff0000000000000, 431, 0x40b0cd0000000000),
+    ("0000000000000000000000000000000000000001", 0x40193304f76be886, 567, 0x40b6260000000000),
+    ("0000000000000000000000000000000000000002", 0x4004c94fc2f3d3ab, 705, 0x40bb850000000000),
+    ("0000000000000000000000000000000000000003", 0x401f98a9ac32c178, 842, 0x40c06e8000000000),
+    ("0000000000000000000000000000000000000004", 0x4010ceaf4ea87416, 479, 0x40b2ad0000000000),
+    ("0000000000000000000000000000000000000005", 0x4023006a9006a900, 615, 0x40b8060000000000),
+    ("0000000000000000000000000000000000000006", 0x401735ebeda1159a, 753, 0x40bd650000000000),
+    ("0000000000000000000000000000000000000007", 0x4000cda6ef1a2ac7, 890, 0x40c15e8000000000),
+    ("0000000000000000000000000000000000000008", 0x401d98be5b93f994, 527, 0x40b48d0000000000),
+    ("0000000000000000000000000000000000000009", 0x400d994a85994a86, 663, 0x40b9e60000000000),
+    ("000000000000000000000000000000000000000a", 0x4021ff5c43287468, 801, 0x40bf450000000000),
+    ("000000000000000000000000000000000000000b", 0x40152ff1f33cf0f4, 438, 0x40b1150000000000),
+    ("000000000000000000000000000000000000000c", 0x3ff9992c03083fdb, 575, 0x40b66d0000000000),
+    ("000000000000000000000000000000000000000d", 0x401b99be78424017, 711, 0x40bbc60000000000),
+    ("000000000000000000000000000000000000000e", 0x40099cbcdea9423a, 849, 0x40c0928000000000),
+    ("000000000000000000000000000000000000000f", 0x402100af8e0ee031, 486, 0x40b2f50000000000),
+];
+
+fn title(i: usize) -> String {
+    format!("{i:040x}")
+}
+
+/// Build the scenario on a fresh database. Everything below is a pure
+/// function of the constants — no RNG touches any persisted value (the
+/// registration RNG only feeds password salts and activation tokens).
+fn build(db: &ReputationDb) {
+    let t0 = Timestamp(0);
+    // ~10k bootstrap-seeded votes over 16 titles; imported ratings sweep
+    // 1.0–9.9.
+    let entries: Vec<BootstrapEntry> = (0..TITLES)
+        .map(|i| BootstrapEntry {
+            software_id: title(i),
+            rating: 1.0 + ((i * 53) % 90) as f64 / 10.0,
+            vote_count: (430 + (i * 137) % 500) as u32,
+            behaviours: if i % 3 == 0 { vec!["tracking".to_string()] } else { vec![] },
+        })
+        .collect();
+    let seeded = db.bootstrap(&entries, t0).expect("bootstrap succeeds");
+    assert!(seeded >= 10_000, "scenario must carry at least 10k votes, got {seeded}");
+
+    // Three real members with staggered trust re-rate a subset of titles,
+    // so trust weighting actually shows in the golden numbers.
+    let mut rng = StdRng::seed_from_u64(42);
+    for (i, user) in ["gina", "harry", "irene"].iter().enumerate() {
+        let token = db
+            .register_user(user, "hunter2", &format!("{user}@example.test"), t0, &mut rng)
+            .expect("member registers");
+        db.activate_user(user, &token).expect("member activates");
+        db.adjust_trust(user, 2.0 * i as f64, t0).expect("stagger trust");
+        for t in 0..TITLES {
+            if (t + i) % 4 == 0 {
+                let score = 1 + ((t * 7 + i * 3) % 10) as u8;
+                db.submit_vote(user, &title(t), score, vec![], Timestamp(100 + t as u64))
+                    .expect("member votes");
+            }
+        }
+    }
+}
+
+fn snapshot(db: &ReputationDb) -> Vec<(String, u64, u64, u64)> {
+    db.ratings_snapshot()
+        .expect("snapshot")
+        .into_iter()
+        .map(|r| (r.software_id, r.rating.to_bits(), r.vote_count, r.trust_mass.to_bits()))
+        .collect()
+}
+
+#[test]
+fn golden_scenario_ratings_are_pinned_for_both_aggregation_paths() {
+    let incremental = ReputationDb::with_moderation(
+        Arc::new(Store::in_memory()),
+        SecretPepper::new(b"golden".to_vec()),
+        ModerationPolicy::Open,
+    );
+    build(&incremental);
+    incremental.force_aggregation_incremental(Timestamp(DAY_SECS)).expect("incremental batch runs");
+
+    let full = ReputationDb::with_moderation(
+        Arc::new(Store::in_memory()),
+        SecretPepper::new(b"golden".to_vec()),
+        ModerationPolicy::Open,
+    );
+    build(&full);
+    full.force_aggregation_full(Timestamp(DAY_SECS)).expect("full batch runs");
+
+    let got_incremental = snapshot(&incremental);
+    let got_full = snapshot(&full);
+    assert_eq!(got_incremental, got_full, "incremental and full batches must agree bit-for-bit");
+
+    if std::env::var("SOFTREP_GOLDEN_REGEN").is_ok() {
+        println!("const EXPECTED: &[(&str, u64, u64, u64)] = &[");
+        for (id, rating_bits, votes, mass_bits) in &got_incremental {
+            println!("    (\"{id}\", 0x{rating_bits:016x}, {votes}, 0x{mass_bits:016x}),");
+        }
+        println!("];");
+        return;
+    }
+
+    assert_eq!(got_incremental.len(), EXPECTED.len(), "number of published ratings changed");
+    for ((id, rating_bits, votes, mass_bits), (e_id, e_rating, e_votes, e_mass)) in
+        got_incremental.iter().zip(EXPECTED)
+    {
+        assert_eq!(id, e_id, "rating key order changed");
+        assert_eq!(
+            (rating_bits, votes, mass_bits),
+            (e_rating, e_votes, e_mass),
+            "published rating for {id} drifted from the golden value \
+             (rating {} vs expected {})",
+            f64::from_bits(*rating_bits),
+            f64::from_bits(*e_rating),
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-test harness: the incremental aggregation engine is
+//! behaviourally equivalent to the paper's full 24 h batch.
+//!
+//! Each case replays one random workload (votes, comments, remarks, trust
+//! adjustments, moderation, time advances) against two databases in
+//! lockstep — one aggregating incrementally, one with the paper-faithful
+//! full scan — and asserts their entire rating tables agree bit-for-bit
+//! (modulo `computed_at`, which the full path restamps on clean titles) at
+//! every batch.
+//!
+//! Knobs (see `tests/support/prop.rs`):
+//! * `SOFTREP_PROP_CASES` — number of random workloads (default 200).
+//! * `SOFTREP_PROP_SEED` — base seed; failures print the exact seed and a
+//!   shrunk counterexample so every report is replayable.
+
+#[path = "support/prop.rs"]
+mod prop;
+
+use prop::{base_seed, case_count, gen_workload, run_equivalence_case, shrink, SplitMix64, USERS};
+use softrep_core::aggregate::weighted_mean;
+use softrep_core::clock::Timestamp;
+use softrep_core::trust::{TrustEngine, MAX_TRUST, MIN_TRUST, WEEKLY_TRUST_GROWTH_CAP};
+
+#[test]
+fn incremental_aggregation_equals_full_batch_on_random_workloads() {
+    let cases = case_count(200);
+    let base = base_seed(0x5eed_cafe);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = SplitMix64::new(seed);
+        let len = (rng.below(80) + 20) as usize;
+        let ops = gen_workload(&mut rng, len);
+        if let Some(diff) = run_equivalence_case(seed, &ops) {
+            // Shrink before reporting: greedy chunk removal while the
+            // divergence persists.
+            let minimized =
+                shrink(ops, |candidate| run_equivalence_case(seed, candidate).is_some());
+            let final_diff = run_equivalence_case(seed, &minimized)
+                .unwrap_or_else(|| "divergence vanished during shrinking".to_string());
+            panic!(
+                "incremental/full divergence (replay with SOFTREP_PROP_SEED={seed} \
+                 SOFTREP_PROP_CASES=1)\nfirst failure: {diff}\n\
+                 minimized to {} ops: {minimized:#?}\nminimized failure: {final_diff}",
+                minimized.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_mean_stays_in_score_bounds_and_is_none_iff_weightless() {
+    let mut rng = SplitMix64::new(base_seed(0xab5_0b57));
+    for _ in 0..case_count(200) {
+        let n = rng.below(30) as usize;
+        let pairs: Vec<(u8, f64)> = (0..n)
+            .map(|_| {
+                let score = (rng.below(10) + 1) as u8;
+                // Mix zero weights in: they must contribute nothing.
+                let weight =
+                    if rng.chance(20) { 0.0 } else { rng.below(10_000) as f64 / 100.0 + 0.01 };
+                (score, weight)
+            })
+            .collect();
+        let any_weight = pairs.iter().any(|(_, w)| *w > 0.0);
+        match weighted_mean(pairs.iter().copied()) {
+            None => assert!(!any_weight, "None only when no positive weight exists: {pairs:?}"),
+            Some(mean) => {
+                assert!(any_weight);
+                assert!(
+                    (1.0..=10.0).contains(&mean),
+                    "mean {mean} outside score bounds for {pairs:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trust_engine_respects_clamp_and_weekly_cap_under_random_deltas() {
+    let mut rng = SplitMix64::new(base_seed(0x0720_57ee));
+    for _ in 0..case_count(200) {
+        let mut record = TrustEngine::new_user(USERS[0], Timestamp(0));
+        let mut now = Timestamp(0);
+        let mut week_start_trust = record.trust;
+        let mut current_week = now.week_index();
+        for _ in 0..rng.below(60) {
+            // Deltas in −5.0 .. +7.0, half-point steps; jumps of 0–10 days.
+            let delta = rng.below(25) as f64 * 0.5 - 5.0;
+            now = Timestamp(now.0 + rng.below(10) * 86_400);
+            if now.week_index() != current_week {
+                current_week = now.week_index();
+                week_start_trust = record.trust;
+            }
+            let before = record.trust;
+            let applied = TrustEngine::apply_delta(&mut record, delta, now);
+            assert!(
+                (MIN_TRUST..=MAX_TRUST).contains(&record.trust),
+                "trust {} escaped [{MIN_TRUST}, {MAX_TRUST}]",
+                record.trust
+            );
+            assert!(
+                (record.trust - before - applied).abs() < 1e-9,
+                "apply_delta return value must equal the actual change"
+            );
+            assert!(
+                record.trust - week_start_trust <= WEEKLY_TRUST_GROWTH_CAP + 1e-9,
+                "weekly growth {} exceeds the +{WEEKLY_TRUST_GROWTH_CAP} cap",
+                record.trust - week_start_trust
+            );
+        }
+    }
+}
+
+#[test]
+fn max_reachable_is_monotone_and_clamped() {
+    let mut previous = 0.0;
+    for weeks in 0..200 {
+        let reachable = TrustEngine::max_reachable(weeks);
+        assert!(reachable >= previous, "max_reachable must be monotone in account age");
+        assert!(reachable <= MAX_TRUST);
+        previous = reachable;
+    }
+    // Long-lived accounts saturate at the ceiling.
+    assert_eq!(TrustEngine::max_reachable(10_000), MAX_TRUST);
+    // Sanity: the constant relationship from the paper's model — one week
+    // of membership buys at most one cap's worth of growth.
+    assert!(TrustEngine::max_reachable(1) <= MIN_TRUST + 2.0 * WEEKLY_TRUST_GROWTH_CAP);
+}
