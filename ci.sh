@@ -10,9 +10,13 @@
 #                                   exhaustiveness — see DESIGN.md §7)
 #   4. cargo build --release        tier-1 build
 #   5. cargo test                   the whole workspace
-#   6. loom shard                   race detection on the server's
-#                                   concurrent structures
-#   7. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
+#   6. loom shards                  race detection on the server's
+#                                   concurrent structures and the storage
+#                                   engine's group-commit/striping protocols
+#   7. concurrency bench smoke      the store_concurrent/group-commit
+#                                   benches at a tiny workload — a
+#                                   does-it-run check, not a measurement
+#   8. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
 #                                   toolchain; skipped otherwise
 #
 # Usage: ./ci.sh            (from the workspace root)
@@ -23,22 +27,22 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/8 cargo fmt --check"
+step "1/9 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/8 cargo clippy --all-targets -- -D warnings"
+step "2/9 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/8 softrep-lint"
+step "3/9 softrep-lint"
 cargo run --offline -q -p softrep-lint
 
-step "4/8 cargo build --release"
+step "4/9 cargo build --release"
 cargo build --offline --release
 
-step "5/8 cargo test (workspace)"
+step "5/9 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/8 property shard (fixed + randomized seed)"
+step "6/9 property shard (fixed + randomized seed)"
 # Fixed seed: reproduces the checked-in baseline exactly.
 SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
     cargo test --offline -q --test properties
@@ -49,8 +53,16 @@ printf 'property shard randomized seed: %s\n' "$PROP_SEED"
 SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
     cargo test --offline -q --test properties
 
-step "7/8 loom race-detection shard"
+step "7/9 loom race-detection shards (server + storage)"
 cargo test --offline -q -p softrep-server --features loom --test loom
+cargo test --offline -q -p softrep-storage --features loom --test loom
+
+step "8/9 concurrency bench smoke"
+# Tiny workload: proves the mixed reader/writer and group-commit benches
+# still run, without spending CI minutes on real measurements.
+SOFTREP_BENCH_SMOKE=1 cargo bench --offline -p softrep-bench --bench storage_bench \
+    | grep -E 'store_concurrent|store_group_commit' || {
+        echo "concurrency benches produced no output"; exit 1; }
 
 nightly_has_tsan_deps() {
     rustup toolchain list 2>/dev/null | grep -q nightly \
@@ -60,7 +72,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "8/8 ThreadSanitizer shard (nightly)"
+        step "9/9 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -68,10 +80,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "8/8 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "9/9 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "8/8 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "9/9 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -104,6 +104,47 @@ fn bench_request_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parallel report queries against a warm cache: the report cache is a
+/// `RwLock`, so concurrent hits share the read lock instead of queueing
+/// on the mutex the cache used before the concurrent-storage work. One
+/// element per read, at 1/4 threads.
+fn bench_concurrent_cached_reads(c: &mut Criterion) {
+    let reads_per_thread: usize =
+        if std::env::var_os("SOFTREP_BENCH_SMOKE").is_some() { 200 } else { 5_000 };
+    let db = seeded_db(50, 100, 1_000, 4);
+    db.force_aggregation(Timestamp(2)).unwrap();
+    // Warm the cache entries the readers will hit.
+    for p in 0..16u64 {
+        db.software_report(&sw_id(p)).unwrap();
+    }
+
+    let mut group = c.benchmark_group("server_cached_reads");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.throughput(Throughput::Elements((threads * reads_per_thread) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("software_report_hit", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..threads as u64 {
+                            let db = &db;
+                            s.spawn(move || {
+                                for r in 0..reads_per_thread as u64 {
+                                    let id = sw_id((r + t * 3) % 16);
+                                    black_box(db.software_report(&id).unwrap());
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_aggregation(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregation_batch");
     group.sample_size(10);
@@ -209,6 +250,7 @@ fn bench_flood_guard(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_request_throughput,
+    bench_concurrent_cached_reads,
     bench_aggregation,
     bench_registration_path,
     bench_tcp_round_trip,

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
 
 use softrep_crypto::hex;
@@ -141,11 +141,13 @@ pub struct ReputationDb {
     moderation_policy: ModerationPolicy,
     moderation_stats: Mutex<ModerationStats>,
     /// Memoised [`software_report`](Self::software_report) results,
-    /// invalidated by every mutation that can change a report.
-    report_cache: Mutex<HashMap<String, SoftwareReport>>,
+    /// invalidated by every mutation that can change a report. `RwLock`
+    /// so concurrent cache hits — the hot execution-time read path —
+    /// share the lock instead of serialising behind each other.
+    report_cache: RwLock<HashMap<String, SoftwareReport>>,
     /// Memoised [`vendor_report`](Self::vendor_report) results, keyed by
     /// company name.
-    vendor_cache: Mutex<HashMap<String, VendorReport>>,
+    vendor_cache: RwLock<HashMap<String, VendorReport>>,
     agg_counters: AggCounters,
     /// Serialises multi-step mutations (check-then-act sequences such as
     /// the duplicate-username check, the unique e-mail index check, and
@@ -221,8 +223,8 @@ impl ReputationDb {
             pepper,
             moderation_policy,
             moderation_stats: Mutex::new(ModerationStats::default()),
-            report_cache: Mutex::new(HashMap::new()),
-            vendor_cache: Mutex::new(HashMap::new()),
+            report_cache: RwLock::new(HashMap::new()),
+            vendor_cache: RwLock::new(HashMap::new()),
             agg_counters: AggCounters::default(),
             write_gate: Mutex::new(()),
         }
@@ -392,7 +394,7 @@ impl ReputationDb {
         };
         self.software.put(&key, &record)?;
         if let Some(company) = &record.company {
-            self.vendor_cache.lock().remove(company);
+            self.vendor_cache.write().remove(company);
         }
         Ok(true)
     }
@@ -460,10 +462,13 @@ impl ReputationDb {
         Ok(self.votes.get(&(software_id.to_string(), username.to_string()))?)
     }
 
-    /// All votes for one software.
+    /// All votes for one software. Decodes straight off the borrowed tree
+    /// entries — the hot aggregation path allocates one `Vec` per call,
+    /// not one per key/value pair.
     pub fn votes_for(&self, software_id: &str) -> CoreResult<Vec<VoteRecord>> {
-        let pairs = self.votes.scan_key_prefix(&software_id.to_string())?;
-        Ok(pairs.into_iter().map(|(_, v)| v).collect())
+        let mut out = Vec::new();
+        self.votes.for_each_key_prefix(&software_id.to_string(), |_, vote| out.push(vote))?;
+        Ok(out)
     }
 
     /// Total number of votes in the system.
@@ -503,7 +508,7 @@ impl ReputationDb {
         if status == CommentStatus::PendingReview {
             self.moderation_stats.lock().on_enqueue();
         }
-        self.report_cache.lock().remove(software_id);
+        self.report_cache.write().remove(software_id);
         Ok(id)
     }
 
@@ -558,14 +563,17 @@ impl ReputationDb {
         if delta != 0.0 {
             self.adjust_trust_locked(&comment.author, delta, now)?;
         }
-        self.report_cache.lock().remove(&comment.software_id);
+        self.report_cache.write().remove(&comment.software_id);
         Ok(())
     }
 
     /// Net remark score of a comment.
     pub fn remark_score(&self, comment_id: u64) -> CoreResult<i64> {
-        let remarks = self.remarks.scan_key_prefix(&comment_id)?;
-        Ok(remarks.iter().map(|(_, r)| if r.positive { 1 } else { -1 }).sum())
+        let mut score = 0i64;
+        self.remarks.for_each_key_prefix(&comment_id, |_, r: RemarkRecord| {
+            score += if r.positive { 1 } else { -1 };
+        })?;
+        Ok(score)
     }
 
     /// Published comments for a software, highest remark score first.
@@ -600,14 +608,17 @@ impl ReputationDb {
         if applied != 0.0 {
             // The user's weight changed, so every rating their ballot
             // contributes to is stale: dirty all of them (dirty rule 2).
-            let voted_on = self.votes_by_user.scan_key_prefix(&key)?;
-            if !voted_on.is_empty() {
-                let mut marks = WriteBatch::new();
-                for ((_, software_id), _) in &voted_on {
-                    marks.put(AGG_DIRTY_TREE, software_id.to_string().to_key_bytes(), Vec::new());
-                }
+            // Collect first, write after — the visitor runs under the
+            // index's shard read lock and must not re-enter the store.
+            let mut marks = WriteBatch::new();
+            let mut dirtied = 0u64;
+            self.votes_by_user.for_each_key_prefix(&key, |(_, software_id), _| {
+                marks.put(AGG_DIRTY_TREE, software_id.to_key_bytes(), Vec::new());
+                dirtied += 1;
+            })?;
+            if !marks.is_empty() {
                 self.store.apply(&marks)?;
-                self.agg_counters.dirty_marks.fetch_add(voted_on.len() as u64, Ordering::Relaxed);
+                self.agg_counters.dirty_marks.fetch_add(dirtied, Ordering::Relaxed);
             }
         }
         Ok(applied)
@@ -649,7 +660,7 @@ impl ReputationDb {
         // and moderation outcomes feed future trust remarks — schedule a
         // recompute for the affected title as well.
         self.mark_dirty(&comment.software_id)?;
-        self.report_cache.lock().remove(&comment.software_id);
+        self.report_cache.write().remove(&comment.software_id);
         Ok(())
     }
 
@@ -708,8 +719,8 @@ impl ReputationDb {
                 recomputed += 1;
             }
         }
-        self.report_cache.lock().clear();
-        self.vendor_cache.lock().clear();
+        self.report_cache.write().clear();
+        self.vendor_cache.write().clear();
         self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
         self.agg_counters.full_runs.fetch_add(1, Ordering::Relaxed);
         self.agg_counters.titles_recomputed_full.fetch_add(recomputed as u64, Ordering::Relaxed);
@@ -760,7 +771,7 @@ impl ReputationDb {
         let recomputed = fresh.len();
         for (rating, score_mass) in fresh {
             self.write_rating(&rating, score_mass, now)?;
-            self.report_cache.lock().remove(&rating.software_id);
+            self.report_cache.write().remove(&rating.software_id);
             self.invalidate_vendor_cache_for(&rating.software_id)?;
         }
         self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
@@ -826,17 +837,19 @@ impl ReputationDb {
     /// votes is what makes concurrent marks safe (see
     /// [`force_aggregation_incremental`](Self::force_aggregation_incremental)).
     fn drain_dirty_marks(&self) -> CoreResult<Vec<String>> {
-        let raw = self.store.scan_all(AGG_DIRTY_TREE);
-        if raw.is_empty() {
-            return Ok(Vec::new());
-        }
-        let mut ids = Vec::with_capacity(raw.len());
+        let mut ids = Vec::new();
         let mut purge = WriteBatch::new();
-        for (key, _) in raw {
-            if let Some(id) = String::from_key_bytes(&key) {
+        // Collect under the read lock, delete after it drops (the visitor
+        // must not call back into the store).
+        self.store.for_each_prefix(AGG_DIRTY_TREE, &[], |key, _| {
+            if let Some(id) = String::from_key_bytes(key) {
                 ids.push(id);
             }
-            purge.delete(AGG_DIRTY_TREE, key);
+            purge.delete(AGG_DIRTY_TREE, key.to_vec());
+            true
+        });
+        if purge.is_empty() {
+            return Ok(Vec::new());
         }
         self.store.apply(&purge)?;
         Ok(ids)
@@ -853,7 +866,7 @@ impl ReputationDb {
     fn invalidate_vendor_cache_for(&self, software_id: &str) -> CoreResult<()> {
         if let Some(sw) = self.software.get(&software_id.to_string())? {
             if let Some(company) = sw.company {
-                self.vendor_cache.lock().remove(&company);
+                self.vendor_cache.write().remove(&company);
             }
         }
         Ok(())
@@ -861,11 +874,14 @@ impl ReputationDb {
 
     /// Titles currently marked for recompute (diagnostics and tests).
     pub fn dirty_software(&self) -> Vec<String> {
-        self.store
-            .scan_all(AGG_DIRTY_TREE)
-            .into_iter()
-            .filter_map(|(key, _)| String::from_key_bytes(&key))
-            .collect()
+        let mut out = Vec::new();
+        self.store.for_each_prefix(AGG_DIRTY_TREE, &[], |key, _| {
+            if let Some(id) = String::from_key_bytes(key) {
+                out.push(id);
+            }
+            true
+        });
+        out
     }
 
     /// Size of the dirty set.
@@ -907,7 +923,7 @@ impl ReputationDb {
     /// re-deriving comments/remarks/evidence per request.
     pub fn software_report(&self, software_id: &str) -> CoreResult<Option<SoftwareReport>> {
         {
-            let cache = self.report_cache.lock();
+            let cache = self.report_cache.read();
             if let Some(hit) = cache.get(software_id) {
                 let out = hit.clone();
                 drop(cache);
@@ -923,7 +939,7 @@ impl ReputationDb {
             evidence: self.evidence(software_id)?,
             software,
         };
-        let mut cache = self.report_cache.lock();
+        let mut cache = self.report_cache.write();
         if cache.len() >= READ_CACHE_CAP {
             cache.clear();
         }
@@ -936,7 +952,7 @@ impl ReputationDb {
     /// [`software_report`](Self::software_report).
     pub fn vendor_report(&self, vendor: &str) -> CoreResult<VendorReport> {
         {
-            let cache = self.vendor_cache.lock();
+            let cache = self.vendor_cache.read();
             if let Some(hit) = cache.get(vendor) {
                 let out = hit.clone();
                 drop(cache);
@@ -957,7 +973,7 @@ impl ReputationDb {
             rating: aggregate::vendor_rating(ratings),
             software_count: titles.len() as u64,
         };
-        let mut cache = self.vendor_cache.lock();
+        let mut cache = self.vendor_cache.write();
         if cache.len() >= READ_CACHE_CAP {
             cache.clear();
         }
@@ -1183,7 +1199,7 @@ impl ReputationDb {
                 analyzed_at: now,
             },
         )?;
-        self.report_cache.lock().remove(software_id);
+        self.report_cache.write().remove(software_id);
         Ok(())
     }
 
@@ -1260,8 +1276,9 @@ impl ReputationDb {
 
     /// Every entry a feed has published, in software-id order.
     pub fn feed_entries(&self, feed: &str) -> CoreResult<Vec<FeedEntryRecord>> {
-        let rows = self.feed_entries.scan_key_prefix(&feed.to_string())?;
-        Ok(rows.into_iter().map(|(_, v)| v).collect())
+        let mut out = Vec::new();
+        self.feed_entries.for_each_key_prefix(&feed.to_string(), |_, entry| out.push(entry))?;
+        Ok(out)
     }
 
     // -----------------------------------------------------------------

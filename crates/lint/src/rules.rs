@@ -49,6 +49,8 @@ pub const NO_PANIC_FILES: &[&str] = &[
     "crates/server/src/tcp.rs",
     "crates/storage/src/wal.rs",
     "crates/storage/src/store.rs",
+    "crates/storage/src/shard.rs",
+    "crates/storage/src/commit.rs",
     "crates/storage/src/table.rs",
     "crates/core/src/db.rs",
     // The aggregation worker pool runs on the same serving node; a panic

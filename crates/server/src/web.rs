@@ -155,6 +155,16 @@ fn front_page(server: &ReputationServer) -> HttpResponse {
         "<p>{} members · {} known programs · {} votes · {} rated</p>",
         stats.users, stats.software, stats.votes, stats.rated_software
     );
+    let engine = server.db().store_stats();
+    body.push_str(&format!(
+        "<p class=\"engine\">engine: {} batches · {} group commits \
+         ({} fsyncs saved, deepest group {}) · {} WAL rotations</p>",
+        engine.batches_applied,
+        engine.group_commits,
+        engine.fsyncs_saved,
+        engine.max_group_depth,
+        engine.wal_rotations,
+    ));
     let mut list = |title: &str, rows: Vec<softrep_core::model::RatingRecord>| {
         body.push_str(&format!("<h2>{title}</h2><ol>"));
         for r in rows {
@@ -419,6 +429,10 @@ mod tests {
         assert!(body.contains("2 known programs"));
         assert!(body.contains("Best rated"));
         assert!(body.contains("Warning list"));
+        // Storage-engine commit telemetry is surfaced alongside the
+        // deployment counters.
+        assert!(body.contains("group commits"));
+        assert!(body.contains("WAL rotations"));
     }
 
     #[test]

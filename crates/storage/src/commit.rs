@@ -1,0 +1,249 @@
+//! Group-commit bookkeeping for the sharded store.
+//!
+//! Every applied batch receives a monotonically increasing *commit
+//! sequence number* under the store's commit lock. Durability is tracked
+//! separately: a batch is *appended* once its frame sits in the WAL
+//! buffer, and *durable* once an `fsync` covering its sequence number has
+//! completed. The [`CommitLedger`] records both watermarks plus the
+//! single-flight sync state, which is what lets concurrent committers
+//! coalesce: while one thread's `sync_data` is in flight, every batch
+//! appended in the meantime is covered by the *next* sync, so N waiting
+//! writers cost one fsync, not N.
+//!
+//! The ledger itself is plain data with no interior locking — the store
+//! guards it with its commit mutex, and the loom suite drives the same
+//! protocol under exhaustive interleavings.
+
+/// How `Store::apply` trades write latency for durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// Every `apply` blocks until an fsync covers its batch. Concurrent
+    /// writers share group commits, so the cost is one `sync_data` per
+    /// *group*, not per batch.
+    Always,
+    /// `apply` returns once the batch is buffered; an fsync is forced
+    /// whenever `every_bytes` of WAL have accumulated since the last one.
+    /// Bounds data-at-risk without paying an fsync per batch.
+    Batched {
+        /// Unsynced-byte threshold that triggers a group fsync.
+        every_bytes: u64,
+    },
+    /// `apply` pushes the frame to the OS page cache and returns. Survives
+    /// a process crash but not a power failure unless `Store::sync` is
+    /// called — the pre-rewrite engine's only behaviour, kept as the
+    /// default for drop-in compatibility.
+    #[default]
+    Os,
+}
+
+/// Construction-time options for [`crate::Store::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Durability mode for `apply` (see [`DurabilityMode`]).
+    pub durability: DurabilityMode,
+    /// Number of lock stripes for the tree map. Clamped to `1..=256`.
+    pub shards: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { durability: DurabilityMode::default(), shards: 16 }
+    }
+}
+
+/// Sequence-number bookkeeping for group commit. Plain data; callers
+/// serialize access (the store uses its commit mutex).
+#[derive(Debug, Default)]
+pub struct CommitLedger {
+    /// Sequence number of the newest appended batch (0 = none yet).
+    appended_seq: u64,
+    /// Highest sequence number known covered by a completed fsync.
+    durable_seq: u64,
+    /// True while some thread runs `sync_data` off-lock.
+    sync_in_flight: bool,
+    /// Bytes appended since the last completed fsync began covering them.
+    bytes_since_sync: u64,
+    /// Bytes that the in-flight sync will retire from `bytes_since_sync`.
+    bytes_in_flight: u64,
+    /// Completed group fsyncs.
+    group_commits: u64,
+    /// Batches that rode an fsync they did not issue (depth − 1 summed).
+    fsyncs_saved: u64,
+    /// Largest number of batches retired by a single fsync.
+    max_group_depth: u64,
+}
+
+impl CommitLedger {
+    /// Fresh ledger with nothing appended or durable.
+    pub fn new() -> Self {
+        CommitLedger::default()
+    }
+
+    /// Record a batch of `bytes` appended to the WAL buffer; returns its
+    /// commit sequence number.
+    pub fn record_append(&mut self, bytes: u64) -> u64 {
+        self.appended_seq += 1;
+        self.bytes_since_sync = self.bytes_since_sync.saturating_add(bytes);
+        self.appended_seq
+    }
+
+    /// True once an fsync covering `seq` has completed.
+    pub fn is_durable(&self, seq: u64) -> bool {
+        self.durable_seq >= seq
+    }
+
+    /// True when `Batched { every_bytes }` owes the disk an fsync.
+    pub fn sync_due(&self, every_bytes: u64) -> bool {
+        self.bytes_since_sync >= every_bytes.max(1)
+    }
+
+    /// Claim the single sync slot. Returns the sequence number the sync
+    /// will make durable, or `None` when a sync is already in flight or
+    /// there is nothing new to sync. The caller must later report back via
+    /// [`CommitLedger::finish_sync`] with the same number.
+    pub fn try_begin_sync(&mut self) -> Option<u64> {
+        if self.sync_in_flight || self.appended_seq == self.durable_seq {
+            return None;
+        }
+        self.sync_in_flight = true;
+        self.bytes_in_flight = self.bytes_since_sync;
+        Some(self.appended_seq)
+    }
+
+    /// Report the outcome of the sync claimed by
+    /// [`CommitLedger::try_begin_sync`]. On success every batch up to
+    /// `sync_to` becomes durable and the group counters advance.
+    pub fn finish_sync(&mut self, sync_to: u64, ok: bool) {
+        self.sync_in_flight = false;
+        if !ok {
+            self.bytes_in_flight = 0;
+            return;
+        }
+        let depth = sync_to.saturating_sub(self.durable_seq);
+        if depth > 0 {
+            self.group_commits += 1;
+            self.fsyncs_saved += depth - 1;
+            self.max_group_depth = self.max_group_depth.max(depth);
+        }
+        self.durable_seq = self.durable_seq.max(sync_to);
+        self.bytes_since_sync = self.bytes_since_sync.saturating_sub(self.bytes_in_flight);
+        self.bytes_in_flight = 0;
+    }
+
+    /// Everything currently appended is known durable (used after the
+    /// compaction path fsyncs the WAL under the commit lock).
+    pub fn mark_all_durable(&mut self) {
+        if !self.sync_in_flight {
+            self.bytes_since_sync = 0;
+            self.bytes_in_flight = 0;
+        }
+        self.durable_seq = self.appended_seq;
+    }
+
+    /// Newest appended sequence number.
+    pub fn appended_seq(&self) -> u64 {
+        self.appended_seq
+    }
+
+    /// Highest durable sequence number.
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// True while a sync claimed via `try_begin_sync` has not finished.
+    pub fn sync_in_flight(&self) -> bool {
+        self.sync_in_flight
+    }
+
+    /// Completed group fsyncs.
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits
+    }
+
+    /// Fsyncs avoided by riding another batch's group commit.
+    pub fn fsyncs_saved(&self) -> u64 {
+        self.fsyncs_saved
+    }
+
+    /// Largest observed group depth (batches retired by one fsync).
+    pub fn max_group_depth(&self) -> u64 {
+        self.max_group_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_assign_increasing_sequence_numbers() {
+        let mut l = CommitLedger::new();
+        assert_eq!(l.record_append(10), 1);
+        assert_eq!(l.record_append(10), 2);
+        assert!(!l.is_durable(1));
+        assert_eq!(l.appended_seq(), 2);
+    }
+
+    #[test]
+    fn single_flight_sync_coalesces_queued_batches() {
+        let mut l = CommitLedger::new();
+        let a = l.record_append(8);
+        let to = l.try_begin_sync().unwrap();
+        assert_eq!(to, a);
+        // While the sync is in flight the slot cannot be reclaimed...
+        let b = l.record_append(8);
+        assert!(l.try_begin_sync().is_none());
+        l.finish_sync(to, true);
+        assert!(l.is_durable(a));
+        assert!(!l.is_durable(b));
+        // ...and the batch appended meanwhile is picked up by the next one.
+        let to2 = l.try_begin_sync().unwrap();
+        assert_eq!(to2, b);
+        l.finish_sync(to2, true);
+        assert!(l.is_durable(b));
+        assert_eq!(l.group_commits(), 2);
+        assert_eq!(l.fsyncs_saved(), 0);
+    }
+
+    #[test]
+    fn group_depth_and_saved_fsyncs_are_counted() {
+        let mut l = CommitLedger::new();
+        for _ in 0..5 {
+            l.record_append(4);
+        }
+        let to = l.try_begin_sync().unwrap();
+        l.finish_sync(to, true);
+        assert_eq!(l.group_commits(), 1);
+        assert_eq!(l.fsyncs_saved(), 4);
+        assert_eq!(l.max_group_depth(), 5);
+        assert!(l.try_begin_sync().is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn failed_sync_leaves_batches_undurable() {
+        let mut l = CommitLedger::new();
+        let seq = l.record_append(4);
+        let to = l.try_begin_sync().unwrap();
+        l.finish_sync(to, false);
+        assert!(!l.is_durable(seq));
+        assert!(!l.sync_in_flight());
+        // The retry can claim the slot again.
+        assert_eq!(l.try_begin_sync(), Some(seq));
+    }
+
+    #[test]
+    fn batched_mode_due_accounting_survives_concurrent_appends() {
+        let mut l = CommitLedger::new();
+        l.record_append(600);
+        assert!(l.sync_due(512));
+        let to = l.try_begin_sync().unwrap();
+        // A batch lands while the sync is in flight; its bytes must not be
+        // retired by the older sync.
+        l.record_append(600);
+        l.finish_sync(to, true);
+        assert!(l.sync_due(512), "post-sync append still owes an fsync");
+        let to2 = l.try_begin_sync().unwrap();
+        l.finish_sync(to2, true);
+        assert!(!l.sync_due(512));
+    }
+}

@@ -13,8 +13,13 @@
 //! * [`crc`] — CRC-32 (IEEE) for WAL entry integrity.
 //! * [`wal`] — an append-only, CRC-checked write-ahead log with torn-tail
 //!   truncation on replay.
+//! * `shard` (crate-private) — the lock-striped tree map behind the
+//!   store's read path.
+//! * [`commit`] — durability modes and the group-commit ledger that lets
+//!   concurrent writers share one fsync.
 //! * [`store`] — named B-tree keyspaces ("trees") with atomic write
-//!   batches, WAL durability, snapshot + replay recovery, and compaction.
+//!   batches, WAL group-commit durability, snapshot + rotated-WAL replay
+//!   recovery, and non-blocking compaction.
 //! * [`table`] — a typed table layer (key/record codecs + schema names)
 //!   over raw trees.
 //! * [`index`] — secondary indexes maintained transactionally with their
@@ -26,6 +31,8 @@
 //! store/
 //!   SNAPSHOT        # full dump of all trees at the last compaction
 //!   WAL             # entries applied after the snapshot
+//!   WAL.old         # transient: pre-rotation log while a compaction is
+//!                   # writing its snapshot (replayed before WAL on open)
 //! ```
 //!
 //! The engine also runs fully in memory ([`store::Store::in_memory`]) for
@@ -34,15 +41,18 @@
 
 pub mod batch;
 pub mod codec;
+pub mod commit;
 pub mod crc;
 pub mod error;
 pub mod index;
+pub(crate) mod shard;
 pub mod store;
 pub mod table;
 pub mod wal;
 
 pub use batch::WriteBatch;
 pub use codec::{Decode, Encode, Reader, Writer};
+pub use commit::{CommitLedger, DurabilityMode, StoreOptions};
 pub use error::{StorageError, StorageResult};
 pub use store::{Store, StoreStats, TreeName};
 pub use table::{KeyCodec, Table, TableSchema};

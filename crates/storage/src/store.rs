@@ -1,23 +1,42 @@
 //! The store: named B-tree keyspaces with WAL durability and snapshots.
 //!
-//! Concurrency model: one `parking_lot::Mutex` around the whole store. The
-//! reputation server's write volume (votes, comments, registrations) is
-//! modest and every request touches several trees transactionally, so a
-//! single lock is both correct and simpler than per-tree latching; the D10
-//! throughput benchmarks measure exactly this configuration.
+//! Concurrency model (DESIGN.md §10). The tree map is striped across
+//! `RwLock` shards ([`crate::shard`]), so readers of different trees never
+//! share a lock and readers never wait on writer *I/O* — only on the brief
+//! in-memory mutation of a batch that touches their stripe. Writers are
+//! serialized by a single commit mutex whose critical section touches
+//! memory only: append the encoded batch to the WAL's in-process buffer,
+//! assign a commit sequence number, and mutate the affected stripes (all
+//! their write locks held at once, which is what keeps a batch atomic
+//! across trees). The expensive part of durability — `sync_data` — runs
+//! *outside* every lock through the group committer ([`crate::commit`]):
+//! one in-flight fsync covers every batch appended while it ran, so N
+//! concurrent `Always`-mode writers pay ~1 fsync, not N. Compaction
+//! rotates the WAL (`WAL` → `WAL.old`) in a short critical section and
+//! writes the snapshot off-lock, so writes proceed during compaction;
+//! recovery replays `WAL.old` before `WAL`.
+//!
+//! An earlier revision guarded the whole store with one mutex on the
+//! theory that write volume is modest; the D10 concurrency benchmarks
+//! showed that collapses read throughput on multi-core serving, which is
+//! why the striped design replaced it.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{Read, Write};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::commit::{CommitLedger, DurabilityMode, StoreOptions};
 use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
+use crate::shard::{ShardSet, Tree};
 use crate::wal::Wal;
 
 /// A tree (keyspace) name. Plain `&str` newtype used to make call sites
@@ -31,13 +50,15 @@ impl std::fmt::Display for TreeName {
     }
 }
 
-type Tree = BTreeMap<Vec<u8>, Vec<u8>>;
-
-struct Inner {
-    trees: BTreeMap<String, Tree>,
+/// Everything guarded by the commit mutex: the WAL handle, the group
+/// commit ledger, and the write counters (folded in here so `stats` can
+/// snapshot them coherently in one acquisition).
+struct CommitState {
     wal: Option<Wal>,
-    dir: Option<PathBuf>,
+    ledger: CommitLedger,
+    batches_applied: u64,
     ops_since_compaction: u64,
+    wal_rotations: u64,
 }
 
 /// Counters exposed for the D10 benchmarks and operational visibility.
@@ -53,69 +74,199 @@ pub struct StoreStats {
     pub ops_since_compaction: u64,
     /// Current WAL length in bytes (0 for in-memory stores).
     pub wal_bytes: u64,
+    /// Completed group fsyncs.
+    pub group_commits: u64,
+    /// Batches made durable by an fsync another batch issued.
+    pub fsyncs_saved: u64,
+    /// Largest number of batches retired by a single fsync.
+    pub max_group_depth: u64,
+    /// WAL → WAL.old rotations performed by compaction.
+    pub wal_rotations: u64,
+}
+
+/// Condvar-with-generation used to wake `wait_durable` waiters after a
+/// group fsync completes. The generation counter makes the wait race-free
+/// (a notify between predicate check and sleep is observed as a changed
+/// generation); a short timeout backstops any missed edge, and under a
+/// loom model the wait degrades to a schedule yield so the cooperative
+/// scheduler keeps control.
+struct SyncSignal {
+    generation: StdMutex<u64>,
+    cv: Condvar,
+}
+
+impl SyncSignal {
+    fn new() -> Self {
+        SyncSignal { generation: StdMutex::new(0), cv: Condvar::new() }
+    }
+
+    fn generation(&self) -> u64 {
+        *self.generation.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn notify(&self) {
+        let mut generation = self.generation.lock().unwrap_or_else(PoisonError::into_inner);
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.cv.notify_all();
+    }
+
+    fn wait_change(&self, seen: u64) {
+        if loom::hook::is_active() {
+            loom::thread::yield_now();
+            return;
+        }
+        let generation = self.generation.lock().unwrap_or_else(PoisonError::into_inner);
+        if *generation != seen {
+            return;
+        }
+        let _ = self.cv.wait_timeout(generation, Duration::from_millis(20));
+    }
 }
 
 /// An embedded key-value store with named trees.
 pub struct Store {
-    inner: Mutex<Inner>,
-    batches_applied: Mutex<u64>,
+    shards: ShardSet,
+    commit: Mutex<CommitState>,
+    sync_signal: SyncSignal,
+    /// Serializes compactions; never held while taking the commit lock
+    /// for longer than the rotation critical section.
+    compaction: Mutex<()>,
+    durability: DurabilityMode,
+    /// WAL-backed? Fixed at construction; lets `apply` skip encoding
+    /// entirely for in-memory stores without taking the commit lock.
+    durable: bool,
+    dir: Option<PathBuf>,
 }
 
 const SNAPSHOT_FILE: &str = "SNAPSHOT";
 const WAL_FILE: &str = "WAL";
+const WAL_OLD_FILE: &str = "WAL.old";
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SREPSNP1";
 
 impl Store {
-    /// Open a durable store rooted at `dir`, creating it if absent. Loads
-    /// the last snapshot and replays the WAL on top.
+    /// Open a durable store rooted at `dir` with default options
+    /// ([`DurabilityMode::Os`], 16 shards), creating it if absent.
     pub fn open(dir: impl Into<PathBuf>) -> StorageResult<Self> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Open a durable store with explicit durability/sharding options.
+    /// Loads the last snapshot, replays `WAL.old` (a rotation interrupted
+    /// by a crash) and then `WAL` on top, and finishes any interrupted
+    /// compaction so `WAL.old` never outlives `open`.
+    pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> StorageResult<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal_old_path = dir.join(WAL_OLD_FILE);
 
         let mut trees = Self::load_snapshot(&dir.join(SNAPSHOT_FILE))?;
-        for payload in Wal::replay(dir.join(WAL_FILE))? {
-            let batch = WriteBatch::decode_from_bytes(&payload)?;
-            Self::apply_to_trees(&mut trees, &batch);
+        let had_rotation = wal_old_path.exists();
+        let mut old_torn = false;
+        if had_rotation {
+            let outcome = Wal::replay_with_outcome(&wal_old_path)?;
+            old_torn = outcome.torn;
+            for payload in outcome.entries {
+                let batch = WriteBatch::decode_from_bytes(&payload)?;
+                Self::apply_to_trees(&mut trees, &batch);
+            }
         }
-        let wal = Wal::open(dir.join(WAL_FILE))?;
-        Ok(Store {
-            inner: Mutex::new(Inner {
-                trees,
+        if old_torn {
+            // The rotated log died mid-append. Every frame in the newer
+            // WAL postdates the tear, so replaying it would apply batches
+            // over a gap; drop it to preserve the any-prefix invariant.
+            fs::write(&wal_path, [])?;
+        } else {
+            for payload in Wal::replay(&wal_path)? {
+                let batch = WriteBatch::decode_from_bytes(&payload)?;
+                Self::apply_to_trees(&mut trees, &batch);
+            }
+        }
+
+        let wal = Wal::open(&wal_path)?;
+        let store = Store {
+            shards: ShardSet::new(options.shards, trees),
+            commit: Mutex::new(CommitState {
                 wal: Some(wal),
-                dir: Some(dir),
+                ledger: CommitLedger::new(),
+                batches_applied: 0,
                 ops_since_compaction: 0,
+                wal_rotations: 0,
             }),
-            batches_applied: Mutex::new(0),
-        })
+            sync_signal: SyncSignal::new(),
+            compaction: Mutex::new(()),
+            durability: options.durability,
+            durable: true,
+            dir: Some(dir),
+        };
+        if had_rotation {
+            // Finish the interrupted compaction: write a snapshot that
+            // covers WAL.old, then retire it.
+            store.compact()?;
+        }
+        Ok(store)
     }
 
     /// Open a volatile store with no disk backing. API-identical to a
     /// durable store; used by the agent simulations.
     pub fn in_memory() -> Self {
+        Self::in_memory_with(StoreOptions::default())
+    }
+
+    /// Volatile store with an explicit shard count (benchmarks).
+    pub fn in_memory_with(options: StoreOptions) -> Self {
         Store {
-            inner: Mutex::new(Inner {
-                trees: BTreeMap::new(),
+            shards: ShardSet::new(options.shards, BTreeMap::new()),
+            commit: Mutex::new(CommitState {
                 wal: None,
-                dir: None,
+                ledger: CommitLedger::new(),
+                batches_applied: 0,
                 ops_since_compaction: 0,
+                wal_rotations: 0,
             }),
-            batches_applied: Mutex::new(0),
+            sync_signal: SyncSignal::new(),
+            compaction: Mutex::new(()),
+            durability: DurabilityMode::Os,
+            durable: false,
+            dir: None,
         }
     }
 
-    /// Apply `batch` atomically: journal first, then mutate memory.
+    /// Apply `batch` atomically: journal first, then mutate memory — both
+    /// inside one commit-ordered critical section, so recovery replay
+    /// order always equals the order readers observed. Durability depends
+    /// on the store's [`DurabilityMode`]; in `Always` mode this blocks
+    /// until a group fsync covers the batch.
     pub fn apply(&self, batch: &WriteBatch) -> StorageResult<()> {
         if batch.is_empty() {
             return Ok(());
         }
-        let mut inner = self.inner.lock();
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.append(&batch.encode_to_bytes())?;
-            wal.flush()?;
+        // Encode off-lock; skipped entirely for in-memory stores.
+        let payload = if self.durable { Some(batch.encode_to_bytes()) } else { None };
+        let (seq, sync_now) = {
+            let mut commit = self.commit.lock();
+            if let (Some(wal), Some(payload)) = (commit.wal.as_mut(), payload.as_deref()) {
+                wal.append(payload)?;
+                if matches!(self.durability, DurabilityMode::Os) {
+                    wal.flush()?;
+                }
+            }
+            let bytes = payload.as_ref().map_or(0, |p| 8 + p.len() as u64);
+            let seq = commit.ledger.record_append(bytes);
+            self.shards.apply(batch);
+            commit.batches_applied += 1;
+            commit.ops_since_compaction += batch.len() as u64;
+            let sync_now = match self.durability {
+                DurabilityMode::Always => true,
+                DurabilityMode::Batched { every_bytes } => commit.ledger.sync_due(every_bytes),
+                DurabilityMode::Os => false,
+            };
+            (seq, sync_now)
+        };
+        if sync_now && self.durable {
+            self.wait_durable(seq)?;
         }
-        Self::apply_to_trees(&mut inner.trees, batch);
-        inner.ops_since_compaction += batch.len() as u64;
-        *self.batches_applied.lock() += 1;
         Ok(())
     }
 
@@ -140,24 +291,45 @@ impl Store {
 
     /// Fetch a value. Unknown trees read as empty.
     pub fn get(&self, tree: &str, key: &[u8]) -> Option<Vec<u8>> {
-        let inner = self.inner.lock();
-        inner.trees.get(tree).and_then(|t| t.get(key).cloned())
+        self.shards.with_tree(tree, |t| t.and_then(|t| t.get(key).cloned()))
     }
 
     /// True if `key` exists in `tree`.
     pub fn contains(&self, tree: &str, key: &[u8]) -> bool {
-        let inner = self.inner.lock();
-        inner.trees.get(tree).is_some_and(|t| t.contains_key(key))
+        self.shards.with_tree(tree, |t| t.is_some_and(|t| t.contains_key(key)))
     }
 
-    /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
+    /// Visit every `(key, value)` whose key starts with `prefix`, in key
+    /// order, without copying either. Return `false` from the visitor to
+    /// stop early. The tree's shard stays read-locked for the duration,
+    /// so the visitor must not call back into this store.
+    pub fn for_each_prefix(
+        &self,
+        tree: &str,
+        prefix: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]) -> bool,
+    ) {
+        self.shards.with_tree(tree, |t| {
+            let Some(t) = t else { return };
+            let range = t.range::<[u8], _>((Bound::Included(prefix), Bound::Unbounded));
+            for (k, v) in range {
+                if !k.starts_with(prefix) || !f(k, v) {
+                    break;
+                }
+            }
+        });
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key
+    /// order. Copies each pair; prefer [`Store::for_each_prefix`] on hot
+    /// paths that immediately decode.
     pub fn scan_prefix(&self, tree: &str, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let inner = self.inner.lock();
-        let Some(t) = inner.trees.get(tree) else { return Vec::new() };
-        t.range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded))
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_prefix(tree, prefix, |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        });
+        out
     }
 
     /// All pairs in `tree`, in key order.
@@ -167,58 +339,138 @@ impl Store {
 
     /// Number of keys in `tree` (0 for unknown trees).
     pub fn tree_len(&self, tree: &str) -> usize {
-        let inner = self.inner.lock();
-        inner.trees.get(tree).map_or(0, BTreeMap::len)
+        self.shards.with_tree(tree, |t| t.map_or(0, BTreeMap::len))
     }
 
-    /// Names of all trees that have ever been written.
+    /// Names of all trees that have ever been written, sorted.
     pub fn tree_names(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        inner.trees.keys().cloned().collect()
+        self.shards.tree_names()
     }
 
-    /// fsync the WAL (no-op in memory).
+    /// Block until everything appended so far is fsynced (no-op in
+    /// memory). Joins the group committer like any other waiter.
     pub fn sync(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.sync()?;
-        }
-        Ok(())
+        let target = {
+            let commit = self.commit.lock();
+            if commit.wal.is_none() {
+                return Ok(());
+            }
+            commit.ledger.appended_seq()
+        };
+        self.wait_durable(target)
     }
 
-    /// Write a full snapshot and truncate the WAL.
-    ///
-    /// The snapshot is written to a temp file and atomically renamed, so a
-    /// crash during compaction leaves the previous snapshot + WAL intact.
-    pub fn compact(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        let Some(dir) = inner.dir.clone() else { return Ok(()) };
+    /// Wait until `seq` is covered by a completed fsync, driving the
+    /// group committer if the sync slot is free. At most one thread runs
+    /// `sync_data` at a time; everyone else sleeps on the signal and is
+    /// woken durable, which is exactly the fsync-coalescing that makes
+    /// `Always` mode affordable under concurrency.
+    fn wait_durable(&self, seq: u64) -> StorageResult<()> {
+        loop {
+            let observed = self.sync_signal.generation();
+            let claim = {
+                let mut guard = self.commit.lock();
+                let commit = &mut *guard;
+                if commit.ledger.is_durable(seq) {
+                    return Ok(());
+                }
+                let Some(wal) = commit.wal.as_mut() else {
+                    return Ok(());
+                };
+                match commit.ledger.try_begin_sync() {
+                    Some(sync_to) => {
+                        // Push buffered frames to the OS while still
+                        // holding the lock (cheap), fsync off-lock.
+                        if let Err(e) = wal.flush() {
+                            commit.ledger.finish_sync(sync_to, false);
+                            return Err(e);
+                        }
+                        Some((sync_to, wal.sync_handle()))
+                    }
+                    None => None,
+                }
+            };
+            match claim {
+                Some((sync_to, file)) => {
+                    let synced = file.sync_data();
+                    let ok = synced.is_ok();
+                    self.commit.lock().ledger.finish_sync(sync_to, ok);
+                    self.sync_signal.notify();
+                    synced?;
+                }
+                None => self.sync_signal.wait_change(observed),
+            }
+        }
+    }
 
-        let bytes = Self::encode_snapshot(&inner.trees);
+    /// Write a full snapshot without blocking writers: the WAL is rotated
+    /// to `WAL.old` and a consistent view cloned in a short critical
+    /// section; encoding, writing and fsyncing the snapshot happen with
+    /// no lock held. `WAL.old` is removed only after the snapshot rename,
+    /// so a crash at any point recovers (recovery replays `WAL.old`
+    /// before `WAL`; re-applying already-snapshotted batches is
+    /// idempotent because puts and deletes set absolute per-key state).
+    pub fn compact(&self) -> StorageResult<()> {
+        let Some(dir) = self.dir.clone() else { return Ok(()) };
+        let _compaction = self.compaction.lock();
+        let wal_old = dir.join(WAL_OLD_FILE);
+        // `WAL.old` still present means an earlier compaction failed after
+        // rotating: don't rotate again (that would clobber it) — just
+        // write a fresh snapshot covering memory and retire the old log.
+        let resume = wal_old.exists();
+
+        let view = {
+            let mut commit = self.commit.lock();
+            if let Some(wal) = commit.wal.as_mut() {
+                wal.sync()?;
+            }
+            commit.ledger.mark_all_durable();
+            if !resume {
+                commit.wal = None; // close the handle before renaming
+                let renamed = fs::rename(dir.join(WAL_FILE), &wal_old);
+                // Reopen before propagating: on rename failure this
+                // reopens the same log and the store stays serviceable.
+                commit.wal = Some(Wal::open(dir.join(WAL_FILE))?);
+                renamed?;
+                commit.wal_rotations += 1;
+            }
+            commit.ops_since_compaction = 0;
+            // Cloned under the commit lock: no writer can interleave, so
+            // the view is a consistent cut at a batch boundary.
+            self.shards.snapshot()
+        };
+
+        let bytes = Self::encode_snapshot(&view);
         let tmp = dir.join("SNAPSHOT.tmp");
-        let final_path = dir.join(SNAPSHOT_FILE);
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_data()?;
         }
-        fs::rename(&tmp, &final_path)?;
-        if let Some(wal) = inner.wal.as_mut() {
-            wal.truncate()?;
+        fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+
+        if wal_old.exists() {
+            fs::remove_file(&wal_old)?;
         }
-        inner.ops_since_compaction = 0;
         Ok(())
     }
 
-    /// Current counters.
+    /// Current counters, snapshotted coherently: one commit-lock
+    /// acquisition covers every write-side counter, so `batches_applied`
+    /// can never disagree with `ops_since_compaction`.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock();
+        let commit = self.commit.lock();
+        let (trees, keys) = self.shards.count();
         StoreStats {
-            trees: inner.trees.len(),
-            keys: inner.trees.values().map(BTreeMap::len).sum(),
-            batches_applied: *self.batches_applied.lock(),
-            ops_since_compaction: inner.ops_since_compaction,
-            wal_bytes: inner.wal.as_ref().map_or(0, Wal::len_bytes),
+            trees,
+            keys,
+            batches_applied: commit.batches_applied,
+            ops_since_compaction: commit.ops_since_compaction,
+            wal_bytes: commit.wal.as_ref().map_or(0, Wal::len_bytes),
+            group_commits: commit.ledger.group_commits(),
+            fsyncs_saved: commit.ledger.fsyncs_saved(),
+            max_group_depth: commit.ledger.max_group_depth(),
+            wal_rotations: commit.wal_rotations,
         }
     }
 
@@ -335,6 +587,23 @@ mod tests {
     }
 
     #[test]
+    fn for_each_prefix_borrows_and_stops_early() {
+        let s = Store::in_memory();
+        for k in ["a1", "a2", "a3", "b1"] {
+            s.put("t", k.as_bytes().to_vec(), k.as_bytes().to_vec()).unwrap();
+        }
+        let mut seen = Vec::new();
+        s.for_each_prefix("t", b"a", |k, v| {
+            assert_eq!(k, v);
+            seen.push(k.to_vec());
+            seen.len() < 2 // stop after two
+        });
+        assert_eq!(seen, vec![b"a1".to_vec(), b"a2".to_vec()]);
+        // Unknown tree: the visitor is simply never called.
+        s.for_each_prefix("ghost", b"", |_, _| panic!("should not be called"));
+    }
+
+    #[test]
     fn batch_is_atomic_across_trees() {
         let s = Store::in_memory();
         let mut b = WriteBatch::new();
@@ -374,6 +643,8 @@ mod tests {
             s.compact().unwrap();
             assert_eq!(s.stats().wal_bytes, 0);
             assert_eq!(s.stats().ops_since_compaction, 0);
+            assert_eq!(s.stats().wal_rotations, 1);
+            assert!(!dir.join(WAL_OLD_FILE).exists(), "rotated log retired");
             // Post-compaction writes land in the fresh WAL.
             s.put("t", 200u64.to_be_bytes().to_vec(), vec![200u8.wrapping_add(0)]).unwrap();
             s.sync().unwrap();
@@ -382,6 +653,81 @@ mod tests {
         assert_eq!(s.tree_len("t"), 101);
         assert_eq!(s.get("t", &42u64.to_be_bytes()).unwrap(), vec![42]);
         assert_eq!(s.get("t", &200u64.to_be_bytes()).unwrap(), vec![200]);
+    }
+
+    #[test]
+    fn writes_during_compaction_are_kept() {
+        // Non-blocking compaction: a writer thread keeps appending while
+        // compact() runs; nothing may be lost across a reopen.
+        let dir = tmpdir("compact-live");
+        let s = std::sync::Arc::new(Store::open(&dir).unwrap());
+        for i in 0..500u64 {
+            s.put("t", i.to_be_bytes().to_vec(), vec![7]).unwrap();
+        }
+        let writer = {
+            let s = std::sync::Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 500..1000u64 {
+                    s.put("t", i.to_be_bytes().to_vec(), vec![7]).unwrap();
+                }
+            })
+        };
+        s.compact().unwrap();
+        writer.join().unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.tree_len("t"), 1000);
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.tree_len("t"), 1000);
+    }
+
+    #[test]
+    fn always_mode_group_commits_concurrent_writers() {
+        let dir = tmpdir("always");
+        let s = std::sync::Arc::new(
+            Store::open_with(&dir, StoreOptions { durability: DurabilityMode::Always, shards: 16 })
+                .unwrap(),
+        );
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        s.put("t", (t * 1000 + i).to_be_bytes().to_vec(), vec![1]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.batches_applied, 100);
+        assert!(st.group_commits >= 1);
+        assert_eq!(
+            st.group_commits + st.fsyncs_saved,
+            100,
+            "every batch either issued or rode an fsync"
+        );
+        drop(s);
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.tree_len("t"), 100);
+    }
+
+    #[test]
+    fn batched_mode_syncs_on_byte_threshold() {
+        let dir = tmpdir("batched");
+        let s = Store::open_with(
+            &dir,
+            StoreOptions { durability: DurabilityMode::Batched { every_bytes: 256 }, shards: 4 },
+        )
+        .unwrap();
+        for i in 0..50u64 {
+            s.put("t", i.to_be_bytes().to_vec(), vec![0u8; 32]).unwrap();
+        }
+        let st = s.stats();
+        assert!(st.group_commits >= 1, "threshold crossings must have forced fsyncs");
+        assert!(st.group_commits < 50, "but far fewer than one per batch");
     }
 
     #[test]
@@ -445,5 +791,16 @@ mod tests {
         s.put("t", b"k".to_vec(), b"new".to_vec()).unwrap();
         assert_eq!(s.get("t", b"k").unwrap(), b"new");
         assert_eq!(s.tree_len("t"), 1);
+    }
+
+    #[test]
+    fn single_shard_store_behaves_identically() {
+        let s = Store::in_memory_with(StoreOptions { shards: 1, ..StoreOptions::default() });
+        let mut b = WriteBatch::new();
+        b.put("x", b"1".to_vec(), b"a".to_vec());
+        b.put("y", b"2".to_vec(), b"b".to_vec());
+        s.apply(&b).unwrap();
+        assert_eq!(s.stats().trees, 2);
+        assert_eq!(s.get("y", b"2").unwrap(), b"b");
     }
 }

@@ -228,6 +228,42 @@ impl<K: KeyCodec + 'static, V: Encode + Decode + 'static> Table<K, V> {
         self.decode_pairs(self.store.scan_prefix(self.schema.tree, &prefix.to_key_bytes()))
     }
 
+    /// Visit each decoded `(key, record)` under `prefix` in key order
+    /// without materialising the raw pairs — the decode happens straight
+    /// off the borrowed tree entries. The backing shard stays read-locked
+    /// for the duration, so the visitor must not call back into the
+    /// store. Decode failures abort the scan and surface as an error.
+    pub fn for_each_key_prefix<P: KeyCodec>(
+        &self,
+        prefix: &P,
+        mut f: impl FnMut(K, V),
+    ) -> StorageResult<()> {
+        let mut failed: Option<crate::error::StorageError> = None;
+        self.store.for_each_prefix(self.schema.tree, &prefix.to_key_bytes(), |k, v| {
+            let Some(key) = K::from_key_bytes(k) else {
+                failed = Some(crate::error::StorageError::Decode(format!(
+                    "malformed key in tree {}",
+                    self.schema.tree
+                )));
+                return false;
+            };
+            match V::decode_from_bytes(v) {
+                Ok(value) => {
+                    f(key, value);
+                    true
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    false
+                }
+            }
+        });
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.store.tree_len(self.schema.tree)
@@ -290,6 +326,31 @@ mod tests {
         // "softA" must not also match "softAB" style keys.
         table.put(&("softAB".into(), "eve".into()), &1).unwrap();
         assert_eq!(table.scan_key_prefix(&"softA".to_string()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn for_each_key_prefix_visits_decoded_pairs_in_order() {
+        static SCHEMA: TableSchema<(String, String), u64> = TableSchema::new("votes");
+        let table = Table::bind(Arc::new(Store::in_memory()), &SCHEMA);
+        table.put(&("softA".into(), "alice".into()), &8).unwrap();
+        table.put(&("softA".into(), "bob".into()), &3).unwrap();
+        table.put(&("softB".into(), "alice".into()), &10).unwrap();
+
+        let mut seen = Vec::new();
+        table
+            .for_each_key_prefix(&"softA".to_string(), |(_, user), score| {
+                seen.push((user, score));
+            })
+            .unwrap();
+        assert_eq!(seen, vec![("alice".to_string(), 8), ("bob".to_string(), 3)]);
+
+        // A malformed record surfaces as a decode error, not a panic.
+        table
+            .store()
+            .put("votes", ("softA".to_string(), "zz".to_string()).to_key_bytes(), vec![0xff])
+            .unwrap();
+        let res = table.for_each_key_prefix(&"softA".to_string(), |_, _| {});
+        assert!(res.is_err());
     }
 
     #[test]

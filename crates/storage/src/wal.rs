@@ -12,10 +12,16 @@
 //! or CRC does not check out — a torn tail from a crash mid-append — and
 //! truncates the file there, restoring invariant 6 of DESIGN.md: *any
 //! prefix of the log replays to a consistent store*.
+//!
+//! The backing `File` is held behind an `Arc` so the store's group
+//! committer can run `sync_data` *outside* its commit lock while other
+//! threads keep appending to the in-memory buffer; `append` itself never
+//! issues a syscall until the buffer spills or a flush/sync is requested.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::crc::crc32;
 use crate::error::StorageResult;
@@ -25,57 +31,101 @@ use crate::error::StorageResult;
 /// corrupted file.
 const MAX_ENTRY_LEN: u32 = 16 * 1024 * 1024;
 
+/// Buffered bytes beyond which `append` spills to the OS on its own.
+const SPILL_BYTES: usize = 64 * 1024;
+
 /// An open write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    writer: BufWriter<File>,
-    entries_written: u64,
-    bytes_written: u64,
+    file: Arc<File>,
+    buf: Vec<u8>,
+    entries: u64,
+    bytes: u64,
+}
+
+/// Outcome of replaying a log file.
+pub struct WalReplay {
+    /// The valid entry payloads, in append order.
+    pub entries: Vec<Vec<u8>>,
+    /// True when a torn/corrupt tail was found (and truncated away).
+    pub torn: bool,
 }
 
 impl Wal {
     /// Open (creating if needed) the log at `path` for appending.
+    ///
+    /// Existing entries are counted so [`Wal::entries_written`] and
+    /// [`Wal::len_bytes`] describe the whole log, not just this handle's
+    /// appends; a torn tail is truncated so new frames start on a clean
+    /// boundary.
     pub fn open(path: impl Into<PathBuf>) -> StorageResult<Self> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let bytes_written = file.metadata()?.len();
-        Ok(Wal { path, writer: BufWriter::new(file), entries_written: 0, bytes_written })
+        let file = OpenOptions::new().create(true).append(true).read(true).open(&path)?;
+        let mut raw = Vec::new();
+        (&file).read_to_end(&mut raw)?;
+        let scan = scan_frames(&raw);
+        if scan.valid_len < raw.len() {
+            file.set_len(scan.valid_len as u64)?;
+            file.sync_data()?;
+        }
+        Ok(Wal {
+            path,
+            file: Arc::new(file),
+            buf: Vec::new(),
+            entries: scan.entries,
+            bytes: scan.valid_len as u64,
+        })
     }
 
-    /// Append one entry; buffered until [`Wal::sync`] (or drop) flushes.
+    /// Append one entry to the in-memory buffer; a spill, flush or sync
+    /// pushes it to the OS.
     pub fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
         debug_assert!(payload.len() as u64 <= u64::from(MAX_ENTRY_LEN));
         let len = payload.len() as u32;
         let crc = crc32(payload);
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(&crc.to_le_bytes())?;
-        self.writer.write_all(payload)?;
-        self.entries_written += 1;
-        self.bytes_written += 8 + u64::from(len);
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&crc.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.entries += 1;
+        self.bytes += 8 + u64::from(len);
+        if self.buf.len() >= SPILL_BYTES {
+            self.flush()?;
+        }
         Ok(())
     }
 
     /// Flush buffered entries to the OS and fsync to the device.
     pub fn sync(&mut self) -> StorageResult<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.flush()?;
+        self.file.sync_data()?;
         Ok(())
     }
 
-    /// Flush to the OS without the fsync (fast path for tests/benches).
+    /// Flush to the OS without the fsync (fast path: survives a process
+    /// crash but not a power failure).
     pub fn flush(&mut self) -> StorageResult<()> {
-        self.writer.flush()?;
+        if !self.buf.is_empty() {
+            (&*self.file).write_all(&self.buf)?;
+            self.buf.clear();
+        }
         Ok(())
     }
 
-    /// Number of entries appended through this handle.
-    pub fn entries_written(&self) -> u64 {
-        self.entries_written
+    /// A shared handle to the backing file, for running `sync_data`
+    /// without holding the lock that guards this `Wal`. The caller must
+    /// have called [`Wal::flush`] first — only flushed bytes are covered.
+    pub fn sync_handle(&self) -> Arc<File> {
+        Arc::clone(&self.file)
     }
 
-    /// Total log size in bytes (pre-existing + appended).
+    /// Total entries in the log: replayed-on-open plus appended here.
+    pub fn entries_written(&self) -> u64 {
+        self.entries
+    }
+
+    /// Total log size in bytes (pre-existing + appended, incl. buffered).
     pub fn len_bytes(&self) -> u64 {
-        self.bytes_written
+        self.bytes
     }
 
     /// Path of the backing file.
@@ -84,24 +134,29 @@ impl Wal {
     }
 
     /// Truncate the log to zero length (called after a snapshot compaction
-    /// has captured all its effects).
+    /// has captured all its effects). Resets both counters.
     pub fn truncate(&mut self) -> StorageResult<()> {
-        self.writer.flush()?;
-        let file = self.writer.get_mut();
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.sync_data()?;
-        self.bytes_written = 0;
+        self.buf.clear();
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.entries = 0;
+        self.bytes = 0;
         Ok(())
     }
 
-    /// Replay all valid entries from the file at `path`.
-    ///
-    /// Returns the decoded payloads and truncates any torn tail in place.
+    /// Replay all valid entries from the file at `path`, truncating any
+    /// torn tail in place.
     pub fn replay(path: impl AsRef<Path>) -> StorageResult<Vec<Vec<u8>>> {
+        Ok(Self::replay_with_outcome(path)?.entries)
+    }
+
+    /// Like [`Wal::replay`], but also reports whether a torn tail was
+    /// dropped — the store's rotation recovery needs to distinguish a
+    /// cleanly-ended `WAL.old` from one that died mid-append.
+    pub fn replay_with_outcome(path: impl AsRef<Path>) -> StorageResult<WalReplay> {
         let path = path.as_ref();
         if !path.exists() {
-            return Ok(Vec::new());
+            return Ok(WalReplay { entries: Vec::new(), torn: false });
         }
         let mut file = File::open(path)?;
         let mut raw = Vec::new();
@@ -132,15 +187,53 @@ impl Wal {
             offset = body_start + body.len();
         };
 
-        if valid_prefix < raw.len() {
+        let torn = valid_prefix < raw.len();
+        if torn {
             // Drop the torn tail so a future append starts from a clean
             // frame boundary.
             let file = OpenOptions::new().write(true).open(path)?;
             file.set_len(valid_prefix as u64)?;
             file.sync_data()?;
         }
-        Ok(entries)
+        Ok(WalReplay { entries, torn })
     }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort: push buffered frames to the OS like the old
+        // BufWriter-backed implementation did on drop.
+        let _ = self.flush();
+    }
+}
+
+/// How far a raw log image parses cleanly, and how many frames it holds.
+struct FrameScan {
+    entries: u64,
+    valid_len: usize,
+}
+
+/// Walk the frames of `raw`, stopping at the first torn/corrupt one.
+fn scan_frames(raw: &[u8]) -> FrameScan {
+    let mut entries = 0u64;
+    let mut offset = 0usize;
+    while let Some((len, crc)) = frame_header(raw, offset) {
+        if len > MAX_ENTRY_LEN {
+            break;
+        }
+        let body_start = offset + 8;
+        let Some(body) =
+            body_start.checked_add(len as usize).and_then(|body_end| raw.get(body_start..body_end))
+        else {
+            break;
+        };
+        if crc32(body) != crc {
+            break;
+        }
+        entries += 1;
+        offset = body_start + body.len();
+    }
+    FrameScan { entries, valid_len: offset }
 }
 
 /// Decode the `(len, crc)` frame header at `offset`, or `None` when fewer
@@ -182,7 +275,34 @@ mod tests {
     #[test]
     fn replay_of_missing_file_is_empty() {
         let dir = tmpdir("missing");
-        assert!(Wal::replay(dir.join("WAL")).unwrap().is_empty());
+        let outcome = Wal::replay_with_outcome(dir.join("WAL")).unwrap();
+        assert!(outcome.entries.is_empty());
+        assert!(!outcome.torn);
+    }
+
+    #[test]
+    fn counters_cover_preexisting_entries_and_reset_on_truncate() {
+        let dir = tmpdir("counters");
+        let path = dir.join("WAL");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+            wal.sync().unwrap();
+        }
+        // A fresh handle sees the whole log, not zero.
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entries_written(), 2);
+        assert_eq!(wal.len_bytes(), (8 + 5 + 8 + 6) as u64);
+        wal.append(b"third").unwrap();
+        assert_eq!(wal.entries_written(), 3);
+        // Truncation resets *both* counters together.
+        wal.truncate().unwrap();
+        assert_eq!(wal.entries_written(), 0);
+        assert_eq!(wal.len_bytes(), 0);
+        wal.append(b"post").unwrap();
+        assert_eq!(wal.entries_written(), 1);
+        assert_eq!(wal.len_bytes(), (8 + 4) as u64);
     }
 
     #[test]
@@ -199,19 +319,42 @@ mod tests {
         let full = fs::read(&path).unwrap();
         fs::write(&path, &full[..full.len() - 3]).unwrap();
 
-        let entries = Wal::replay(&path).unwrap();
-        assert_eq!(entries, vec![b"durable entry".to_vec()]);
+        let outcome = Wal::replay_with_outcome(&path).unwrap();
+        assert_eq!(outcome.entries, vec![b"durable entry".to_vec()]);
+        assert!(outcome.torn);
         // The file itself must have been truncated back to the valid prefix.
         let len_after = fs::metadata(&path).unwrap().len();
         assert_eq!(len_after, (8 + b"durable entry".len()) as u64);
 
         // Appending after recovery keeps the log consistent.
         let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entries_written(), 1);
         wal.append(b"post-crash").unwrap();
         wal.sync().unwrap();
         drop(wal);
         let entries = Wal::replay(&path).unwrap();
         assert_eq!(entries, vec![b"durable entry".to_vec(), b"post-crash".to_vec()]);
+    }
+
+    #[test]
+    fn open_truncates_a_torn_tail_itself() {
+        let dir = tmpdir("open-torn");
+        let path = dir.join("WAL");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"whole").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut raw = fs::read(&path).unwrap();
+        raw.extend_from_slice(&[9, 0, 0]); // half a header
+        fs::write(&path, &raw).unwrap();
+
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entries_written(), 1);
+        wal.append(b"next").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"whole".to_vec(), b"next".to_vec()]);
     }
 
     #[test]
@@ -258,6 +401,18 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         assert_eq!(Wal::replay(&path).unwrap(), vec![b"after snapshot".to_vec()]);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_entries() {
+        let dir = tmpdir("dropflush");
+        let path = dir.join("WAL");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"buffered only").unwrap();
+            // No flush/sync: Drop must push it to the OS.
+        }
+        assert_eq!(Wal::replay(&path).unwrap(), vec![b"buffered only".to_vec()]);
     }
 
     #[test]

@@ -7,8 +7,13 @@
 //! ```text
 //! softrep-serverd [--data DIR] [--proto ADDR] [--web ADDR]
 //!                [--pepper SECRET] [--puzzle-difficulty N]
-//!                [--analyzer-token TOKEN]
+//!                [--analyzer-token TOKEN] [--durability MODE]
 //! ```
+//!
+//! `--durability` selects the WAL sync policy: `always` (fsync before every
+//! commit returns, group-committed across concurrent writers), `batched:N`
+//! (fsync once at least `N` bytes have been logged), or `os` (default —
+//! flush to the OS on every commit, fsync on the maintenance timer).
 //!
 //! Example:
 //!
@@ -24,7 +29,7 @@ use softwareputation::crypto::salted::SecretPepper;
 use softwareputation::server::tcp::TcpServer;
 use softwareputation::server::web::WebServer;
 use softwareputation::server::{ReputationServer, ServerConfig};
-use softwareputation::storage::Store;
+use softwareputation::storage::{DurabilityMode, Store, StoreOptions};
 
 struct Args {
     data: String,
@@ -33,6 +38,21 @@ struct Args {
     pepper: String,
     puzzle_difficulty: u8,
     analyzer_token: Option<String>,
+    durability: DurabilityMode,
+}
+
+/// Parse `always`, `batched:BYTES`, or `os` into a [`DurabilityMode`].
+fn parse_durability(value: &str) -> Result<DurabilityMode, String> {
+    match value {
+        "always" => Ok(DurabilityMode::Always),
+        "os" => Ok(DurabilityMode::Os),
+        other => match other.strip_prefix("batched:").and_then(|n| n.parse::<u64>().ok()) {
+            Some(every_bytes) if every_bytes > 0 => Ok(DurabilityMode::Batched { every_bytes }),
+            _ => Err(format!(
+                "--durability must be 'always', 'batched:BYTES' (BYTES > 0), or 'os'; got {other}"
+            )),
+        },
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         pepper: String::new(),
         puzzle_difficulty: 12,
         analyzer_token: None,
+        durability: DurabilityMode::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,10 +79,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--puzzle-difficulty must be 0-32".to_string())?;
             }
             "--analyzer-token" => args.analyzer_token = Some(value("--analyzer-token")?),
+            "--durability" => args.durability = parse_durability(&value("--durability")?)?,
             "--help" | "-h" => {
                 println!(
                     "softrep-serverd --data DIR --proto ADDR --web ADDR \
-                     [--pepper SECRET] [--puzzle-difficulty N] [--analyzer-token TOKEN]"
+                     [--pepper SECRET] [--puzzle-difficulty N] [--analyzer-token TOKEN] \
+                     [--durability always|batched:BYTES|os]"
                 );
                 std::process::exit(0);
             }
@@ -87,7 +110,8 @@ fn main() {
         }
     };
 
-    let store = match Store::open(&args.data) {
+    let store_options = StoreOptions { durability: args.durability, ..StoreOptions::default() };
+    let store = match Store::open_with(&args.data, store_options) {
         Ok(store) => Arc::new(store),
         Err(e) => {
             eprintln!("error: cannot open data directory {}: {e}", args.data);
@@ -134,6 +158,7 @@ fn main() {
     println!("  protocol  {}", tcp.local_addr());
     println!("  web       http://{}", web.local_addr());
     println!("  puzzles   difficulty {}", args.puzzle_difficulty);
+    println!("  durability {:?}", args.durability);
     println!("  pseudonym credentials: 1024-bit blind-signature key");
     let stats = server.db().deployment_stats();
     println!(

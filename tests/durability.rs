@@ -10,7 +10,8 @@ use rand::SeedableRng;
 use softwareputation::core::clock::Timestamp;
 use softwareputation::core::db::ReputationDb;
 use softwareputation::crypto::salted::SecretPepper;
-use softwareputation::storage::Store;
+use softwareputation::storage::wal::Wal;
+use softwareputation::storage::{Encode, Store, WriteBatch};
 
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("softrep-it-{tag}-{}", std::process::id()));
@@ -108,6 +109,115 @@ fn torn_wal_tail_loses_only_the_last_writes() {
     // The store accepts new writes cleanly after recovery.
     db.register_software(&sw(3), "victim.exe", 10, None, None, Timestamp(3)).unwrap();
     assert!(db.software(&sw(3)).unwrap().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Append `batches` to the log file at `path` as fully-synced WAL frames —
+/// the same bytes the store would have written before a crash.
+fn fabricate_wal(path: &std::path::Path, batches: &[WriteBatch]) {
+    let mut wal = Wal::open(path).unwrap();
+    for batch in batches {
+        wal.append(&batch.encode_to_bytes()).unwrap();
+    }
+    wal.sync().unwrap();
+}
+
+fn put_batch(tree: &str, key: &[u8], value: &[u8]) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    batch.put(tree, key.to_vec(), value.to_vec());
+    batch
+}
+
+#[test]
+fn crash_between_wal_rotation_and_snapshot_rename_loses_nothing() {
+    // Compaction first renames WAL -> WAL.old, then writes the snapshot.
+    // A crash in between leaves pre-rotation state only in WAL.old and
+    // post-rotation writes in a fresh WAL; open must replay both, in that
+    // order, and finish the interrupted compaction.
+    let dir = tempdir("rot-a");
+    {
+        let store = Store::open(&dir).unwrap();
+        store.apply(&put_batch("t", b"k-old", b"v-old")).unwrap();
+        store.sync().unwrap();
+    }
+    std::fs::rename(dir.join("WAL"), dir.join("WAL.old")).unwrap();
+    fabricate_wal(&dir.join("WAL"), &[put_batch("t", b"k-new", b"v-new")]);
+
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.get("t", b"k-old").as_deref(), Some(&b"v-old"[..]), "rotated-out write");
+    assert_eq!(store.get("t", b"k-new").as_deref(), Some(&b"v-new"[..]), "post-rotation write");
+    assert!(!dir.join("WAL.old").exists(), "open finished the interrupted compaction");
+
+    // And the recovered state is itself durable across another cycle.
+    drop(store);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.tree_len("t"), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_snapshot_rename_and_wal_old_removal_is_idempotent() {
+    // The snapshot has landed but WAL.old (whose batches the snapshot
+    // already contains) was not removed before the crash. Replaying it
+    // re-applies absolute puts/deletes: harmless, and the state must come
+    // back bit-identical.
+    let dir = tempdir("rot-b");
+    let before;
+    {
+        let store = Store::open(&dir).unwrap();
+        store.apply(&put_batch("t", b"k1", b"v1")).unwrap();
+        store.apply(&put_batch("t", b"k2", b"v2")).unwrap();
+        store.compact().unwrap();
+        before = (store.get("t", b"k1"), store.get("t", b"k2"), store.tree_len("t"));
+    }
+    // Resurrect WAL.old holding batches the snapshot already absorbed.
+    fabricate_wal(
+        &dir.join("WAL.old"),
+        &[put_batch("t", b"k1", b"v1"), put_batch("t", b"k2", b"v2")],
+    );
+
+    let store = Store::open(&dir).unwrap();
+    let after = (store.get("t", b"k1"), store.get("t", b"k2"), store.tree_len("t"));
+    assert_eq!(before, after, "idempotent replay of already-snapshotted batches");
+    assert!(!dir.join("WAL.old").exists(), "stale rotation log retired");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_old_drops_the_newer_wal_for_prefix_consistency() {
+    // If WAL.old has a torn tail, everything after the tear — including
+    // the entire newer WAL, which was written after every WAL.old entry —
+    // must be discarded, or recovery would manufacture a history with a
+    // hole in the middle.
+    let dir = tempdir("rot-torn");
+    {
+        let store = Store::open(&dir).unwrap();
+        store.apply(&put_batch("t", b"k1", b"v1")).unwrap();
+        store.sync().unwrap();
+        store.apply(&put_batch("t", b"k2", b"v2")).unwrap();
+        store.sync().unwrap();
+    }
+    std::fs::rename(dir.join("WAL"), dir.join("WAL.old")).unwrap();
+    // Tear the tail of WAL.old (crash mid-write of k2's frame), then give
+    // the newer WAL a complete, well-formed entry.
+    let old = dir.join("WAL.old");
+    let bytes = std::fs::read(&old).unwrap();
+    std::fs::write(&old, &bytes[..bytes.len() - 5]).unwrap();
+    fabricate_wal(&dir.join("WAL"), &[put_batch("t", b"k3", b"v3")]);
+
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.get("t", b"k1").as_deref(), Some(&b"v1"[..]), "pre-tear prefix survives");
+    assert!(store.get("t", b"k2").is_none(), "torn entry rolled back");
+    assert!(store.get("t", b"k3").is_none(), "newer WAL dropped: no holes in history");
+    assert!(!dir.join("WAL.old").exists());
+
+    // The store stays fully writable and durable after the amputation.
+    store.apply(&put_batch("t", b"k4", b"v4")).unwrap();
+    store.sync().unwrap();
+    drop(store);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.get("t", b"k4").as_deref(), Some(&b"v4"[..]));
+    assert_eq!(store.tree_len("t"), 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
