@@ -4,10 +4,17 @@
 #   1. cargo fmt --check            formatting
 #   2. cargo clippy -D warnings     compiler-adjacent lints, all targets
 #   3. softrep-lint                 the workspace's own invariant pass
-#                                   (no-panic request path — handler,
-#                                   TCP front end, pool, stats — clock
+#                                   (no-panic request path, clock
 #                                   discipline, trust bounds, Request
-#                                   exhaustiveness — see DESIGN.md §7)
+#                                   exhaustiveness, plus the dataflow
+#                                   passes: privacy taint, lock order,
+#                                   guard-across-I/O, suppression audit —
+#                                   see DESIGN.md §7 and §11). Runs in
+#                                   JSON mode against the committed
+#                                   baseline and fails on any NEW
+#                                   diagnostic. After deliberately
+#                                   accepting a finding, regenerate with
+#                                   SOFTREP_LINT_BASELINE=regen.
 #   4. cargo build --release        tier-1 build
 #   5. cargo test                   the whole workspace
 #   6. loom shards                  race detection on the server's
@@ -33,8 +40,11 @@ cargo fmt --all -- --check
 step "2/9 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/9 softrep-lint"
-cargo run --offline -q -p softrep-lint
+step "3/9 softrep-lint (baseline diff)"
+# Fails on diagnostics not present in lint-baseline.json. To accept a
+# finding on purpose (rare; prefer an inline reasoned suppression):
+#   SOFTREP_LINT_BASELINE=regen cargo run -q -p softrep-lint -- . --baseline lint-baseline.json
+cargo run --offline -q -p softrep-lint -- . --format json --baseline lint-baseline.json --stats
 
 step "4/9 cargo build --release"
 cargo build --offline --release

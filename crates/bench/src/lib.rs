@@ -24,7 +24,7 @@ pub fn print_tables(id: &str, tables: &[softrep_sim::TextTable]) {
 pub fn timed<T>(id: &str, f: impl FnOnce() -> T) -> T {
     // Measures the harness itself, not simulated time — the one legitimate
     // raw-clock read outside softrep-core's clock module.
-    let start = std::time::Instant::now(); // lint: allow(clock)
+    let start = std::time::Instant::now(); // lint: allow(clock, "wall-clock duration of a bench run is the measurement itself")
     let out = f();
     println!("[{id} completed in {:.1?}]", start.elapsed());
     out

@@ -346,6 +346,20 @@ impl ReputationDb {
         Ok(!self.users.lookup("users_by_email", digest.as_bytes())?.is_empty())
     }
 
+    /// A short, stable, non-reversible display tag for a raw identity:
+    /// the peppered digest of `domain:raw`, truncated to 12 hex chars and
+    /// prefixed with the domain (`peer-3f9a…`, `author-c04b…`). The same
+    /// raw value always maps to the same tag — flood buckets stay
+    /// accurate and a member's comments stay linkable — but without the
+    /// server's secret pepper the mapping cannot be reversed or even
+    /// recomputed, which is the §2.2 requirement: transport and account
+    /// identities are observed transiently and never exposed raw.
+    pub fn pseudonym_tag(&self, domain: &str, raw: &str) -> String {
+        let hex = self.pepper.email_digest(&format!("{domain}:{raw}")).to_hex();
+        let short = hex.get(..12).unwrap_or(&hex);
+        format!("{domain}-{short}")
+    }
+
     /// Current trust factor of a user (None if unknown).
     pub fn trust_of(&self, username: &str) -> CoreResult<Option<f64>> {
         Ok(self.trust.get(&username.to_string())?.map(|t| t.trust))

@@ -1,0 +1,11 @@
+//! Clean counterpart: the guard is dropped before the fsync.
+
+impl Wal {
+    fn append(&self, frame: &[u8]) {
+        {
+            let mut queue = self.queue.lock();
+            queue.extend_from_slice(frame);
+        }
+        self.file_handle().sync_all();
+    }
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: an fsync runs while the queue guard is held.
+
+impl Wal {
+    fn append(&self, frame: &[u8]) {
+        let mut queue = self.queue.lock();
+        queue.extend_from_slice(frame);
+        self.file_handle().sync_all();
+    }
+}

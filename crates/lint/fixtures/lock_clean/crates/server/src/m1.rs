@@ -1,0 +1,9 @@
+//! Consistent order, first site: alpha before beta.
+
+impl Pair {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        use_both(a, b);
+    }
+}

@@ -1,0 +1,9 @@
+//! Consistent order, second site: also alpha before beta.
+
+impl Pair {
+    fn ab2(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        use_both(a, b);
+    }
+}

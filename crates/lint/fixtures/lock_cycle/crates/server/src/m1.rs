@@ -1,0 +1,9 @@
+//! One half of a seeded acquisition cycle: alpha, then beta.
+
+impl Pair {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        use_both(a, b);
+    }
+}

@@ -1,0 +1,9 @@
+//! The other half: beta, then alpha — closing the cycle.
+
+impl Pair {
+    fn ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        use_both(a, b);
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: stripe write-guards accumulated in key order, which
+//! is not provably ascending.
+
+impl ShardedStore {
+    fn apply(&self, keys: &[String]) {
+        let order: Vec<usize> = keys.iter().map(|k| self.stripe_of(k)).collect();
+        let mut guards = Vec::new();
+        for idx in order {
+            match self.stripes.get(idx) {
+                Some(lock) => guards.push(lock.write()),
+                None => {}
+            }
+        }
+    }
+}

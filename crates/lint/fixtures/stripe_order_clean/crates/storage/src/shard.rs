@@ -1,0 +1,13 @@
+//! Clean counterpart: the affected set is a `BTreeSet`, so stripe guards
+//! are acquired in ascending index order.
+
+impl ShardedStore {
+    fn apply(&self, batch: &Batch) {
+        let affected: BTreeSet<usize> = batch.ops().iter().map(|op| self.stripe_of(op)).collect();
+        let mut guards: BTreeMap<usize, G> = affected
+            .iter()
+            .filter_map(|&idx| self.stripes.get(idx).map(|lock| (idx, lock.write())))
+            .collect();
+        use_all(&mut guards);
+    }
+}

@@ -1,0 +1,7 @@
+//! Clean counterpart: the peer address is pseudonymized before output.
+
+pub fn admit(db: &Db, peer_ip: &str) -> bool {
+    let tag = db.pseudonym_tag("peer", peer_ip);
+    println!("admitting {tag}");
+    true
+}

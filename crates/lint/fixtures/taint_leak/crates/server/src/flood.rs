@@ -1,0 +1,6 @@
+//! Seeded leak: a raw peer address flows straight into a log sink.
+
+pub fn admit(peer_ip: &str) -> bool {
+    println!("admitting {peer_ip}");
+    true
+}

@@ -33,15 +33,26 @@ pub struct Token {
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: usize,
+    /// 1-based *character* column of the token's first character. A `é`
+    /// before the token advances this by one.
+    pub col: usize,
+    /// 1-based *byte* column of the token's first character. A `é` before
+    /// the token advances this by two (UTF-8 length), which is what
+    /// editors addressing files by byte offset need.
+    pub byte_col: usize,
 }
 
-/// A `// lint: allow(rule, ...)` directive found while lexing.
+/// A `// lint: allow(rule, "reason")` directive found while lexing.
+/// Both `lint: allow(...)` and `lint:allow(...)` spellings are accepted.
 #[derive(Debug, Clone)]
 pub struct AllowDirective {
     /// Line the directive comment appears on.
     pub line: usize,
     /// Rule name inside the parentheses.
     pub rule: String,
+    /// The quoted justification, when one was written. The `suppression`
+    /// meta-rule flags directives that omit it.
+    pub reason: Option<String>,
 }
 
 /// Lexer output: the token stream plus side-channel facts the rules need.
@@ -63,11 +74,15 @@ const OPERATORS: &[&str] = &[
 pub fn lex(source: &str) -> Lexed {
     let bytes: Vec<char> = source.chars().collect();
     let mut out = Lexed::default();
+    // Char offset of each token's first character; resolved to (char, byte)
+    // columns in one pass at the end, when every line start is known.
+    let mut positions: Vec<usize> = Vec::new();
     let mut i = 0usize;
     let mut line = 1usize;
 
     while i < bytes.len() {
         let c = bytes[i];
+        let start = i;
         match c {
             '\n' => {
                 line += 1;
@@ -75,7 +90,6 @@ pub fn lex(source: &str) -> Lexed {
             }
             c if c.is_whitespace() => i += 1,
             '/' if peek(&bytes, i + 1) == Some('/') => {
-                let start = i;
                 while i < bytes.len() && bytes[i] != '\n' {
                     i += 1;
                 }
@@ -103,31 +117,33 @@ pub fn lex(source: &str) -> Lexed {
             }
             '"' => {
                 let (text, nl) = read_string(&bytes, &mut i);
-                out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                positions.push(start);
+                out.tokens.push(token(TokenKind::Literal, text, line));
                 line += nl;
             }
             'r' | 'b' if starts_raw_or_byte_literal(&bytes, i) => {
                 let (text, nl) = read_prefixed_literal(&bytes, &mut i);
-                out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                positions.push(start);
+                out.tokens.push(token(TokenKind::Literal, text, line));
                 line += nl;
             }
             '\'' => {
                 if is_char_literal(&bytes, i) {
                     let (text, nl) = read_char(&bytes, &mut i);
-                    out.tokens.push(Token { kind: TokenKind::Literal, text, line });
+                    positions.push(start);
+                    out.tokens.push(token(TokenKind::Literal, text, line));
                     line += nl;
                 } else {
-                    let start = i;
                     i += 1;
                     while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                         i += 1;
                     }
                     let text: String = bytes[start..i].iter().collect();
-                    out.tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+                    positions.push(start);
+                    out.tokens.push(token(TokenKind::Lifetime, text, line));
                 }
             }
             c if c.is_ascii_digit() => {
-                let start = i;
                 i += 1;
                 while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                     i += 1;
@@ -144,24 +160,59 @@ pub fn lex(source: &str) -> Lexed {
                     }
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.tokens.push(Token { kind: TokenKind::Num, text, line });
+                positions.push(start);
+                out.tokens.push(token(TokenKind::Num, text, line));
             }
             c if c.is_alphabetic() || c == '_' => {
-                let start = i;
                 i += 1;
                 while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.tokens.push(Token { kind: TokenKind::Ident, text, line });
+                positions.push(start);
+                out.tokens.push(token(TokenKind::Ident, text, line));
             }
             _ => {
                 let text = read_operator(&bytes, &mut i);
-                out.tokens.push(Token { kind: TokenKind::Punct, text, line });
+                positions.push(start);
+                out.tokens.push(token(TokenKind::Punct, text, line));
             }
         }
     }
+    resolve_columns(&bytes, &positions, &mut out.tokens);
     out
+}
+
+fn token(kind: TokenKind, text: String, line: usize) -> Token {
+    Token { kind, text, line, col: 0, byte_col: 0 }
+}
+
+/// Fill in `col`/`byte_col` for every token. Columns are computed from the
+/// char offset of the token against the start of its *own* line, once in
+/// chars and once in UTF-8 bytes — conflating the two is exactly the bug
+/// this pass exists to avoid.
+fn resolve_columns(bytes: &[char], positions: &[usize], tokens: &mut [Token]) {
+    let mut line_starts = vec![0usize];
+    for (idx, &c) in bytes.iter().enumerate() {
+        if c == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    // Prefix byte offsets: byte_off[k] = UTF-8 length of bytes[..k].
+    let mut byte_off = Vec::with_capacity(bytes.len() + 1);
+    let mut acc = 0usize;
+    byte_off.push(0usize);
+    for &c in bytes {
+        acc += c.len_utf8();
+        byte_off.push(acc);
+    }
+    for (tok, &pos) in tokens.iter_mut().zip(positions) {
+        let ls = line_starts.get(tok.line.saturating_sub(1)).copied().unwrap_or(0);
+        tok.col = pos.saturating_sub(ls) + 1;
+        let pos_b = byte_off.get(pos).copied().unwrap_or(acc);
+        let ls_b = byte_off.get(ls).copied().unwrap_or(0);
+        tok.byte_col = pos_b.saturating_sub(ls_b) + 1;
+    }
 }
 
 fn peek(bytes: &[char], i: usize) -> Option<char> {
@@ -194,7 +245,14 @@ fn read_string(bytes: &[char], i: &mut usize) -> (String, usize) {
     *i += 1; // opening quote
     while *i < bytes.len() {
         match bytes[*i] {
-            '\\' => *i += 2,
+            '\\' => {
+                // The escaped character may itself be a newline (string
+                // line-continuation); it still advances the line counter.
+                if peek(bytes, *i + 1) == Some('\n') {
+                    nl += 1;
+                }
+                *i += 2;
+            }
             '"' => {
                 *i += 1;
                 break;
@@ -238,6 +296,10 @@ fn read_prefixed_literal(bytes: &[char], i: &mut usize) -> (String, usize) {
             nl += 1;
         }
         if c == '\\' && !raw {
+            // Count a line-continuation's newline before skipping it.
+            if peek(bytes, *i + 1) == Some('\n') {
+                nl += 1;
+            }
             *i += 2;
             continue;
         }
@@ -297,16 +359,67 @@ fn read_operator(bytes: &[char], i: &mut usize) -> String {
     c.to_string()
 }
 
-/// Extract `lint: allow(a, b)` rule names from a line comment.
+/// Extract `lint: allow(a, b, "reason")` directives from a line comment.
+/// The reason is an optional final quoted argument shared by every rule
+/// the directive lists; the closing `)` is found quote-aware, so reasons
+/// may themselves contain `)` or `,`.
 fn collect_allows(comment: &str, line: usize, allows: &mut Vec<AllowDirective>) {
-    let Some(idx) = comment.find("lint: allow(") else { return };
-    let rest = &comment[idx + "lint: allow(".len()..];
-    let Some(close) = rest.find(')') else { return };
-    for rule in rest[..close].split(',') {
-        let rule = rule.trim();
-        if !rule.is_empty() {
-            allows.push(AllowDirective { line, rule: rule.to_string() });
+    let idx = match comment.find("lint: allow(") {
+        Some(i) => i + "lint: allow(".len(),
+        None => match comment.find("lint:allow(") {
+            Some(i) => i + "lint:allow(".len(),
+            None => return,
+        },
+    };
+    let rest: Vec<char> = comment[idx..].chars().collect();
+
+    // Split the argument list on top-level commas, quote-aware.
+    let mut args: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut i = 0usize;
+    loop {
+        let Some(&c) = rest.get(i) else { return }; // unterminated: ignore
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            '\\' if in_quotes => {
+                cur.push(c);
+                if let Some(&n) = rest.get(i + 1) {
+                    cur.push(n);
+                    i += 1;
+                }
+            }
+            ',' if !in_quotes => {
+                args.push(std::mem::take(&mut cur));
+            }
+            ')' if !in_quotes => {
+                args.push(cur);
+                break;
+            }
+            _ => cur.push(c),
         }
+        i += 1;
+    }
+
+    let mut reason = None;
+    let mut rules = Vec::new();
+    for arg in &args {
+        let arg = arg.trim();
+        if arg.is_empty() {
+            continue;
+        }
+        if arg.starts_with('"') {
+            let trimmed = arg.trim_matches('"');
+            reason = Some(trimmed.to_string());
+        } else {
+            rules.push(arg.to_string());
+        }
+    }
+    for rule in rules {
+        allows.push(AllowDirective { line, rule, reason: reason.clone() });
     }
 }
 
@@ -385,6 +498,76 @@ mod tests {
         let lexed = lex(src);
         let b = lexed.tokens.iter().find(|t| t.text == "b").map(|t| t.line);
         assert_eq!(b, Some(5));
+    }
+
+    #[test]
+    fn allow_directive_with_reason_is_parsed() {
+        let src = "y.unwrap(); // lint: allow(panic, \"caller checked emptiness (§2)\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "panic");
+        assert_eq!(lexed.allows[0].reason.as_deref(), Some("caller checked emptiness (§2)"));
+    }
+
+    #[test]
+    fn allow_reason_may_contain_commas_and_parens() {
+        let src = "x(); // lint: allow(taint, \"tag, not raw (already hashed)\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].reason.as_deref(), Some("tag, not raw (already hashed)"));
+    }
+
+    #[test]
+    fn compact_lint_allow_spelling_is_accepted() {
+        let src = "x(); // lint:allow(guard-io, \"compaction-only mutex\")\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows[0].rule, "guard-io");
+        assert_eq!(lexed.allows[0].reason.as_deref(), Some("compaction-only mutex"));
+    }
+
+    #[test]
+    fn multi_rule_directive_shares_the_reason() {
+        let src = "x(); // lint: allow(clock, panic, \"bench harness\")\n";
+        let lexed = lex(src);
+        let got: Vec<_> =
+            lexed.allows.iter().map(|a| (a.rule.as_str(), a.reason.as_deref())).collect();
+        assert_eq!(got, [("clock", Some("bench harness")), ("panic", Some("bench harness"))]);
+    }
+
+    #[test]
+    fn reasonless_directive_has_no_reason() {
+        let lexed = lex("x(); // lint: allow(clock)\n");
+        assert_eq!(lexed.allows[0].reason, None);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // `\` at end of line is a string continuation: the literal swallows
+        // the newline, but the *file* still advanced a line.
+        let src = "let s = \"a\\\nb\";\nafter";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.text == "after").map(|t| t.line);
+        assert_eq!(after, Some(3));
+    }
+
+    #[test]
+    fn columns_are_char_accurate_and_byte_accurate() {
+        // `é` and `π` are 1 char but 2 UTF-8 bytes each.
+        let src = "let aé = 1; // é\nlet bπx = 2; call()";
+        let toks = lex(src).tokens;
+        let a = toks.iter().find(|t| t.text == "aé").expect("aé token");
+        assert_eq!((a.line, a.col, a.byte_col), (1, 5, 5));
+        let one = toks.iter().find(|t| t.text == "1").expect("1 token");
+        assert_eq!((one.col, one.byte_col), (10, 11), "é before it adds one char, two bytes");
+        let call = toks.iter().find(|t| t.text == "call").expect("call token");
+        assert_eq!((call.line, call.col, call.byte_col), (2, 14, 15));
+    }
+
+    #[test]
+    fn columns_after_multiline_block_comment() {
+        let src = "/* one\ntwo */  x.unwrap()";
+        let toks = lex(src).tokens;
+        let x = toks.iter().find(|t| t.text == "x").expect("x token");
+        assert_eq!((x.line, x.col, x.byte_col), (2, 9, 9));
     }
 
     #[test]

@@ -20,15 +20,43 @@
 //!    variant by name, with no `_ =>` arm to silently drop a
 //!    newly-added protocol message.
 //!
-//! Findings can be suppressed per line with `// lint: allow(<rule>)`.
-//! Run it with `cargo run -p softrep-lint` from the workspace root.
+//! On top of the token rules, three dataflow passes run over a per-
+//! function CFG with def-use chains ([`cfg`]):
+//!
+//! 5. **taint** — privacy-sensitive values (peer addresses, credentials)
+//!    must pass through a pseudonymizing sanitizer before reaching any
+//!    output sink ([`taint`]).
+//! 6. **lockorder** — the workspace-wide lock-acquisition graph stays
+//!    acyclic and multi-guard acquisition is provably ascending
+//!    ([`lockorder`]).
+//! 7. **guard-io** — no guard is held across blocking I/O ([`guardio`]).
+//! 8. **suppression** — every inline suppression carries a written
+//!    reason.
+//!
+//! Findings can be suppressed per line with
+//! `// lint: allow(<rule>, "reason")`. Run it with
+//! `cargo run -p softrep-lint` from the workspace root; see [`report`]
+//! for the JSON/baseline machinery the CI shard uses.
 
+pub mod cfg;
+pub mod guardio;
 pub mod lexer;
+pub mod lockorder;
+pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
-pub use rules::{check_exhaustiveness, Diagnostic, FileCheck};
+pub use rules::{check_exhaustiveness, Diagnostic, FileCheck, RULES};
+
+/// The outcome of a full run: diagnostics plus coverage counters.
+pub struct LintReport {
+    /// All unsuppressed findings, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files lexed and checked.
+    pub files_scanned: usize,
+}
 
 /// Errors from driving the lint over a directory tree.
 #[derive(Debug)]
@@ -58,28 +86,38 @@ impl std::error::Error for LintError {}
 /// targets, benches, and examples are out of scope. Diagnostics come
 /// back sorted by file, then line.
 pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, LintError> {
+    run_lint_report(root).map(|r| r.diagnostics)
+}
+
+/// [`run_lint`], with coverage counters for `--stats`.
+pub fn run_lint_report(root: &Path) -> Result<LintReport, LintError> {
     let mut out = Vec::new();
-    let mut handler_check = None;
+    let mut checks = Vec::new();
+    let mut lock_edges = Vec::new();
 
     for path in source_files(root)? {
         let rel = relative_slash_path(root, &path);
         let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
         let check = FileCheck::new(rel.clone(), &source);
         out.extend(check.check());
-        if rel == rules::HANDLER_FILE {
-            handler_check = Some(check);
-        }
+        let funcs = check.functions();
+        taint::check(&check, &funcs, &mut out);
+        lock_edges.extend(lockorder::check(&check, &funcs, &mut out));
+        guardio::check(&check, &funcs, &mut out);
+        checks.push(check);
     }
 
-    if let Some(handler) = handler_check {
+    lockorder::check_cycles(&lock_edges, &checks, &mut out);
+
+    if let Some(handler) = checks.iter().find(|c| c.path == rules::HANDLER_FILE) {
         let proto_path = root.join(rules::PROTO_FILE);
         let proto = std::fs::read_to_string(&proto_path)
             .map_err(|_| LintError::MissingProto(proto_path))?;
-        out.extend(check_exhaustiveness(&proto, &handler));
+        out.extend(check_exhaustiveness(&proto, handler));
     }
 
     out.sort();
-    Ok(out)
+    Ok(LintReport { diagnostics: out, files_scanned: checks.len() })
 }
 
 /// Collect the `.rs` files in scope, deterministically ordered.

@@ -1,0 +1,791 @@
+//! Rule `lockorder` — the cross-file lock-acquisition graph must stay
+//! acyclic, and multi-guard acquisition must follow a provably ascending
+//! order.
+//!
+//! PRs 2–4 introduced real lock nesting: flood buckets over the rejected
+//! counter, stripe write-guards collected in batches, cache guards around
+//! recompute paths. Their deadlock-freedom arguments live in comments and
+//! loom spot-checks; this pass re-derives them statically:
+//!
+//! 1. Every `.lock()`/`.read()`/`.write()` **with zero arguments** is a
+//!    lock acquisition (I/O reads and writes always take arguments).
+//! 2. The guard's **family** is the lock's owning field, resolved through
+//!    the receiver chain and local def-use — `self.buckets.lock()` in an
+//!    `impl FloodGuard` is `FloodGuard::buckets`, and a guard taken via
+//!    `let g = lock.read()` resolves `lock` back to the field it came
+//!    from (through match scrutinees and iterator chains).
+//! 3. Acquiring family B while holding family A adds edge A → B to a
+//!    workspace-wide graph; any cycle is reported ([`check_cycles`]).
+//! 4. Acquiring *several* guards of the **same** family is allowed only
+//!    when the iteration source is provably ascending — a `BTreeSet`/
+//!    `BTreeMap` or an explicitly sorted collection — which is exactly
+//!    the `storage/shard.rs` stripe invariant.
+//!
+//! Guard liveness is scope-based: a `let`-bound guard lives to the end of
+//! its enclosing block, earlier if explicitly `drop`ped; a temporary
+//! (`*x.lock() += 1`, `m.lock().len()`) lives only within its statement.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{resolve_def, Function, Stmt};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Diagnostic, FileCheck};
+
+/// Methods that acquire a guard when called with zero arguments.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Tokens that prove an iteration order is ascending.
+const ORDERED_MARKERS: &[&str] = &["BTreeSet", "BTreeMap", "sort", "sort_unstable", "sorted"];
+
+/// One cross-family acquisition: `to` acquired while `from` is held.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Family already held (`Type::field`).
+    pub from: String,
+    /// Family acquired under it.
+    pub to: String,
+    /// File containing the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: usize,
+}
+
+/// One lock acquisition site inside a function.
+struct LockEvent {
+    /// Statement id of the acquisition.
+    stmt: usize,
+    /// Token index of the method ident (`lock`/`read`/`write`).
+    token: usize,
+    /// Resolved family, when the receiver could be traced to a field.
+    family: Option<String>,
+    /// 1-based line.
+    line: usize,
+    /// Liveness interval in statement ids, inclusive.
+    live: (usize, usize),
+    /// Pre-order id of the statement the guard's *collection* was bound
+    /// in, when the guard is pushed/collected into an outer binding.
+    bound_root: Option<usize>,
+}
+
+/// A live guard interval, shared with the `guard-io` pass.
+pub(crate) struct Guard {
+    pub family: String,
+    pub stmt: usize,
+    pub token: usize,
+    pub live: (usize, usize),
+}
+
+/// Run the per-file part of the pass: same-family ordering checks, plus
+/// the file's contribution to the global acquisition graph.
+pub fn check(fc: &FileCheck, funcs: &[Function], out: &mut Vec<Diagnostic>) -> Vec<LockEdge> {
+    let owners = impl_ranges(fc.tokens(), file_stem(&fc.path));
+    let mut edges = Vec::new();
+    for func in funcs {
+        let events = collect_events(fc, func, &owners);
+        same_family_checks(fc, func, &events, out);
+        cross_family_edges(fc, &events, &mut edges);
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+/// Guard intervals for the `guard-io` pass (families resolved or the
+/// receiver's own name as a fallback — liveness matters there, not
+/// graph identity).
+pub(crate) fn guards(
+    fc: &FileCheck,
+    func: &Function,
+    owners: &[(String, usize, usize)],
+) -> Vec<Guard> {
+    collect_events(fc, func, owners)
+        .into_iter()
+        .map(|e| Guard {
+            family: e.family.unwrap_or_else(|| "guard".to_string()),
+            stmt: e.stmt,
+            token: e.token,
+            live: e.live,
+        })
+        .collect()
+}
+
+/// `impl` block ownership: `(type name, body token range)` for every impl
+/// in the file, used to qualify `self.field` families. Free functions
+/// fall back to the file stem.
+pub(crate) fn impl_ranges(toks: &[Token], _stem: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => depth -= 1,
+            "impl" if depth == 0 => {
+                if let Some((name, body_open)) = parse_impl_header(toks, i) {
+                    if let Some(close) = matching_brace(toks, body_open) {
+                        out.push((name, body_open, close));
+                        i = body_open; // walk into the body normally
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The implemented type's name and the index of the body `{`.
+fn parse_impl_header(toks: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Skip the generic parameter list, if any.
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            i += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    // Collect type tokens until `{`; `impl Trait for Type` restarts at
+    // `for` so the name is the implementing type, not the trait.
+    let mut name: Option<String> = None;
+    while let Some(t) = toks.get(i) {
+        match t.text.as_str() {
+            "{" => return name.map(|n| (n, i)),
+            "for" => name = None,
+            ";" => return None,
+            _ => {
+                if t.kind == TokenKind::Ident && name.is_none() {
+                    name = Some(t.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path).trim_end_matches(".rs")
+}
+
+fn owner_of<'a>(owners: &'a [(String, usize, usize)], tok: usize, stem: &'a str) -> &'a str {
+    owners
+        .iter()
+        .find(|(_, lo, hi)| tok >= *lo && tok <= *hi)
+        .map(|(n, _, _)| n.as_str())
+        .unwrap_or(stem)
+}
+
+/// Find every lock acquisition in the function and derive its family and
+/// liveness interval.
+fn collect_events(
+    fc: &FileCheck,
+    func: &Function,
+    owners: &[(String, usize, usize)],
+) -> Vec<LockEvent> {
+    let toks = fc.tokens();
+    let stem = file_stem(&fc.path);
+    let owner = owner_of(owners, func.fn_token, stem);
+    let mut events = Vec::new();
+    for (id, stmt) in func.stmts.iter().enumerate() {
+        let hi = stmt.hi.min(toks.len());
+        for k in stmt.lo..hi {
+            let t = &toks[k];
+            if t.kind != TokenKind::Ident || !LOCK_METHODS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let zero_args = k >= 1
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(")
+                && toks.get(k + 2).is_some_and(|n| n.text == ")");
+            if !zero_args || fc.in_test(k) {
+                continue;
+            }
+            let family = family_of(fc, func, owner, id, k, 0);
+            let chained = toks.get(k + 3).is_some_and(|n| n.text == ".");
+            let (live, bound_root) = liveness(fc, func, id, k, chained);
+            events.push(LockEvent { stmt: id, token: k, family, line: t.line, live, bound_root });
+        }
+    }
+    events
+}
+
+/// Resolve the family (`Owner::field`) of the lock receiver ending just
+/// before the method token at `k`.
+fn family_of(
+    fc: &FileCheck,
+    func: &Function,
+    owner: &str,
+    stmt_id: usize,
+    k: usize,
+    depth: usize,
+) -> Option<String> {
+    if depth > 4 {
+        return None;
+    }
+    let toks = fc.tokens();
+    let stmt = &func.stmts[stmt_id];
+    // Receiver tokens: walk back from the `.` before the method over the
+    // chain (idents, `.`/`::`, and balanced groups).
+    let chain_hi = k - 1; // the `.`
+    let mut lo = chain_hi;
+    while lo > stmt.lo {
+        let p = &toks[lo - 1];
+        match p.text.as_str() {
+            ")" | "]" => {
+                // Walk back over the balanced group.
+                let mut d = 0i32;
+                let mut j = lo - 1;
+                loop {
+                    match toks[j].text.as_str() {
+                        ")" | "]" => d += 1,
+                        "(" | "[" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                lo = j;
+            }
+            "." | "::" => lo -= 1,
+            _ if p.kind == TokenKind::Ident => lo -= 1,
+            _ => break,
+        }
+        // Stop extending unless the next-outer token continues the chain.
+        if lo > stmt.lo {
+            let q = &toks[lo - 1];
+            if !(q.kind == TokenKind::Ident
+                || q.text == "."
+                || q.text == "::"
+                || q.text == ")"
+                || q.text == "]")
+            {
+                break;
+            }
+        }
+    }
+    let chain = &toks[lo..chain_hi];
+    family_in_chain(fc, func, owner, stmt_id, chain, depth)
+}
+
+/// Family from a receiver chain: `self.field…` names the field directly;
+/// a leading local resolves through its definition (and, for match-arm
+/// bindings, the scrutinee of the enclosing `match` header).
+fn family_in_chain(
+    fc: &FileCheck,
+    func: &Function,
+    owner: &str,
+    stmt_id: usize,
+    chain: &[Token],
+    depth: usize,
+) -> Option<String> {
+    // `self . field` anywhere in the chain.
+    for w in 0..chain.len().saturating_sub(2) {
+        if chain[w].text == "self" && chain[w + 1].text == "." {
+            let f = &chain[w + 2];
+            if f.kind == TokenKind::Ident {
+                return Some(format!("{owner}::{}", f.text));
+            }
+        }
+    }
+    // A chain rooted at a local: resolve its def and search there.
+    let root = chain.iter().find(|t| t.kind == TokenKind::Ident && t.text != "self")?;
+    let def = resolve_def(func, &root.text, stmt_id)?;
+    let def_stmt = &func.stmts[def];
+    let toks = fc.tokens();
+    let def_toks = &toks[def_stmt.lo..def_stmt.hi.min(toks.len())];
+    if let Some(fam) = family_in_tokens(def_toks, owner) {
+        return Some(fam);
+    }
+    // Match-arm binding: the value comes from the scrutinee in the parent
+    // header (`match self.stripes.get(t) { Some(lock) => … }`).
+    let mut up = def_stmt.parent;
+    let mut hops = 0;
+    while let Some(p) = up {
+        if hops > 2 {
+            break;
+        }
+        let p_stmt: &Stmt = &func.stmts[p];
+        let p_toks = &toks[p_stmt.lo..p_stmt.hi.min(toks.len())];
+        if let Some(fam) = family_in_tokens(p_toks, owner) {
+            return Some(fam);
+        }
+        up = p_stmt.parent;
+        hops += 1;
+    }
+    // A parameter named like the root: qualify by the owner so helper
+    // functions taking `lock: &RwLock<…>` still participate, coarsely.
+    if func.params.iter().any(|pp| pp.name == root.text) {
+        return Some(format!("{owner}::<param {}>", root.text));
+    }
+    let _ = depth;
+    None
+}
+
+/// First `self . field` mention in a token slice.
+fn family_in_tokens(toks: &[Token], owner: &str) -> Option<String> {
+    for w in 0..toks.len().saturating_sub(2) {
+        if toks[w].text == "self" && toks[w + 1].text == "." && toks[w + 2].kind == TokenKind::Ident
+        {
+            return Some(format!("{owner}::{}", toks[w + 2].text));
+        }
+    }
+    None
+}
+
+/// Liveness interval of the guard produced at token `k` of statement
+/// `id`, and the root binding statement when the guard is accumulated
+/// into an outer collection.
+fn liveness(
+    fc: &FileCheck,
+    func: &Function,
+    id: usize,
+    k: usize,
+    chained: bool,
+) -> ((usize, usize), Option<usize>) {
+    let toks = fc.tokens();
+    let stmt = &func.stmts[id];
+    if chained {
+        // `m.lock().len()` — the temporary drops at the statement's end.
+        return ((id, id), None);
+    }
+    let first = toks[stmt.lo].text.as_str();
+    if first == "let" {
+        let end = drop_point(fc, func, id, &func.stmts[id].defs).unwrap_or(stmt.scope_end);
+        return ((id, end), Some(id));
+    }
+    // `outer.push(x.lock())` — the guard escapes into `outer`.
+    for j in stmt.lo..k {
+        if toks[j].text == "push"
+            && j >= 1
+            && toks[j - 1].text == "."
+            && toks.get(j + 1).is_some_and(|n| n.text == "(")
+            && j >= 2
+            && toks[j - 2].kind == TokenKind::Ident
+        {
+            let recv = &toks[j - 2].text;
+            if let Some(root) = resolve_def(func, recv, id) {
+                let end = drop_point(fc, func, id, std::slice::from_ref(recv))
+                    .unwrap_or(func.stmts[root].scope_end);
+                return ((id, end), Some(root));
+            }
+        }
+    }
+    ((id, id), None)
+}
+
+/// The statement where one of `names` is explicitly dropped after `id`,
+/// if any: liveness ends just before it.
+fn drop_point(fc: &FileCheck, func: &Function, id: usize, names: &[String]) -> Option<usize> {
+    let toks = fc.tokens();
+    let scope_end = func.stmts[id].scope_end;
+    for d in (id + 1)..=scope_end.min(func.stmts.len() - 1) {
+        let s = &func.stmts[d];
+        let hi = s.hi.min(toks.len());
+        for j in s.lo..hi {
+            if toks[j].text == "drop"
+                && toks.get(j + 1).is_some_and(|n| n.text == "(")
+                && toks.get(j + 2).is_some_and(|n| names.contains(&n.text))
+            {
+                return Some(d.saturating_sub(1).max(id));
+            }
+        }
+    }
+    None
+}
+
+/// Same-family nesting and accumulation checks.
+fn same_family_checks(
+    fc: &FileCheck,
+    func: &Function,
+    events: &[LockEvent],
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = fc.tokens();
+    // Two distinct events of the same family, one acquired while the
+    // other is live: a self-deadlock unless provably ordered.
+    for (a_i, a) in events.iter().enumerate() {
+        for b in events.iter().skip(a_i + 1) {
+            let (Some(fa), Some(fb)) = (&a.family, &b.family) else { continue };
+            if fa != fb || !overlaps(a, b) {
+                continue;
+            }
+            fc.push(
+                out,
+                "lockorder",
+                b.line,
+                format!(
+                    "`{fb}` acquired while another `{fa}` guard is still held (fn {}); \
+                     nested same-family acquisition self-deadlocks a Mutex and must be \
+                     restructured or proven disjoint",
+                    func.name
+                ),
+            );
+        }
+    }
+    // A single acquisition site executed repeatedly with the guards kept:
+    // iterator `.collect()` into a bound, or a loop pushing into an outer
+    // collection. The iteration source must be provably ascending.
+    for e in events {
+        let Some(fam) = &e.family else { continue };
+        let Some(root) = e.bound_root else { continue };
+        let stmt = &func.stmts[e.stmt];
+        let stmt_toks = stmt.tokens(toks);
+        let in_iterator = stmt_toks.windows(2).any(|w| {
+            w[1].text == "("
+                && matches!(
+                    w[0].text.as_str(),
+                    "map" | "filter_map" | "flat_map" | "iter" | "into_iter" | "values"
+                )
+        }) && e.token > stmt.lo
+            && toks[stmt.lo..e.token].iter().any(|t| t.text == "|");
+        let in_loop = loop_ancestor(func, e.stmt).is_some_and(|h| root < h || e.stmt != root);
+        let accumulating = in_iterator || (in_loop && root != e.stmt);
+        if !accumulating {
+            continue;
+        }
+        if ordered_source(fc, func, e, root) {
+            continue;
+        }
+        fc.push(
+            out,
+            "lockorder",
+            e.line,
+            format!(
+                "multiple `{fam}` guards accumulated in an order that is not provably \
+                 ascending (fn {}); collect the indices into a BTreeSet/BTreeMap or sort \
+                 them before acquiring",
+                func.name
+            ),
+        );
+    }
+}
+
+fn overlaps(a: &LockEvent, b: &LockEvent) -> bool {
+    // b acquired strictly inside a's live interval (after a's token when
+    // in the same statement).
+    if a.stmt == b.stmt && a.token == b.token {
+        return false;
+    }
+    let (lo, hi) = a.live;
+    if b.stmt < lo || b.stmt > hi {
+        return false;
+    }
+    if b.stmt == a.stmt {
+        return b.token > a.token;
+    }
+    true
+}
+
+fn loop_ancestor(func: &Function, id: usize) -> Option<usize> {
+    let mut up = func.stmts[id].parent;
+    while let Some(p) = up {
+        if func.stmts[p].is_loop {
+            return Some(p);
+        }
+        up = func.stmts[p].parent;
+    }
+    None
+}
+
+/// Is the iteration feeding event `e` provably ascending? True when the
+/// acquiring statement, the root binding, the loop header, or the defs of
+/// the identifiers they iterate over mention an ordered collection or an
+/// explicit sort.
+fn ordered_source(fc: &FileCheck, func: &Function, e: &LockEvent, root: usize) -> bool {
+    let toks = fc.tokens();
+    let mut to_scan: Vec<usize> = vec![e.stmt, root];
+    if let Some(h) = loop_ancestor(func, e.stmt) {
+        to_scan.push(h);
+    }
+    let mut seen = BTreeSet::new();
+    let mut i = 0;
+    while i < to_scan.len() && i < 16 {
+        let s = to_scan[i];
+        i += 1;
+        if !seen.insert(s) {
+            continue;
+        }
+        let stmt = &func.stmts[s];
+        let st = stmt.tokens(toks);
+        if st.iter().any(|t| ORDERED_MARKERS.contains(&t.text.as_str())) {
+            return true;
+        }
+        // Follow the identifiers this statement iterates over.
+        for t in &toks[stmt.rhs_lo.max(stmt.lo)..stmt.hi.min(toks.len())] {
+            if t.kind == TokenKind::Ident {
+                if let Some(d) = resolve_def(func, &t.text, s) {
+                    if d != s && !seen.contains(&d) {
+                        to_scan.push(d);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Record edge `held → acquired` for every cross-family overlap.
+fn cross_family_edges(fc: &FileCheck, events: &[LockEvent], edges: &mut Vec<LockEdge>) {
+    for (a_i, a) in events.iter().enumerate() {
+        for (b_i, b) in events.iter().enumerate() {
+            if a_i == b_i {
+                continue;
+            }
+            let (Some(fa), Some(fb)) = (&a.family, &b.family) else { continue };
+            if fa == fb {
+                continue; // handled by same_family_checks
+            }
+            // b acquired while a held: a before b in program order.
+            let after = b.stmt > a.stmt || (b.stmt == a.stmt && b.token > a.token);
+            if after && overlaps(a, b) {
+                edges.push(LockEdge {
+                    from: fa.clone(),
+                    to: fb.clone(),
+                    file: fc.path.clone(),
+                    line: b.line,
+                });
+            }
+        }
+    }
+}
+
+/// Workspace-wide cycle detection over the collected edges. `checks`
+/// supplies per-file suppression lookup for where each cycle is reported.
+pub fn check_cycles(edges: &[LockEdge], checks: &[FileCheck], out: &mut Vec<Diagnostic>) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.from.as_str()).or_default().insert(e.to.as_str());
+    }
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for e in edges {
+        // A cycle exists through this edge iff `to` reaches `from`.
+        let Some(path) = shortest_path(&adj, &e.to, &e.from) else { continue };
+        // Canonical cycle: nodes from `from` around; rotate to min.
+        let mut cycle: Vec<String> = Vec::with_capacity(path.len() + 1);
+        cycle.push(e.from.clone());
+        cycle.extend(path.iter().map(|s| s.to_string()));
+        let canon = canonical_rotation(&cycle);
+        if !reported.insert(canon) {
+            continue;
+        }
+        let display = {
+            let mut d = cycle.clone();
+            d.push(cycle[0].clone());
+            d.join(" -> ")
+        };
+        let witnesses: Vec<String> = cycle_witnesses(edges, &cycle);
+        let allowed = checks
+            .iter()
+            .find(|c| c.path == e.file)
+            .is_some_and(|c| c.allowed("lockorder", e.line));
+        if !allowed {
+            out.push(Diagnostic {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lockorder",
+                message: format!(
+                    "lock-acquisition cycle {display} ({}); impose a single global order",
+                    witnesses.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn shortest_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    let mut seen = BTreeSet::new();
+    seen.insert(from);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            // Rebuild from..=to (exclusive of the final repeat of `to`).
+            let mut path = vec![cur];
+            let mut c = cur;
+            while let Some(&p) = prev.get(c) {
+                path.push(p);
+                c = p;
+            }
+            path.reverse();
+            path.pop(); // drop `to`: the caller closes the cycle
+            return Some(path);
+        }
+        if let Some(nexts) = adj.get(cur) {
+            for &n in nexts {
+                if seen.insert(n) {
+                    prev.insert(n, cur);
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min_pos =
+        cycle.iter().enumerate().min_by_key(|(_, s)| s.as_str()).map(|(i, _)| i).unwrap_or(0);
+    cycle[min_pos..].iter().chain(cycle[..min_pos].iter()).cloned().collect()
+}
+
+/// `file:line` witnesses for each edge of the cycle.
+fn cycle_witnesses(edges: &[LockEdge], cycle: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for w in 0..cycle.len() {
+        let from = &cycle[w];
+        let to = &cycle[(w + 1) % cycle.len()];
+        if let Some(e) = edges.iter().find(|e| &e.from == from && &e.to == to) {
+            out.push(format!("{} under {} at {}:{}", e.to, e.from, e.file, e.line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(path: &str, src: &str) -> (Vec<Diagnostic>, Vec<LockEdge>) {
+        let fc = FileCheck::new(path, src);
+        let funcs = fc.functions();
+        let mut out = Vec::new();
+        let edges = check(&fc, &funcs, &mut out);
+        (out, edges)
+    }
+
+    #[test]
+    fn nested_cross_family_locks_make_an_edge() {
+        let src = "impl FloodGuard { fn allow(&self) -> bool {\n    let mut buckets = self.buckets.lock();\n    *self.rejected.lock() += 1;\n    true\n} }";
+        let (diags, edges) = analyze("crates/server/src/flood.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].from, "FloodGuard::buckets");
+        assert_eq!(edges[0].to, "FloodGuard::rejected");
+    }
+
+    #[test]
+    fn sequential_guards_make_no_edge() {
+        let src = "impl G { fn f(&self) {\n    { let a = self.x.lock(); drop(a); }\n    { let b = self.y.lock(); drop(b); }\n} }";
+        let (diags, edges) = analyze("crates/server/src/flood.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_hold() {
+        let src = "impl G { fn f(&self) {\n    let a = self.x.lock();\n    drop(a);\n    let b = self.y.lock();\n} }";
+        let (_, edges) = analyze("crates/core/src/db.rs", src);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn btreemap_collected_stripe_guards_are_clean() {
+        let src = "impl ShardedStore { fn apply(&self, batch: &Batch) {\n    let affected: BTreeSet<usize> = batch.ops().iter().map(|op| self.stripe_of(op)).collect();\n    let mut guards: BTreeMap<usize, G> = affected.iter().filter_map(|&idx| self.stripes.get(idx).map(|lock| (idx, lock.write()))).collect();\n    use_all(&mut guards);\n} }";
+        let (diags, _) = analyze("crates/storage/src/shard.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unordered_accumulated_stripe_guards_are_flagged() {
+        let src = "impl ShardedStore { fn apply(&self, keys: &[String]) {\n    let order: Vec<usize> = keys.iter().map(|k| self.stripe_of(k)).collect();\n    let mut guards = Vec::new();\n    for idx in order {\n        match self.stripes.get(idx) { Some(lock) => guards.push(lock.write()), None => {} }\n    }\n} }";
+        let (diags, _) = analyze("crates/storage/src/shard.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("not provably ascending"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn match_arm_guard_resolves_through_the_scrutinee() {
+        let src = "impl S { fn with_tree(&self, t: &str) {\n    match self.stripes.get(self.idx(t)) {\n        Some(lock) => { let guard = lock.read(); touch(guard); }\n        None => {}\n    }\n} }";
+        let fc = FileCheck::new("crates/storage/src/shard.rs", src);
+        let funcs = fc.functions();
+        let owners = impl_ranges(fc.tokens(), "shard");
+        let evs = collect_events(&fc, &funcs[0], &owners);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].family.as_deref(), Some("S::stripes"), "{:?}", evs[0].family);
+    }
+
+    #[test]
+    fn cycle_across_two_files_is_detected() {
+        let a = FileCheck::new(
+            "crates/server/src/m1.rs",
+            "impl Pair { fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }",
+        );
+        let b = FileCheck::new(
+            "crates/server/src/m2.rs",
+            "impl Pair { fn ba(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); } }",
+        );
+        let mut out = Vec::new();
+        let mut edges = check(&a, &a.functions(), &mut out);
+        edges.extend(check(&b, &b.functions(), &mut out));
+        assert!(out.is_empty(), "{out:?}");
+        check_cycles(&edges, &[a, b], &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lockorder");
+        assert!(out[0].message.contains("cycle"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn consistent_order_across_files_is_clean() {
+        let a = FileCheck::new(
+            "crates/server/src/m1.rs",
+            "impl Pair { fn ab(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }",
+        );
+        let b = FileCheck::new(
+            "crates/server/src/m2.rs",
+            "impl Pair { fn ab2(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }",
+        );
+        let mut out = Vec::new();
+        let mut edges = check(&a, &a.functions(), &mut out);
+        edges.extend(check(&b, &b.functions(), &mut out));
+        check_cycles(&edges, &[a, b], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_not_lock_events() {
+        let src = "impl W { fn f(&self, s: &mut TcpStream, buf: &mut [u8]) {\n    s.read(buf);\n    s.write(buf);\n} }";
+        let (diags, edges) = analyze("crates/server/src/tcp.rs", src);
+        assert!(diags.is_empty());
+        assert!(edges.is_empty());
+    }
+}

@@ -1,29 +1,133 @@
 //! CLI driver for the workspace lint: `cargo run -p softrep-lint`.
 //!
-//! Prints one `{file}:{line}: [{rule}] {message}` per finding and exits
-//! nonzero if anything was flagged. Pass a directory argument to lint a
-//! tree other than the current workspace.
+//! ```text
+//! softrep-lint [ROOT] [--format text|json] [--baseline PATH] [--stats]
+//! ```
+//!
+//! Prints one `{file}:{line}: [{rule}] {message}` per finding (or a JSON
+//! array with `--format json`) and exits nonzero if anything was
+//! flagged. With `--baseline PATH`, findings already recorded in the
+//! baseline are tolerated and only *new* ones are printed and fail the
+//! run; regenerate the baseline from the current tree with
+//! `SOFTREP_LINT_BASELINE=regen`. `--stats` writes a per-rule coverage
+//! summary to stderr.
 
 use std::path::PathBuf;
+use std::process::exit;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: PathBuf::from("."), json: false, baseline: None, stats: false };
+    let mut it = std::env::args().skip(1);
+    let mut saw_root = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value: text or json")?;
+                match v.as_str() {
+                    "json" => args.json = true,
+                    "text" => args.json = false,
+                    other => return Err(format!("unknown format `{other}` (text or json)")),
+                }
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--stats" => args.stats = true,
+            other if !other.starts_with('-') && !saw_root => {
+                args.root = PathBuf::from(other);
+                saw_root = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
 
 fn main() {
-    let root = std::env::args_os().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
-
-    let diags = match softrep_lint::run_lint(&root) {
-        Ok(diags) => diags,
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("softrep-lint: {e}");
-            std::process::exit(2);
+            exit(2);
         }
     };
 
-    for d in &diags {
-        println!("{d}");
+    let report = match softrep_lint::run_lint_report(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("softrep-lint: {e}");
+            exit(2);
+        }
+    };
+
+    if args.stats {
+        eprint!(
+            "{}",
+            softrep_lint::report::stats_block(
+                softrep_lint::RULES,
+                report.files_scanned,
+                &report.diagnostics
+            )
+        );
     }
-    if diags.is_empty() {
-        eprintln!("softrep-lint: clean ({} rules enforced)", 4);
-        std::process::exit(0);
+
+    // Baseline handling: regen rewrites it; otherwise it absorbs known
+    // findings so CI fails only on new ones.
+    let regen = std::env::var("SOFTREP_LINT_BASELINE").is_ok_and(|v| v == "regen");
+    let mut baseline = Vec::new();
+    if let Some(path) = &args.baseline {
+        if regen {
+            let json = softrep_lint::report::to_json(&report.diagnostics);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("softrep-lint: writing baseline {}: {e}", path.display());
+                exit(2);
+            }
+            eprintln!(
+                "softrep-lint: baseline regenerated with {} finding(s) at {}",
+                report.diagnostics.len(),
+                path.display()
+            );
+            exit(0);
+        }
+        match std::fs::read_to_string(path) {
+            Ok(text) => match softrep_lint::report::parse_baseline(&text) {
+                Some(entries) => baseline = entries,
+                None => {
+                    eprintln!("softrep-lint: malformed baseline at {}", path.display());
+                    exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("softrep-lint: reading baseline {}: {e}", path.display());
+                exit(2);
+            }
+        }
     }
-    eprintln!("softrep-lint: {} violation(s)", diags.len());
-    std::process::exit(1);
+
+    let new: Vec<&softrep_lint::Diagnostic> =
+        softrep_lint::report::new_findings(&report.diagnostics, &baseline);
+
+    if args.json {
+        let owned: Vec<softrep_lint::Diagnostic> = new.iter().map(|d| (*d).clone()).collect();
+        print!("{}", softrep_lint::report::to_json(&owned));
+    } else {
+        for d in &new {
+            println!("{d}");
+        }
+    }
+
+    if new.is_empty() {
+        eprintln!("softrep-lint: clean ({} rules enforced)", softrep_lint::RULES.len());
+        exit(0);
+    }
+    eprintln!("softrep-lint: {} new violation(s)", new.len());
+    exit(1);
 }

@@ -1,0 +1,290 @@
+//! Machine-readable output: JSON diagnostics, the checked-in baseline,
+//! and the `--stats` summary.
+//!
+//! The JSON schema is a flat array of findings:
+//!
+//! ```json
+//! [
+//!   {"file": "crates/server/src/web.rs", "line": 262, "rule": "taint",
+//!    "message": "…"}
+//! ]
+//! ```
+//!
+//! The baseline (`lint-baseline.json`, same schema) records findings CI
+//! tolerates; a run fails only on findings *not* in the baseline,
+//! matching on `(file, rule, message)` as a multiset — line numbers
+//! churn with unrelated edits and are ignored. Regenerate it with
+//! `SOFTREP_LINT_BASELINE=regen`. Everything here is hand-rolled: the
+//! lint stays dependency-free.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Diagnostic;
+
+/// Serialize diagnostics to the JSON schema above (stable order: the
+/// caller sorts).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&d.file),
+            d.line,
+            json_string(d.rule),
+            json_string(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One baseline entry: `(file, rule, message)` — the line is ignored.
+pub type BaselineKey = (String, String, String);
+
+/// Parse a baseline document. Accepts exactly the schema [`to_json`]
+/// writes; returns `None` on malformed input so the caller can fail
+/// loudly rather than treat a corrupt baseline as empty.
+pub fn parse_baseline(json: &str) -> Option<Vec<BaselineKey>> {
+    let mut p = Parser { chars: json.chars().collect(), pos: 0 };
+    p.skip_ws();
+    let entries = p.array()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return None;
+    }
+    let mut out = Vec::new();
+    for obj in entries {
+        let file = obj.get("file")?.clone();
+        let rule = obj.get("rule")?.clone();
+        let message = obj.get("message")?.clone();
+        out.push((file, rule, message));
+    }
+    Some(out)
+}
+
+/// Findings not covered by the baseline, as a multiset difference on
+/// `(file, rule, message)`.
+pub fn new_findings<'d>(diags: &'d [Diagnostic], baseline: &[BaselineKey]) -> Vec<&'d Diagnostic> {
+    let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    for (f, r, m) in baseline {
+        *budget.entry((f.as_str(), r.as_str(), m.as_str())).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for d in diags {
+        let key = (d.file.as_str(), d.rule, d.message.as_str());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.push(d),
+        }
+    }
+    out
+}
+
+/// The `--stats` summary block (written to stderr by the CLI).
+pub fn stats_block(rules: &[&str], files_scanned: usize, diags: &[Diagnostic]) -> String {
+    let mut by_rule: BTreeMap<&str, usize> = rules.iter().map(|&r| (r, 0)).collect();
+    for d in diags {
+        *by_rule.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut out = format!(
+        "softrep-lint stats: {} rules, {} files scanned, {} finding(s)\n",
+        rules.len(),
+        files_scanned,
+        diags.len()
+    );
+    for (rule, count) in &by_rule {
+        out.push_str(&format!("  {rule:<12} {count}\n"));
+    }
+    out
+}
+
+/// A minimal parser for the baseline's own JSON subset: an array of flat
+/// objects whose values are strings or unsigned integers.
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Option<()> {
+        self.skip_ws();
+        (self.bump()? == c).then_some(())
+    }
+
+    fn array(&mut self) -> Option<Vec<BTreeMap<String, String>>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            out.push(self.object()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<BTreeMap<String, String>> {
+        self.expect('{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Some(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            self.skip_ws();
+            let value = match self.peek()? {
+                '"' => self.string()?,
+                c if c.is_ascii_digit() => {
+                    let mut n = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        n.push(self.bump()?);
+                    }
+                    n
+                }
+                _ => return None,
+            };
+            out.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Some(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    '/' => out.push('/'),
+                    'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            v = v * 16 + self.bump()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &'static str, message: &str) -> Diagnostic {
+        Diagnostic { file: file.into(), line, rule, message: message.into() }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_baseline_parser() {
+        let diags = vec![
+            diag("crates/a.rs", 3, "taint", "quote \" backslash \\ newline \n done"),
+            diag("crates/b.rs", 7, "lockorder", "cycle A -> B -> A"),
+        ];
+        let json = to_json(&diags);
+        let parsed = parse_baseline(&json).expect("roundtrip parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "crates/a.rs");
+        assert!(parsed[0].2.contains("quote \" backslash \\ newline \n done"));
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse_baseline("[]\n"), Some(vec![]));
+        assert_eq!(parse_baseline("[\n]\n"), Some(vec![]));
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected_not_emptied() {
+        assert_eq!(parse_baseline("{"), None);
+        assert_eq!(parse_baseline("[{\"file\": \"x\"}]"), None); // missing keys
+        assert_eq!(parse_baseline("[] trailing"), None);
+    }
+
+    #[test]
+    fn diff_ignores_lines_and_respects_multiplicity() {
+        let diags = vec![
+            diag("f.rs", 10, "taint", "m1"),
+            diag("f.rs", 20, "taint", "m1"),
+            diag("f.rs", 30, "panic", "m2"),
+        ];
+        let baseline = vec![("f.rs".to_string(), "taint".to_string(), "m1".to_string())];
+        let new = new_findings(&diags, &baseline);
+        // One m1 absorbed by the baseline, the second m1 and m2 are new.
+        assert_eq!(new.len(), 2);
+        assert!(new.iter().any(|d| d.message == "m1" && d.line == 20));
+        assert!(new.iter().any(|d| d.message == "m2"));
+    }
+
+    #[test]
+    fn stats_block_lists_every_rule() {
+        let diags = vec![diag("f.rs", 1, "taint", "m")];
+        let s = stats_block(&["panic", "taint"], 42, &diags);
+        assert!(s.contains("2 rules"), "{s}");
+        assert!(s.contains("42 files"), "{s}");
+        assert!(s.contains("taint"), "{s}");
+        assert!(s.contains("panic"), "{s}");
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::lexer::{lex, AllowDirective, Lexed, Token, TokenKind};
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -26,7 +26,8 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule name (`panic`, `clock`, `trust`, `exhaustive`).
+    /// Rule name (`panic`, `clock`, `trust`, `exhaustive`, `taint`,
+    /// `lockorder`, `guard-io`, `suppression`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -74,6 +75,10 @@ pub const HANDLER_FILE: &str = "crates/server/src/handler.rs";
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
+/// Every rule the lint enforces, for directive validation and `--stats`.
+pub const RULES: &[&str] =
+    &["panic", "clock", "trust", "exhaustive", "taint", "lockorder", "guard-io", "suppression"];
+
 /// A lexed file plus the derived facts the rules share.
 pub struct FileCheck {
     /// Workspace-relative path, `/`-separated.
@@ -94,17 +99,29 @@ impl FileCheck {
         FileCheck { path: path.into(), lexed, test_ranges, code_lines }
     }
 
-    fn tokens(&self) -> &[Token] {
+    /// The file's code tokens (comments and whitespace removed).
+    pub fn tokens(&self) -> &[Token] {
         &self.lexed.tokens
     }
 
-    fn in_test(&self, idx: usize) -> bool {
+    /// Is the token at `idx` inside a `#[cfg(test)]` item?
+    pub fn in_test(&self, idx: usize) -> bool {
         self.test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi)
+    }
+
+    /// The `// lint: allow(…)` directives found in the file.
+    pub fn allows(&self) -> &[AllowDirective] {
+        &self.lexed.allows
+    }
+
+    /// Every function body in the file, excluding `#[cfg(test)]` items.
+    pub fn functions(&self) -> Vec<crate::cfg::Function> {
+        crate::cfg::functions(self.tokens(), &|i| self.in_test(i))
     }
 
     /// Is `rule` suppressed on `line`? A directive suppresses its own line;
     /// a directive on a comment-only line suppresses the next code line.
-    fn allowed(&self, rule: &str, line: usize) -> bool {
+    pub(crate) fn allowed(&self, rule: &str, line: usize) -> bool {
         self.lexed.allows.iter().any(|a| {
             a.rule == rule
                 && (a.line == line || (a.line < line && !self.code_lines.contains(&a.line)))
@@ -112,7 +129,13 @@ impl FileCheck {
         })
     }
 
-    fn push(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: usize, message: String) {
+    pub(crate) fn push(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: usize,
+        message: String,
+    ) {
         if !self.allowed(rule, line) {
             out.push(Diagnostic { file: self.path.clone(), line, rule, message });
         }
@@ -133,7 +156,33 @@ impl FileCheck {
         if self.path == HANDLER_FILE {
             self.check_no_wildcard_arm(&mut out);
         }
+        self.check_suppressions(&mut out);
         out
+    }
+
+    /// Rule `suppression`: every `// lint: allow(rule)` must carry a
+    /// written reason — `// lint: allow(rule, "why")` — so suppressions
+    /// stay auditable. This meta-rule cannot itself be suppressed.
+    /// Directives naming something other than a known rule are prose
+    /// (docs describing the syntax), not suppressions, and are skipped.
+    fn check_suppressions(&self, out: &mut Vec<Diagnostic>) {
+        for a in self
+            .lexed
+            .allows
+            .iter()
+            .filter(|a| a.reason.is_none() && RULES.contains(&a.rule.as_str()))
+        {
+            out.push(Diagnostic {
+                file: self.path.clone(),
+                line: a.line,
+                rule: "suppression",
+                message: format!(
+                    "lint: allow({0}) has no reason; write lint: allow({0}, \"why\") so the \
+                     suppression is auditable",
+                    a.rule
+                ),
+            });
+        }
     }
 
     /// Rule `panic`: no `.unwrap()`, `.expect()`, `panic!`-family macros,
@@ -562,12 +611,24 @@ mod tests {
 
     #[test]
     fn allow_directive_suppresses_same_line_and_next_line() {
-        let same = "fn f() { y.unwrap(); } // lint: allow(panic)\n";
+        let same = "fn f() { y.unwrap(); } // lint: allow(panic, \"test\")\n";
         assert!(diags("crates/core/src/db.rs", same).is_empty());
-        let next = "// lint: allow(panic)\nfn f() { y.unwrap(); }\n";
+        let next = "// lint: allow(panic, \"test\")\nfn f() { y.unwrap(); }\n";
         assert!(diags("crates/core/src/db.rs", next).is_empty());
-        let wrong_rule = "fn f() { y.unwrap(); } // lint: allow(clock)\n";
+        let wrong_rule = "fn f() { y.unwrap(); } // lint: allow(clock, \"test\")\n";
         assert_eq!(diags("crates/core/src/db.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn reasonless_allow_is_flagged_by_the_suppression_rule() {
+        let src = "fn f() { y.unwrap(); } // lint: allow(panic)\n";
+        let d = diags("crates/core/src/db.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "suppression");
+        assert_eq!(d[0].line, 1);
+        // A reasoned directive suppresses the finding and is itself clean.
+        let ok = "fn f() { y.unwrap(); } // lint: allow(panic, \"caller checked\")\n";
+        assert!(diags("crates/core/src/db.rs", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Golden fixture tests for the dataflow passes.
+//!
+//! Each directory under `crates/lint/fixtures/` is a miniature workspace
+//! run through the full lint. `expected.txt` holds the rendered
+//! diagnostics, one per line as `file:line: rule: message` — empty for
+//! the clean counterparts. Regenerate an expectation by running with
+//! `SOFTREP_LINT_FIXTURES=regen`.
+
+use std::path::PathBuf;
+
+fn check_fixture(name: &str) {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    let diags = softrep_lint::run_lint(&root).expect("fixture lints");
+    let rendered: String = diags
+        .iter()
+        .map(|d| format!("{}:{}: {}: {}\n", d.file, d.line, d.rule, d.message))
+        .collect();
+    let expected_path = root.join("expected.txt");
+    if std::env::var("SOFTREP_LINT_FIXTURES").as_deref() == Ok("regen") {
+        std::fs::write(&expected_path, &rendered).expect("write expected.txt");
+        return;
+    }
+    let expected = std::fs::read_to_string(&expected_path).expect("expected.txt exists");
+    assert_eq!(rendered, expected, "fixture `{name}` diverged from its golden file");
+}
+
+#[test]
+fn taint_leak_is_reported() {
+    check_fixture("taint_leak");
+}
+
+#[test]
+fn taint_clean_counterpart_passes() {
+    check_fixture("taint_clean");
+}
+
+#[test]
+fn seeded_lock_cycle_is_reported() {
+    check_fixture("lock_cycle");
+}
+
+#[test]
+fn consistent_lock_order_passes() {
+    check_fixture("lock_clean");
+}
+
+#[test]
+fn unordered_stripe_accumulation_is_reported() {
+    check_fixture("stripe_order_bad");
+}
+
+#[test]
+fn btree_ordered_stripe_accumulation_passes() {
+    check_fixture("stripe_order_clean");
+}
+
+#[test]
+fn fsync_under_guard_is_reported() {
+    check_fixture("guard_fsync");
+}
+
+#[test]
+fn fsync_after_guard_drop_passes() {
+    check_fixture("guard_clean");
+}
+
+#[test]
+fn violation_fixtures_name_the_expected_rule() {
+    // Belt and braces: the golden files themselves must claim the rule
+    // the fixture was seeded for, so a regen cannot silently neutralize
+    // a fixture by recording an empty expectation.
+    for (name, rule) in [
+        ("taint_leak", "taint"),
+        ("lock_cycle", "lockorder"),
+        ("stripe_order_bad", "lockorder"),
+        ("guard_fsync", "guard-io"),
+    ] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name)
+            .join("expected.txt");
+        let expected = std::fs::read_to_string(&path).expect("expected.txt exists");
+        assert!(
+            expected.contains(&format!(" {rule}: ")),
+            "fixture `{name}` golden file does not report `{rule}`: {expected:?}"
+        );
+    }
+}

@@ -136,7 +136,7 @@ fn allow_directive_turns_failure_into_clean_exit() {
     write(
         &root,
         "crates/core/src/db.rs",
-        "fn f(v: &[u8]) -> u8 {\n    // length checked by caller\n    v[0] // lint: allow(panic)\n}\n",
+        "fn f(v: &[u8]) -> u8 {\n    v[0] // lint: allow(panic, \"length checked by caller\")\n}\n",
     );
     let out = run_on(&root);
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -16,10 +16,14 @@
 //!   the blocking accept immediately), drain in-flight requests up to
 //!   [`TcpServerConfig::drain_deadline`], then force-close stragglers and
 //!   join every worker handle.
-//! * **Flood identity** — the flood guard is keyed on the peer *IP only*.
-//!   Keying on `ip:port` would mint a fresh token bucket per reconnect,
-//!   letting a reconnect-per-request flooder bypass throttling entirely.
-//!   The identity is observed only transiently and never persisted (§2.2).
+//! * **Flood identity** — the flood guard is keyed on a *pseudonymized
+//!   tag of the peer IP only* (`ReputationDb::pseudonym_tag`). Keying on
+//!   `ip:port` would mint a fresh token bucket per reconnect, letting a
+//!   reconnect-per-request flooder bypass throttling entirely; keying on
+//!   the raw IP would let an address outlive the connection inside the
+//!   bucket map. The raw address is observed only transiently at the
+//!   accept boundary, hashed under the server's secret pepper, and never
+//!   flows further (§2.2) — the `taint` lint pass enforces this.
 //!
 //! Everything the front end does is counted in [`ServerStats`], so tests
 //! and experiments can assert throttling instead of guessing.
@@ -267,8 +271,9 @@ fn handle_accept(
         return;
     };
 
-    // The flood-guard identity is the peer IP only — see module docs.
-    let peer_ip = peer.ip().to_string();
+    // The flood-guard identity is a pseudonymized tag of the peer IP
+    // only — see module docs. The raw address stops here.
+    let peer_tag = server.db().pseudonym_tag("peer", &peer.ip().to_string());
     let reg_id = registry.register(&stream);
     let worker_server = Arc::clone(server);
     let worker_stats = Arc::clone(stats);
@@ -276,7 +281,8 @@ fn handle_accept(
     let worker_shutdown = Arc::clone(shutdown);
     let spawned = pool.spawn(permit, move || {
         worker_stats.record_accepted();
-        let _ = serve_connection(&worker_server, stream, &peer_ip, &worker_stats, &worker_shutdown);
+        let _ =
+            serve_connection(&worker_server, stream, &peer_tag, &worker_stats, &worker_shutdown);
         if let Some(id) = reg_id {
             worker_registry.deregister(id);
         }
@@ -295,7 +301,7 @@ fn handle_accept(
 fn serve_connection(
     server: &ReputationServer,
     stream: TcpStream,
-    peer_ip: &str,
+    peer_tag: &str,
     stats: &ServerStats,
     shutdown: &AtomicBool,
 ) -> Result<(), FrameError> {
@@ -312,7 +318,7 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         let response = match Request::decode(&body) {
-            Ok(request) => server.handle(&request, peer_ip),
+            Ok(request) => server.handle(&request, peer_tag),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
         write_frame(&mut writer, &response.encode())?;

@@ -256,10 +256,13 @@ fn software_page(server: &ReputationServer, id: &str) -> HttpResponse {
     if !report.comments.is_empty() {
         body.push_str("<h2>Comments</h2><ul>");
         for pc in &report.comments {
+            // Authors are rendered as pseudonymized tags, never as the
+            // raw identity a commenter registered with (§2.2).
+            let author_tag = server.db().pseudonym_tag("author", &pc.comment.author);
             body.push_str(&format!(
                 "<li>\u{201c}{}\u{201d} — {} ({:+} remarks)</li>",
                 html_escape(&pc.comment.text),
-                html_escape(&pc.comment.author),
+                html_escape(&author_tag),
                 pc.remark_score,
             ));
         }
@@ -448,6 +451,10 @@ mod tests {
         assert!(body.contains("popup_ads"));
         assert!(body.contains("Verified behaviours"));
         assert!(body.contains("no vendor metadata"));
+        // The commenter's registered identity never reaches the page;
+        // only the pseudonymized author tag does.
+        assert!(!body.contains("webber"), "raw author identity leaked into the page");
+        assert!(body.contains("author-"), "pseudonymized author tag missing: {body}");
     }
 
     #[test]
