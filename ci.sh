@@ -23,7 +23,11 @@
 #   7. concurrency bench smoke      the store_concurrent/group-commit
 #                                   benches at a tiny workload — a
 #                                   does-it-run check, not a measurement
-#   8. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
+#   8. /metrics endpoint smoke      boots the release serverd on
+#                                   ephemeral ports and asserts the
+#                                   Prometheus exposition is well formed
+#                                   and carries the key series
+#   9. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
 #                                   toolchain; skipped otherwise
 #
 # Usage: ./ci.sh            (from the workspace root)
@@ -34,25 +38,25 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/9 cargo fmt --check"
+step "1/10 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/9 cargo clippy --all-targets -- -D warnings"
+step "2/10 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/9 softrep-lint (baseline diff)"
+step "3/10 softrep-lint (baseline diff)"
 # Fails on diagnostics not present in lint-baseline.json. To accept a
 # finding on purpose (rare; prefer an inline reasoned suppression):
 #   SOFTREP_LINT_BASELINE=regen cargo run -q -p softrep-lint -- . --baseline lint-baseline.json
 cargo run --offline -q -p softrep-lint -- . --format json --baseline lint-baseline.json --stats
 
-step "4/9 cargo build --release"
+step "4/10 cargo build --release"
 cargo build --offline --release
 
-step "5/9 cargo test (workspace)"
+step "5/10 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/9 property shard (fixed + randomized seed)"
+step "6/10 property shard (fixed + randomized seed)"
 # Fixed seed: reproduces the checked-in baseline exactly.
 SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
     cargo test --offline -q --test properties
@@ -63,16 +67,66 @@ printf 'property shard randomized seed: %s\n' "$PROP_SEED"
 SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
     cargo test --offline -q --test properties
 
-step "7/9 loom race-detection shards (server + storage)"
+step "7/10 loom race-detection shards (server + storage)"
 cargo test --offline -q -p softrep-server --features loom --test loom
 cargo test --offline -q -p softrep-storage --features loom --test loom
 
-step "8/9 concurrency bench smoke"
+step "8/10 concurrency bench smoke"
 # Tiny workload: proves the mixed reader/writer and group-commit benches
 # still run, without spending CI minutes on real measurements.
 SOFTREP_BENCH_SMOKE=1 cargo bench --offline -p softrep-bench --bench storage_bench \
     | grep -E 'store_concurrent|store_group_commit' || {
         echo "concurrency benches produced no output"; exit 1; }
+
+step "9/10 /metrics endpoint smoke"
+# Boot the real binary on ephemeral ports, fetch /metrics over a raw
+# socket (no curl dependency), and assert the exposition is well formed
+# and carries the key series (DESIGN.md §12). Uses the release binary
+# from step 4.
+SMOKE_DATA="$(mktemp -d)"
+./target/release/softrep-serverd --data "$SMOKE_DATA" --pepper ci-smoke \
+    --puzzle-difficulty 0 --proto 127.0.0.1:0 --web 127.0.0.1:0 \
+    >"$SMOKE_DATA/serverd.log" 2>&1 &
+SMOKE_PID=$!
+cleanup_smoke() { kill "$SMOKE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DATA"; }
+trap cleanup_smoke EXIT
+WEB_ADDR=""
+for _ in $(seq 1 50); do
+    WEB_ADDR="$(sed -n 's#.*web       http://##p' "$SMOKE_DATA/serverd.log" | head -n1)"
+    [ -n "$WEB_ADDR" ] && break
+    sleep 0.2
+done
+[ -n "$WEB_ADDR" ] || {
+    echo "serverd never announced its web address:"
+    cat "$SMOKE_DATA/serverd.log"; exit 1; }
+exec 3<>"/dev/tcp/${WEB_ADDR%:*}/${WEB_ADDR##*:}"
+printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\n\r\n' "$WEB_ADDR" >&3
+METRICS="$(cat <&3)"
+exec 3<&- 3>&-
+printf '%s\n' "$METRICS" | head -n1 | grep -q '200 OK' || {
+    echo "/metrics did not answer 200:"; printf '%s\n' "$METRICS" | head -n5; exit 1; }
+printf '%s\n' "$METRICS" | grep -q 'Content-Type: text/plain; version=0.0.4' || {
+    echo "/metrics served the wrong content type"; exit 1; }
+for series in \
+    softrep_request_latency_us_p99 \
+    softrep_store_fsync_us_count \
+    softrep_store_group_commit_depth_count \
+    softrep_agg_lag_seconds \
+    softrep_flood_rejected_total \
+    softrep_flood_evicted_total \
+    softrep_server_requests_served_total; do
+    printf '%s\n' "$METRICS" | grep -q "^$series " || {
+        echo "/metrics is missing series $series"; exit 1; }
+done
+# Every body line is `# comment` or `name numeric-value`.
+printf '%s\n' "$METRICS" | sed '1,/^\r*$/d' | tr -d '\r' | awk '
+    /^#/ || /^$/ { next }
+    NF != 2 || $2 !~ /^[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ {
+        print "malformed exposition line: " $0; bad = 1 }
+    END { exit bad }' || exit 1
+cleanup_smoke
+trap - EXIT
+echo "/metrics smoke passed ($WEB_ADDR)"
 
 nightly_has_tsan_deps() {
     rustup toolchain list 2>/dev/null | grep -q nightly \
@@ -82,7 +136,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "9/9 ThreadSanitizer shard (nightly)"
+        step "10/10 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -90,10 +144,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "9/9 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "10/10 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "9/9 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "10/10 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
+use softrep_obs::{Histogram, SpanFamily};
 
 use softrep_crypto::hex;
 use softrep_crypto::salted::{PasswordHash, SecretPepper};
@@ -122,6 +123,37 @@ pub struct DeploymentStats {
     pub rated_software: u64,
 }
 
+/// Cached observability handles for the aggregation engine (crates/obs):
+/// per-run latency spans plus the drained-dirty-set size distribution.
+/// Registered once per database; every record is relaxed atomics outside
+/// any database lock, so batch runs cost two clock reads, not contention.
+struct DbObs {
+    /// Wall time of one incremental batch (always-on: runs are ms-scale).
+    agg_incremental: SpanFamily,
+    /// Wall time of one full (paper §3.2) batch.
+    agg_full: SpanFamily,
+    /// Dirty titles drained per incremental batch — the backlog each run
+    /// actually absorbed, complementing the live `dirty_count` gauge.
+    batch_dirty: Arc<Histogram>,
+}
+
+impl DbObs {
+    fn new() -> Self {
+        let registry = softrep_obs::registry();
+        DbObs {
+            agg_incremental: SpanFamily::always(
+                "agg_incremental_run",
+                registry.histogram("softrep_agg_incremental_run_us"),
+            ),
+            agg_full: SpanFamily::always(
+                "agg_full_run",
+                registry.histogram("softrep_agg_full_run_us"),
+            ),
+            batch_dirty: registry.histogram("softrep_agg_batch_dirty_titles"),
+        }
+    }
+}
+
 /// The reputation database.
 pub struct ReputationDb {
     store: Arc<Store>,
@@ -149,6 +181,7 @@ pub struct ReputationDb {
     /// company name.
     vendor_cache: RwLock<HashMap<String, VendorReport>>,
     agg_counters: AggCounters,
+    obs: DbObs,
     /// Serialises multi-step mutations (check-then-act sequences such as
     /// the duplicate-username check, the unique e-mail index check, and
     /// the comment-id counter) against concurrent callers. Reads and
@@ -226,6 +259,7 @@ impl ReputationDb {
             report_cache: RwLock::new(HashMap::new()),
             vendor_cache: RwLock::new(HashMap::new()),
             agg_counters: AggCounters::default(),
+            obs: DbObs::new(),
             write_gate: Mutex::new(()),
         }
     }
@@ -710,6 +744,7 @@ impl ReputationDb {
 
     /// The full (paper §3.2) batch: every title, one trust snapshot.
     pub fn force_aggregation_full(&self, now: Timestamp) -> CoreResult<usize> {
+        let _span = self.obs.agg_full.maybe_start();
         // Drain pending dirty marks *before* reading any votes: the full
         // scan subsumes them, and a vote that lands mid-scan either makes
         // it into this batch or re-marks itself for the next one.
@@ -748,12 +783,14 @@ impl ReputationDb {
     /// `computed_at` of untouched titles differs). Stamps the schedule even
     /// when the dirty set is empty — a no-op batch still counts as a run.
     pub fn force_aggregation_incremental(&self, now: Timestamp) -> CoreResult<usize> {
+        let _span = self.obs.agg_incremental.maybe_start();
         // Protocol: delete the marks *before* reading votes. A vote that
         // lands after the delete re-marks its title for the next batch; a
         // vote that lands before our read is folded into this one. Either
         // way no vote is ever dropped (at worst a title is recomputed
         // twice with identical results).
         let dirty = self.drain_dirty_marks()?;
+        self.obs.batch_dirty.record(dirty.len() as u64);
         let plan = aggregate_engine::plan_shards(dirty.iter().cloned(), DEFAULT_SHARDS);
         let results: Vec<CoreResult<(RatingRecord, f64)>> =
             aggregate_engine::run_sharded(&plan, DEFAULT_WORKERS, |software_id| {

@@ -57,10 +57,19 @@ pub const NO_PANIC_FILES: &[&str] = &[
     // The aggregation worker pool runs on the same serving node; a panic
     // in a recompute thread would take the 24 h batch down with it.
     "crates/core/src/aggregate_engine.rs",
+    // Instrumentation is on the same request path as everything above —
+    // a panicking metric defeats the point of observing the outage.
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/time.rs",
 ];
 
-/// The one module allowed to read the OS clock.
-pub const CLOCK_HOME: &str = "crates/core/src/clock.rs";
+/// The modules allowed to read the OS clock: the simulation-aware clock
+/// abstraction, and the observability stopwatch (wall-time spans are the
+/// whole point there; everything else must go through `Clock` so tests
+/// stay deterministic).
+pub const CLOCK_HOMES: &[&str] = &["crates/core/src/clock.rs", "crates/obs/src/time.rs"];
 
 /// The one module allowed to write trust-factor fields directly (it owns
 /// the `MIN_TRUST`/`MAX_TRUST` clamp and the weekly growth cap).
@@ -147,7 +156,7 @@ impl FileCheck {
         if NO_PANIC_FILES.contains(&self.path.as_str()) {
             self.check_no_panic(&mut out);
         }
-        if self.path != CLOCK_HOME {
+        if !CLOCK_HOMES.contains(&self.path.as_str()) {
             self.check_clock(&mut out);
         }
         if self.path != TRUST_HOME {
@@ -573,6 +582,27 @@ mod tests {
         {
             assert_eq!(diags(file, src).len(), 1, "{file} must be under the panic rule");
         }
+        // Observability rides the same request path: a panicking metric
+        // is an outage caused by the thing meant to observe outages.
+        for file in [
+            "crates/obs/src/lib.rs",
+            "crates/obs/src/metrics.rs",
+            "crates/obs/src/span.rs",
+            "crates/obs/src/time.rs",
+        ] {
+            assert_eq!(diags(file, src).len(), 1, "{file} must be under the panic rule");
+        }
+    }
+
+    #[test]
+    fn obs_stopwatch_is_a_clock_home_but_other_obs_files_are_not() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(diags("crates/obs/src/time.rs", src).is_empty(), "time.rs owns the stopwatch");
+        assert_eq!(
+            diags("crates/obs/src/span.rs", src).len(),
+            1,
+            "spans must go through the stopwatch, not the OS clock"
+        );
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! Lock-cheap metrics: counters, gauges, log-linear histograms, and the
+//! registry that renders them as a Prometheus-style text exposition.
+//!
+//! Every metric is a fistful of `AtomicU64`s behind an `Arc`. Call sites
+//! register once (a short mutex acquisition on a startup path) and keep
+//! the `Arc`; recording afterwards is relaxed atomics only, so metrics can
+//! be updated inside existing critical sections without widening them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, tracked-set
+/// sizes, lag).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantile error
+/// at `2^-SUB_BITS` (12.5%).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: the first `SUB` values map
+/// directly, then `64 - SUB_BITS` octaves of `SUB` sub-buckets each.
+pub const HISTOGRAM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index recording value `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    // v >= SUB, so leading_zeros <= 60 and exp >= SUB_BITS.
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) as usize) - SUB;
+    SUB + (exp - SUB_BITS) as usize * SUB + sub
+}
+
+/// The largest value mapping to bucket `i` (the bucket's inclusive upper
+/// bound, i.e. the Prometheus `le` edge).
+fn bucket_bound(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let exp = SUB_BITS + ((i - SUB) / SUB) as u32;
+    let sub = ((i - SUB) % SUB) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lower = (1u64 << exp).saturating_add(sub.saturating_mul(width));
+    lower.saturating_add(width - 1)
+}
+
+/// A log-linear histogram over `u64` samples (latencies in microseconds,
+/// depths, byte counts). Fixed bucket layout, all-atomic recording, 12.5%
+/// worst-case relative error on quantile readout.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Three relaxed atomic adds; never blocks.
+    pub fn record(&self, v: u64) {
+        if let Some(bucket) = self.buckets.get(bucket_index(v)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy (bucket counts are read individually, so a
+    /// snapshot taken during concurrent recording may be mid-update by a
+    /// handful of samples; totals are recomputed from the buckets so the
+    /// snapshot is always self-consistent).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot { buckets, count, sum: self.sum.load(Ordering::Relaxed) }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish()
+    }
+}
+
+/// A frozen copy of a [`Histogram`], supporting quantile readout and
+/// merging (shard aggregation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; HISTOGRAM_BUCKETS], count: 0, sum: 0 }
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The `q`-quantile (0.0–1.0) as the upper bound of the bucket holding
+    /// the rank-`⌈q·n⌉` sample — an overestimate by at most the bucket
+    /// width (12.5% relative). 0 for an empty snapshot; `q` outside
+    /// [0, 1] is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*n);
+            if cumulative >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Pointwise sum of two snapshots (commutative and associative, which
+    /// is what makes per-shard histograms mergeable — property-tested in
+    /// `tests/properties.rs`).
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> =
+            self.buckets.iter().zip(&other.buckets).map(|(a, b)| a.saturating_add(*b)).collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs, in
+    /// ascending bound order — the exposition's `le` series.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n > 0 {
+                cumulative = cumulative.saturating_add(*n);
+                out.push((bucket_bound(i), cumulative));
+            }
+        }
+        out
+    }
+
+    /// Inclusive upper bound of the bucket that recorded value `v` (test
+    /// support: the tightest claim a quantile readout can make).
+    pub fn bound_of(v: u64) -> u64 {
+        bucket_bound(bucket_index(v))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The metric registry: named metrics, registered once, rendered as one
+/// text exposition. Registration takes the registry mutex; recording
+/// through the returned `Arc`s never does.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it on first use. A name
+    /// previously registered as a different kind returns a detached
+    /// metric (recorded values go nowhere) rather than panicking.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock();
+        match metrics.entry(name).or_insert_with(|| Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock();
+        match metrics.entry(name).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock();
+        match metrics.entry(name).or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Render every registered metric in Prometheus text exposition
+    /// format, families sorted by name. Histograms render their non-empty
+    /// cumulative `le` buckets, `_sum`, `_count`, and `_p50`/`_p95`/`_p99`
+    /// gauge series (quantiles precomputed server-side so a bare `curl`
+    /// answers the latency question without a query engine).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, metric) in self.metrics.lock().iter() {
+            render_metric(&mut out, name, metric);
+        }
+        out
+    }
+}
+
+fn render_metric(out: &mut String, name: &str, metric: &Metric) {
+    match metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        Metric::Histogram(h) => {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cumulative) in snap.cumulative_buckets() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count());
+            let _ = writeln!(out, "{name}_sum {}", snap.sum());
+            let _ = writeln!(out, "{name}_count {}", snap.count());
+            let quantiles = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+            for (suffix, q) in quantiles {
+                let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+                let _ = writeln!(out, "{name}_{suffix} {}", snap.quantile(q));
+            }
+        }
+    }
+}
+
+/// Append one externally-snapshotted gauge series to an exposition buffer
+/// — how the pre-existing coherent snapshots (`ServerStats`,
+/// `Store::stats`, `AggregationStats`, the flood guard) fold into the
+/// same `/metrics` page without being re-homed into atomics.
+pub fn render_external_gauge(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Counter-typed sibling of [`render_external_gauge`].
+pub fn render_external_counter(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bound_agree() {
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1_000, 65_535, u64::MAX / 2, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < HISTOGRAM_BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_bound(i) >= v, "bound {} below value {v}", bucket_bound(i));
+            if i > 0 {
+                assert!(bucket_bound(i - 1) < v, "value {v} should not fit bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        let mut previous = None;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let bound = bucket_bound(i);
+            if let Some(p) = previous {
+                assert!(bound > p, "bucket {i} bound {bound} <= previous {p}");
+            }
+            previous = Some(bound);
+        }
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("softrep_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("softrep_test_depth");
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        // Re-registration returns the same underlying metric.
+        assert_eq!(r.counter("softrep_test_total").get(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum(), 500_500);
+        // p50 covers the median (500) within one bucket width.
+        let p50 = snap.quantile(0.5);
+        assert!(p50 >= 500, "p50 {p50} below the true median");
+        assert!(p50 <= 640, "p50 {p50} overshoots the 12.5% bucket error");
+        assert!(snap.quantile(1.0) >= 1000);
+        assert_eq!(snap.quantile(0.0), HistogramSnapshot::bound_of(1));
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.99), 0);
+        assert!(snap.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_pointwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(10_000);
+        b.record(10);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 10_020);
+        assert_eq!(merged, b.snapshot().merge(&a.snapshot()), "merge commutes");
+    }
+
+    #[test]
+    fn kind_collision_yields_detached_metric_not_panic() {
+        let r = Registry::new();
+        let c = r.counter("softrep_test_kind");
+        c.inc();
+        let g = r.gauge("softrep_test_kind"); // wrong kind: detached
+        g.set(99);
+        assert_eq!(r.counter("softrep_test_kind").get(), 1, "original survives");
+    }
+
+    #[test]
+    fn exposition_is_well_formed() {
+        let r = Registry::new();
+        r.counter("softrep_requests_total").add(7);
+        r.gauge("softrep_depth").set(3);
+        let h = r.histogram("softrep_latency_us");
+        h.record(120);
+        h.record(50_000);
+        let text = r.render();
+        assert!(text.contains("# TYPE softrep_requests_total counter"));
+        assert!(text.contains("softrep_requests_total 7"));
+        assert!(text.contains("# TYPE softrep_latency_us histogram"));
+        assert!(text.contains("softrep_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("softrep_latency_us_count 2"));
+        assert!(text.contains("softrep_latency_us_p99"));
+        // Every non-comment line is `name[{labels}] value` with a numeric
+        // value — the shape the ci.sh smoke shard asserts too.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').unwrap_or_default();
+            assert!(value.parse::<f64>().is_ok(), "unparseable exposition line: {line}");
+        }
+    }
+}

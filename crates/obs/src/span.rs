@@ -1,0 +1,293 @@
+//! Tracing spans: sampled latency timing with request-id propagation and
+//! a slow-op ring buffer.
+//!
+//! A [`SpanFamily`] names one operation (e.g. `request`, `wal_fsync`) and
+//! owns the histogram its timings land in. Families come in two speeds:
+//!
+//! * [`SpanFamily::sampled`] — for nanosecond-scale hot paths where even
+//!   the two monotonic clock reads of a timing would show up in the
+//!   benchmarks. A relaxed ticker admits 1 in N spans (N a power of two,
+//!   `SOFTREP_SPAN_SAMPLE`, default 64); the rest cost one relaxed
+//!   `fetch_add` and a mask.
+//! * [`SpanFamily::always`] — for microsecond-and-up operations (fsync,
+//!   aggregation runs) where the clock reads are noise.
+//!
+//! A [`Span`] records on drop, so timing wraps a scope without explicit
+//! bookkeeping. Spans slower than the process-wide threshold
+//! (`SOFTREP_SLOW_OP_MS`) are additionally pushed — with the current
+//! request id — into the [`SlowOpLog`] ring, the "what was slow lately"
+//! answer that aggregate histograms cannot give.
+//!
+//! Request ids are process-unique `u64`s minted at accept time and carried
+//! in a thread-local by [`RequestScope`]; because the server handles each
+//! connection on its own thread, a thread-local is exact, not approximate.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::Histogram;
+use crate::time::Stopwatch;
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mint a process-unique request id (non-zero; 0 means "no request").
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id active on this thread, or 0 outside any request.
+pub fn current_request_id() -> u64 {
+    CURRENT_REQUEST.with(|c| c.get())
+}
+
+/// Guard installing a request id as this thread's current request; the
+/// previous id is restored on drop, so nested scopes compose.
+pub struct RequestScope {
+    previous: u64,
+}
+
+impl RequestScope {
+    /// Enter `request_id` on this thread.
+    pub fn enter(request_id: u64) -> Self {
+        let previous = CURRENT_REQUEST.with(|c| c.replace(request_id));
+        RequestScope { previous }
+    }
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.previous));
+    }
+}
+
+/// A named span family: one operation, one latency histogram, one
+/// sampling policy. Construct once, store next to the code it measures.
+pub struct SpanFamily {
+    name: &'static str,
+    hist: Arc<Histogram>,
+    /// Admission mask: a span starts when `ticker & mask == 0`.
+    mask: u64,
+    ticker: AtomicU64,
+}
+
+impl SpanFamily {
+    /// A family timing every span — for operations slow enough that two
+    /// clock reads are noise.
+    pub fn always(name: &'static str, hist: Arc<Histogram>) -> Self {
+        SpanFamily { name, hist, mask: 0, ticker: AtomicU64::new(0) }
+    }
+
+    /// A family timing 1 in `SOFTREP_SPAN_SAMPLE` spans (default 64;
+    /// values are rounded down to a power of two, minimum 1). Sampling is
+    /// deterministic round-robin, not random: it needs no RNG and spreads
+    /// admissions evenly under steady load.
+    pub fn sampled(name: &'static str, hist: Arc<Histogram>) -> Self {
+        let n = crate::env_u64("SOFTREP_SPAN_SAMPLE", 64).max(1);
+        // Round down to a power of two so admission is a single mask.
+        let pow2 = 1u64 << (63 - n.leading_zeros());
+        SpanFamily { name, hist, mask: pow2 - 1, ticker: AtomicU64::new(0) }
+    }
+
+    /// Start a span if this one is admitted by the sampling policy. The
+    /// non-admitted path is one relaxed `fetch_add` and a mask — cheap
+    /// enough for the request hot path.
+    pub fn maybe_start(&self) -> Option<Span<'_>> {
+        if self.ticker.fetch_add(1, Ordering::Relaxed) & self.mask != 0 {
+            return None;
+        }
+        Some(Span { family: self, watch: Stopwatch::start() })
+    }
+
+    /// The family's latency histogram (for exposition wiring).
+    pub fn histogram(&self) -> &Arc<Histogram> {
+        &self.hist
+    }
+}
+
+impl std::fmt::Debug for SpanFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanFamily")
+            .field("name", &self.name)
+            .field("sample_every", &(self.mask + 1))
+            .finish()
+    }
+}
+
+/// A live timing; records its elapsed microseconds into the family
+/// histogram on drop, and into the slow-op log if over threshold.
+pub struct Span<'f> {
+    family: &'f SpanFamily,
+    watch: Stopwatch,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let micros = self.watch.elapsed_micros();
+        self.family.hist.record(micros);
+        crate::slow_ops().observe(self.family.name, micros);
+    }
+}
+
+/// One operation that exceeded the slow-op threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Span family name.
+    pub op: &'static str,
+    /// Request id active when the span ended (0 if outside a request).
+    pub request_id: u64,
+    /// Measured duration.
+    pub micros: u64,
+}
+
+/// Capacity of the slow-op ring: enough recent history to answer "what
+/// just got slow" without unbounded growth.
+const SLOW_OP_CAPACITY: usize = 128;
+
+/// Bounded ring of recent slow operations. The mutex is only taken when
+/// an op actually exceeded the threshold (or on readout), so it is never
+/// on a healthy hot path.
+pub struct SlowOpLog {
+    threshold_us: u64,
+    ring: Mutex<VecDeque<SlowOp>>,
+    dropped: AtomicU64,
+}
+
+impl SlowOpLog {
+    /// A log with an explicit threshold (µs). `u64::MAX` disables it.
+    pub fn with_threshold_us(threshold_us: u64) -> Self {
+        SlowOpLog {
+            threshold_us,
+            ring: Mutex::new(VecDeque::with_capacity(SLOW_OP_CAPACITY)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Threshold from `SOFTREP_SLOW_OP_MS` (default 500 ms).
+    pub fn from_env() -> Self {
+        let ms = crate::env_u64("SOFTREP_SLOW_OP_MS", 500);
+        SlowOpLog::with_threshold_us(ms.saturating_mul(1_000))
+    }
+
+    /// Record `micros` for `op` if it crossed the threshold.
+    pub fn observe(&self, op: &'static str, micros: u64) {
+        if micros < self.threshold_us {
+            return;
+        }
+        let entry = SlowOp { op, request_id: current_request_id(), micros };
+        let mut ring = self.ring.lock();
+        if ring.len() == SLOW_OP_CAPACITY {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+    }
+
+    /// The retained slow ops, oldest first.
+    pub fn recent(&self) -> Vec<SlowOp> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Slow ops evicted from the ring to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The active threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_scope_nests_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        let outer = next_request_id();
+        let inner = next_request_id();
+        assert_ne!(outer, inner);
+        {
+            let _a = RequestScope::enter(outer);
+            assert_eq!(current_request_id(), outer);
+            {
+                let _b = RequestScope::enter(inner);
+                assert_eq!(current_request_id(), inner);
+            }
+            assert_eq!(current_request_id(), outer);
+        }
+        assert_eq!(current_request_id(), 0);
+    }
+
+    #[test]
+    fn always_family_times_every_span() {
+        let hist = Arc::new(Histogram::new());
+        let family = SpanFamily::always("test_always", Arc::clone(&hist));
+        for _ in 0..10 {
+            let span = family.maybe_start();
+            assert!(span.is_some());
+        }
+        assert_eq!(hist.count(), 10);
+    }
+
+    #[test]
+    fn sampled_family_admits_one_in_n() {
+        let hist = Arc::new(Histogram::new());
+        // Environment-independent: build the mask directly via `always`
+        // semantics by checking the admission arithmetic of `sampled`
+        // with the default knob.
+        let family = SpanFamily::sampled("test_sampled", Arc::clone(&hist));
+        let every = family.mask + 1;
+        assert!(every.is_power_of_two());
+        let mut admitted = 0;
+        for _ in 0..(every * 4) {
+            if let Some(_span) = family.maybe_start() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 4, "exactly 1 in {every} spans admitted");
+        assert_eq!(hist.count(), 4);
+    }
+
+    #[test]
+    fn slow_op_log_thresholds_and_bounds() {
+        let log = SlowOpLog::with_threshold_us(1_000);
+        log.observe("fast", 999);
+        assert!(log.recent().is_empty());
+        for i in 0..(SLOW_OP_CAPACITY as u64 + 5) {
+            log.observe("slow", 1_000 + i);
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), SLOW_OP_CAPACITY);
+        assert_eq!(log.dropped(), 5);
+        let newest = recent.last().cloned();
+        assert_eq!(
+            newest.map(|s| s.micros),
+            Some(1_000 + SLOW_OP_CAPACITY as u64 + 4),
+            "ring keeps the newest entries"
+        );
+    }
+
+    #[test]
+    fn slow_op_carries_request_id() {
+        let log = SlowOpLog::with_threshold_us(0);
+        let id = next_request_id();
+        {
+            let _scope = RequestScope::enter(id);
+            log.observe("tagged", 123);
+        }
+        log.observe("untagged", 456);
+        let recent = log.recent();
+        assert_eq!(recent.first().map(|s| s.request_id), Some(id));
+        assert_eq!(recent.get(1).map(|s| s.request_id), Some(0));
+    }
+}

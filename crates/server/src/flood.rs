@@ -31,13 +31,36 @@ struct Bucket {
     last_refill: Timestamp,
 }
 
+/// Everything the guard mutates, under one lock. The reject/evict
+/// counters used to live in a second mutex; folding them in here makes
+/// [`FloodGuard::stats`] a coherent snapshot (counters can never disagree
+/// with the map contents they describe) and drops a lock acquisition from
+/// the rejection path.
+struct FloodState {
+    buckets: HashMap<String, Bucket>,
+    rejected: u64,
+    evicted: u64,
+}
+
+/// A coherent point-in-time view of the guard: one lock acquisition
+/// covers all three numbers, so `tracked` counts exactly the buckets the
+/// counters describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodStats {
+    /// Identities currently tracked.
+    pub tracked: usize,
+    /// Requests rejected so far.
+    pub rejected: u64,
+    /// Buckets evicted to keep the map bounded.
+    pub evicted: u64,
+}
+
 /// Token-bucket flood guard keyed by identity string.
 pub struct FloodGuard {
-    buckets: Mutex<HashMap<String, Bucket>>,
+    state: Mutex<FloodState>,
     capacity: f64,
     refill_per_hour: f64,
     max_tracked: usize,
-    rejected: Mutex<u64>,
 }
 
 impl FloodGuard {
@@ -52,35 +75,43 @@ impl FloodGuard {
     /// least one).
     pub fn with_limits(capacity: u32, refill_per_hour: u32, max_tracked: usize) -> Self {
         FloodGuard {
-            buckets: Mutex::new(HashMap::new()),
+            state: Mutex::new(FloodState { buckets: HashMap::new(), rejected: 0, evicted: 0 }),
             capacity: f64::from(capacity.max(1)),
             refill_per_hour: f64::from(refill_per_hour.max(1)),
             max_tracked: max_tracked.max(1),
-            rejected: Mutex::new(0),
         }
     }
 
     /// Try to spend one token for `identity` at `now`. Returns `false`
     /// when the identity is throttled.
     pub fn allow(&self, identity: &str, now: Timestamp) -> bool {
-        let mut buckets = self.buckets.lock();
-        if buckets.len() >= self.max_tracked && !buckets.contains_key(identity) {
-            self.evict(&mut buckets, now);
+        let mut state = self.state.lock();
+        if state.buckets.len() >= self.max_tracked && !state.buckets.contains_key(identity) {
+            let before = state.buckets.len();
+            self.evict(&mut state.buckets, now);
+            state.evicted += (before - state.buckets.len()) as u64;
         }
-        let bucket = buckets
+        let capacity = self.capacity;
+        let bucket = state
+            .buckets
             .entry(identity.to_string())
-            .or_insert(Bucket { tokens: self.capacity, last_refill: now });
+            .or_insert(Bucket { tokens: capacity, last_refill: now });
 
-        // Refill proportionally to elapsed time.
+        // Refill proportionally to elapsed time. `since` saturates at 0
+        // when the clock stepped backwards, and `last_refill` must never
+        // move backwards either: rewinding it would let the post-recovery
+        // clock mint the same interval's tokens a second time.
         let elapsed_hours = now.since(bucket.last_refill) as f64 / 3_600.0;
         bucket.tokens = (bucket.tokens + elapsed_hours * self.refill_per_hour).min(self.capacity);
-        bucket.last_refill = now;
+        if now > bucket.last_refill {
+            bucket.last_refill = now;
+        }
 
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
             true
         } else {
-            *self.rejected.lock() += 1;
+            state.rejected += 1;
             false
         }
     }
@@ -121,14 +152,25 @@ impl FloodGuard {
         }
     }
 
+    /// Coherent snapshot of tracked/rejected/evicted (one lock
+    /// acquisition; the numbers can never tear against each other).
+    pub fn stats(&self) -> FloodStats {
+        let state = self.state.lock();
+        FloodStats {
+            tracked: state.buckets.len(),
+            rejected: state.rejected,
+            evicted: state.evicted,
+        }
+    }
+
     /// Requests rejected so far (experiment D3's throttling measure).
     pub fn rejected_count(&self) -> u64 {
-        *self.rejected.lock()
+        self.state.lock().rejected
     }
 
     /// Identities currently tracked.
     pub fn tracked_identities(&self) -> usize {
-        self.buckets.lock().len()
+        self.state.lock().buckets.len()
     }
 
     /// The bound on tracked identities.
@@ -218,6 +260,44 @@ mod tests {
         // not the map blown past its bound.
         assert!(guard.allow("fresh", Timestamp(1_000)));
         assert_eq!(guard.tracked_identities(), 1, "all idle buckets evicted");
+    }
+
+    #[test]
+    fn backward_clock_step_mints_no_free_tokens() {
+        // Regression: `allow` used to set `last_refill = now`
+        // unconditionally. With a 1 token/second refill, an identity seen
+        // at t=1000 whose clock then steps back to t=0 would rewind
+        // `last_refill` to 0 — and when the clock recovered to t=1000,
+        // the same 1000 seconds would refill the bucket a second time.
+        let guard = FloodGuard::new(2, 3_600); // 1 token/second
+        assert!(guard.allow("u", Timestamp(1_000)));
+        assert!(guard.allow("u", Timestamp(1_000)));
+        assert!(!guard.allow("u", Timestamp(1_000)), "bucket exhausted");
+        // Clock steps backwards: no refill (since() saturates), and the
+        // rewound `now` must not be recorded.
+        assert!(!guard.allow("u", Timestamp(0)), "no tokens minted at rewound time");
+        // Clock recovers to exactly where it was: still no elapsed time,
+        // so still throttled (pre-fix this refilled 1000 seconds' worth).
+        assert!(!guard.allow("u", Timestamp(1_000)), "recovery must not replay the interval");
+        // Real progress past the high-water mark refills normally.
+        assert!(guard.allow("u", Timestamp(1_002)));
+    }
+
+    #[test]
+    fn stats_snapshot_is_coherent() {
+        let guard = FloodGuard::with_limits(1, 1, 4);
+        assert!(guard.allow("a", Timestamp(0)));
+        assert!(!guard.allow("a", Timestamp(0)));
+        assert!(!guard.allow("a", Timestamp(0)));
+        // Saturate the map with one-shot identities to force an eviction.
+        for i in 0..8 {
+            guard.allow(&format!("churn-{i}"), Timestamp(0));
+        }
+        let stats = guard.stats();
+        assert_eq!(stats.rejected, guard.rejected_count());
+        assert_eq!(stats.tracked, guard.tracked_identities());
+        assert!(stats.tracked <= 4);
+        assert!(stats.evicted > 0, "the bounded map must have shed buckets");
     }
 
     #[test]

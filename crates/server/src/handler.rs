@@ -154,6 +154,121 @@ impl ReputationServer {
         recomputed
     }
 
+    /// One coherent Prometheus-style snapshot of the whole process: the
+    /// obs registry (latency histograms, WAL/fsync/aggregation series)
+    /// plus the pre-existing transport, flood, storage, and aggregation
+    /// counters rendered as external series.
+    pub fn metrics_text(&self) -> String {
+        use softrep_obs::metrics::{render_external_counter, render_external_gauge};
+
+        let mut out = softrep_obs::registry().render();
+
+        let transport = self.stats.snapshot();
+        render_external_counter(
+            &mut out,
+            "softrep_server_connections_accepted_total",
+            transport.accepted,
+        );
+        render_external_gauge(&mut out, "softrep_server_connections_active", transport.active);
+        render_external_counter(
+            &mut out,
+            "softrep_server_rejected_overload_total",
+            transport.rejected_overload,
+        );
+        render_external_counter(&mut out, "softrep_server_timed_out_total", transport.timed_out);
+        render_external_counter(
+            &mut out,
+            "softrep_server_requests_served_total",
+            transport.requests_served,
+        );
+        render_external_counter(
+            &mut out,
+            "softrep_server_connections_closed_total",
+            transport.closed,
+        );
+
+        let flood = self.flood.stats();
+        render_external_gauge(&mut out, "softrep_flood_tracked_identities", flood.tracked as u64);
+        render_external_counter(&mut out, "softrep_flood_rejected_total", flood.rejected);
+        render_external_counter(&mut out, "softrep_flood_evicted_total", flood.evicted);
+
+        let store = self.db.store_stats();
+        render_external_gauge(&mut out, "softrep_store_trees", store.trees as u64);
+        render_external_gauge(&mut out, "softrep_store_keys", store.keys as u64);
+        render_external_counter(
+            &mut out,
+            "softrep_store_batches_applied_total",
+            store.batches_applied,
+        );
+        render_external_gauge(
+            &mut out,
+            "softrep_store_ops_since_compaction",
+            store.ops_since_compaction,
+        );
+        render_external_gauge(&mut out, "softrep_store_wal_bytes", store.wal_bytes);
+        render_external_counter(&mut out, "softrep_store_group_commits_total", store.group_commits);
+        render_external_counter(&mut out, "softrep_store_fsyncs_saved_total", store.fsyncs_saved);
+        render_external_gauge(&mut out, "softrep_store_max_group_depth", store.max_group_depth);
+        render_external_counter(&mut out, "softrep_store_wal_rotations_total", store.wal_rotations);
+
+        let agg = self.db.aggregation_stats();
+        render_external_counter(
+            &mut out,
+            "softrep_agg_incremental_runs_total",
+            agg.incremental_runs,
+        );
+        render_external_counter(&mut out, "softrep_agg_full_runs_total", agg.full_runs);
+        render_external_counter(
+            &mut out,
+            "softrep_agg_titles_incremental_total",
+            agg.titles_recomputed_incremental,
+        );
+        render_external_counter(
+            &mut out,
+            "softrep_agg_titles_full_total",
+            agg.titles_recomputed_full,
+        );
+        render_external_counter(&mut out, "softrep_agg_dirty_marks_total", agg.dirty_marks);
+        render_external_counter(
+            &mut out,
+            "softrep_agg_report_cache_hits_total",
+            agg.report_cache_hits,
+        );
+        render_external_counter(
+            &mut out,
+            "softrep_agg_report_cache_misses_total",
+            agg.report_cache_misses,
+        );
+        render_external_counter(
+            &mut out,
+            "softrep_agg_vendor_cache_hits_total",
+            agg.vendor_cache_hits,
+        );
+        render_external_counter(
+            &mut out,
+            "softrep_agg_vendor_cache_misses_total",
+            agg.vendor_cache_misses,
+        );
+        render_external_gauge(&mut out, "softrep_agg_dirty_titles", self.db.dirty_count() as u64);
+
+        // Seconds since the last aggregation pass. A deployment that has
+        // never aggregated reports its full uptime-equivalent (now.0) so
+        // the staleness alarm still has a monotone signal to watch.
+        let now = self.clock.now();
+        let lag = match self.db.last_aggregation() {
+            Ok(Some(t)) => now.since(t),
+            Ok(None) | Err(_) => now.0,
+        };
+        render_external_gauge(&mut out, "softrep_agg_lag_seconds", lag);
+
+        let slow = softrep_obs::slow_ops();
+        render_external_gauge(&mut out, "softrep_slow_ops_retained", slow.recent().len() as u64);
+        render_external_counter(&mut out, "softrep_slow_ops_dropped_total", slow.dropped());
+        render_external_gauge(&mut out, "softrep_slow_op_threshold_us", slow.threshold_us());
+
+        out
+    }
+
     /// Handle one request from `source` (a transport-level identity used
     /// only for flood control — never persisted, per §2.2).
     pub fn handle(&self, request: &Request, source: &str) -> Response {

@@ -38,6 +38,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use softrep_obs::span::{self, SpanFamily};
 use softrep_proto::framing::{read_frame, write_frame, FrameError};
 use softrep_proto::{Request, Response};
 
@@ -136,6 +137,9 @@ impl TcpServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Register the latency series at bind time so `/metrics` exposes
+        // it (at zero) before the first request arrives.
+        let _ = request_spans();
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(WorkerPool::new(config.max_connections));
         // Share the handler's counter sink: one snapshot covers transport
@@ -317,11 +321,16 @@ fn serve_connection(
             }
             Err(e) => return Err(e),
         };
+        // Every request gets a process-unique id (slow-op attribution);
+        // the latency span itself is 1-in-N sampled.
+        let _scope = span::RequestScope::enter(span::next_request_id());
+        let timer = request_spans().maybe_start();
         let response = match Request::decode(&body) {
             Ok(request) => server.handle(&request, peer_tag),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
         write_frame(&mut writer, &response.encode())?;
+        drop(timer);
         stats.record_request_served();
         // Drain semantics: the request already in flight is answered, then
         // the connection closes so shutdown can complete.
@@ -333,6 +342,20 @@ fn serve_connection(
 
 fn is_timeout(e: &std::io::Error) -> bool {
     matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Sampled latency spans for the decode → handle → respond cycle. The
+/// span lives at the transport layer, not in `handle()`, so the in-memory
+/// dispatch path stays clock-free; socket turnaround dwarfs the sampled
+/// `Instant` reads that do happen.
+fn request_spans() -> &'static SpanFamily {
+    static FAMILY: std::sync::OnceLock<SpanFamily> = std::sync::OnceLock::new();
+    FAMILY.get_or_init(|| {
+        SpanFamily::sampled(
+            "tcp_request",
+            softrep_obs::registry().histogram("softrep_request_latency_us"),
+        )
+    })
 }
 
 /// A blocking protocol client for the TCP front end.

@@ -12,7 +12,9 @@
 //! * `/software/<hex id>` — the full detail page (metadata, rating,
 //!   behaviours, verified evidence, comments),
 //! * `/vendor/<name>` — the derived vendor view,
-//! * `/search?q=<query>` — substring search over names and vendors.
+//! * `/search?q=<query>` — substring search over names and vendors,
+//! * `/metrics` — Prometheus-style text exposition of every process
+//!   metric (see `crates/obs` and DESIGN.md §12).
 //!
 //! Everything user-controlled is HTML-escaped; unknown paths 404; bad
 //! requests 400. No cookies, no forms, no state: the web UI is read-only
@@ -25,6 +27,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::handler::ReputationServer;
+
+/// The first `max_chars` characters of `text`, on a char boundary. Byte
+/// slicing (`&text[..12]`) panics when byte 12 falls inside a multi-byte
+/// UTF-8 code point — use this everywhere an id or label is shortened
+/// for display.
+pub fn truncate_chars(text: &str, max_chars: usize) -> &str {
+    match text.char_indices().nth(max_chars) {
+        Some((boundary, _)) => text.get(..boundary).unwrap_or(text),
+        None => text,
+    }
+}
 
 /// Escape text for HTML contexts.
 pub fn html_escape(text: &str) -> String {
@@ -76,20 +89,30 @@ pub fn url_decode(input: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+const CONTENT_TYPE_HTML: &str = "text/html; charset=utf-8";
+/// Prometheus text exposition format version 0.0.4.
+const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// An HTTP response about to be written.
 struct HttpResponse {
     status: &'static str,
+    content_type: &'static str,
     body: String,
 }
 
 impl HttpResponse {
     fn ok(body: String) -> Self {
-        HttpResponse { status: "200 OK", body }
+        HttpResponse { status: "200 OK", content_type: CONTENT_TYPE_HTML, body }
+    }
+
+    fn metrics(body: String) -> Self {
+        HttpResponse { status: "200 OK", content_type: CONTENT_TYPE_METRICS, body }
     }
 
     fn not_found(what: &str) -> Self {
         HttpResponse {
             status: "404 Not Found",
+            content_type: CONTENT_TYPE_HTML,
             body: page("Not found", &format!("<p>No such {}.</p>", html_escape(what))),
         }
     }
@@ -97,6 +120,7 @@ impl HttpResponse {
     fn bad_request(msg: &str) -> Self {
         HttpResponse {
             status: "400 Bad Request",
+            content_type: CONTENT_TYPE_HTML,
             body: page("Bad request", &format!("<p>{}</p>", html_escape(msg))),
         }
     }
@@ -120,17 +144,23 @@ fn page(title: &str, body: &str) -> String {
 
 /// Render the routed response for `path_and_query`.
 pub fn render(server: &ReputationServer, path_and_query: &str) -> (String, String) {
+    let resp = respond(server, path_and_query);
+    (resp.status.to_string(), resp.body)
+}
+
+/// Route `path_and_query` to the full response, content type included.
+fn respond(server: &ReputationServer, path_and_query: &str) -> HttpResponse {
     let (path, query) = match path_and_query.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (path_and_query, None),
     };
-    let resp = route(server, path, query);
-    (resp.status.to_string(), resp.body)
+    route(server, path, query)
 }
 
 fn route(server: &ReputationServer, path: &str, query: Option<&str>) -> HttpResponse {
     match path {
         "/" => front_page(server),
+        "/metrics" => HttpResponse::metrics(server.metrics_text()),
         "/search" => {
             let q = query
                 .and_then(|q| q.split('&').find_map(|pair| pair.strip_prefix("q=").map(url_decode)))
@@ -171,7 +201,7 @@ fn front_page(server: &ReputationServer) -> HttpResponse {
             body.push_str(&format!(
                 "<li><a href=\"/software/{id}\">{short}…</a> — {rating:.1}/10 ({votes} votes)</li>",
                 id = html_escape(&r.software_id),
-                short = html_escape(&r.software_id[..12.min(r.software_id.len())]),
+                short = html_escape(truncate_chars(&r.software_id, 12)),
                 rating = r.rating,
                 votes = r.vote_count,
             ));
@@ -361,18 +391,25 @@ fn serve_connection(server: &ReputationServer, stream: TcpStream) -> std::io::Re
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("/");
 
-    let (status, body) = if method != "GET" {
-        ("405 Method Not Allowed".to_string(), page("Method not allowed", "<p>GET only.</p>"))
+    let resp = if method != "GET" {
+        HttpResponse {
+            status: "405 Method Not Allowed",
+            content_type: CONTENT_TYPE_HTML,
+            body: page("Method not allowed", "<p>GET only.</p>"),
+        }
     } else {
-        render(server, target)
+        respond(server, target)
     };
 
     let mut out = stream;
     write!(
         out,
-        "HTTP/1.1 {status}\r\nContent-Type: text/html; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {len}\r\nConnection: close\r\n\r\n{body}",
+        status = resp.status,
+        content_type = resp.content_type,
+        len = resp.body.len(),
+        body = resp.body,
     )?;
     out.flush()
 }
@@ -474,6 +511,55 @@ mod tests {
         assert_eq!(status, "400 Bad Request");
     }
 
+    /// Regression: ids were shortened with a byte slice
+    /// (`&id[..12.min(len)]`), which panics when byte 12 lands inside a
+    /// multi-byte UTF-8 character. The char-boundary helper must never
+    /// split a character, whatever the input.
+    #[test]
+    fn truncate_chars_never_splits_multibyte_ids() {
+        // Byte index 12 falls inside '软' (bytes 11..14) — the old slice
+        // would panic right here.
+        let id = "abcdefghijk软件信誉";
+        assert!(!id.is_char_boundary(12), "test input must straddle byte 12");
+        assert_eq!(truncate_chars(id, 12), "abcdefghijk软");
+
+        // Purely multi-byte input and exact-fit / short inputs.
+        assert_eq!(truncate_chars("αβγδεζηθικλμνξ", 12), "αβγδεζηθικλμ");
+        assert_eq!(truncate_chars("abcdef", 12), "abcdef");
+        assert_eq!(truncate_chars("", 12), "");
+        assert_eq!(truncate_chars("é", 0), "");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let server = seeded_server();
+        // Exercise the instrumented dispatch path once so request-level
+        // series exist, then aggregate so lag is measured, not inferred.
+        server.run_full_aggregation();
+        let (status, body) = render(&server, "/metrics");
+        assert_eq!(status, "200 OK");
+        assert!(!body.contains('<'), "metrics exposition must not be HTML: {body}");
+        for series in [
+            "softrep_agg_full_run_us",
+            "softrep_agg_lag_seconds",
+            "softrep_agg_dirty_titles",
+            "softrep_flood_rejected_total",
+            "softrep_flood_evicted_total",
+            "softrep_store_batches_applied_total",
+            "softrep_server_requests_served_total",
+            "softrep_slow_op_threshold_us",
+        ] {
+            assert!(body.contains(series), "missing series {series} in:\n{body}");
+        }
+        // Every non-comment line is `name value` with a numeric value.
+        for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let mut parts = line.split_whitespace();
+            let (name, value) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            assert!(!name.is_empty(), "malformed line: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value in line: {line}");
+        }
+    }
+
     #[test]
     fn unknown_paths_and_ids_404() {
         let server = seeded_server();
@@ -492,6 +578,16 @@ mod tests {
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200 OK"));
         assert!(response.contains("softwareputation"));
+        assert!(response.contains("Content-Type: text/html"));
+
+        // The metrics endpoint is plain text, not HTML.
+        let mut stream = TcpStream::connect(web.local_addr()).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(response.contains("softrep_agg_lag_seconds"));
 
         // Non-GET methods are refused.
         let mut stream = TcpStream::connect(web.local_addr()).unwrap();

@@ -108,6 +108,14 @@ fn flood_guard_never_overspends_last_token() {
         assert_eq!(admitted, 1, "exactly one request may spend the last token");
         assert_eq!(guard.rejected_count(), 1);
         assert_eq!(guard.tracked_identities(), 1);
+        // The counters share the bucket-map lock, so a snapshot can never
+        // tear: every number agrees with the map state it describes.
+        let snap = guard.stats();
+        assert_eq!(
+            (snap.tracked, snap.rejected, snap.evicted),
+            (1, 1, 0),
+            "torn flood snapshot: {snap:?}"
+        );
     });
     assert!(
         stats.distinct_schedules >= MIN_DISTINCT,

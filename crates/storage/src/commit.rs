@@ -112,12 +112,15 @@ impl CommitLedger {
 
     /// Report the outcome of the sync claimed by
     /// [`CommitLedger::try_begin_sync`]. On success every batch up to
-    /// `sync_to` becomes durable and the group counters advance.
-    pub fn finish_sync(&mut self, sync_to: u64, ok: bool) {
+    /// `sync_to` becomes durable and the group counters advance. Returns
+    /// the group depth this sync retired (0 on failure or no-op), so the
+    /// caller can feed the per-fsync depth distribution to observability
+    /// without a second ledger read.
+    pub fn finish_sync(&mut self, sync_to: u64, ok: bool) -> u64 {
         self.sync_in_flight = false;
         if !ok {
             self.bytes_in_flight = 0;
-            return;
+            return 0;
         }
         let depth = sync_to.saturating_sub(self.durable_seq);
         if depth > 0 {
@@ -128,6 +131,7 @@ impl CommitLedger {
         self.durable_seq = self.durable_seq.max(sync_to);
         self.bytes_since_sync = self.bytes_since_sync.saturating_sub(self.bytes_in_flight);
         self.bytes_in_flight = 0;
+        depth
     }
 
     /// Everything currently appended is known durable (used after the
@@ -212,7 +216,7 @@ mod tests {
             l.record_append(4);
         }
         let to = l.try_begin_sync().unwrap();
-        l.finish_sync(to, true);
+        assert_eq!(l.finish_sync(to, true), 5, "finish reports the retired depth");
         assert_eq!(l.group_commits(), 1);
         assert_eq!(l.fsyncs_saved(), 4);
         assert_eq!(l.max_group_depth(), 5);
@@ -224,7 +228,7 @@ mod tests {
         let mut l = CommitLedger::new();
         let seq = l.record_append(4);
         let to = l.try_begin_sync().unwrap();
-        l.finish_sync(to, false);
+        assert_eq!(l.finish_sync(to, false), 0, "failed sync retires nothing");
         assert!(!l.is_durable(seq));
         assert!(!l.sync_in_flight());
         // The retry can claim the slot again.

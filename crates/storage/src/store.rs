@@ -26,10 +26,11 @@ use std::fs;
 use std::io::{Read, Write};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use softrep_obs::{Counter, Histogram, SpanFamily};
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::codec::{Decode, Encode, Reader, Writer};
@@ -82,6 +83,36 @@ pub struct StoreStats {
     pub max_group_depth: u64,
     /// WAL → WAL.old rotations performed by compaction.
     pub wal_rotations: u64,
+}
+
+/// Cached observability handles. Registered once per store against the
+/// process-wide registry; recording afterwards is relaxed atomics only,
+/// and every record happens *outside* the commit lock so instrumentation
+/// can never widen a critical section.
+struct StoreObs {
+    /// Bytes appended to the WAL (durable stores only — the in-memory
+    /// path records nothing and stays benchmark-identical).
+    wal_appended_bytes: Arc<Counter>,
+    /// `sync_data` wall time; always-on because an fsync costs ~ms and
+    /// two clock reads are noise. Slow fsyncs land in the slow-op log.
+    fsync: SpanFamily,
+    /// Batches retired per completed group fsync — the live distribution
+    /// behind the `max_group_depth` high-water mark.
+    group_depth: Arc<Histogram>,
+}
+
+impl StoreObs {
+    fn new() -> Self {
+        let registry = softrep_obs::registry();
+        StoreObs {
+            wal_appended_bytes: registry.counter("softrep_store_wal_appended_bytes_total"),
+            fsync: SpanFamily::always(
+                "store_wal_fsync",
+                registry.histogram("softrep_store_fsync_us"),
+            ),
+            group_depth: registry.histogram("softrep_store_group_commit_depth"),
+        }
+    }
 }
 
 /// Condvar-with-generation used to wake `wait_durable` waiters after a
@@ -137,6 +168,7 @@ pub struct Store {
     /// entirely for in-memory stores without taking the commit lock.
     durable: bool,
     dir: Option<PathBuf>,
+    obs: StoreObs,
 }
 
 const SNAPSHOT_FILE: &str = "SNAPSHOT";
@@ -199,6 +231,7 @@ impl Store {
             durability: options.durability,
             durable: true,
             dir: Some(dir),
+            obs: StoreObs::new(),
         };
         if had_rotation {
             // Finish the interrupted compaction: write a snapshot that
@@ -230,6 +263,7 @@ impl Store {
             durability: DurabilityMode::Os,
             durable: false,
             dir: None,
+            obs: StoreObs::new(),
         }
     }
 
@@ -265,6 +299,9 @@ impl Store {
             };
             (seq, sync_now)
         };
+        if let Some(payload) = payload.as_deref() {
+            self.obs.wal_appended_bytes.add(8 + payload.len() as u64);
+        }
         if sync_now && self.durable {
             self.wait_durable(seq)?;
         }
@@ -394,9 +431,14 @@ impl Store {
             };
             match claim {
                 Some((sync_to, file)) => {
+                    let span = self.obs.fsync.maybe_start();
                     let synced = file.sync_data();
+                    drop(span); // records fsync latency (off-lock)
                     let ok = synced.is_ok();
-                    self.commit.lock().ledger.finish_sync(sync_to, ok);
+                    let depth = self.commit.lock().ledger.finish_sync(sync_to, ok);
+                    if depth > 0 {
+                        self.obs.group_depth.record(depth);
+                    }
                     self.sync_signal.notify();
                     synced?;
                 }

@@ -102,7 +102,10 @@ fn main() {
     println!("\n-- simulated database breach --");
     let record = server.db().user("anon_member").unwrap().unwrap();
     println!("stolen user record: {record:?}");
-    println!("  plaintext e-mail present: no (digest only: {}…)", &record.email_digest[..12]);
+    println!(
+        "  plaintext e-mail present: no (digest only: {}…)",
+        softwareputation::server::web::truncate_chars(&record.email_digest, 12)
+    );
     println!("  IP address present: no such field exists");
 
     // Dictionary attack on the stored digest without the pepper.

@@ -126,3 +126,112 @@ fn max_reachable_is_monotone_and_clamped() {
     // of membership buys at most one cap's worth of growth.
     assert!(TrustEngine::max_reachable(1) <= MIN_TRUST + 2.0 * WEEKLY_TRUST_GROWTH_CAP);
 }
+
+// ---------------------------------------------------------------------
+// Observability histogram (crates/obs): the log-linear histogram must
+// classify *arbitrary* u64 samples without losing any, keep its bucket
+// walk monotone, bound every quantile it reports, and merge like the
+// commutative monoid the sharded exposition assumes it is.
+// ---------------------------------------------------------------------
+
+/// A u64 with a random magnitude: raw 64-bit draws alone almost never
+/// exercise the low buckets, so shift by a random amount first.
+fn arbitrary_sample(rng: &mut SplitMix64) -> u64 {
+    let shift = rng.below(64) as u32;
+    rng.next_u64() >> shift
+}
+
+#[test]
+fn histogram_buckets_are_monotone_and_lose_no_samples() {
+    use softrep_obs::{Histogram, HistogramSnapshot};
+    let base = base_seed(0x0b5_0001);
+    for case in 0..case_count(200) {
+        let mut rng = SplitMix64::new(base.wrapping_add(case as u64));
+        let n = (rng.below(200) + 1) as usize;
+        let hist = Histogram::new();
+        let mut expected_sum = 0u64;
+        let mut max = 0u64;
+        for _ in 0..n {
+            let v = arbitrary_sample(&mut rng);
+            expected_sum = expected_sum.wrapping_add(v);
+            max = max.max(v);
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count() as usize, n, "samples lost or double-counted");
+        assert_eq!(snap.sum(), expected_sum, "sum drifted from the samples");
+        // The cumulative walk is sorted by bound and non-decreasing in
+        // count, ends exactly at n, and every sample's bucket bound holds
+        // the sample (bound_of(v) >= v — the readout never understates).
+        let walk = snap.cumulative_buckets();
+        for pair in walk.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "bucket bounds out of order: {walk:?}");
+            assert!(pair[0].1 <= pair[1].1, "cumulative count decreased: {walk:?}");
+        }
+        assert_eq!(walk.last().map(|&(_, c)| c), Some(n as u64));
+        assert!(HistogramSnapshot::bound_of(max) >= max);
+    }
+}
+
+#[test]
+fn histogram_quantiles_bound_the_true_order_statistics() {
+    use softrep_obs::{Histogram, HistogramSnapshot};
+    let base = base_seed(0x0b5_0002);
+    for case in 0..case_count(200) {
+        let mut rng = SplitMix64::new(base.wrapping_add(case as u64));
+        let n = (rng.below(300) + 1) as usize;
+        let hist = Histogram::new();
+        let mut samples: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = arbitrary_sample(&mut rng);
+            samples.push(v);
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        let snap = hist.snapshot();
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n as u64) as usize;
+            let true_value = samples[rank - 1];
+            let reported = snap.quantile(q);
+            // The readout is the upper bound of the bucket holding the
+            // rank-th sample: never below the true order statistic, and
+            // no looser than that bucket's own bound.
+            assert!(
+                reported >= true_value,
+                "q={q}: reported {reported} < true {true_value} (seed case {case})"
+            );
+            assert!(
+                reported <= HistogramSnapshot::bound_of(true_value),
+                "q={q}: reported {reported} overshoots the bucket bound of {true_value}"
+            );
+        }
+        // Degenerate q is clamped, not misread.
+        assert_eq!(snap.quantile(-1.0), snap.quantile(0.0));
+        assert_eq!(snap.quantile(2.0), snap.quantile(1.0));
+    }
+}
+
+#[test]
+fn histogram_merge_is_associative_commutative_with_identity() {
+    use softrep_obs::{Histogram, HistogramSnapshot};
+    let base = base_seed(0x0b5_0003);
+    for case in 0..case_count(200) {
+        let mut rng = SplitMix64::new(base.wrapping_add(case as u64));
+        let shard = |rng: &mut SplitMix64| {
+            let hist = Histogram::new();
+            for _ in 0..rng.below(60) {
+                hist.record(arbitrary_sample(rng));
+            }
+            hist.snapshot()
+        };
+        let (a, b, c) = (shard(&mut rng), shard(&mut rng), shard(&mut rng));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "merge is not associative");
+        assert_eq!(a.merge(&b), b.merge(&a), "merge is not commutative");
+        let empty = HistogramSnapshot::empty();
+        assert_eq!(a.merge(&empty), a, "empty is not a right identity");
+        assert_eq!(empty.merge(&a), a, "empty is not a left identity");
+        // Merging is lossless: totals add up.
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+    }
+}
