@@ -20,14 +20,21 @@
 #   6. loom shards                  race detection on the server's
 #                                   concurrent structures and the storage
 #                                   engine's group-commit/striping protocols
-#   7. concurrency bench smoke      the store_concurrent/group-commit
+#   7. crash-matrix shard           the deterministic fault-injection
+#                                   harness (DESIGN.md §13): enumerate
+#                                   every durable-effect site of the
+#                                   canonical workload and re-recover at
+#                                   each one, fixed seed first, then one
+#                                   randomized-seed exploration (the seed
+#                                   is echoed so failures replay exactly)
+#   8. concurrency bench smoke      the store_concurrent/group-commit
 #                                   benches at a tiny workload — a
 #                                   does-it-run check, not a measurement
-#   8. /metrics endpoint smoke      boots the release serverd on
+#   9. /metrics endpoint smoke      boots the release serverd on
 #                                   ephemeral ports and asserts the
 #                                   Prometheus exposition is well formed
 #                                   and carries the key series
-#   9. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
+#  10. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
 #                                   toolchain; skipped otherwise
 #
 # Usage: ./ci.sh            (from the workspace root)
@@ -38,25 +45,25 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/10 cargo fmt --check"
+step "1/11 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/10 cargo clippy --all-targets -- -D warnings"
+step "2/11 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/10 softrep-lint (baseline diff)"
+step "3/11 softrep-lint (baseline diff)"
 # Fails on diagnostics not present in lint-baseline.json. To accept a
 # finding on purpose (rare; prefer an inline reasoned suppression):
 #   SOFTREP_LINT_BASELINE=regen cargo run -q -p softrep-lint -- . --baseline lint-baseline.json
 cargo run --offline -q -p softrep-lint -- . --format json --baseline lint-baseline.json --stats
 
-step "4/10 cargo build --release"
+step "4/11 cargo build --release"
 cargo build --offline --release
 
-step "5/10 cargo test (workspace)"
+step "5/11 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/10 property shard (fixed + randomized seed)"
+step "6/11 property shard (fixed + randomized seed)"
 # Fixed seed: reproduces the checked-in baseline exactly.
 SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
     cargo test --offline -q --test properties
@@ -67,18 +74,32 @@ printf 'property shard randomized seed: %s\n' "$PROP_SEED"
 SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
     cargo test --offline -q --test properties
 
-step "7/10 loom race-detection shards (server + storage)"
+step "7/11 loom race-detection shards (server + storage)"
 cargo test --offline -q -p softrep-server --features loom --test loom
 cargo test --offline -q -p softrep-storage --features loom --test loom
 
-step "8/10 concurrency bench smoke"
+step "8/11 crash-matrix shard (fixed + randomized seed)"
+# Fixed seed: the canonical schedule, byte-for-byte reproducible. Time-
+# budgeted: the whole matrix is sub-second, so a multi-minute run means a
+# recovery loop is wedged — fail fast rather than eat the CI budget.
+timeout 300 env SOFTREP_CRASH_SEED=0xC0FFEE \
+    cargo test --offline -q --test crash_matrix
+# Randomized seed: every CI run explores a fresh workload shape. The seed
+# is printed here and baked into every assertion message, so a failure is
+# replayable with SOFTREP_CRASH_SEED=<seed>.
+CRASH_SEED="$(date +%s)"
+printf 'crash-matrix randomized seed: %s\n' "$CRASH_SEED"
+timeout 300 env SOFTREP_CRASH_SEED="$CRASH_SEED" \
+    cargo test --offline -q --test crash_matrix randomized
+
+step "9/11 concurrency bench smoke"
 # Tiny workload: proves the mixed reader/writer and group-commit benches
 # still run, without spending CI minutes on real measurements.
 SOFTREP_BENCH_SMOKE=1 cargo bench --offline -p softrep-bench --bench storage_bench \
     | grep -E 'store_concurrent|store_group_commit' || {
         echo "concurrency benches produced no output"; exit 1; }
 
-step "9/10 /metrics endpoint smoke"
+step "10/11 /metrics endpoint smoke"
 # Boot the real binary on ephemeral ports, fetch /metrics over a raw
 # socket (no curl dependency), and assert the exposition is well formed
 # and carries the key series (DESIGN.md §12). Uses the release binary
@@ -136,7 +157,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "10/10 ThreadSanitizer shard (nightly)"
+        step "11/11 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -144,10 +165,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "10/10 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "11/11 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "10/10 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "11/11 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -62,6 +62,15 @@ const META_TREE: &str = "meta";
 /// encoding of the software id, value is empty. Marks are written in the
 /// same [`WriteBatch`] as the mutation that caused them.
 const AGG_DIRTY_TREE: &str = "agg_dirty";
+/// Marks of the batch currently being recomputed. Draining moves marks
+/// here (atomically with the dirty-tree delete) instead of discarding
+/// them, and a batch clears its marks only after its ratings are written:
+/// a crash anywhere inside the batch leaves the marks recoverable, so the
+/// next drain retries them. Without this staging tree, a crash between
+/// the drain and the rating writes silently dropped the whole dirty set —
+/// the crash-schedule explorer (tests/crash_matrix.rs) found exactly that
+/// schedule.
+const AGG_INFLIGHT_TREE: &str = "agg_inflight";
 /// Read-side caches are cleared wholesale when they exceed this many
 /// entries — crude, but bounds memory without an LRU dependency.
 const READ_CACHE_CAP: usize = 4096;
@@ -770,6 +779,7 @@ impl ReputationDb {
         }
         self.report_cache.write().clear();
         self.vendor_cache.write().clear();
+        self.clear_inflight_marks()?;
         self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
         self.agg_counters.full_runs.fetch_add(1, Ordering::Relaxed);
         self.agg_counters.titles_recomputed_full.fetch_add(recomputed as u64, Ordering::Relaxed);
@@ -809,11 +819,13 @@ impl ReputationDb {
             }
         }
         if let Some(err) = first_err {
-            // Nothing has been written yet: put every drained mark back so
-            // the next batch retries the whole set, then surface the error.
+            // Nothing has been written yet: move every drained mark from
+            // in-flight back to dirty (one atomic batch) so the next batch
+            // retries the whole set, then surface the error.
             let mut remark = WriteBatch::new();
             for software_id in &dirty {
                 remark.put(AGG_DIRTY_TREE, software_id.to_key_bytes(), Vec::new());
+                remark.delete(AGG_INFLIGHT_TREE, software_id.to_key_bytes());
             }
             self.store.apply(&remark)?;
             return Err(err);
@@ -825,6 +837,10 @@ impl ReputationDb {
             self.report_cache.write().remove(&rating.software_id);
             self.invalidate_vendor_cache_for(&rating.software_id)?;
         }
+        // Every rating of the batch is written: only now may the marks be
+        // retired. A crash before this line re-runs the batch (idempotent)
+        // instead of losing it.
+        self.clear_inflight_marks()?;
         self.store.put(META_TREE, META_LAST_AGGREGATION.to_vec(), now.0.to_be_bytes().to_vec())?;
         self.agg_counters.incremental_runs.fetch_add(1, Ordering::Relaxed);
         self.agg_counters
@@ -887,23 +903,51 @@ impl ReputationDb {
     /// Remove and return the dirty set. Deleting before the caller reads
     /// votes is what makes concurrent marks safe (see
     /// [`force_aggregation_incremental`](Self::force_aggregation_incremental)).
+    ///
+    /// Crash safety: the delete and a copy into [`AGG_INFLIGHT_TREE`] are
+    /// one atomic batch, and leftovers from an earlier batch that died
+    /// mid-flight are folded into the result — so a mark can be retried
+    /// (recomputation is idempotent) but never lost. The caller retires
+    /// the in-flight marks via [`clear_inflight_marks`](Self::clear_inflight_marks)
+    /// once the recomputed ratings are written.
     fn drain_dirty_marks(&self) -> CoreResult<Vec<String>> {
-        let mut ids = Vec::new();
-        let mut purge = WriteBatch::new();
-        // Collect under the read lock, delete after it drops (the visitor
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut stage = WriteBatch::new();
+        // Collect under the read lock, write after it drops (the visitor
         // must not call back into the store).
         self.store.for_each_prefix(AGG_DIRTY_TREE, &[], |key, _| {
-            if let Some(id) = String::from_key_bytes(key) {
-                ids.push(id);
-            }
-            purge.delete(AGG_DIRTY_TREE, key.to_vec());
+            keys.push(key.to_vec());
+            stage.delete(AGG_DIRTY_TREE, key.to_vec());
+            stage.put(AGG_INFLIGHT_TREE, key.to_vec(), Vec::new());
             true
         });
-        if purge.is_empty() {
-            return Ok(Vec::new());
+        // Marks a crashed batch drained but never retired.
+        self.store.for_each_prefix(AGG_INFLIGHT_TREE, &[], |key, _| {
+            keys.push(key.to_vec());
+            true
+        });
+        if !stage.is_empty() {
+            self.store.apply(&stage)?;
         }
-        self.store.apply(&purge)?;
-        Ok(ids)
+        keys.sort();
+        keys.dedup();
+        Ok(keys.iter().filter_map(|key| String::from_key_bytes(key)).collect())
+    }
+
+    /// Retire in-flight marks once the batch that drained them has written
+    /// every recomputed rating. Batches run one at a time (the scheduler
+    /// serializes aggregation), so everything in the tree belongs to the
+    /// batch that just finished.
+    fn clear_inflight_marks(&self) -> CoreResult<()> {
+        let mut retire = WriteBatch::new();
+        self.store.for_each_prefix(AGG_INFLIGHT_TREE, &[], |key, _| {
+            retire.delete(AGG_INFLIGHT_TREE, key.to_vec());
+            true
+        });
+        if !retire.is_empty() {
+            self.store.apply(&retire)?;
+        }
+        Ok(())
     }
 
     /// Mark one title for recompute by the next incremental batch.

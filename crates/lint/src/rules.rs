@@ -53,6 +53,10 @@ pub const NO_PANIC_FILES: &[&str] = &[
     "crates/storage/src/shard.rs",
     "crates/storage/src/commit.rs",
     "crates/storage/src/table.rs",
+    // The fault-injection layer sits under every durable write; a panic
+    // here would be indistinguishable from the crash it simulates.
+    "crates/storage/src/vfs.rs",
+    "crates/storage/src/failpoint.rs",
     "crates/core/src/db.rs",
     // The aggregation worker pool runs on the same serving node; a panic
     // in a recompute thread would take the 24 h batch down with it.

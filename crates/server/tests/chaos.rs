@@ -1,0 +1,255 @@
+//! Network chaos suite for the TCP front end (DESIGN.md §13): scripted
+//! connection-level faults — truncated frames, mid-frame stalls past the
+//! read deadline, garbage bodies, oversized headers, abrupt closes —
+//! singly and in a seeded random sweep. After every schedule the server
+//! must still answer a healthy request, hold no workers hostage, and keep
+//! its counters consistent: chaos degrades one connection, never the
+//! service.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use softrep_core::clock::SimClock;
+use softrep_core::db::ReputationDb;
+use softrep_proto::framing::write_frame;
+use softrep_proto::{Request, Response};
+use softrep_server::tcp::{TcpClient, TcpServer, TcpServerConfig};
+use softrep_server::{ReputationServer, ServerConfig};
+
+fn reputation_server() -> Arc<ReputationServer> {
+    Arc::new(ReputationServer::new(
+        ReputationDb::in_memory("chaos-pepper"),
+        Arc::new(SimClock::new()),
+        ServerConfig {
+            puzzle_difficulty: 0,
+            flood_capacity: u32::MAX,
+            flood_refill_per_hour: u32::MAX,
+            ..ServerConfig::default()
+        },
+        7,
+    ))
+}
+
+fn spawn_with(read_timeout: Duration) -> (TcpServer, Arc<ReputationServer>) {
+    let server = reputation_server();
+    let tcp = TcpServer::spawn_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        TcpServerConfig { read_timeout, ..TcpServerConfig::default() },
+    )
+    .unwrap();
+    (tcp, server)
+}
+
+fn query() -> Request {
+    Request::QuerySoftware { software_id: "ab".repeat(20) }
+}
+
+/// A healthy exchange must succeed — the proof that chaos did not take
+/// the service down with the connection it hit.
+fn assert_service_healthy(tcp: &TcpServer) {
+    let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+    let response = client.call(&query()).unwrap();
+    assert!(
+        !matches!(&response, Response::Error { code, .. } if code == "overloaded"),
+        "healthy request shed after chaos: {response:?}"
+    );
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "not reached within 5s: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Same generator as the failpoint registry's `Chance` action — tiny,
+/// seedable, and dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// A frame whose header promises more bytes than ever arrive, then a
+/// clean close: the worker's body read fails mid-frame and the connection
+/// is dropped without a response — and without wedging the worker.
+#[test]
+fn truncated_request_frame_drops_only_that_connection() {
+    let (tcp, _server) = spawn_with(Duration::from_secs(30));
+
+    let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+    let body = query().encode();
+    stream.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+    stream.write_all(&body.as_bytes()[..body.len() / 2]).unwrap();
+    stream.flush().unwrap();
+    drop(stream); // tear: the rest of the frame never arrives
+
+    wait_for("truncated connection closed", || tcp.stats().closed == 1);
+    let stats = tcp.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.requests_served, 0, "a torn request must not be dispatched");
+    assert_eq!(stats.active, 0, "worker freed");
+
+    assert_service_healthy(&tcp);
+    tcp.shutdown();
+}
+
+/// A peer that sends half a frame and then goes silent (socket open, no
+/// bytes) is evicted at the read deadline, freeing its worker — the delay
+/// path of the chaos matrix.
+#[test]
+fn mid_frame_stall_is_evicted_at_the_read_deadline() {
+    let (tcp, _server) = spawn_with(Duration::from_millis(200));
+
+    let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+    let body = query().encode();
+    stream.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+    stream.write_all(&body.as_bytes()[..4]).unwrap();
+    stream.flush().unwrap();
+    // Keep the socket open and silent: only the deadline can free the
+    // worker now.
+    let started = Instant::now();
+    wait_for("stalled connection evicted", || tcp.stats().closed == 1);
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "eviction should come from the read deadline, not an instant error"
+    );
+    let stats = tcp.stats();
+    assert_eq!(stats.timed_out, 1, "eviction must be accounted as a timeout");
+    assert_eq!(stats.requests_served, 0);
+    assert_eq!(stats.active, 0);
+    drop(stream);
+
+    assert_service_healthy(&tcp);
+    tcp.shutdown();
+}
+
+/// While every worker is pinned by stalled-mid-frame peers, new arrivals
+/// are shed with an explicit `overloaded` frame; once the deadline evicts
+/// the stallers, service resumes — shed and deadline paths composing.
+#[test]
+fn shed_path_engages_while_stalled_peers_pin_the_workers() {
+    let server = reputation_server();
+    let tcp = TcpServer::spawn_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        TcpServerConfig {
+            max_connections: 2,
+            read_timeout: Duration::from_millis(400),
+            ..TcpServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Two silent peers pin both workers.
+    let pin_a = TcpStream::connect(tcp.local_addr()).unwrap();
+    let pin_b = TcpStream::connect(tcp.local_addr()).unwrap();
+    wait_for("both workers pinned", || tcp.stats().active == 2);
+
+    // A third connection is shed with a decodable overloaded frame.
+    let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+    match client.call(&query()) {
+        Ok(Response::Error { code, .. }) => assert_eq!(code, "overloaded"),
+        other => panic!("expected an overloaded error frame, got {other:?}"),
+    }
+    assert_eq!(tcp.stats().rejected_overload, 1);
+
+    // The deadline evicts the stallers and capacity returns.
+    wait_for("stallers evicted", || tcp.stats().timed_out == 2);
+    drop(pin_a);
+    drop(pin_b);
+    assert_service_healthy(&tcp);
+    tcp.shutdown();
+}
+
+/// Seeded random sweep: a few dozen connections each misbehave in a
+/// randomly chosen way. Whatever the schedule, every connection ends,
+/// no worker leaks, well-formed requests are all answered, and the server
+/// still serves. Reproduce a failure with
+/// `SOFTREP_CHAOS_SEED=<seed> cargo test -p softrep-server --test chaos`.
+#[test]
+fn seeded_fault_sweep_never_degrades_the_service() {
+    let seed: u64 =
+        std::env::var("SOFTREP_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xdecaf);
+    let mut rng = SplitMix64(seed);
+    let (tcp, _server) = spawn_with(Duration::from_millis(300));
+
+    let connections = 32;
+    let mut well_formed = 0u64;
+    for i in 0..connections {
+        let ctx = || format!("seed {seed}, connection {i}");
+        match rng.below(6) {
+            // A healthy request/response exchange.
+            0 => {
+                let mut client = TcpClient::connect(tcp.local_addr()).unwrap();
+                client.call(&query()).unwrap_or_else(|e| panic!("{}: {e}", ctx()));
+                well_formed += 1;
+            }
+            // Connect and immediately hang up.
+            1 => {
+                drop(TcpStream::connect(tcp.local_addr()).unwrap());
+            }
+            // Truncated frame, then close.
+            2 => {
+                let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+                let body = query().encode();
+                let keep = rng.below(body.len() as u64) as usize;
+                stream.write_all(&(body.len() as u32).to_be_bytes()).unwrap();
+                stream.write_all(&body.as_bytes()[..keep]).unwrap();
+            }
+            // A frame header promising more than the 1 MiB cap.
+            3 => {
+                let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+                stream.write_all(&(8 * 1024 * 1024u32).to_be_bytes()).unwrap();
+            }
+            // A well-framed body that is not a protocol message: answered
+            // with a bad-request error, connection stays up.
+            4 => {
+                let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+                write_frame(&mut stream, "<gibberish>").unwrap();
+                let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+                let frame = softrep_proto::framing::read_frame(&mut reader)
+                    .unwrap_or_else(|e| panic!("{}: no bad-request reply: {e}", ctx()));
+                match Response::decode(&frame) {
+                    Ok(Response::Error { code, .. }) => assert_eq!(code, "bad-request"),
+                    other => panic!("{}: expected bad-request, got {other:?}", ctx()),
+                }
+                well_formed += 1;
+            }
+            // A partial header (less than 4 length bytes), then close.
+            _ => {
+                let mut stream = TcpStream::connect(tcp.local_addr()).unwrap();
+                stream.write_all(&[0u8; 2]).unwrap();
+            }
+        }
+    }
+
+    // Every connection winds down (the stragglers at the read deadline)
+    // and no worker leaks.
+    wait_for("all chaos connections closed", || {
+        let s = tcp.stats();
+        s.closed + s.rejected_overload >= connections
+    });
+    wait_for("no active workers", || tcp.stats().active == 0);
+    let stats = tcp.stats();
+    assert_eq!(
+        stats.requests_served, well_formed,
+        "seed {seed}: every well-formed request answered, malformed ones never dispatched"
+    );
+    assert_service_healthy(&tcp);
+    tcp.shutdown();
+}

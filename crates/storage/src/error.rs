@@ -15,6 +15,11 @@ pub enum StorageError {
     Decode(String),
     /// The named tree does not exist.
     UnknownTree(String),
+    /// The WAL refused further writes: an earlier flush failed partway,
+    /// so retrying could lay duplicate bytes after a torn frame and make
+    /// frames beyond the tear unreachable to replay. Reopen the store to
+    /// recover cleanly (replay truncates the tear).
+    Poisoned(&'static str),
     /// A uniqueness constraint (e.g. a unique secondary index) was violated.
     UniqueViolation {
         /// The violated index's tree name.
@@ -31,6 +36,7 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
             StorageError::Decode(msg) => write!(f, "record decode error: {msg}"),
             StorageError::UnknownTree(name) => write!(f, "unknown tree: {name}"),
+            StorageError::Poisoned(msg) => write!(f, "storage handle poisoned: {msg}"),
             StorageError::UniqueViolation { index, key } => {
                 write!(f, "unique index {index} already contains key {key}")
             }

@@ -17,6 +17,12 @@
 //!   store's read path.
 //! * [`commit`] — durability modes and the group-commit ledger that lets
 //!   concurrent writers share one fsync.
+//! * [`vfs`] — the filesystem abstraction every durable effect routes
+//!   through: a zero-cost `RealVfs` passthrough in production, a
+//!   deterministic `SimVfs` (visible/durable split + event log + crash
+//!   image reconstruction) for the fault-injection harness.
+//! * [`failpoint`] — the deterministic, seedable failpoint registry that
+//!   drives fault injection (also loadable from `SOFTREP_FAILPOINTS`).
 //! * [`store`] — named B-tree keyspaces ("trees") with atomic write
 //!   batches, WAL group-commit durability, snapshot + rotated-WAL replay
 //!   recovery, and non-blocking compaction.
@@ -44,15 +50,19 @@ pub mod codec;
 pub mod commit;
 pub mod crc;
 pub mod error;
+pub mod failpoint;
 pub mod index;
 pub(crate) mod shard;
 pub mod store;
 pub mod table;
+pub mod vfs;
 pub mod wal;
 
 pub use batch::WriteBatch;
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use commit::{CommitLedger, DurabilityMode, StoreOptions};
 pub use error::{StorageError, StorageResult};
+pub use failpoint::{FailAction, Failpoints, Fault};
 pub use store::{Store, StoreStats, TreeName};
 pub use table::{KeyCodec, Table, TableSchema};
+pub use vfs::{durable_image_at, CrashStyle, RealVfs, SimVfs, Vfs, VfsEvent, VfsFile};

@@ -22,8 +22,6 @@
 //! why the striped design replaced it.
 
 use std::collections::BTreeMap;
-use std::fs;
-use std::io::{Read, Write};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
@@ -38,6 +36,7 @@ use crate::commit::{CommitLedger, DurabilityMode, StoreOptions};
 use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
 use crate::shard::{ShardSet, Tree};
+use crate::vfs::{self, Vfs};
 use crate::wal::Wal;
 
 /// A tree (keyspace) name. Plain `&str` newtype used to make call sites
@@ -168,6 +167,10 @@ pub struct Store {
     /// entirely for in-memory stores without taking the commit lock.
     durable: bool,
     dir: Option<PathBuf>,
+    /// Every filesystem touch goes through this handle; production uses
+    /// the [`crate::vfs::RealVfs`] passthrough, fault-injection tests a
+    /// [`crate::vfs::SimVfs`].
+    vfs: Arc<dyn Vfs>,
     obs: StoreObs,
 }
 
@@ -188,16 +191,27 @@ impl Store {
     /// by a crash) and then `WAL` on top, and finishes any interrupted
     /// compaction so `WAL.old` never outlives `open`.
     pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> StorageResult<Self> {
+        Self::open_with_vfs(dir, options, vfs::real())
+    }
+
+    /// [`Store::open_with`] against an explicit [`Vfs`] — the
+    /// fault-injection entry point. Every durable effect of this store
+    /// (opens, appends, fsyncs, renames, removes) routes through `vfs`.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> StorageResult<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
         let wal_path = dir.join(WAL_FILE);
         let wal_old_path = dir.join(WAL_OLD_FILE);
 
-        let mut trees = Self::load_snapshot(&dir.join(SNAPSHOT_FILE))?;
-        let had_rotation = wal_old_path.exists();
+        let mut trees = Self::load_snapshot(&*vfs, &dir.join(SNAPSHOT_FILE))?;
+        let had_rotation = vfs.exists(&wal_old_path);
         let mut old_torn = false;
         if had_rotation {
-            let outcome = Wal::replay_with_outcome(&wal_old_path)?;
+            let outcome = Wal::replay_with_outcome_on(&*vfs, &wal_old_path)?;
             old_torn = outcome.torn;
             for payload in outcome.entries {
                 let batch = WriteBatch::decode_from_bytes(&payload)?;
@@ -208,15 +222,15 @@ impl Store {
             // The rotated log died mid-append. Every frame in the newer
             // WAL postdates the tear, so replaying it would apply batches
             // over a gap; drop it to preserve the any-prefix invariant.
-            fs::write(&wal_path, [])?;
+            vfs.write(&wal_path, &[])?;
         } else {
-            for payload in Wal::replay(&wal_path)? {
+            for payload in Wal::replay_with_outcome_on(&*vfs, &wal_path)?.entries {
                 let batch = WriteBatch::decode_from_bytes(&payload)?;
                 Self::apply_to_trees(&mut trees, &batch);
             }
         }
 
-        let wal = Wal::open(&wal_path)?;
+        let wal = Wal::open_on(&*vfs, &wal_path)?;
         let store = Store {
             shards: ShardSet::new(options.shards, trees),
             commit: Mutex::new(CommitState {
@@ -231,6 +245,7 @@ impl Store {
             durability: options.durability,
             durable: true,
             dir: Some(dir),
+            vfs,
             obs: StoreObs::new(),
         };
         if had_rotation {
@@ -263,6 +278,7 @@ impl Store {
             durability: DurabilityMode::Os,
             durable: false,
             dir: None,
+            vfs: vfs::real(),
             obs: StoreObs::new(),
         }
     }
@@ -461,7 +477,7 @@ impl Store {
         // `WAL.old` still present means an earlier compaction failed after
         // rotating: don't rotate again (that would clobber it) — just
         // write a fresh snapshot covering memory and retire the old log.
-        let resume = wal_old.exists();
+        let resume = self.vfs.exists(&wal_old);
 
         let view = {
             let mut commit = self.commit.lock();
@@ -472,10 +488,10 @@ impl Store {
             commit.ledger.mark_all_durable();
             if !resume {
                 commit.wal = None; // close the handle before renaming
-                let renamed = fs::rename(dir.join(WAL_FILE), &wal_old);
+                let renamed = self.vfs.rename(&dir.join(WAL_FILE), &wal_old);
                 // Reopen before propagating: on rename failure this
                 // reopens the same log and the store stays serviceable.
-                commit.wal = Some(Wal::open(dir.join(WAL_FILE))?);
+                commit.wal = Some(Wal::open_on(&*self.vfs, dir.join(WAL_FILE))?);
                 renamed?;
                 commit.wal_rotations += 1;
             }
@@ -488,16 +504,15 @@ impl Store {
         let bytes = Self::encode_snapshot(&view);
         let tmp = dir.join("SNAPSHOT.tmp");
         {
-            let mut f = fs::File::create(&tmp)?;
-            // lint: allow(guard-io, "the compaction marker lock exists to serialize whole compactions, snapshot write included")
-            f.write_all(&bytes)?;
+            let f = self.vfs.create(&tmp)?;
+            f.append(&bytes)?;
             // lint: allow(guard-io, "the compaction marker lock exists to serialize whole compactions, snapshot write included")
             f.sync_data()?;
         }
-        fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+        self.vfs.rename(&tmp, &dir.join(SNAPSHOT_FILE))?;
 
-        if wal_old.exists() {
-            fs::remove_file(&wal_old)?;
+        if self.vfs.exists(&wal_old) {
+            self.vfs.remove_file(&wal_old)?;
         }
         Ok(())
     }
@@ -555,12 +570,10 @@ impl Store {
         out
     }
 
-    fn load_snapshot(path: &Path) -> StorageResult<BTreeMap<String, Tree>> {
-        if !path.exists() {
+    fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> StorageResult<BTreeMap<String, Tree>> {
+        let Some(raw) = vfs.try_read(path)? else {
             return Ok(BTreeMap::new());
-        }
-        let mut raw = Vec::new();
-        fs::File::open(path)?.read_to_end(&mut raw)?;
+        };
         let header_ok = raw.get(..8).is_some_and(|magic| magic == SNAPSHOT_MAGIC);
         let crc_bytes: Option<[u8; 4]> = raw.get(8..12).and_then(|slice| slice.try_into().ok());
         let (Some(crc_bytes), Some(body), true) = (crc_bytes, raw.get(12..), header_ok) else {
@@ -592,6 +605,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("softrep-store-{name}-{}", std::process::id()));

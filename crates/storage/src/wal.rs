@@ -13,18 +13,29 @@
 //! truncates the file there, restoring invariant 6 of DESIGN.md: *any
 //! prefix of the log replays to a consistent store*.
 //!
-//! The backing `File` is held behind an `Arc` so the store's group
+//! The backing file is held behind an `Arc` so the store's group
 //! committer can run `sync_data` *outside* its commit lock while other
 //! threads keep appending to the in-memory buffer; `append` itself never
 //! issues a syscall until the buffer spills or a flush/sync is requested.
+//!
+//! All file I/O goes through a [`Vfs`] handle ([`crate::vfs`]): production
+//! uses the passthrough `RealVfs` (the `open`/`replay` constructors), the
+//! fault-injection harness substitutes a `SimVfs` via the `*_on` variants.
+//!
+//! A failed *flush* poisons the handle: a partial `write_all` can leave a
+//! torn frame mid-file, and retrying the buffered bytes would lay a
+//! duplicate copy after the tear — every later frame would be unreachable
+//! to replay even though its fsync succeeded. Once poisoned, every write
+//! path returns [`StorageError::Poisoned`] until the log is reopened
+//! (replay truncates the tear). A failed `sync_data` does **not** poison:
+//! no bytes were misplaced, so the group committer may simply retry.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::crc::crc32;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
+use crate::vfs::{self, Vfs, VfsFile};
 
 /// Maximum sane entry size (16 MiB). Longer frames are treated as torn
 /// tails rather than honoured, bounding memory during recovery of a
@@ -37,10 +48,12 @@ const SPILL_BYTES: usize = 64 * 1024;
 /// An open write-ahead log.
 pub struct Wal {
     path: PathBuf,
-    file: Arc<File>,
+    file: Arc<dyn VfsFile>,
     buf: Vec<u8>,
     entries: u64,
     bytes: u64,
+    /// Set when a flush failed partway; see the module docs.
+    poisoned: bool,
 }
 
 /// Outcome of replaying a log file.
@@ -59,10 +72,14 @@ impl Wal {
     /// appends; a torn tail is truncated so new frames start on a clean
     /// boundary.
     pub fn open(path: impl Into<PathBuf>) -> StorageResult<Self> {
+        Self::open_on(&*vfs::real(), path)
+    }
+
+    /// [`Wal::open`] against an explicit [`Vfs`] (fault-injection entry).
+    pub fn open_on(vfs: &dyn Vfs, path: impl Into<PathBuf>) -> StorageResult<Self> {
         let path = path.into();
-        let file = OpenOptions::new().create(true).append(true).read(true).open(&path)?;
-        let mut raw = Vec::new();
-        (&file).read_to_end(&mut raw)?;
+        let file = vfs.open_append(&path)?;
+        let raw = file.read_all()?;
         let scan = scan_frames(&raw);
         if scan.valid_len < raw.len() {
             file.set_len(scan.valid_len as u64)?;
@@ -70,10 +87,11 @@ impl Wal {
         }
         Ok(Wal {
             path,
-            file: Arc::new(file),
+            file,
             buf: Vec::new(),
             entries: scan.entries,
             bytes: scan.valid_len as u64,
+            poisoned: false,
         })
     }
 
@@ -81,6 +99,9 @@ impl Wal {
     /// pushes it to the OS.
     pub fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
         debug_assert!(payload.len() as u64 <= u64::from(MAX_ENTRY_LEN));
+        if self.poisoned {
+            return Err(StorageError::Poisoned(POISON_MSG));
+        }
         let len = payload.len() as u32;
         let crc = crc32(payload);
         self.buf.extend_from_slice(&len.to_le_bytes());
@@ -102,19 +123,33 @@ impl Wal {
     }
 
     /// Flush to the OS without the fsync (fast path: survives a process
-    /// crash but not a power failure).
+    /// crash but not a power failure). A failure here poisons the handle
+    /// — the kernel may hold a partial frame, and retrying the buffer
+    /// would lay duplicate bytes after the tear (see module docs).
     pub fn flush(&mut self) -> StorageResult<()> {
+        if self.poisoned {
+            return Err(StorageError::Poisoned(POISON_MSG));
+        }
         if !self.buf.is_empty() {
-            (&*self.file).write_all(&self.buf)?;
+            if let Err(e) = self.file.append(&self.buf) {
+                self.poisoned = true;
+                return Err(e);
+            }
             self.buf.clear();
         }
         Ok(())
     }
 
+    /// True once a failed flush has retired this handle (reopen the log
+    /// to recover — replay truncates the torn frame).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// A shared handle to the backing file, for running `sync_data`
     /// without holding the lock that guards this `Wal`. The caller must
     /// have called [`Wal::flush`] first — only flushed bytes are covered.
-    pub fn sync_handle(&self) -> Arc<File> {
+    pub fn sync_handle(&self) -> Arc<dyn VfsFile> {
         Arc::clone(&self.file)
     }
 
@@ -141,6 +176,9 @@ impl Wal {
         self.file.sync_data()?;
         self.entries = 0;
         self.bytes = 0;
+        // The file is empty and the buffer dropped: any torn frame a
+        // poisoning flush left behind is gone, so the handle is clean.
+        self.poisoned = false;
         Ok(())
     }
 
@@ -154,14 +192,14 @@ impl Wal {
     /// dropped — the store's rotation recovery needs to distinguish a
     /// cleanly-ended `WAL.old` from one that died mid-append.
     pub fn replay_with_outcome(path: impl AsRef<Path>) -> StorageResult<WalReplay> {
-        let path = path.as_ref();
-        if !path.exists() {
+        Self::replay_with_outcome_on(&*vfs::real(), path.as_ref())
+    }
+
+    /// [`Wal::replay_with_outcome`] against an explicit [`Vfs`].
+    pub fn replay_with_outcome_on(vfs: &dyn Vfs, path: &Path) -> StorageResult<WalReplay> {
+        let Some(raw) = vfs.try_read(path)? else {
             return Ok(WalReplay { entries: Vec::new(), torn: false });
-        }
-        let mut file = File::open(path)?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
-        drop(file);
+        };
 
         let mut entries = Vec::new();
         let mut offset = 0usize;
@@ -191,13 +229,16 @@ impl Wal {
         if torn {
             // Drop the torn tail so a future append starts from a clean
             // frame boundary.
-            let file = OpenOptions::new().write(true).open(path)?;
+            let file = vfs.open_append(path)?;
             file.set_len(valid_prefix as u64)?;
             file.sync_data()?;
         }
         Ok(WalReplay { entries, torn })
     }
 }
+
+/// Message carried by every [`StorageError::Poisoned`] this module emits.
+const POISON_MSG: &str = "WAL flush failed partway; reopen the store to truncate the torn frame";
 
 impl Drop for Wal {
     fn drop(&mut self) {
@@ -413,6 +454,55 @@ mod tests {
             // No flush/sync: Drop must push it to the OS.
         }
         assert_eq!(Wal::replay(&path).unwrap(), vec![b"buffered only".to_vec()]);
+    }
+
+    #[test]
+    fn failed_flush_poisons_the_handle_until_reopen() {
+        use crate::failpoint::{FailAction, Fault};
+        use crate::vfs::SimVfs;
+        let vfs = SimVfs::new();
+        let mut wal = Wal::open_on(&vfs, "/sim/WAL").unwrap();
+        wal.append(b"good").unwrap();
+        wal.flush().unwrap();
+        // The next flush tears partway: a partial frame reaches the file.
+        vfs.failpoints().set("vfs.append", FailAction::Every(Fault::Torn));
+        wal.append(b"doomed-entry").unwrap();
+        assert!(matches!(wal.flush(), Err(StorageError::Io(_))));
+        assert!(wal.is_poisoned());
+        // Every later write path refuses with the typed poison error —
+        // retrying would duplicate bytes after the tear.
+        assert!(matches!(wal.append(b"more"), Err(StorageError::Poisoned(_))));
+        assert!(matches!(wal.sync(), Err(StorageError::Poisoned(_))));
+        vfs.failpoints().clear_all();
+        drop(wal); // Drop's best-effort flush must not resurrect the buffer.
+        let outcome = Wal::replay_with_outcome_on(&vfs, Path::new("/sim/WAL")).unwrap();
+        assert_eq!(outcome.entries, vec![b"good".to_vec()], "clean prefix survives");
+        assert!(outcome.torn, "the partial frame reads as a torn tail");
+        // A fresh handle over the truncated log is serviceable again.
+        let mut wal = Wal::open_on(&vfs, "/sim/WAL").unwrap();
+        assert!(!wal.is_poisoned());
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn truncate_clears_poisoning() {
+        use crate::failpoint::{FailAction, Fault};
+        use crate::vfs::SimVfs;
+        let vfs = SimVfs::new();
+        let mut wal = Wal::open_on(&vfs, "/sim/WAL").unwrap();
+        vfs.failpoints().set("vfs.append", FailAction::Nth(Fault::Err, 1));
+        wal.append(b"entry").unwrap();
+        assert!(wal.flush().is_err());
+        assert!(wal.is_poisoned());
+        wal.truncate().unwrap();
+        assert!(!wal.is_poisoned(), "an empty file has no torn frame to protect");
+        wal.append(b"fresh").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(
+            Wal::replay_with_outcome_on(&vfs, Path::new("/sim/WAL")).unwrap().entries,
+            vec![b"fresh".to_vec()]
+        );
     }
 
     #[test]

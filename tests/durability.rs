@@ -13,11 +13,10 @@ use softwareputation::crypto::salted::SecretPepper;
 use softwareputation::storage::wal::Wal;
 use softwareputation::storage::{Encode, Store, WriteBatch};
 
-fn tempdir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("softrep-it-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
+#[path = "support/tempdir.rs"]
+mod tempdir;
+
+use tempdir::TempDir;
 
 fn open_db(dir: &std::path::Path) -> ReputationDb {
     ReputationDb::new(Arc::new(Store::open(dir).unwrap()), SecretPepper::new("it-pepper"))
@@ -29,12 +28,12 @@ fn sw(tag: u8) -> String {
 
 #[test]
 fn full_state_survives_restart_cycles() {
-    let dir = tempdir("restart");
+    let dir = TempDir::new("restart");
     let mut rng = StdRng::seed_from_u64(1);
 
     // Session 1: build state.
     {
-        let db = open_db(&dir);
+        let db = open_db(dir.path());
         let token =
             db.register_user("alice", "pw", "alice@x.example", Timestamp(0), &mut rng).unwrap();
         db.activate_user("alice", &token).unwrap();
@@ -49,7 +48,7 @@ fn full_state_survives_restart_cycles() {
 
     // Session 2: verify, mutate, compact.
     {
-        let db = open_db(&dir);
+        let db = open_db(dir.path());
         assert_eq!(db.user_count(), 1);
         assert_eq!(db.vote_count(), 1);
         assert_eq!(db.rating(&sw(1)).unwrap().unwrap().rating, 7.0);
@@ -69,7 +68,7 @@ fn full_state_survives_restart_cycles() {
 
     // Session 3: everything (including post-compaction writes) intact.
     {
-        let db = open_db(&dir);
+        let db = open_db(dir.path());
         assert_eq!(db.user_count(), 2);
         assert_eq!(db.vote_count(), 2);
         assert_eq!(db.trust_of("alice").unwrap().unwrap(), 2.0, "remark survived");
@@ -78,15 +77,14 @@ fn full_state_survives_restart_cycles() {
         let next = db.submit_comment("bob", &sw(1), "also shows ads", Timestamp(200)).unwrap();
         assert_eq!(next, 2);
     }
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn torn_wal_tail_loses_only_the_last_writes() {
-    let dir = tempdir("torn");
+    let dir = TempDir::new("torn");
     let mut rng = StdRng::seed_from_u64(2);
     {
-        let db = open_db(&dir);
+        let db = open_db(dir.path());
         let token = db.register_user("carol", "pw", "c@x.example", Timestamp(0), &mut rng).unwrap();
         db.activate_user("carol", &token).unwrap();
         db.register_software(&sw(2), "safe.exe", 10, None, None, Timestamp(0)).unwrap();
@@ -97,11 +95,11 @@ fn torn_wal_tail_loses_only_the_last_writes() {
         db.store().sync().unwrap();
     }
     // Tear the last bytes off the WAL, as a crash mid-write would.
-    let wal = dir.join("WAL");
+    let wal = dir.path().join("WAL");
     let bytes = std::fs::read(&wal).unwrap();
     std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
 
-    let db = open_db(&dir);
+    let db = open_db(dir.path());
     assert_eq!(db.user_count(), 1, "earlier state intact");
     assert_eq!(db.vote_count(), 1);
     assert!(db.software(&sw(2)).unwrap().is_some());
@@ -109,7 +107,6 @@ fn torn_wal_tail_loses_only_the_last_writes() {
     // The store accepts new writes cleanly after recovery.
     db.register_software(&sw(3), "victim.exe", 10, None, None, Timestamp(3)).unwrap();
     assert!(db.software(&sw(3)).unwrap().is_some());
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Append `batches` to the log file at `path` as fully-synced WAL frames —
@@ -134,25 +131,24 @@ fn crash_between_wal_rotation_and_snapshot_rename_loses_nothing() {
     // A crash in between leaves pre-rotation state only in WAL.old and
     // post-rotation writes in a fresh WAL; open must replay both, in that
     // order, and finish the interrupted compaction.
-    let dir = tempdir("rot-a");
+    let dir = TempDir::new("rot-a");
     {
-        let store = Store::open(&dir).unwrap();
+        let store = Store::open(dir.path()).unwrap();
         store.apply(&put_batch("t", b"k-old", b"v-old")).unwrap();
         store.sync().unwrap();
     }
-    std::fs::rename(dir.join("WAL"), dir.join("WAL.old")).unwrap();
-    fabricate_wal(&dir.join("WAL"), &[put_batch("t", b"k-new", b"v-new")]);
+    std::fs::rename(dir.path().join("WAL"), dir.path().join("WAL.old")).unwrap();
+    fabricate_wal(&dir.path().join("WAL"), &[put_batch("t", b"k-new", b"v-new")]);
 
-    let store = Store::open(&dir).unwrap();
+    let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.get("t", b"k-old").as_deref(), Some(&b"v-old"[..]), "rotated-out write");
     assert_eq!(store.get("t", b"k-new").as_deref(), Some(&b"v-new"[..]), "post-rotation write");
-    assert!(!dir.join("WAL.old").exists(), "open finished the interrupted compaction");
+    assert!(!dir.path().join("WAL.old").exists(), "open finished the interrupted compaction");
 
     // And the recovered state is itself durable across another cycle.
     drop(store);
-    let store = Store::open(&dir).unwrap();
+    let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.tree_len("t"), 2);
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -161,10 +157,10 @@ fn crash_between_snapshot_rename_and_wal_old_removal_is_idempotent() {
     // already contains) was not removed before the crash. Replaying it
     // re-applies absolute puts/deletes: harmless, and the state must come
     // back bit-identical.
-    let dir = tempdir("rot-b");
+    let dir = TempDir::new("rot-b");
     let before;
     {
-        let store = Store::open(&dir).unwrap();
+        let store = Store::open(dir.path()).unwrap();
         store.apply(&put_batch("t", b"k1", b"v1")).unwrap();
         store.apply(&put_batch("t", b"k2", b"v2")).unwrap();
         store.compact().unwrap();
@@ -172,15 +168,14 @@ fn crash_between_snapshot_rename_and_wal_old_removal_is_idempotent() {
     }
     // Resurrect WAL.old holding batches the snapshot already absorbed.
     fabricate_wal(
-        &dir.join("WAL.old"),
+        &dir.path().join("WAL.old"),
         &[put_batch("t", b"k1", b"v1"), put_batch("t", b"k2", b"v2")],
     );
 
-    let store = Store::open(&dir).unwrap();
+    let store = Store::open(dir.path()).unwrap();
     let after = (store.get("t", b"k1"), store.get("t", b"k2"), store.tree_len("t"));
     assert_eq!(before, after, "idempotent replay of already-snapshotted batches");
-    assert!(!dir.join("WAL.old").exists(), "stale rotation log retired");
-    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!dir.path().join("WAL.old").exists(), "stale rotation log retired");
 }
 
 #[test]
@@ -189,36 +184,35 @@ fn torn_wal_old_drops_the_newer_wal_for_prefix_consistency() {
     // the entire newer WAL, which was written after every WAL.old entry —
     // must be discarded, or recovery would manufacture a history with a
     // hole in the middle.
-    let dir = tempdir("rot-torn");
+    let dir = TempDir::new("rot-torn");
     {
-        let store = Store::open(&dir).unwrap();
+        let store = Store::open(dir.path()).unwrap();
         store.apply(&put_batch("t", b"k1", b"v1")).unwrap();
         store.sync().unwrap();
         store.apply(&put_batch("t", b"k2", b"v2")).unwrap();
         store.sync().unwrap();
     }
-    std::fs::rename(dir.join("WAL"), dir.join("WAL.old")).unwrap();
+    std::fs::rename(dir.path().join("WAL"), dir.path().join("WAL.old")).unwrap();
     // Tear the tail of WAL.old (crash mid-write of k2's frame), then give
     // the newer WAL a complete, well-formed entry.
-    let old = dir.join("WAL.old");
+    let old = dir.path().join("WAL.old");
     let bytes = std::fs::read(&old).unwrap();
     std::fs::write(&old, &bytes[..bytes.len() - 5]).unwrap();
-    fabricate_wal(&dir.join("WAL"), &[put_batch("t", b"k3", b"v3")]);
+    fabricate_wal(&dir.path().join("WAL"), &[put_batch("t", b"k3", b"v3")]);
 
-    let store = Store::open(&dir).unwrap();
+    let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.get("t", b"k1").as_deref(), Some(&b"v1"[..]), "pre-tear prefix survives");
     assert!(store.get("t", b"k2").is_none(), "torn entry rolled back");
     assert!(store.get("t", b"k3").is_none(), "newer WAL dropped: no holes in history");
-    assert!(!dir.join("WAL.old").exists());
+    assert!(!dir.path().join("WAL.old").exists());
 
     // The store stays fully writable and durable after the amputation.
     store.apply(&put_batch("t", b"k4", b"v4")).unwrap();
     store.sync().unwrap();
     drop(store);
-    let store = Store::open(&dir).unwrap();
+    let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.get("t", b"k4").as_deref(), Some(&b"v4"[..]));
     assert_eq!(store.tree_len("t"), 2);
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -226,10 +220,10 @@ fn aggregation_is_reproducible_across_restarts() {
     // Invariant 5: the published rating derives deterministically from
     // votes + trust; re-running aggregation after a restart over the same
     // state yields bit-identical results.
-    let dir = tempdir("repro");
+    let dir = TempDir::new("repro");
     let mut rng = StdRng::seed_from_u64(3);
     let first = {
-        let db = open_db(&dir);
+        let db = open_db(dir.path());
         for (i, score) in [(0u8, 4u8), (1, 9), (2, 6)] {
             let name = format!("user{i}");
             let token = db
@@ -246,9 +240,8 @@ fn aggregation_is_reproducible_across_restarts() {
         db.store().sync().unwrap();
         db.rating(&sw(9)).unwrap().unwrap()
     };
-    let db = open_db(&dir);
+    let db = open_db(dir.path());
     db.force_aggregation(Timestamp(10)).unwrap();
     let second = db.rating(&sw(9)).unwrap().unwrap();
     assert_eq!(first, second);
-    let _ = std::fs::remove_dir_all(&dir);
 }

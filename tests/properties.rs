@@ -235,3 +235,136 @@ fn histogram_merge_is_associative_commutative_with_identity() {
         assert_eq!(merged.count(), a.count() + b.count());
     }
 }
+
+// ---------------------------------------------------------------------
+// Crash-recovery property: single-fault schedules (DESIGN.md §13)
+// ---------------------------------------------------------------------
+
+/// Random workloads under random single-fault `SimVfs` schedules: every
+/// storage operation either succeeds or returns a typed error (the fault
+/// never panics), and reopening the durable image after a crash at a
+/// random point recovers a gapless, batch-atomic prefix containing every
+/// batch whose apply was confirmed durable before the crash.
+#[test]
+fn single_fault_crash_schedules_recover_every_committed_batch() {
+    use std::sync::Arc;
+
+    use softwareputation::storage::failpoint::FailAction;
+    use softwareputation::storage::{
+        durable_image_at, CrashStyle, DurabilityMode, Fault, SimVfs, Store, StoreOptions,
+        WriteBatch,
+    };
+
+    #[path = "support/tempdir.rs"]
+    mod tempdir;
+    use tempdir::TempDir;
+
+    const TREE_A: &str = "prop_a";
+    const TREE_B: &str = "prop_b";
+    const SITES: [&str; 6] =
+        ["vfs.append", "vfs.sync", "vfs.write", "vfs.rename", "vfs.remove", "vfs.create"];
+
+    let key = |i: u64| format!("key-{i:04}").into_bytes();
+    let value = |i: u64| format!("value-{i:04}").into_bytes();
+
+    let cases = case_count(60);
+    let base = base_seed(0xfa17_c4a5);
+    let dir = TempDir::new("prop-crash");
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = SplitMix64::new(seed);
+        let ctx = |detail: &str| {
+            format!(
+                "case {case} (replay with SOFTREP_PROP_SEED={seed} SOFTREP_PROP_CASES=1): {detail}"
+            )
+        };
+
+        // One fault, armed after open so the initial recovery is clean.
+        let site = SITES[rng.below(SITES.len() as u64) as usize];
+        let fault = if rng.chance(50) { Fault::Torn } else { Fault::Err };
+        let trigger = rng.below(14);
+
+        let vfs = SimVfs::new();
+        let store = Store::open_with_vfs(
+            "/sim/prop-crash",
+            StoreOptions { durability: DurabilityMode::Always, shards: 2 },
+            Arc::new(vfs.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{}", ctx(&format!("pristine open failed: {e}"))));
+        vfs.failpoints().set(site, FailAction::Nth(fault, trigger));
+
+        // Random workload: numbered two-tree batches with syncs and
+        // compactions mixed in. Everything may fail (typed) once the
+        // fault trips; committed = the applies that returned Ok.
+        let batches = rng.below(14) + 6;
+        let mut committed_at: Vec<(u64, usize)> = Vec::new();
+        for i in 0..batches {
+            let mut batch = WriteBatch::new();
+            batch.put(TREE_A, key(i), value(i));
+            batch.put(TREE_B, key(i), value(i));
+            if store.apply(&batch).is_ok() {
+                // `Always` mode: Ok means group-commit durable.
+                committed_at.push((i, vfs.durable_site_count()));
+            }
+            if rng.chance(15) {
+                let _ = store.sync();
+            }
+            if rng.chance(15) {
+                let _ = store.compact();
+            }
+        }
+        drop(store);
+
+        // Crash at a random durable site with a random style, or at the
+        // very end (every durable site applied).
+        let log = vfs.event_log();
+        let sites = vfs.durable_site_count();
+        let k = rng.below(sites as u64 + 1) as usize;
+        let style = match rng.below(3) {
+            0 => CrashStyle::DurableOnly,
+            1 => CrashStyle::TornHalf,
+            _ => CrashStyle::AllPending,
+        };
+        let image = durable_image_at(&log, k, style);
+
+        let _ = std::fs::remove_dir_all(dir.path());
+        std::fs::create_dir_all(dir.path()).expect("recreate materialization dir");
+        for (path, bytes) in &image {
+            let name = path.file_name().expect("image paths have file names");
+            std::fs::write(dir.path().join(name), bytes).expect("write image file");
+        }
+
+        let detail =
+            format!("fault {site}={fault:?}@{trigger}, crash at site {k}/{sites} style {style:?}");
+        let store = Store::open(dir.path())
+            .unwrap_or_else(|e| panic!("{}", ctx(&format!("{detail}: recovery failed: {e}"))));
+        let mut recovered = 0u64;
+        for i in 0..batches {
+            match (store.get(TREE_A, &key(i)), store.get(TREE_B, &key(i))) {
+                (Some(av), Some(bv)) => {
+                    assert_eq!(av, value(i), "{}", ctx(&format!("{detail}: batch {i} corrupt")));
+                    assert_eq!(bv, value(i), "{}", ctx(&format!("{detail}: batch {i} corrupt")));
+                    assert_eq!(recovered, i, "{}", ctx(&format!("{detail}: gap before batch {i}")));
+                    recovered += 1;
+                }
+                (None, None) => {}
+                (a, b) => panic!(
+                    "{}",
+                    ctx(&format!(
+                        "{detail}: half-applied batch {i} ({TREE_A}={} {TREE_B}={})",
+                        a.is_some(),
+                        b.is_some()
+                    ))
+                ),
+            }
+        }
+        let required = committed_at.iter().filter(|&&(_, at)| at <= k).count() as u64;
+        assert!(
+            recovered >= required,
+            "{}",
+            ctx(&format!(
+                "{detail}: lost committed batches — {recovered} recovered, {required} required"
+            ))
+        );
+    }
+}
