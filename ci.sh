@@ -45,25 +45,33 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/11 cargo fmt --check"
+step "1/12 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/11 cargo clippy --all-targets -- -D warnings"
+step "2/12 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/11 softrep-lint (baseline diff)"
+step "3/12 softrep-lint (baseline diff)"
 # Fails on diagnostics not present in lint-baseline.json. To accept a
 # finding on purpose (rare; prefer an inline reasoned suppression):
 #   SOFTREP_LINT_BASELINE=regen cargo run -q -p softrep-lint -- . --baseline lint-baseline.json
 cargo run --offline -q -p softrep-lint -- . --format json --baseline lint-baseline.json --stats
 
-step "4/11 cargo build --release"
+step "4/12 cargo build --release"
 cargo build --offline --release
 
-step "5/11 cargo test (workspace)"
+step "5/12 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/11 property shard (fixed + randomized seed)"
+step "6/12 epoll front-end shard (transport + chaos under the reactor)"
+# The workspace run already exercises both front ends; this shard pins
+# the socket-level suites to the epoll reactor alone so a regression in
+# the event loop cannot hide behind a thread-pool pass (the differential
+# sweep inside chaos.rs still compares both).
+SOFTREP_FRONTEND=epoll cargo test --offline -q -p softrep-server \
+    --test transport --test chaos
+
+step "7/12 property shard (fixed + randomized seed)"
 # Fixed seed: reproduces the checked-in baseline exactly.
 SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
     cargo test --offline -q --test properties
@@ -74,11 +82,11 @@ printf 'property shard randomized seed: %s\n' "$PROP_SEED"
 SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
     cargo test --offline -q --test properties
 
-step "7/11 loom race-detection shards (server + storage)"
+step "8/12 loom race-detection shards (server + storage)"
 cargo test --offline -q -p softrep-server --features loom --test loom
 cargo test --offline -q -p softrep-storage --features loom --test loom
 
-step "8/11 crash-matrix shard (fixed + randomized seed)"
+step "9/12 crash-matrix shard (fixed + randomized seed)"
 # Fixed seed: the canonical schedule, byte-for-byte reproducible. Time-
 # budgeted: the whole matrix is sub-second, so a multi-minute run means a
 # recovery loop is wedged — fail fast rather than eat the CI budget.
@@ -92,21 +100,21 @@ printf 'crash-matrix randomized seed: %s\n' "$CRASH_SEED"
 timeout 300 env SOFTREP_CRASH_SEED="$CRASH_SEED" \
     cargo test --offline -q --test crash_matrix randomized
 
-step "9/11 concurrency bench smoke"
+step "10/12 concurrency bench smoke"
 # Tiny workload: proves the mixed reader/writer and group-commit benches
 # still run, without spending CI minutes on real measurements.
 SOFTREP_BENCH_SMOKE=1 cargo bench --offline -p softrep-bench --bench storage_bench \
     | grep -E 'store_concurrent|store_group_commit' || {
         echo "concurrency benches produced no output"; exit 1; }
 
-step "10/11 /metrics endpoint smoke"
+step "11/12 /metrics endpoint smoke"
 # Boot the real binary on ephemeral ports, fetch /metrics over a raw
 # socket (no curl dependency), and assert the exposition is well formed
 # and carries the key series (DESIGN.md §12). Uses the release binary
 # from step 4.
 SMOKE_DATA="$(mktemp -d)"
 ./target/release/softrep-serverd --data "$SMOKE_DATA" --pepper ci-smoke \
-    --puzzle-difficulty 0 --proto 127.0.0.1:0 --web 127.0.0.1:0 \
+    --puzzle-difficulty 0 --frontend epoll --proto 127.0.0.1:0 --web 127.0.0.1:0 \
     >"$SMOKE_DATA/serverd.log" 2>&1 &
 SMOKE_PID=$!
 cleanup_smoke() { kill "$SMOKE_PID" 2>/dev/null || true; rm -rf "$SMOKE_DATA"; }
@@ -135,7 +143,11 @@ for series in \
     softrep_agg_lag_seconds \
     softrep_flood_rejected_total \
     softrep_flood_evicted_total \
-    softrep_server_requests_served_total; do
+    softrep_server_requests_served_total \
+    softrep_reactor_open_connections \
+    softrep_reactor_wakeups_total \
+    softrep_reactor_ready_events_count \
+    softrep_reactor_dispatch_us_count; do
     printf '%s\n' "$METRICS" | grep -q "^$series " || {
         echo "/metrics is missing series $series"; exit 1; }
 done
@@ -157,7 +169,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "11/11 ThreadSanitizer shard (nightly)"
+        step "12/12 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -165,10 +177,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "11/11 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "12/12 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "11/11 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "12/12 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -1,8 +1,16 @@
 //! D10 (server): request throughput and the 24 h aggregation batch cost as
 //! the database grows — the numbers behind the claim that a single modest
-//! server sustains the paper's deployment.
+//! server sustains the paper's deployment. D11 (reactor, BENCH_REACTOR in
+//! EXPERIMENTS.md): the front-end concurrency sweep A/B-ing the
+//! thread-per-connection pool against the epoll reactor under mixed
+//! idle+active connection loads, plus a steady-state allocation probe
+//! backed by a counting global allocator.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
@@ -12,8 +20,31 @@ use softrep_core::clock::{SimClock, Timestamp};
 use softrep_core::db::ReputationDb;
 use softrep_proto::{Request, Response};
 use softrep_server::flood::FloodGuard;
-use softrep_server::tcp::{TcpClient, TcpServer};
+use softrep_server::tcp::{Frontend, FrontendServer, TcpClient, TcpServer, TcpServerConfig};
 use softrep_server::{ReputationServer, ServerConfig};
+
+/// Counts every heap allocation in the process so the sweep can report
+/// allocations-per-request for each front end. Counting is a single
+/// relaxed `fetch_add`; the measured deltas compare front ends against
+/// each other under identical client-side behaviour, so the client's own
+/// allocations cancel out of the A/B difference.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn sw_id(i: u64) -> String {
     format!("{:040x}", i)
@@ -247,6 +278,153 @@ fn bench_flood_guard(c: &mut Criterion) {
     group.finish();
 }
 
+/// The front ends this build can run: the thread pool everywhere, the
+/// epoll reactor on Linux.
+fn available_frontends() -> Vec<Frontend> {
+    let mut frontends = vec![Frontend::Threads];
+    #[cfg(target_os = "linux")]
+    frontends.push(Frontend::Epoll);
+    frontends
+}
+
+fn connect_idle(addr: std::net::SocketAddr) -> TcpStream {
+    // The listener backlog is finite; a connect burst may need retries
+    // while the server drains the queue.
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(5)) {
+            Ok(stream) => return stream,
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// D11: the concurrency sweep behind BENCH_REACTOR. At each total
+/// connection count a handful of active clients issue framed queries
+/// while the rest of the connections sit idle (connected, silent) — the
+/// mixed load a real deployment sees. The thread front end pins one
+/// worker per idle peer and sheds everything past `max_connections` (64),
+/// so at 256+ its active clients are turned away; the reactor holds the
+/// whole set in its connection table and keeps serving.
+fn bench_frontend_concurrency_sweep(c: &mut Criterion) {
+    let smoke = std::env::var_os("SOFTREP_BENCH_SMOKE").is_some();
+    let conn_counts: &[usize] = if smoke { &[1, 64] } else { &[1, 64, 256, 1024] };
+
+    let mut group = c.benchmark_group("frontend_concurrency");
+    group.sample_size(10);
+    for frontend in available_frontends() {
+        for &conns in conn_counts {
+            let db = seeded_db(50, 100, 1_000, 3);
+            db.force_aggregation(Timestamp(2)).unwrap();
+            let fe = FrontendServer::spawn_with(
+                Arc::new(server_over(db)),
+                "127.0.0.1:0",
+                TcpServerConfig {
+                    frontend,
+                    max_open_connections: 4096,
+                    read_timeout: Duration::from_secs(300), // idle peers stay pinned
+                    drain_deadline: Duration::from_millis(200),
+                    ..TcpServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            let addr = fe.local_addr();
+            let query = Request::QuerySoftware { software_id: sw_id(7) };
+
+            let active_n = if conns == 1 { 1 } else { 8 };
+            let idle: Vec<TcpStream> = (0..conns - active_n).map(|_| connect_idle(addr)).collect();
+
+            // The active clients connect after the idle load is in place —
+            // on the thread front end past its worker cap they are shed,
+            // which is the measured difference, not a bench failure.
+            let mut active = Vec::with_capacity(active_n);
+            let mut shed = false;
+            for _ in 0..active_n {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                client
+                    .set_timeouts(Some(Duration::from_secs(30)), Some(Duration::from_secs(30)))
+                    .expect("timeouts");
+                match client.call(&query) {
+                    Ok(Response::Error { ref code, .. }) if code == "overloaded" => {
+                        shed = true;
+                        break;
+                    }
+                    Ok(_) => active.push(client),
+                    Err(_) => {
+                        shed = true;
+                        break;
+                    }
+                }
+            }
+            if shed {
+                eprintln!(
+                    "frontend_concurrency/{frontend:?}/{conns}: active clients shed \
+                     (front end saturated; admitted {} of {conns}) — no throughput to measure",
+                    fe.stats().accepted
+                );
+                drop(active);
+                drop(idle);
+                fe.shutdown();
+                continue;
+            }
+
+            group.throughput(Throughput::Elements(active_n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{frontend:?}").to_lowercase(), conns),
+                &conns,
+                |b, _| {
+                    b.iter(|| {
+                        for client in &mut active {
+                            client.call(black_box(&query)).expect("call");
+                        }
+                    })
+                },
+            );
+            drop(active);
+            drop(idle);
+            fe.shutdown();
+        }
+    }
+    group.finish();
+}
+
+/// D11's allocation probe: allocations per framed request on a warm
+/// keep-alive connection, per front end. Process-wide (client included),
+/// so the absolute number carries the client's encode/decode cost; the
+/// A/B difference between front ends isolates the server side. Before
+/// the buffer-reuse work the framing layer alone cost 2 `Vec` + 1
+/// `String` per request; the reactor's steady state re-uses its
+/// per-connection buffers and adds zero framing allocations.
+fn alloc_probe(_c: &mut Criterion) {
+    const WARMUP: usize = 256;
+    const MEASURED: u64 = 1024;
+    for frontend in available_frontends() {
+        let db = seeded_db(50, 100, 1_000, 3);
+        db.force_aggregation(Timestamp(2)).unwrap();
+        let fe = FrontendServer::spawn_with(
+            Arc::new(server_over(db)),
+            "127.0.0.1:0",
+            TcpServerConfig { frontend, ..TcpServerConfig::default() },
+        )
+        .expect("bind loopback");
+        let query = Request::QuerySoftware { software_id: sw_id(7) };
+        let mut client = TcpClient::connect(fe.local_addr()).expect("connect");
+        for _ in 0..WARMUP {
+            client.call(&query).expect("warmup call");
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..MEASURED {
+            client.call(&query).expect("measured call");
+        }
+        let per_request = (ALLOCATIONS.load(Ordering::Relaxed) - before) as f64 / MEASURED as f64;
+        eprintln!(
+            "alloc_probe/{frontend:?}: {per_request:.1} allocations per request \
+             (process-wide, client included; {MEASURED} warm keep-alive requests)"
+        );
+        drop(client);
+        fe.shutdown();
+    }
+}
+
 criterion_group!(
     benches,
     bench_request_throughput,
@@ -254,6 +432,8 @@ criterion_group!(
     bench_aggregation,
     bench_registration_path,
     bench_tcp_round_trip,
-    bench_flood_guard
+    bench_flood_guard,
+    bench_frontend_concurrency_sweep,
+    alloc_probe
 );
 criterion_main!(benches);

@@ -48,6 +48,11 @@ pub const NO_PANIC_FILES: &[&str] = &[
     "crates/server/src/pool.rs",
     "crates/server/src/stats.rs",
     "crates/server/src/tcp.rs",
+    // The reactor front end and its raw-syscall wrapper: every kernel
+    // return code is decoded to a typed error, never unwrapped, and the
+    // event loop must survive any single connection's misbehaviour.
+    "crates/server/src/reactor.rs",
+    "crates/server/src/epoll.rs",
     "crates/storage/src/wal.rs",
     "crates/storage/src/store.rs",
     "crates/storage/src/shard.rs",

@@ -58,14 +58,39 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Write one framed message.
-pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), FrameError> {
-    let len = body.len() as u32;
-    if len > MAX_FRAME_LEN {
-        return Err(FrameError::TooLarge(len));
+/// Encode one framed message (length header + body) into `out`, replacing
+/// its previous contents. The buffer's capacity is reused across calls, so
+/// a caller holding a scratch `Vec` frames with zero steady-state
+/// allocations.
+pub fn encode_frame_into(body: &str, out: &mut Vec<u8>) -> Result<(), FrameError> {
+    if body.len() > MAX_FRAME_LEN as usize {
+        return Err(FrameError::TooLarge(body.len().min(u32::MAX as usize) as u32));
     }
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    let len = body.len() as u32;
+    out.clear();
+    out.reserve(4 + body.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(())
+}
+
+/// Write one framed message, coalescing header and body into a single
+/// `write_all` (one syscall on an unbuffered socket, and no Nagle
+/// interaction between a 4-byte header segment and the body segment).
+pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), FrameError> {
+    let mut scratch = Vec::new();
+    write_frame_with(w, body, &mut scratch)
+}
+
+/// [`write_frame`] with a caller-provided scratch buffer, so repeated
+/// writes on one connection allocate nothing in steady state.
+pub fn write_frame_with(
+    w: &mut impl Write,
+    body: &str,
+    scratch: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    encode_frame_into(body, scratch)?;
+    w.write_all(scratch)?;
     w.flush()?;
     Ok(())
 }
@@ -73,19 +98,44 @@ pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), FrameError> {
 /// Read one framed message. Returns [`FrameError::Closed`] on a clean EOF
 /// at a frame boundary.
 pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut buf = Vec::new();
+    read_frame_into(r, &mut buf)?;
+    String::from_utf8(buf).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Read one framed message into `buf` (cleared first), reusing its
+/// capacity across calls. On success the buffer holds the validated UTF-8
+/// body. A clean EOF *between* frames is [`FrameError::Closed`]; an EOF
+/// after one or more header bytes is a mid-frame disconnect and surfaces
+/// as [`FrameError::Io`], exactly like an EOF inside the body.
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(), FrameError> {
     let mut header = [0u8; 4];
-    match r.read_exact(&mut header) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
-        Err(e) => return Err(e.into()),
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u32::from_be_bytes(header);
     if len > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(len));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    String::from_utf8(body).map_err(|_| FrameError::NotUtf8)
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    if std::str::from_utf8(buf).is_err() {
+        return Err(FrameError::NotUtf8);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -124,13 +174,83 @@ mod tests {
     }
 
     #[test]
-    fn truncated_header_is_closed_only_at_zero_bytes() {
-        // Zero bytes = clean close.
+    fn partial_header_eof_is_a_disconnect_not_a_clean_close() {
+        // Zero bytes = clean close at a frame boundary.
         assert!(matches!(read_frame(&mut Cursor::new(Vec::new())), Err(FrameError::Closed)));
-        // A partial header is also surfaced as Closed by read_exact's
-        // UnexpectedEof; callers treat any mid-frame EOF as disconnect.
-        let buf = vec![0u8, 0];
-        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Closed)));
+        // One to three header bytes followed by EOF is a *mid-frame*
+        // disconnect. This used to be misclassified as `Closed` (the old
+        // test even documented the quirk); a retrying client must see it
+        // as an Io disconnect, like an EOF inside the body.
+        for partial in 1..4usize {
+            let buf = vec![0u8; partial];
+            match read_frame(&mut Cursor::new(buf)) {
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "{partial} header bytes")
+                }
+                other => panic!("{partial} header bytes: expected Io disconnect, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer_across_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "<first with some length/>").unwrap();
+        write_frame(&mut wire, "<b/>").unwrap();
+        let mut cursor = Cursor::new(wire);
+        let mut buf = Vec::new();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(&buf, b"<first with some length/>");
+        let cap = buf.capacity();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(&buf, b"<b/>");
+        assert_eq!(buf.capacity(), cap, "second read must reuse the first read's capacity");
+        assert!(matches!(read_frame_into(&mut cursor, &mut buf), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn write_frame_is_a_single_write_call() {
+        // A writer that fails any write after the first proves header and
+        // body were coalesced into one `write_all`.
+        struct OneShot {
+            calls: usize,
+            bytes: Vec<u8>,
+        }
+        impl Write for OneShot {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                assert_eq!(self.calls, 1, "write_frame must issue exactly one write");
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = OneShot { calls: 0, bytes: Vec::new() };
+        write_frame(&mut w, "<one/>").unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(w.bytes)).unwrap(), "<one/>");
+    }
+
+    #[test]
+    fn encode_frame_into_rejects_oversized_bodies_and_replaces_contents() {
+        let mut out = vec![1, 2, 3];
+        encode_frame_into("<x/>", &mut out).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(out.clone())).unwrap(), "<x/>");
+        let huge = "a".repeat(MAX_FRAME_LEN as usize + 1);
+        assert!(matches!(encode_frame_into(&huge, &mut out), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn read_frame_into_rejects_non_utf8_bodies() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_be_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame_into(&mut Cursor::new(wire), &mut buf),
+            Err(FrameError::NotUtf8)
+        ));
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! A minimal typed wrapper over Linux `epoll`, `eventfd`, and `fcntl`.
+//!
+//! The workspace vendors no FFI crates, so the four syscalls the reactor
+//! needs are declared by hand against the libc that `std` already links.
+//! Everything here is `#[cfg(target_os = "linux")]` (gated at the crate
+//! root); the thread-per-connection front end remains the portable
+//! fallback. Every syscall result is decoded into `io::Result` — this
+//! file is under the no-panic lint, so a failing kernel call surfaces as
+//! a typed error, never an unwrap.
+//!
+//! Scope is deliberately tiny: level-triggered readiness, one interest
+//! mask per fd, a `u64` token per registration, and an [`EventFd`] the
+//! worker pool uses to hand completions back to the event loop without
+//! the loop ever blocking on a lock.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// Readable readiness (`EPOLLIN`).
+pub const EV_READ: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EV_WRITE: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never requested.
+pub const EV_ERROR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`) — always reported, never requested.
+pub const EV_HANGUP: u32 = 0x010;
+/// Peer closed its write half (`EPOLLRDHUP`).
+pub const EV_RDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+/// packs it there so 32- and 64-bit layouts agree); natural alignment on
+/// other architectures.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness notification out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Raw `EPOLL*` bits; use [`Event::readable`]/[`Event::writable`]/
+    /// [`Event::closed`] instead of matching bits by hand.
+    pub mask: u32,
+}
+
+impl Event {
+    /// Data (or a hangup that reads as EOF) is available.
+    pub fn readable(&self) -> bool {
+        self.mask & (EV_READ | EV_RDHUP | EV_HANGUP) != 0
+    }
+
+    /// The socket can accept more bytes.
+    pub fn writable(&self) -> bool {
+        self.mask & EV_WRITE != 0
+    }
+
+    /// The connection errored or hung up; reads will resolve it (EOF or a
+    /// concrete error), so treat it as readable rather than guessing.
+    pub fn closed(&self) -> bool {
+        self.mask & (EV_ERROR | EV_HANGUP) != 0
+    }
+}
+
+/// An epoll instance. Closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+    /// Scratch buffer `wait` hands to the kernel, reused across calls.
+    scratch: Vec<RawEvent>,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance sized for `capacity` events
+    /// per [`Epoll::wait`] call.
+    pub fn new(capacity: usize) -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let capacity = capacity.clamp(1, 4096);
+        Ok(Epoll { fd, scratch: vec![RawEvent { events: 0, data: 0 }; capacity] })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEvent { events: interest, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        check(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with the given interest bits and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Re-arm an already registered fd with new interest bits.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = RawEvent { events: 0, data: 0 };
+        // SAFETY: pre-2.6.9 kernels require a non-null event pointer even
+        // for DEL; passing one is harmless everywhere else.
+        check(unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Block up to `timeout_ms` (`-1` = forever) for readiness, appending
+    /// the notifications to `out` (cleared first). Returns the event
+    /// count. `EINTR` retries internally so callers never see it.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        out.clear();
+        let n = loop {
+            let cap = self.scratch.len().min(c_int::MAX as usize) as c_int;
+            // SAFETY: `scratch` holds `cap` initialized RawEvents; the
+            // kernel writes at most `cap` of them.
+            let rc = unsafe { epoll_wait(self.fd, self.scratch.as_mut_ptr(), cap, timeout_ms) };
+            match check(rc) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for raw in self.scratch.iter().take(n) {
+            // Copy out of the (possibly packed) struct before use.
+            let RawEvent { events, data } = *raw;
+            out.push(Event { token: data, mask: events });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` came from epoll_create1 and is closed exactly once.
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking `eventfd`: a one-word wakeup channel from worker threads
+/// into the event loop. Writers [`EventFd::signal`]; the loop registers
+/// the fd for `EV_READ` and [`EventFd::drain`]s on wakeup.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Create a nonblocking, close-on-exec eventfd with counter zero.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: eventfd takes no pointers.
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for registration with an [`Epoll`].
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wake the event loop. A counter already at its max means a wakeup
+    /// is still pending, so `WouldBlock` counts as success.
+    pub fn signal(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: 8 valid bytes at `one`'s address for the u64 write.
+        let n = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(e)
+        }
+    }
+
+    /// Consume all pending wakeups (resets the counter to zero).
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: 8 writable bytes at `buf`'s address; nonblocking read
+        // either consumes the counter or returns WouldBlock.
+        let _ = unsafe { read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `fd` came from eventfd and is closed exactly once.
+        let _ = unsafe { close(self.fd) };
+    }
+}
+
+/// Switch `fd` into (or out of) nonblocking mode via `fcntl`.
+pub fn set_nonblocking(fd: RawFd, on: bool) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL take no pointers.
+    let flags = check(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    let flags = if on { flags | O_NONBLOCK } else { flags & !O_NONBLOCK };
+    check(unsafe { fcntl(fd, F_SETFL, flags) })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let mut ep = Epoll::new(8).unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw(), EV_READ, 42).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing signalled: a zero-timeout wait sees nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        efd.signal().unwrap();
+        efd.signal().unwrap(); // coalesces, still one readable fd
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let ev = events.first().copied().unwrap();
+        assert_eq!(ev.token, 42);
+        assert!(ev.readable());
+
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "drained eventfd is quiet");
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_rearming() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        set_nonblocking(server_side.as_raw_fd(), true).unwrap();
+
+        let mut ep = Epoll::new(8).unwrap();
+        ep.add(server_side.as_raw_fd(), EV_READ, 7).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "no bytes yet");
+
+        client.write_all(b"hi").unwrap();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        assert!(events.first().is_some_and(|e| e.token == 7 && e.readable()));
+
+        // Re-arm for write: a fresh socket is immediately writable.
+        ep.modify(server_side.as_raw_fd(), EV_WRITE, 7).unwrap();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        assert!(events.first().is_some_and(|e| e.writable()));
+
+        // Deregister: no further notifications even with data pending.
+        ep.delete(server_side.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        let mut sink = [0u8; 2];
+        let mut s = &server_side;
+        s.read_exact(&mut sink).unwrap();
+    }
+
+    #[test]
+    fn hangup_reports_as_readable_and_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut ep = Epoll::new(8).unwrap();
+        ep.add(server_side.as_raw_fd(), EV_READ | EV_RDHUP, 3).unwrap();
+
+        drop(client);
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 1000).unwrap(), 1);
+        let ev = events.first().copied().unwrap();
+        assert!(ev.readable(), "hangup must read as EOF-readable: {:x}", ev.mask);
+    }
+}

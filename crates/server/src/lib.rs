@@ -20,17 +20,29 @@
 //!   of unbounded thread-per-connection spawning.
 //! * [`stats`] — transport counters (accepted / active / rejected /
 //!   timed-out / served) so load-shedding is measurable, not guessed.
-//! * [`tcp`] — the TCP front end speaking the framed XML protocol over a
-//!   bounded worker pool, with connection deadlines and graceful,
-//!   handle-joining shutdown (used by the networked examples; tests and
-//!   simulations call the handler in-process).
+//! * [`tcp`] — the thread-per-connection TCP front end speaking the
+//!   framed XML protocol over a bounded worker pool, with connection
+//!   deadlines and graceful, handle-joining shutdown; also home of
+//!   [`tcp::Frontend`]/[`tcp::FrontendServer`], the switch between the
+//!   two serving architectures.
+//! * [`epoll`] (Linux) — a minimal typed wrapper over raw
+//!   `epoll`/`eventfd`/`fcntl` syscalls, declared by hand so the
+//!   workspace stays dependency-free.
+//! * [`reactor`] (Linux) — the event-driven front end: one epoll loop
+//!   driving per-connection state machines, a timer wheel for deadlines,
+//!   and a bounded dispatch pool for handler execution; 1024+ concurrent
+//!   connections where the thread front end sheds at 64.
 //! * [`web`] — the §3 read-only web interface: searching, software and
 //!   vendor detail pages, deployment statistics.
 
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod flood;
 pub mod handler;
 pub mod pool;
 pub mod puzzle_gate;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod session;
 pub mod stats;
 pub mod tcp;
@@ -38,7 +50,9 @@ pub mod web;
 
 pub use flood::FloodGuard;
 pub use handler::{ReputationServer, ServerConfig};
-pub use pool::{PoolRejected, WorkerPool};
+pub use pool::{DispatchPool, PoolRejected, WorkerPool};
+#[cfg(target_os = "linux")]
+pub use reactor::ReactorServer;
 pub use session::SessionManager;
 pub use stats::{ServerStats, StatsSnapshot};
-pub use tcp::{TcpClient, TcpServer, TcpServerConfig};
+pub use tcp::{Frontend, FrontendServer, TcpClient, TcpServer, TcpServerConfig};

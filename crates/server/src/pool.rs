@@ -147,6 +147,137 @@ impl WorkerPool {
     }
 }
 
+/// A bounded pool of *persistent* worker threads consuming typed jobs
+/// from a queue — the execution half of the reactor front end.
+///
+/// [`WorkerPool`] above is admission control for thread-per-connection
+/// serving: one thread per accepted connection, created on demand. The
+/// reactor inverts that: connections are cheap state machines on one
+/// event loop, and only *handler execution* needs threads. Spawning one
+/// per request would cost more than the handler itself (~230 ns for a
+/// cached query), so `DispatchPool` keeps `workers` threads alive for the
+/// server's lifetime and feeds them through a queue. The queue is
+/// unbounded here but bounded in practice: the reactor dispatches at most
+/// one in-flight request per connection, so queue depth ≤ open
+/// connections ≤ `max_open_connections`.
+///
+/// Jobs are a concrete type `T`, not boxed closures, so steady-state
+/// submission allocates nothing (the `VecDeque` ring amortizes).
+pub struct DispatchPool<T: Send + 'static> {
+    inner: Arc<DispatchShared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct DispatchShared<T> {
+    queue: std::sync::Mutex<DispatchQueue<T>>,
+    available: std::sync::Condvar,
+}
+
+struct DispatchQueue<T> {
+    jobs: std::collections::VecDeque<T>,
+    shutdown: bool,
+}
+
+/// Lock a std mutex without the poison panic: a worker that panicked has
+/// already been isolated by `catch_unwind`, and counters/queues stay
+/// usable either way.
+fn lock_queue<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T: Send + 'static> DispatchPool<T> {
+    /// Start `workers` named threads (clamped to at least one) running
+    /// `run` on every submitted job.
+    pub fn new(
+        workers: usize,
+        name: &str,
+        run: impl Fn(T) + Send + Sync + 'static,
+    ) -> std::io::Result<Self> {
+        let inner = Arc::new(DispatchShared {
+            queue: std::sync::Mutex::new(DispatchQueue {
+                jobs: std::collections::VecDeque::new(),
+                shutdown: false,
+            }),
+            available: std::sync::Condvar::new(),
+        });
+        let run: Arc<dyn Fn(T) + Send + Sync> = Arc::new(run);
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let shared = Arc::clone(&inner);
+            let run = Arc::clone(&run);
+            let handle =
+                std::thread::Builder::new().name(format!("{name}-{i}")).spawn(move || loop {
+                    let job = {
+                        let mut q = lock_queue(&shared.queue);
+                        loop {
+                            if let Some(job) = q.jobs.pop_front() {
+                                break Some(job);
+                            }
+                            if q.shutdown {
+                                break None;
+                            }
+                            q = match shared.available.wait(q) {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                        }
+                    };
+                    match job {
+                        // A panicking handler loses its job, never the
+                        // worker: capacity survives the panic.
+                        Some(job) => {
+                            let _ =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(job)));
+                        }
+                        None => return,
+                    }
+                })?;
+            handles.push(handle);
+        }
+        Ok(DispatchPool { inner, workers: handles })
+    }
+
+    /// Queue a job. Returns `false` (dropping the job) once shutdown has
+    /// begun.
+    pub fn submit(&self, job: T) -> bool {
+        {
+            let mut q = lock_queue(&self.inner.queue);
+            if q.shutdown {
+                return false;
+            }
+            q.jobs.push_back(job);
+        }
+        self.inner.available.notify_one();
+        true
+    }
+
+    /// Jobs waiting for a worker (excludes jobs currently executing).
+    pub fn queued(&self) -> usize {
+        lock_queue(&self.inner.queue).jobs.len()
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop accepting jobs, let the workers drain what is already queued,
+    /// and join them.
+    pub fn shutdown(mut self) {
+        {
+            let mut q = lock_queue(&self.inner.queue);
+            q.shutdown = true;
+        }
+        self.inner.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Pull the finished handles out of the state (joined outside the lock).
 fn take_finished(st: &mut PoolState) -> Vec<JoinHandle<()>> {
     let mut finished = Vec::new();
@@ -241,5 +372,66 @@ mod tests {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.max_workers(), 1);
         assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    fn dispatch_pool_runs_jobs_on_persistent_workers() {
+        let (tx, rx) = mpsc::channel();
+        let pool = DispatchPool::new(2, "test-dispatch", move |n: u32| {
+            tx.send(n * 2).expect("send");
+        })
+        .expect("spawn");
+        assert_eq!(pool.workers(), 2);
+        for n in 0..20 {
+            assert!(pool.submit(n));
+        }
+        let mut out: Vec<u32> = (0..20).map(|_| rx.recv().expect("job ran")).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..20).map(|n| n * 2).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dispatch_pool_shutdown_drains_queued_jobs_then_rejects() {
+        let (tx, rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let pool = DispatchPool::new(1, "test-drain", move |n: u32| {
+            let _ = gate_rx.lock().recv();
+            tx.send(n).expect("send");
+        })
+        .expect("spawn");
+        // One executing (blocked on the gate), two queued behind it.
+        for n in 0..3 {
+            assert!(pool.submit(n));
+            gate_tx.send(()).expect("open gate"); // one open per job
+        }
+        pool.shutdown();
+        // All three queued jobs ran before the workers exited.
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dispatch_pool_survives_a_panicking_job() {
+        let (tx, rx) = mpsc::channel();
+        let pool = DispatchPool::new(1, "test-panic", move |n: u32| {
+            if n == 0 {
+                panic!("job exploded");
+            }
+            tx.send(n).expect("send");
+        })
+        .expect("spawn");
+        assert!(pool.submit(0));
+        assert!(pool.submit(7));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).expect("worker survived"), 7);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dispatch_pool_zero_workers_clamps_to_one() {
+        let pool = DispatchPool::new(0, "test-clamp", |_: ()| {}).expect("spawn");
+        assert_eq!(pool.workers(), 1);
+        pool.shutdown();
     }
 }

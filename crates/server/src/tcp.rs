@@ -39,19 +39,75 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use softrep_obs::span::{self, SpanFamily};
-use softrep_proto::framing::{read_frame, write_frame, FrameError};
+use softrep_proto::framing::{read_frame_into, write_frame_with, FrameError};
 use softrep_proto::{Request, Response};
 
 use crate::handler::ReputationServer;
 use crate::pool::WorkerPool;
 use crate::stats::{ServerStats, StatsSnapshot};
 
-/// Tuning knobs for the TCP front end.
+/// Which serving architecture a [`FrontendServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// Thread-per-connection over a bounded worker pool: portable, simple,
+    /// capacity-bounded by [`TcpServerConfig::max_connections`] threads.
+    Threads,
+    /// Single epoll event loop plus a bounded dispatch pool: Linux only,
+    /// capacity-bounded by [`TcpServerConfig::max_open_connections`]
+    /// connection *states* instead of threads.
+    #[cfg(target_os = "linux")]
+    Epoll,
+}
+
+impl Default for Frontend {
+    /// The reactor where it exists, threads elsewhere.
+    fn default() -> Self {
+        #[cfg(target_os = "linux")]
+        {
+            Frontend::Epoll
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Frontend::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Frontend::Threads),
+            #[cfg(target_os = "linux")]
+            "epoll" => Ok(Frontend::Epoll),
+            #[cfg(not(target_os = "linux"))]
+            "epoll" => Err("the epoll front end is only available on Linux".to_string()),
+            other => Err(format!("unknown frontend '{other}' (expected 'threads' or 'epoll')")),
+        }
+    }
+}
+
+/// Tuning knobs for the TCP front end (both architectures; each knob says
+/// which front end reads it).
 #[derive(Debug, Clone)]
 pub struct TcpServerConfig {
-    /// Maximum concurrently served connections; one beyond this is
-    /// answered with an `overloaded` error frame and closed.
+    /// Which serving architecture [`FrontendServer::spawn_with`] starts.
+    /// [`TcpServer`]/[`crate::reactor::ReactorServer`] spawned directly
+    /// ignore this.
+    pub frontend: Frontend,
+    /// Threads front end: maximum concurrently served connections (= pool
+    /// threads); one beyond this is answered with an `overloaded` error
+    /// frame and closed.
     pub max_connections: usize,
+    /// Epoll front end: maximum concurrently *open* connections; one
+    /// beyond this is answered with an `overloaded` error frame and
+    /// closed. Idle connections only hold a buffer pair, so this can sit
+    /// orders of magnitude above `max_connections`.
+    pub max_open_connections: usize,
+    /// Epoll front end: handler threads executing requests off the event
+    /// loop.
+    pub dispatch_workers: usize,
     /// A connection idle (no complete frame) past this deadline is
     /// dropped, freeing its worker.
     pub read_timeout: Duration,
@@ -66,10 +122,96 @@ pub struct TcpServerConfig {
 impl Default for TcpServerConfig {
     fn default() -> Self {
         TcpServerConfig {
+            frontend: Frontend::default(),
             max_connections: 64,
+            max_open_connections: 10_240,
+            dispatch_workers: 8,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server behind either front end, selected by
+/// [`TcpServerConfig::frontend`]. Both variants speak the same framed XML
+/// protocol, account into the same [`ServerStats`], and drain on
+/// [`FrontendServer::shutdown`] — tests parameterize over this to prove
+/// the two architectures are observationally equivalent.
+pub enum FrontendServer {
+    /// Thread-per-connection ([`TcpServer`]).
+    Threads(TcpServer),
+    /// Epoll reactor ([`crate::reactor::ReactorServer`]).
+    #[cfg(target_os = "linux")]
+    Epoll(crate::reactor::ReactorServer),
+}
+
+impl FrontendServer {
+    /// Bind `addr` and serve with the default config (reactor on Linux).
+    pub fn spawn(server: Arc<ReputationServer>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        FrontendServer::spawn_with(server, addr, TcpServerConfig::default())
+    }
+
+    /// Bind `addr` and serve with the front end `config.frontend` names.
+    pub fn spawn_with(
+        server: Arc<ReputationServer>,
+        addr: impl ToSocketAddrs,
+        config: TcpServerConfig,
+    ) -> std::io::Result<Self> {
+        match config.frontend {
+            Frontend::Threads => {
+                Ok(FrontendServer::Threads(TcpServer::spawn_with(server, addr, config)?))
+            }
+            #[cfg(target_os = "linux")]
+            Frontend::Epoll => Ok(FrontendServer::Epoll(
+                crate::reactor::ReactorServer::spawn_with(server, addr, config)?,
+            )),
+        }
+    }
+
+    /// The bound address (use port 0 to get an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            FrontendServer::Threads(s) => s.local_addr(),
+            #[cfg(target_os = "linux")]
+            FrontendServer::Epoll(s) => s.local_addr(),
+        }
+    }
+
+    /// A consistent snapshot of the transport counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        match self {
+            FrontendServer::Threads(s) => s.stats(),
+            #[cfg(target_os = "linux")]
+            FrontendServer::Epoll(s) => s.stats(),
+        }
+    }
+
+    /// A handle to the live counters, usable after shutdown consumes the
+    /// server.
+    pub fn stats_handle(&self) -> Arc<ServerStats> {
+        match self {
+            FrontendServer::Threads(s) => s.stats_handle(),
+            #[cfg(target_os = "linux")]
+            FrontendServer::Epoll(s) => s.stats_handle(),
+        }
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        match self {
+            FrontendServer::Threads(s) => s.active_connections(),
+            #[cfg(target_os = "linux")]
+            FrontendServer::Epoll(s) => s.active_connections(),
+        }
+    }
+
+    /// Stop accepting, drain in-flight requests, and join every thread.
+    pub fn shutdown(self) {
+        match self {
+            FrontendServer::Threads(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            FrontendServer::Epoll(s) => s.shutdown(),
         }
     }
 }
@@ -271,7 +413,7 @@ fn handle_accept(
         let mut writer = stream;
         let overloaded =
             Response::error("overloaded", "server is at connection capacity; retry later");
-        let _ = write_frame(&mut writer, &overloaded.encode());
+        let _ = write_frame_with(&mut writer, &overloaded.encode(), &mut Vec::new());
         return;
     };
 
@@ -311,25 +453,32 @@ fn serve_connection(
 ) -> Result<(), FrameError> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Frame buffers live for the connection: steady-state requests
+    // allocate nothing in the framing layer.
+    let mut body = Vec::new();
+    let mut scratch = Vec::new();
     loop {
-        let body = match read_frame(&mut reader) {
-            Ok(body) => body,
+        match read_frame_into(&mut reader, &mut body) {
+            Ok(()) => {}
             Err(FrameError::Closed) => return Ok(()),
             Err(FrameError::Io(e)) if is_timeout(&e) => {
                 stats.record_timed_out();
                 return Ok(());
             }
             Err(e) => return Err(e),
-        };
+        }
+        // read_frame_into validated UTF-8; this can only fail if the
+        // buffer was corrupted between the two calls.
+        let text = std::str::from_utf8(&body).map_err(|_| FrameError::NotUtf8)?;
         // Every request gets a process-unique id (slow-op attribution);
         // the latency span itself is 1-in-N sampled.
         let _scope = span::RequestScope::enter(span::next_request_id());
         let timer = request_spans().maybe_start();
-        let response = match Request::decode(&body) {
+        let response = match Request::decode(text) {
             Ok(request) => server.handle(&request, peer_tag),
             Err(e) => Response::error("bad-request", e.to_string()),
         };
-        write_frame(&mut writer, &response.encode())?;
+        write_frame_with(&mut writer, &response.encode(), &mut scratch)?;
         drop(timer);
         stats.record_request_served();
         // Drain semantics: the request already in flight is answered, then
@@ -347,8 +496,9 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// Sampled latency spans for the decode → handle → respond cycle. The
 /// span lives at the transport layer, not in `handle()`, so the in-memory
 /// dispatch path stays clock-free; socket turnaround dwarfs the sampled
-/// `Instant` reads that do happen.
-fn request_spans() -> &'static SpanFamily {
+/// `Instant` reads that do happen. Shared with the reactor front end so
+/// `softrep_request_latency_us` covers both architectures.
+pub(crate) fn request_spans() -> &'static SpanFamily {
     static FAMILY: std::sync::OnceLock<SpanFamily> = std::sync::OnceLock::new();
     FAMILY.get_or_init(|| {
         SpanFamily::sampled(
@@ -362,6 +512,10 @@ fn request_spans() -> &'static SpanFamily {
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Response-body buffer, reused across calls.
+    body: Vec<u8>,
+    /// Outgoing-frame scratch, reused across calls.
+    scratch: Vec<u8>,
 }
 
 impl TcpClient {
@@ -374,7 +528,12 @@ impl TcpClient {
     /// which owns connect timeouts).
     pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         let writer = stream.try_clone()?;
-        Ok(TcpClient { reader: BufReader::new(stream), writer })
+        Ok(TcpClient {
+            reader: BufReader::new(stream),
+            writer,
+            body: Vec::new(),
+            scratch: Vec::new(),
+        })
     }
 
     /// Apply read/write deadlines to the underlying socket.
@@ -391,15 +550,18 @@ impl TcpClient {
     /// does not decode is a hard protocol error: the stream may be
     /// desynchronized, so the caller must not keep using this connection.
     pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
-        write_frame(&mut self.writer, &request.encode())?;
-        let body = read_frame(&mut self.reader)?;
-        Response::decode(&body).map_err(|e| FrameError::Decode(e.to_string()))
+        write_frame_with(&mut self.writer, &request.encode(), &mut self.scratch)?;
+        read_frame_into(&mut self.reader, &mut self.body)?;
+        let text = std::str::from_utf8(&self.body).map_err(|_| FrameError::NotUtf8)?;
+        Response::decode(text).map_err(|e| FrameError::Decode(e.to_string()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use softrep_proto::framing::{read_frame, write_frame};
+
     use softrep_core::clock::SimClock;
     use softrep_core::db::ReputationDb;
     use softrep_crypto::puzzle::Challenge;
@@ -519,6 +681,12 @@ mod tests {
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+        // A client can observe its reply a moment before the worker
+        // increments `served`; give the counter a bounded beat to settle.
+        let sw = softrep_obs::time::Stopwatch::start();
+        while tcp.stats().requests_served < 20 && sw.elapsed_micros() < 2_000_000 {
+            std::thread::yield_now();
         }
         let stats = tcp.stats();
         assert_eq!(stats.accepted, 4);

@@ -8,7 +8,13 @@
 //! softrep-serverd [--data DIR] [--proto ADDR] [--web ADDR]
 //!                [--pepper SECRET] [--puzzle-difficulty N]
 //!                [--analyzer-token TOKEN] [--durability MODE]
+//!                [--frontend threads|epoll]
 //! ```
+//!
+//! `--frontend` selects the protocol serving architecture: `epoll`
+//! (default on Linux) runs the event-driven reactor — one event loop,
+//! thousands of concurrent connections; `threads` runs the portable
+//! thread-per-connection pool (64 workers).
 //!
 //! `--durability` selects the WAL sync policy: `always` (fsync before every
 //! commit returns, group-committed across concurrent writers), `batched:N`
@@ -26,7 +32,7 @@ use std::sync::Arc;
 use softwareputation::core::clock::SystemClock;
 use softwareputation::core::db::ReputationDb;
 use softwareputation::crypto::salted::SecretPepper;
-use softwareputation::server::tcp::TcpServer;
+use softwareputation::server::tcp::{Frontend, FrontendServer, TcpServerConfig};
 use softwareputation::server::web::WebServer;
 use softwareputation::server::{ReputationServer, ServerConfig};
 use softwareputation::storage::{DurabilityMode, Store, StoreOptions};
@@ -39,6 +45,7 @@ struct Args {
     puzzle_difficulty: u8,
     analyzer_token: Option<String>,
     durability: DurabilityMode,
+    frontend: Frontend,
 }
 
 /// Parse `always`, `batched:BYTES`, or `os` into a [`DurabilityMode`].
@@ -64,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         puzzle_difficulty: 12,
         analyzer_token: None,
         durability: DurabilityMode::default(),
+        frontend: Frontend::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,11 +88,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--analyzer-token" => args.analyzer_token = Some(value("--analyzer-token")?),
             "--durability" => args.durability = parse_durability(&value("--durability")?)?,
+            "--frontend" => args.frontend = value("--frontend")?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "softrep-serverd --data DIR --proto ADDR --web ADDR \
                      [--pepper SECRET] [--puzzle-difficulty N] [--analyzer-token TOKEN] \
-                     [--durability always|batched:BYTES|os]"
+                     [--durability always|batched:BYTES|os] [--frontend threads|epoll]"
                 );
                 std::process::exit(0);
             }
@@ -138,7 +147,9 @@ fn main() {
         seed,
     ));
 
-    let tcp = match TcpServer::spawn(Arc::clone(&server), args.proto.as_str()) {
+    let tcp_config = TcpServerConfig { frontend: args.frontend, ..TcpServerConfig::default() };
+    let tcp = match FrontendServer::spawn_with(Arc::clone(&server), args.proto.as_str(), tcp_config)
+    {
         Ok(tcp) => tcp,
         Err(e) => {
             eprintln!("error: cannot bind protocol address {}: {e}", args.proto);
@@ -157,6 +168,7 @@ fn main() {
     println!("  data      {}", args.data);
     println!("  protocol  {}", tcp.local_addr());
     println!("  web       http://{}", web.local_addr());
+    println!("  frontend  {:?}", args.frontend);
     println!("  puzzles   difficulty {}", args.puzzle_difficulty);
     println!("  durability {:?}", args.durability);
     println!("  pseudonym credentials: 1024-bit blind-signature key");
