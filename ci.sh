@@ -34,7 +34,14 @@
 #                                   ephemeral ports and asserts the
 #                                   Prometheus exposition is well formed
 #                                   and carries the key series
-#  10. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
+#  10. replication shard           the WAL-shipping differential suite
+#                                   (fault proxy + replica restart →
+#                                   byte-identical stores), a randomized
+#                                   run of the gapless-prefix property,
+#                                   and a binary-level primary+2-replica
+#                                   topology probed over real sockets
+#                                   (not-primary redirects, repl metrics)
+#  11. ThreadSanitizer shard        opt-in: CI_TSAN=1 and a nightly
 #                                   toolchain; skipped otherwise
 #
 # Usage: ./ci.sh            (from the workspace root)
@@ -45,25 +52,25 @@ cd "$(dirname "$0")"
 
 step() { printf '\n==== %s ====\n' "$*"; }
 
-step "1/12 cargo fmt --check"
+step "1/13 cargo fmt --check"
 cargo fmt --all -- --check
 
-step "2/12 cargo clippy --all-targets -- -D warnings"
+step "2/13 cargo clippy --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-step "3/12 softrep-lint (baseline diff)"
+step "3/13 softrep-lint (baseline diff)"
 # Fails on diagnostics not present in lint-baseline.json. To accept a
 # finding on purpose (rare; prefer an inline reasoned suppression):
 #   SOFTREP_LINT_BASELINE=regen cargo run -q -p softrep-lint -- . --baseline lint-baseline.json
 cargo run --offline -q -p softrep-lint -- . --format json --baseline lint-baseline.json --stats
 
-step "4/12 cargo build --release"
+step "4/13 cargo build --release"
 cargo build --offline --release
 
-step "5/12 cargo test (workspace)"
+step "5/13 cargo test (workspace)"
 cargo test --offline -q --workspace
 
-step "6/12 epoll front-end shard (transport + chaos under the reactor)"
+step "6/13 epoll front-end shard (transport + chaos under the reactor)"
 # The workspace run already exercises both front ends; this shard pins
 # the socket-level suites to the epoll reactor alone so a regression in
 # the event loop cannot hide behind a thread-pool pass (the differential
@@ -71,7 +78,7 @@ step "6/12 epoll front-end shard (transport + chaos under the reactor)"
 SOFTREP_FRONTEND=epoll cargo test --offline -q -p softrep-server \
     --test transport --test chaos
 
-step "7/12 property shard (fixed + randomized seed)"
+step "7/13 property shard (fixed + randomized seed)"
 # Fixed seed: reproduces the checked-in baseline exactly.
 SOFTREP_PROP_SEED=0x5eedcafe SOFTREP_PROP_CASES=200 \
     cargo test --offline -q --test properties
@@ -82,11 +89,11 @@ printf 'property shard randomized seed: %s\n' "$PROP_SEED"
 SOFTREP_PROP_SEED="$PROP_SEED" SOFTREP_PROP_CASES=100 \
     cargo test --offline -q --test properties
 
-step "8/12 loom race-detection shards (server + storage)"
+step "8/13 loom race-detection shards (server + storage)"
 cargo test --offline -q -p softrep-server --features loom --test loom
 cargo test --offline -q -p softrep-storage --features loom --test loom
 
-step "9/12 crash-matrix shard (fixed + randomized seed)"
+step "9/13 crash-matrix shard (fixed + randomized seed)"
 # Fixed seed: the canonical schedule, byte-for-byte reproducible. Time-
 # budgeted: the whole matrix is sub-second, so a multi-minute run means a
 # recovery loop is wedged — fail fast rather than eat the CI budget.
@@ -100,14 +107,14 @@ printf 'crash-matrix randomized seed: %s\n' "$CRASH_SEED"
 timeout 300 env SOFTREP_CRASH_SEED="$CRASH_SEED" \
     cargo test --offline -q --test crash_matrix randomized
 
-step "10/12 concurrency bench smoke"
+step "10/13 concurrency bench smoke"
 # Tiny workload: proves the mixed reader/writer and group-commit benches
 # still run, without spending CI minutes on real measurements.
 SOFTREP_BENCH_SMOKE=1 cargo bench --offline -p softrep-bench --bench storage_bench \
     | grep -E 'store_concurrent|store_group_commit' || {
         echo "concurrency benches produced no output"; exit 1; }
 
-step "11/12 /metrics endpoint smoke"
+step "11/13 /metrics endpoint smoke"
 # Boot the real binary on ephemeral ports, fetch /metrics over a raw
 # socket (no curl dependency), and assert the exposition is well formed
 # and carries the key series (DESIGN.md §12). Uses the release binary
@@ -147,7 +154,11 @@ for series in \
     softrep_reactor_open_connections \
     softrep_reactor_wakeups_total \
     softrep_reactor_ready_events_count \
-    softrep_reactor_dispatch_us_count; do
+    softrep_reactor_dispatch_us_count \
+    softrep_repl_lag_entries \
+    softrep_repl_lag_bytes \
+    softrep_repl_applied_seq \
+    softrep_repl_reconnects_total; do
     printf '%s\n' "$METRICS" | grep -q "^$series " || {
         echo "/metrics is missing series $series"; exit 1; }
 done
@@ -161,6 +172,100 @@ cleanup_smoke
 trap - EXIT
 echo "/metrics smoke passed ($WEB_ADDR)"
 
+step "12/13 replication shard (fault sweep + primary/2-replica topology)"
+# Half one: the in-process differential suite — 10k mixed writes through
+# a byte-cutting fault proxy plus a replica restart must converge to
+# byte-identical stores (DESIGN.md §15) — and a randomized-seed run of
+# the gapless-prefix property (the fixed-seed run is in step 7).
+cargo test --offline -q -p softrep-server --test repl
+REPL_SEED="$(date +%s)"
+printf 'replication property randomized seed: %s\n' "$REPL_SEED"
+SOFTREP_PROP_SEED="$REPL_SEED" SOFTREP_PROP_CASES=40 \
+    cargo test --offline -q --test properties replica_watermark
+
+# Half two: the release binary in both roles. Boot a primary and two
+# replicas on ephemeral ports, then assert over the real sockets that
+# (a) each replica redirects the write path with `not-primary` naming
+# the primary, (b) the primary still serves it, and (c) each replica's
+# /metrics carries all four softrep_repl_* series.
+REPL_DATA="$(mktemp -d)"
+REPL_PIDS=()
+cleanup_repl() {
+    for pid in "${REPL_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$REPL_DATA"
+}
+trap cleanup_repl EXIT
+
+boot_serverd() { # name, extra args...
+    local name="$1"; shift
+    mkdir -p "$REPL_DATA/$name"
+    ./target/release/softrep-serverd --data "$REPL_DATA/$name" --pepper ci-repl \
+        --puzzle-difficulty 0 --proto 127.0.0.1:0 --web 127.0.0.1:0 "$@" \
+        >"$REPL_DATA/$name.log" 2>&1 &
+    REPL_PIDS+=("$!")
+}
+
+serverd_addr() { # name, column (protocol|web)
+    local addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n "s#.*$2  *##p" "$REPL_DATA/$1.log" | sed 's#^http://##' | head -n1)"
+        [ -n "$addr" ] && break
+        sleep 0.2
+    done
+    [ -n "$addr" ] || {
+        echo "serverd '$1' never announced its $2 address:" >&2
+        cat "$REPL_DATA/$1.log" >&2; exit 1; }
+    printf '%s' "$addr"
+}
+
+# One framed protocol round trip: u32 BE length + UTF-8 XML, by hand.
+proto_call() { # addr, xml-body → response body on stdout
+    local addr="$1" body="$2" len b0 b1 b2 b3 rlen
+    len=${#body}
+    exec 4<>"/dev/tcp/${addr%:*}/${addr##*:}"
+    printf "$(printf '\\%03o\\%03o\\%03o\\%03o' \
+        $((len >> 24 & 255)) $((len >> 16 & 255)) $((len >> 8 & 255)) $((len & 255)))" >&4
+    printf '%s' "$body" >&4
+    # dd bs=1 reads exactly N bytes from the socket; head -c may over-read
+    # into its stdio buffer and eat the start of the body.
+    read -r b0 b1 b2 b3 <<<"$(dd bs=1 count=4 2>/dev/null <&4 | od -An -tu1 | tr -s ' ')" || true
+    rlen=$((b0 * 16777216 + b1 * 65536 + b2 * 256 + b3))
+    [ "$rlen" -gt 0 ] && [ "$rlen" -le 1048576 ] || {
+        echo "bogus response frame length $rlen from $addr" >&2; exit 1; }
+    dd bs=1 count="$rlen" 2>/dev/null <&4
+    exec 4<&- 4>&-
+}
+
+GET_PUZZLE='<?xml version="1.0" encoding="UTF-8"?><request type="get-puzzle"/>'
+boot_serverd primary
+PRIMARY_PROTO="$(serverd_addr primary protocol)"
+boot_serverd replica1 --replica-of "$PRIMARY_PROTO"
+boot_serverd replica2 --replica-of "$PRIMARY_PROTO"
+
+proto_call "$PRIMARY_PROTO" "$GET_PUZZLE" | grep -q 'status="puzzle"' || {
+    echo "primary did not serve the write path"; exit 1; }
+for name in replica1 replica2; do
+    RADDR="$(serverd_addr "$name" protocol)"
+    RESP="$(proto_call "$RADDR" "$GET_PUZZLE")"
+    printf '%s' "$RESP" | grep -q 'status="not-primary"' || {
+        echo "$name did not redirect the write path: $RESP"; exit 1; }
+    printf '%s' "$RESP" | grep -qF "$PRIMARY_PROTO" || {
+        echo "$name's redirect does not name the primary: $RESP"; exit 1; }
+    RWEB="$(serverd_addr "$name" web)"
+    exec 4<>"/dev/tcp/${RWEB%:*}/${RWEB##*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\n\r\n' "$RWEB" >&4
+    RMETRICS="$(cat <&4)"
+    exec 4<&- 4>&-
+    for series in softrep_repl_lag_entries softrep_repl_lag_bytes \
+        softrep_repl_applied_seq softrep_repl_reconnects_total; do
+        printf '%s\n' "$RMETRICS" | grep -q "^$series " || {
+            echo "$name /metrics is missing series $series"; exit 1; }
+    done
+done
+cleanup_repl
+trap - EXIT
+echo "replication shard passed (primary + 2 replicas at $PRIMARY_PROTO)"
+
 nightly_has_tsan_deps() {
     rustup toolchain list 2>/dev/null | grep -q nightly \
         && rustup component list --toolchain nightly 2>/dev/null \
@@ -169,7 +274,7 @@ nightly_has_tsan_deps() {
 
 if [ "${CI_TSAN:-0}" = "1" ]; then
     if nightly_has_tsan_deps; then
-        step "12/12 ThreadSanitizer shard (nightly)"
+        step "13/13 ThreadSanitizer shard (nightly)"
         # TSan needs the std rebuilt with the sanitizer; restrict to the
         # concurrent server structures to keep the shard's runtime sane.
         RUSTFLAGS="-Zsanitizer=thread" \
@@ -177,10 +282,10 @@ if [ "${CI_TSAN:-0}" = "1" ]; then
             -Z build-std --target x86_64-unknown-linux-gnu \
             session flood puzzle_gate pool stats
     else
-        step "12/12 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
+        step "13/13 ThreadSanitizer shard SKIPPED (needs nightly + rust-src for -Z build-std)"
     fi
 else
-    step "12/12 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
+    step "13/13 ThreadSanitizer shard SKIPPED (set CI_TSAN=1 to enable)"
 fi
 
 printf '\nci.sh: all enabled shards passed\n'

@@ -425,6 +425,113 @@ fn alloc_probe(_c: &mut Criterion) {
     }
 }
 
+/// BENCH_REPL (EXPERIMENTS.md): replication catch-up. `tail` measures the
+/// steady-state WAL-shipping rate — a fresh replica subscribing at seq 0
+/// against a primary whose log still holds every entry drains it page by
+/// page; entries/s is the headline number. `bootstrap` measures the cold
+/// path — the primary's log has been compacted away, so the replica must
+/// pull a full snapshot and install it before it can tail.
+fn bench_replication_catchup(c: &mut Criterion) {
+    use softrep_core::db::ReputationDb as Db;
+    use softrep_crypto::salted::SecretPepper;
+    use softrep_server::repl::{ReplicaTail, ReplicaTailConfig};
+    use softrep_storage::batch::WriteBatch;
+    use softrep_storage::{replication, Store};
+
+    let smoke = std::env::var_os("SOFTREP_BENCH_SMOKE").is_some();
+    let entry_counts: &[usize] = if smoke { &[1_000] } else { &[10_000, 100_000] };
+
+    fn bench_dir(name: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("softrep-bench-repl-{name}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn file_backed(dir: &std::path::Path) -> Arc<ReputationServer> {
+        let store = Arc::new(Store::open(dir).expect("open bench store"));
+        let db = Db::new(store, SecretPepper::new(b"bench-repl".to_vec()));
+        Arc::new(ReputationServer::new(
+            db,
+            Arc::new(SimClock::new()),
+            ServerConfig { puzzle_difficulty: 0, ..ServerConfig::default() },
+            9,
+        ))
+    }
+
+    fn fast_tail() -> ReplicaTailConfig {
+        ReplicaTailConfig {
+            poll_interval: Duration::from_millis(1),
+            backoff_start: Duration::from_millis(1),
+            ..ReplicaTailConfig::default()
+        }
+    }
+
+    /// Spawn a tail against `addr`, block until the replica's watermark
+    /// reaches `target`, and tear the replica down again.
+    fn catch_up(addr: std::net::SocketAddr, target: u64, which: &str) {
+        let dir = bench_dir(which);
+        let replica = file_backed(&dir);
+        let store = Arc::clone(replica.db().store());
+        let tail = ReplicaTail::spawn_with(Arc::clone(&replica), addr.to_string(), fast_tail())
+            .expect("spawn tail");
+        while replication::applied_watermark(&store) < target {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        tail.shutdown();
+        drop(replica);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let mut group = c.benchmark_group("replication_catchup");
+    group.sample_size(10);
+    for &entries in entry_counts {
+        // One primary per size, shared by both variants: `tail` subscribes
+        // while the log is intact, then the log is compacted away for
+        // `bootstrap`.
+        let dir = bench_dir("primary");
+        let primary = file_backed(&dir);
+        let store = Arc::clone(primary.db().store());
+        for i in 0..entries {
+            let tree = ["titles", "votes", "comments"][i % 3];
+            if i % 11 == 7 {
+                let mut batch = WriteBatch::new();
+                batch.put(tree, format!("key-{i}").into_bytes(), vec![b'm'; 1 + i % 200]);
+                batch.put("meta", format!("b-{i}").into_bytes(), i.to_le_bytes().to_vec());
+                store.apply(&batch).expect("seed batch");
+            } else {
+                store
+                    .put(tree, format!("key-{i}").into_bytes(), vec![b'v'; 1 + i % 97])
+                    .expect("seed put");
+            }
+        }
+        let target = store.committed_seq();
+        let tcp = TcpServer::spawn(Arc::clone(&primary), "127.0.0.1:0").expect("bind loopback");
+        let addr = tcp.local_addr();
+
+        group.throughput(Throughput::Elements(entries as u64));
+        group.bench_with_input(BenchmarkId::new("tail", entries), &entries, |b, _| {
+            b.iter(|| catch_up(addr, target, "tail"))
+        });
+
+        // Retire the log: every fresh subscriber now has to bootstrap from
+        // a snapshot before it can follow the (empty) suffix.
+        store.compact().expect("compact");
+        group.bench_with_input(BenchmarkId::new("bootstrap", entries), &entries, |b, _| {
+            b.iter(|| catch_up(addr, target, "boot"))
+        });
+
+        tcp.shutdown();
+        drop(primary);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_request_throughput,
@@ -434,6 +541,7 @@ criterion_group!(
     bench_tcp_round_trip,
     bench_flood_guard,
     bench_frontend_concurrency_sweep,
+    bench_replication_catchup,
     alloc_probe
 );
 criterion_main!(benches);

@@ -234,8 +234,38 @@ impl TcpConnector {
         }
     }
 
-    /// Perform one exchange with retries, backoff, and reconnect.
+    /// Perform one exchange with retries, backoff, and reconnect. A
+    /// `not-primary` redirect (the peer is a read replica — see
+    /// DESIGN.md §15) is followed once: the connector re-points at the
+    /// carried primary address and repeats the call there, so a client
+    /// configured against a replica still gets its writes through. The
+    /// hop is taken at most once per call — two replicas pointing at each
+    /// other surface the second redirect to the caller instead of
+    /// bouncing forever.
     pub fn try_call(&mut self, request: &Request) -> Result<Response, CallError> {
+        let response = self.call_with_retries(request)?;
+        let Response::NotPrimary { primary } = response else {
+            return Ok(response);
+        };
+        let Some(primary_addr) = primary.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+            // An unresolvable redirect target is not actionable; hand the
+            // redirect to the caller as-is.
+            return Ok(Response::NotPrimary { primary });
+        };
+        if primary_addr == self.addr {
+            // The replica claims *we* are already talking to the primary:
+            // a topology misconfiguration, not something retrying fixes.
+            return Ok(Response::NotPrimary { primary });
+        }
+        // Re-point permanently: every subsequent call goes straight to
+        // the primary instead of paying the redirect again.
+        self.addr = primary_addr;
+        self.client = None;
+        self.call_with_retries(request)
+    }
+
+    /// The raw retry loop, redirect-blind.
+    fn call_with_retries(&mut self, request: &Request) -> Result<Response, CallError> {
         let max = self.policy.max_attempts.max(1);
         let mut last_error = String::new();
         for attempt in 1..=max {

@@ -12,7 +12,7 @@ use softrep_core::clock::SimClock;
 use softrep_core::db::ReputationDb;
 use softrep_proto::framing::{read_frame, write_frame};
 use softrep_proto::{Request, Response};
-use softrep_server::tcp::TcpServer;
+use softrep_server::tcp::{FrontendServer, TcpServer, TcpServerConfig};
 use softrep_server::{ReputationServer, ServerConfig};
 
 fn reputation_server() -> Arc<ReputationServer> {
@@ -202,6 +202,64 @@ fn silent_server_trips_the_call_deadline() {
     let err = conn.try_call(&query()).expect_err("silence must not hang");
     assert!(err.is_retryable(), "a timeout is worth retrying later: {err}");
     silent.join().unwrap();
+}
+
+/// A write sent to a read replica comes back as a `not-primary` redirect;
+/// the connector follows it (one hop) and the caller transparently gets
+/// the primary's answer. Subsequent calls go straight to the primary.
+#[test]
+fn connector_follows_a_not_primary_redirect_to_the_primary() {
+    let primary = reputation_server();
+    let primary_tcp = TcpServer::spawn(Arc::clone(&primary), "127.0.0.1:0").unwrap();
+
+    let replica = reputation_server();
+    let replica_tcp = FrontendServer::spawn_with(
+        replica,
+        "127.0.0.1:0",
+        TcpServerConfig {
+            replica_of: Some(primary_tcp.local_addr().to_string()),
+            ..TcpServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // GetPuzzle is primary-only (it starts the write flow); pointed at
+    // the replica, the connector must still land it on the primary.
+    let mut conn = TcpConnector::connect(replica_tcp.local_addr(), quick_policy()).unwrap();
+    let resp = conn.try_call(&Request::GetPuzzle).unwrap();
+    assert!(matches!(resp, Response::Puzzle { .. }), "{resp:?}");
+    assert_eq!(conn.addr(), primary_tcp.local_addr(), "connector re-points at the primary");
+
+    // Reads never needed the redirect in the first place, and now go to
+    // the primary too.
+    let resp = conn.try_call(&query()).unwrap();
+    assert!(matches!(resp, Response::UnknownSoftware { .. }));
+
+    replica_tcp.shutdown();
+    primary_tcp.shutdown();
+}
+
+/// The redirect is loop-guarded: two replicas misconfigured to point at
+/// each other produce one hop and then surface the second redirect to the
+/// caller instead of bouncing between the nodes forever.
+#[test]
+fn redirect_loops_are_cut_after_one_hop() {
+    let a = reputation_server();
+    let a_tcp = TcpServer::spawn(Arc::clone(&a), "127.0.0.1:0").unwrap();
+    let b = reputation_server();
+    let b_tcp = TcpServer::spawn(Arc::clone(&b), "127.0.0.1:0").unwrap();
+    a.repl_state().set_replica_of(b_tcp.local_addr().to_string());
+    b.repl_state().set_replica_of(a_tcp.local_addr().to_string());
+
+    let mut conn = TcpConnector::connect(a_tcp.local_addr(), quick_policy()).unwrap();
+    let resp = conn.try_call(&Request::GetPuzzle).unwrap();
+    let Response::NotPrimary { primary } = resp else {
+        panic!("the second redirect must reach the caller, got {resp:?}")
+    };
+    assert_eq!(primary, a_tcp.local_addr().to_string(), "b redirects back to a");
+
+    a_tcp.shutdown();
+    b_tcp.shutdown();
 }
 
 /// Sanity: the raw `TcpStream` path and the connector agree on the wire

@@ -286,6 +286,15 @@ impl ReputationDb {
         &self.store
     }
 
+    /// Drop every read-through cache. The replication apply path writes
+    /// batches into the store *beneath* this layer, so a replica's tail
+    /// calls this after each applied page — otherwise reads could keep
+    /// serving pre-replication state indefinitely.
+    pub fn purge_read_caches(&self) {
+        self.report_cache.write().clear();
+        self.vendor_cache.write().clear();
+    }
+
     // -----------------------------------------------------------------
     // Accounts (§3.2)
     // -----------------------------------------------------------------

@@ -53,6 +53,11 @@ pub const NO_PANIC_FILES: &[&str] = &[
     // event loop must survive any single connection's misbehaviour.
     "crates/server/src/reactor.rs",
     "crates/server/src/epoll.rs",
+    // Replication runs on both serving roles: the primary's subscription
+    // reads share the request path, and a panic in the replica's apply
+    // loop would silently freeze its watermark.
+    "crates/server/src/repl.rs",
+    "crates/storage/src/replication.rs",
     "crates/storage/src/wal.rs",
     "crates/storage/src/store.rs",
     "crates/storage/src/shard.rs",
@@ -245,10 +250,14 @@ impl FileCheck {
                 TokenKind::Punct if tok.text == "[" => {
                     // An index *expression*: `[` directly after an
                     // identifier, `)`, or `]`. Array types/literals and
-                    // attributes follow `:`, `=`, `#`, `&`, … instead.
+                    // attributes follow `:`, `=`, `#`, `&`, … instead —
+                    // or a keyword (`for x in [..]`, `return [..]`),
+                    // which the lexer also tokenizes as Ident.
+                    const KEYWORDS: &[&str] =
+                        &["_", "in", "return", "break", "else", "match", "if", "while"];
                     let prev = i.checked_sub(1).and_then(|p| toks.get(p));
                     let indexes = prev.is_some_and(|p| {
-                        (p.kind == TokenKind::Ident && p.text != "_")
+                        (p.kind == TokenKind::Ident && !KEYWORDS.contains(&p.text.as_str()))
                             || p.text == ")"
                             || p.text == "]"
                     });

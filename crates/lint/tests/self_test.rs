@@ -74,6 +74,28 @@ fn seeded_unwrap_fails_with_file_and_line() {
 }
 
 #[test]
+fn array_literal_after_a_keyword_is_not_an_index_expression() {
+    // `for x in [A, B]` and `return [..]` put `[` right after a keyword
+    // the lexer tokenizes as Ident; only real `container[index]` panics.
+    let root = fixture_root("array-literal");
+    write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping }");
+    write(
+        &root,
+        "crates/server/src/handler.rs",
+        "fn h(r: &Request) { match r { Request::Ping => {} } }",
+    );
+    write(
+        &root,
+        "crates/storage/src/wal.rs",
+        "fn scan() -> [u8; 2] {\n    for name in [\"a\", \"b\"] {\n        let _ = name;\n    }\n    return [0, 1];\n}\n",
+    );
+    let out = run_on(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "array literals flagged as indexing:\n{stdout}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn seeded_clock_and_trust_violations_fail() {
     let root = fixture_root("clock-trust");
     write(&root, "crates/proto/src/message.rs", "pub enum Request { Ping }");

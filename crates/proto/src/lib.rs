@@ -26,5 +26,5 @@ pub mod framing;
 pub mod message;
 pub mod xml;
 
-pub use message::{Request, Response};
+pub use message::{ReplEntry, Request, Response};
 pub use xml::{XmlError, XmlNode};

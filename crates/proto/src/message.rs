@@ -162,6 +162,27 @@ pub enum Request {
         /// The RSA signature over the token, hex.
         signature: String,
     },
+    /// Replication: a replica asks the primary for committed WAL entries
+    /// after its applied watermark (DESIGN.md §15).
+    ReplSubscribe {
+        /// The subscriber's applied watermark; entries start at
+        /// `from_seq + 1`.
+        from_seq: u64,
+        /// Page cap: entries per response.
+        max_entries: u32,
+        /// Page cap: total entry bytes per response (pre-hex).
+        max_bytes: u32,
+    },
+    /// Replication: fetch one chunk of a bootstrap snapshot. `seq` 0 asks
+    /// the primary to cut (or reuse) its current export; later chunks name
+    /// the sequence number of the cut being assembled.
+    ReplSnapshot {
+        /// Covered sequence number of the snapshot being fetched (0 on
+        /// the first chunk of a fresh bootstrap).
+        seq: u64,
+        /// Byte offset into the encoded snapshot.
+        offset: u64,
+    },
 }
 
 /// One comment as rendered in responses.
@@ -268,6 +289,49 @@ pub enum Response {
         /// Number of distinct software titles attributed to the vendor.
         software_count: u64,
     },
+    /// Replication: a page of committed WAL entries for a subscriber.
+    ReplEntries {
+        /// The primary's newest committed sequence number.
+        committed_seq: u64,
+        /// Bytes of committed entries beyond this page (lag in bytes).
+        backlog_bytes: u64,
+        /// The entries, in sequence order, gapless from the subscription
+        /// point.
+        entries: Vec<ReplEntry>,
+    },
+    /// Replication: one chunk of an encoded bootstrap snapshot.
+    ReplSnapshotChunk {
+        /// Commit sequence number the snapshot covers. A subscriber that
+        /// sees this change mid-assembly restarts from offset 0.
+        seq: u64,
+        /// Byte offset of `data` within the encoded snapshot.
+        offset: u64,
+        /// Total encoded snapshot length in bytes.
+        total_len: u64,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Replication: the requested log suffix is gone (compacted) or ahead
+    /// of this primary's history — bootstrap from a snapshot instead.
+    ReplResync {
+        /// The primary's newest committed sequence number.
+        committed_seq: u64,
+    },
+    /// The receiving node is a read replica and cannot serve this request;
+    /// retry against the primary at the carried address.
+    NotPrimary {
+        /// `host:port` of the primary's protocol endpoint.
+        primary: String,
+    },
+}
+
+/// One committed entry inside a [`Response::ReplEntries`] page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplEntry {
+    /// The primary's commit sequence number for this batch.
+    pub seq: u64,
+    /// The encoded `WriteBatch` bytes exactly as journaled.
+    pub batch: Vec<u8>,
 }
 
 /// Error raised when a message cannot be decoded from XML.
@@ -296,6 +360,47 @@ fn required_parse<T: std::str::FromStr>(node: &XmlNode, child: &str) -> Result<T
     required(node, child)?
         .parse()
         .map_err(|_| MessageError(format!("<{child}> is not a valid value")))
+}
+
+fn required_attr_parse<T: std::str::FromStr>(
+    node: &XmlNode,
+    attr: &str,
+) -> Result<T, MessageError> {
+    node.get_attr(attr)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| MessageError(format!("missing or invalid {attr} attribute")))
+}
+
+/// Lowercase hex rendering for binary payloads (WAL batches, snapshot
+/// chunks). Hex is XML-safe — no escaping interactions — at a 2× size
+/// cost the replication page limits already budget for.
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, MessageError> {
+    let raw = text.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return Err(MessageError("hex payload has odd length".into()));
+    }
+    fn nibble(c: u8) -> Result<u8, MessageError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(MessageError("invalid hex digit in payload".into())),
+        }
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
 }
 
 impl Request {
@@ -408,6 +513,47 @@ impl Request {
                     .text_child("token", token)
                     .text_child("signature", signature)
             }
+            Request::ReplSubscribe { from_seq, max_entries, max_bytes } => XmlNode::new("request")
+                .attr("type", "repl-subscribe")
+                .attr("from-seq", from_seq.to_string())
+                .attr("max-entries", max_entries.to_string())
+                .attr("max-bytes", max_bytes.to_string()),
+            Request::ReplSnapshot { seq, offset } => XmlNode::new("request")
+                .attr("type", "repl-snapshot")
+                .attr("seq", seq.to_string())
+                .attr("offset", offset.to_string()),
+        }
+    }
+
+    /// True when a read replica can answer this request from its local
+    /// store. Everything else must reach the primary: writes obviously,
+    /// but also the interactive flows that *lead* to writes (puzzles,
+    /// registration, login, pseudonym credentials) — their server-side
+    /// state (puzzle table, sessions, signing key) lives on the primary.
+    /// The replication requests themselves are servable so replicas can
+    /// be chained.
+    pub fn is_replica_servable(&self) -> bool {
+        match self {
+            Request::QuerySoftware { .. }
+            | Request::QueryDetails { .. }
+            | Request::QueryVendor { .. }
+            | Request::QueryFeedEntry { .. }
+            | Request::ReplSubscribe { .. }
+            | Request::ReplSnapshot { .. } => true,
+            Request::GetPuzzle
+            | Request::Register { .. }
+            | Request::Activate { .. }
+            | Request::Login { .. }
+            | Request::RegisterSoftware { .. }
+            | Request::SubmitVote { .. }
+            | Request::SubmitComment { .. }
+            | Request::RateComment { .. }
+            | Request::SubmitEvidence { .. }
+            | Request::CreateFeed { .. }
+            | Request::PublishFeedEntry { .. }
+            | Request::GetPseudonymKey
+            | Request::BlindSignPseudonym { .. }
+            | Request::RegisterPseudonym { .. } => false,
         }
     }
 
@@ -502,6 +648,15 @@ impl Request {
                 password: required(node, "password")?.to_string(),
                 token: required(node, "token")?.to_string(),
                 signature: required(node, "signature")?.to_string(),
+            }),
+            "repl-subscribe" => Ok(Request::ReplSubscribe {
+                from_seq: required_attr_parse(node, "from-seq")?,
+                max_entries: required_attr_parse(node, "max-entries")?,
+                max_bytes: required_attr_parse(node, "max-bytes")?,
+            }),
+            "repl-snapshot" => Ok(Request::ReplSnapshot {
+                seq: required_attr_parse(node, "seq")?,
+                offset: required_attr_parse(node, "offset")?,
             }),
             other => Err(MessageError(format!("unknown request type '{other}'"))),
         }
@@ -601,6 +756,34 @@ impl Response {
                 }
                 node
             }
+            Response::ReplEntries { committed_seq, backlog_bytes, entries } => {
+                let mut node = XmlNode::new("response")
+                    .attr("status", "repl-entries")
+                    .attr("committed-seq", committed_seq.to_string())
+                    .attr("backlog-bytes", backlog_bytes.to_string());
+                for e in entries {
+                    node = node.child(
+                        XmlNode::new("entry")
+                            .attr("seq", e.seq.to_string())
+                            .with_text(hex_encode(&e.batch)),
+                    );
+                }
+                node
+            }
+            Response::ReplSnapshotChunk { seq, offset, total_len, data } => {
+                XmlNode::new("response")
+                    .attr("status", "repl-snapshot-chunk")
+                    .attr("seq", seq.to_string())
+                    .attr("offset", offset.to_string())
+                    .attr("total-len", total_len.to_string())
+                    .with_text(hex_encode(data))
+            }
+            Response::ReplResync { committed_seq } => XmlNode::new("response")
+                .attr("status", "repl-resync")
+                .attr("committed-seq", committed_seq.to_string()),
+            Response::NotPrimary { primary } => XmlNode::new("response")
+                .attr("status", "not-primary")
+                .text_child("primary", primary),
         }
     }
 
@@ -678,6 +861,34 @@ impl Response {
                 rating: node.child_text("rating").and_then(|v| v.parse().ok()),
                 software_count: required_parse(node, "software-count")?,
             }),
+            "repl-entries" => {
+                let entries = node
+                    .get_children("entry")
+                    .map(|e| {
+                        Ok(ReplEntry {
+                            seq: required_attr_parse(e, "seq")?,
+                            batch: hex_decode(&e.text)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, MessageError>>()?;
+                Ok(Response::ReplEntries {
+                    committed_seq: required_attr_parse(node, "committed-seq")?,
+                    backlog_bytes: required_attr_parse(node, "backlog-bytes")?,
+                    entries,
+                })
+            }
+            "repl-snapshot-chunk" => Ok(Response::ReplSnapshotChunk {
+                seq: required_attr_parse(node, "seq")?,
+                offset: required_attr_parse(node, "offset")?,
+                total_len: required_attr_parse(node, "total-len")?,
+                data: hex_decode(&node.text)?,
+            }),
+            "repl-resync" => Ok(Response::ReplResync {
+                committed_seq: required_attr_parse(node, "committed-seq")?,
+            }),
+            "not-primary" => {
+                Ok(Response::NotPrimary { primary: required(node, "primary")?.to_string() })
+            }
             other => Err(MessageError(format!("unknown response status '{other}'"))),
         }
     }
@@ -757,6 +968,66 @@ mod tests {
         });
         roundtrip_request(Request::QueryVendor { vendor: "Gator Corp".into() });
         roundtrip_request(Request::QueryDetails { software_id: "ab".into() });
+        roundtrip_request(Request::ReplSubscribe {
+            from_seq: 12_345,
+            max_entries: 256,
+            max_bytes: 1 << 18,
+        });
+        roundtrip_request(Request::ReplSnapshot { seq: 0, offset: 0 });
+        roundtrip_request(Request::ReplSnapshot { seq: 987, offset: 262_144 });
+    }
+
+    #[test]
+    fn repl_responses_roundtrip() {
+        roundtrip_response(Response::ReplEntries {
+            committed_seq: 42,
+            backlog_bytes: 9_001,
+            entries: vec![
+                ReplEntry { seq: 41, batch: vec![0x00, 0xff, 0x3c, 0x26, 0x80] },
+                ReplEntry { seq: 42, batch: Vec::new() },
+            ],
+        });
+        roundtrip_response(Response::ReplEntries {
+            committed_seq: 0,
+            backlog_bytes: 0,
+            entries: Vec::new(),
+        });
+        roundtrip_response(Response::ReplSnapshotChunk {
+            seq: 7,
+            offset: 1024,
+            total_len: 4096,
+            data: (0u16..=255).map(|b| b as u8).collect(),
+        });
+        roundtrip_response(Response::ReplResync { committed_seq: 55 });
+        roundtrip_response(Response::NotPrimary { primary: "10.0.0.1:7007".into() });
+    }
+
+    #[test]
+    fn hex_payloads_reject_garbage() {
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex digit");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(hex_decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(hex_decode("00FF10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn replica_servable_subset_is_read_only() {
+        assert!(Request::QuerySoftware { software_id: "ab".into() }.is_replica_servable());
+        assert!(Request::QueryVendor { vendor: "v".into() }.is_replica_servable());
+        assert!(Request::ReplSubscribe { from_seq: 0, max_entries: 1, max_bytes: 1 }
+            .is_replica_servable());
+        assert!(!Request::GetPuzzle.is_replica_servable());
+        assert!(
+            !Request::Login { username: "a".into(), password: "b".into() }.is_replica_servable()
+        );
+        assert!(!Request::SubmitVote {
+            session: "s".into(),
+            software_id: "ab".into(),
+            score: 5,
+            behaviours: vec![],
+        }
+        .is_replica_servable());
     }
 
     #[test]

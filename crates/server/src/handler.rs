@@ -17,6 +17,7 @@ use softrep_proto::{Request, Response};
 
 use crate::flood::FloodGuard;
 use crate::puzzle_gate::{PuzzleGate, PuzzleRejection};
+use crate::repl::ReplServerState;
 use crate::session::SessionManager;
 use crate::stats::ServerStats;
 
@@ -74,6 +75,7 @@ pub struct ReputationServer {
     rng: Mutex<StdRng>,
     pseudonym_key: Option<RsaKeypair>,
     stats: Arc<ServerStats>,
+    repl: ReplServerState,
 }
 
 impl ReputationServer {
@@ -102,7 +104,13 @@ impl ReputationServer {
             config,
             pseudonym_key,
             stats: Arc::new(ServerStats::new()),
+            repl: ReplServerState::default(),
         }
+    }
+
+    /// The replication state: role marker, snapshot cache, lag metrics.
+    pub fn repl_state(&self) -> &ReplServerState {
+        &self.repl
     }
 
     /// The shared counter sink. The TCP front end records transport events
@@ -266,6 +274,15 @@ impl ReputationServer {
         render_external_counter(&mut out, "softrep_slow_ops_dropped_total", slow.dropped());
         render_external_gauge(&mut out, "softrep_slow_op_threshold_us", slow.threshold_us());
 
+        // Replication lag (DESIGN.md §15). Rendered on every role: a
+        // primary reports zeros, so dashboards and the CI smoke test can
+        // depend on the series existing unconditionally.
+        let repl = self.repl.metrics();
+        render_external_gauge(&mut out, "softrep_repl_lag_entries", repl.lag_entries);
+        render_external_gauge(&mut out, "softrep_repl_lag_bytes", repl.lag_bytes);
+        render_external_gauge(&mut out, "softrep_repl_applied_seq", repl.applied_seq);
+        render_external_counter(&mut out, "softrep_repl_reconnects_total", repl.reconnects);
+
         out
     }
 
@@ -273,8 +290,20 @@ impl ReputationServer {
     /// only for flood control — never persisted, per §2.2).
     pub fn handle(&self, request: &Request, source: &str) -> Response {
         let now = self.clock.now();
-        if !self.flood.allow(source, now) {
+        // Replication polling is machine-to-machine at tailing cadence;
+        // the human-scale flood budget would starve it within a minute.
+        let is_repl =
+            matches!(request, Request::ReplSubscribe { .. } | Request::ReplSnapshot { .. });
+        if !is_repl && !self.flood.allow(source, now) {
             return Response::error("throttled", "too many requests; slow down");
+        }
+        // A read replica answers the read-only subset from its local
+        // store; everything else is redirected to the primary with its
+        // address, so clients can follow without extra configuration.
+        if let Some(primary) = self.repl.replica_of() {
+            if !request.is_replica_servable() {
+                return Response::NotPrimary { primary: primary.to_string() };
+            }
         }
         match request {
             Request::GetPuzzle => {
@@ -466,6 +495,12 @@ impl ReputationServer {
                     Ok(()) => Response::Ok,
                     Err(e) => error_response(e),
                 }
+            }
+            Request::ReplSubscribe { from_seq, max_entries, max_bytes } => {
+                crate::repl::serve_subscribe(self.db.store(), *from_seq, *max_entries, *max_bytes)
+            }
+            Request::ReplSnapshot { seq, offset } => {
+                crate::repl::serve_snapshot(&self.repl, self.db.store(), *seq, *offset)
             }
         }
     }

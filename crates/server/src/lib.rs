@@ -34,6 +34,9 @@
 //!   connections where the thread front end sheds at 64.
 //! * [`web`] — the §3 read-only web interface: searching, software and
 //!   vendor detail pages, deployment statistics.
+//! * [`repl`] — WAL-shipping replication (DESIGN.md §15): the primary's
+//!   subscription/snapshot endpoints and [`repl::ReplicaTail`], the
+//!   loop that keeps a read replica's store current.
 
 #[cfg(target_os = "linux")]
 pub mod epoll;
@@ -43,6 +46,7 @@ pub mod pool;
 pub mod puzzle_gate;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod repl;
 pub mod session;
 pub mod stats;
 pub mod tcp;
@@ -53,6 +57,7 @@ pub use handler::{ReputationServer, ServerConfig};
 pub use pool::{DispatchPool, PoolRejected, WorkerPool};
 #[cfg(target_os = "linux")]
 pub use reactor::ReactorServer;
+pub use repl::{ReplicaTail, ReplicaTailConfig};
 pub use session::SessionManager;
 pub use stats::{ServerStats, StatsSnapshot};
 pub use tcp::{Frontend, FrontendServer, TcpClient, TcpServer, TcpServerConfig};

@@ -117,6 +117,12 @@ pub struct TcpServerConfig {
     /// How long shutdown waits for in-flight requests before force-closing
     /// remaining connections.
     pub drain_deadline: Duration,
+    /// `Some(primary_addr)` runs this node as a read replica:
+    /// [`FrontendServer::spawn_with`] marks the handler so writes get a
+    /// `not-primary` redirect carrying this address. Starting the tail
+    /// that actually pulls the primary's log is the caller's job (see
+    /// [`crate::repl::ReplicaTail`]); the deployment binary does both.
+    pub replica_of: Option<String>,
 }
 
 impl Default for TcpServerConfig {
@@ -129,6 +135,7 @@ impl Default for TcpServerConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(5),
+            replica_of: None,
         }
     }
 }
@@ -158,6 +165,9 @@ impl FrontendServer {
         addr: impl ToSocketAddrs,
         config: TcpServerConfig,
     ) -> std::io::Result<Self> {
+        if let Some(primary) = &config.replica_of {
+            server.repl_state().set_replica_of(primary.clone());
+        }
         match config.frontend {
             Frontend::Threads => {
                 Ok(FrontendServer::Threads(TcpServer::spawn_with(server, addr, config)?))

@@ -79,6 +79,15 @@ impl CommitLedger {
         CommitLedger::default()
     }
 
+    /// Ledger resuming an existing sequence history at `seq` — used on
+    /// recovery, where `seq` is the newest commit sequence number the
+    /// recovered log chain (snapshot base plus replayed WAL frames)
+    /// established. The resume point counts as durable: it was read back
+    /// from disk, so an fsync by definition already covered it.
+    pub fn starting_at(seq: u64) -> Self {
+        CommitLedger { appended_seq: seq, durable_seq: seq, ..CommitLedger::default() }
+    }
+
     /// Record a batch of `bytes` appended to the WAL buffer; returns its
     /// commit sequence number.
     pub fn record_append(&mut self, bytes: u64) -> u64 {
@@ -186,6 +195,18 @@ mod tests {
         assert_eq!(l.record_append(10), 2);
         assert!(!l.is_durable(1));
         assert_eq!(l.appended_seq(), 2);
+    }
+
+    #[test]
+    fn starting_at_resumes_numbering_and_counts_the_base_durable() {
+        let mut l = CommitLedger::starting_at(41);
+        assert_eq!(l.appended_seq(), 41);
+        assert!(l.is_durable(41), "the recovered prefix was read from disk");
+        assert_eq!(l.record_append(4), 42);
+        assert!(!l.is_durable(42));
+        let to = l.try_begin_sync().unwrap();
+        l.finish_sync(to, true);
+        assert!(l.is_durable(42));
     }
 
     #[test]

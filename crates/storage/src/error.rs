@@ -20,6 +20,9 @@ pub enum StorageError {
     /// frames beyond the tear unreachable to replay. Reopen the store to
     /// recover cleanly (replay truncates the tear).
     Poisoned(&'static str),
+    /// The operation needs a capability this store does not have (e.g.
+    /// replication reads against an in-memory store, which keeps no log).
+    Unsupported(&'static str),
     /// A uniqueness constraint (e.g. a unique secondary index) was violated.
     UniqueViolation {
         /// The violated index's tree name.
@@ -37,6 +40,7 @@ impl fmt::Display for StorageError {
             StorageError::Decode(msg) => write!(f, "record decode error: {msg}"),
             StorageError::UnknownTree(name) => write!(f, "unknown tree: {name}"),
             StorageError::Poisoned(msg) => write!(f, "storage handle poisoned: {msg}"),
+            StorageError::Unsupported(msg) => write!(f, "unsupported storage operation: {msg}"),
             StorageError::UniqueViolation { index, key } => {
                 write!(f, "unique index {index} already contains key {key}")
             }

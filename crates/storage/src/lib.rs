@@ -52,6 +52,7 @@ pub mod crc;
 pub mod error;
 pub mod failpoint;
 pub mod index;
+pub mod replication;
 pub(crate) mod shard;
 pub mod store;
 pub mod table;
@@ -63,6 +64,7 @@ pub use codec::{Decode, Encode, Reader, Writer};
 pub use commit::{CommitLedger, DurabilityMode, StoreOptions};
 pub use error::{StorageError, StorageResult};
 pub use failpoint::{FailAction, Failpoints, Fault};
+pub use replication::{ReplEntry, ReplRead};
 pub use store::{Store, StoreStats, TreeName};
 pub use table::{KeyCodec, Table, TableSchema};
 pub use vfs::{durable_image_at, CrashStyle, RealVfs, SimVfs, Vfs, VfsEvent, VfsFile};

@@ -35,6 +35,7 @@ use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::commit::{CommitLedger, DurabilityMode, StoreOptions};
 use crate::crc::crc32;
 use crate::error::{StorageError, StorageResult};
+use crate::replication::{ReplEntry, ReplRead};
 use crate::shard::{ShardSet, Tree};
 use crate::vfs::{self, Vfs};
 use crate::wal::Wal;
@@ -177,7 +178,13 @@ pub struct Store {
 const SNAPSHOT_FILE: &str = "SNAPSHOT";
 const WAL_FILE: &str = "WAL";
 const WAL_OLD_FILE: &str = "WAL.old";
-const SNAPSHOT_MAGIC: &[u8; 8] = b"SREPSNP1";
+/// Current snapshot format: body starts with a varint carrying the commit
+/// sequence number the snapshot covers, so recovery can resume the
+/// [`CommitLedger`] numbering and replication can ship a correct base.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SREPSNP2";
+/// Pre-replication format (no embedded sequence number); still readable —
+/// such a snapshot covers sequence 0 as far as the ledger is concerned.
+const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"SREPSNP1";
 
 impl Store {
     /// Open a durable store rooted at `dir` with default options
@@ -207,16 +214,14 @@ impl Store {
         let wal_path = dir.join(WAL_FILE);
         let wal_old_path = dir.join(WAL_OLD_FILE);
 
-        let mut trees = Self::load_snapshot(&*vfs, &dir.join(SNAPSHOT_FILE))?;
+        let (mut trees, snapshot_seq) = Self::load_snapshot(&*vfs, &dir.join(SNAPSHOT_FILE))?;
         let had_rotation = vfs.exists(&wal_old_path);
         let mut old_torn = false;
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
         if had_rotation {
             let outcome = Wal::replay_with_outcome_on(&*vfs, &wal_old_path)?;
             old_torn = outcome.torn;
-            for payload in outcome.entries {
-                let batch = WriteBatch::decode_from_bytes(&payload)?;
-                Self::apply_to_trees(&mut trees, &batch);
-            }
+            payloads = outcome.entries;
         }
         if old_torn {
             // The rotated log died mid-append. Every frame in the newer
@@ -224,18 +229,33 @@ impl Store {
             // over a gap; drop it to preserve the any-prefix invariant.
             vfs.write(&wal_path, &[])?;
         } else {
-            for payload in Wal::replay_with_outcome_on(&*vfs, &wal_path)?.entries {
-                let batch = WriteBatch::decode_from_bytes(&payload)?;
-                Self::apply_to_trees(&mut trees, &batch);
-            }
+            payloads.extend(Wal::replay_with_outcome_on(&*vfs, &wal_path)?.entries);
         }
+        // Every frame carries its commit sequence number; the chain across
+        // WAL.old and WAL must be gapless or a batch went missing. Frames
+        // at or below the snapshot's covered sequence replay idempotently
+        // (puts and deletes set absolute per-key state).
+        let mut prev_seq: Option<u64> = None;
+        for payload in &payloads {
+            let (seq, batch) = Self::decode_wal_entry(payload)?;
+            if let Some(prev) = prev_seq {
+                if seq != prev + 1 {
+                    return Err(StorageError::Corrupt(format!(
+                        "WAL sequence gap: frame {seq} follows frame {prev}"
+                    )));
+                }
+            }
+            prev_seq = Some(seq);
+            Self::apply_to_trees(&mut trees, &batch);
+        }
+        let recovered_seq = prev_seq.unwrap_or(0).max(snapshot_seq);
 
         let wal = Wal::open_on(&*vfs, &wal_path)?;
         let store = Store {
             shards: ShardSet::new(options.shards, trees),
             commit: Mutex::new(CommitState {
                 wal: Some(wal),
-                ledger: CommitLedger::new(),
+                ledger: CommitLedger::starting_at(recovered_seq),
                 batches_applied: 0,
                 ops_since_compaction: 0,
                 wal_rotations: 0,
@@ -292,11 +312,25 @@ impl Store {
         if batch.is_empty() {
             return Ok(());
         }
-        // Encode off-lock; skipped entirely for in-memory stores.
-        let payload = if self.durable { Some(batch.encode_to_bytes()) } else { None };
+        // Encode off-lock; skipped entirely for in-memory stores. The
+        // first 8 bytes are a placeholder for the commit sequence number,
+        // filled in under the commit lock right before the append —
+        // embedding the sequence makes the log self-describing, which is
+        // what recovery's ledger resume and replication tails read back.
+        let mut payload = if self.durable {
+            let mut buf = vec![0u8; 8];
+            buf.extend_from_slice(&batch.encode_to_bytes());
+            Some(buf)
+        } else {
+            None
+        };
         let (seq, sync_now) = {
             let mut commit = self.commit.lock();
-            if let (Some(wal), Some(payload)) = (commit.wal.as_mut(), payload.as_deref()) {
+            let next_seq = commit.ledger.appended_seq() + 1;
+            if let (Some(wal), Some(payload)) = (commit.wal.as_mut(), payload.as_deref_mut()) {
+                if let Some(slot) = payload.get_mut(..8) {
+                    slot.copy_from_slice(&next_seq.to_le_bytes());
+                }
                 wal.append(payload)?;
                 if matches!(self.durability, DurabilityMode::Os) {
                     // lint: allow(guard-io, "Os mode hands frames to the kernel inside the commit lock so append order equals WAL order; no fsync happens here")
@@ -479,7 +513,7 @@ impl Store {
         // write a fresh snapshot covering memory and retire the old log.
         let resume = self.vfs.exists(&wal_old);
 
-        let view = {
+        let (covered_seq, view) = {
             let mut commit = self.commit.lock();
             if let Some(wal) = commit.wal.as_mut() {
                 // lint: allow(guard-io, "rotation point: the log must be durable before rename, and no append may interleave with it")
@@ -497,11 +531,12 @@ impl Store {
             }
             commit.ops_since_compaction = 0;
             // Cloned under the commit lock: no writer can interleave, so
-            // the view is a consistent cut at a batch boundary.
-            self.shards.snapshot()
+            // the view is a consistent cut at a batch boundary, and the
+            // ledger's sequence number names exactly that cut.
+            (commit.ledger.appended_seq(), self.shards.snapshot())
         };
 
-        let bytes = Self::encode_snapshot(&view);
+        let bytes = Self::encode_snapshot(covered_seq, &view);
         let tmp = dir.join("SNAPSHOT.tmp");
         {
             let f = self.vfs.create(&tmp)?;
@@ -551,8 +586,9 @@ impl Store {
         }
     }
 
-    fn encode_snapshot(trees: &BTreeMap<String, Tree>) -> Vec<u8> {
+    fn encode_snapshot(covered_seq: u64, trees: &BTreeMap<String, Tree>) -> Vec<u8> {
         let mut w = Writer::with_capacity(4096);
+        w.put_varint(covered_seq);
         w.put_varint(trees.len() as u64);
         for (name, tree) in trees {
             w.put_str(name);
@@ -570,13 +606,23 @@ impl Store {
         out
     }
 
-    fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> StorageResult<BTreeMap<String, Tree>> {
+    fn load_snapshot(vfs: &dyn Vfs, path: &Path) -> StorageResult<(BTreeMap<String, Tree>, u64)> {
         let Some(raw) = vfs.try_read(path)? else {
-            return Ok(BTreeMap::new());
+            return Ok((BTreeMap::new(), 0));
         };
-        let header_ok = raw.get(..8).is_some_and(|magic| magic == SNAPSHOT_MAGIC);
+        Self::parse_snapshot(&raw)
+    }
+
+    /// Decode a snapshot image (compaction file or [`Store::export_snapshot`]
+    /// bytes) into its trees and the commit sequence number it covers.
+    /// Accepts the current format and the pre-replication `SREPSNP1` one,
+    /// which carried no sequence number and so covers sequence 0.
+    pub(crate) fn parse_snapshot(raw: &[u8]) -> StorageResult<(BTreeMap<String, Tree>, u64)> {
+        let magic = raw.get(..8);
+        let v2 = magic.is_some_and(|m| m == SNAPSHOT_MAGIC);
+        let v1 = magic.is_some_and(|m| m == SNAPSHOT_MAGIC_V1);
         let crc_bytes: Option<[u8; 4]> = raw.get(8..12).and_then(|slice| slice.try_into().ok());
-        let (Some(crc_bytes), Some(body), true) = (crc_bytes, raw.get(12..), header_ok) else {
+        let (Some(crc_bytes), Some(body), true) = (crc_bytes, raw.get(12..), v1 || v2) else {
             return Err(StorageError::Corrupt("snapshot header malformed".into()));
         };
         let crc = u32::from_le_bytes(crc_bytes);
@@ -584,6 +630,7 @@ impl Store {
             return Err(StorageError::Corrupt("snapshot CRC mismatch".into()));
         }
         let mut r = Reader::new(body);
+        let covered_seq = if v2 { r.get_varint()? } else { 0 };
         let tree_count = r.get_varint()? as usize;
         let mut trees = BTreeMap::new();
         for _ in 0..tree_count {
@@ -598,7 +645,130 @@ impl Store {
             trees.insert(name, tree);
         }
         r.expect_end()?;
-        Ok(trees)
+        Ok((trees, covered_seq))
+    }
+
+    /// Split a WAL payload into its embedded commit sequence number and
+    /// the batch it journals.
+    fn decode_wal_entry(payload: &[u8]) -> StorageResult<(u64, WriteBatch)> {
+        let seq = Self::wal_entry_seq(payload)?;
+        let batch = WriteBatch::decode_from_bytes(payload.get(8..).unwrap_or_default())?;
+        Ok((seq, batch))
+    }
+
+    /// The commit sequence number embedded in a WAL payload, without
+    /// decoding the batch body.
+    fn wal_entry_seq(payload: &[u8]) -> StorageResult<u64> {
+        let bytes: [u8; 8] = payload.get(..8).and_then(|s| s.try_into().ok()).ok_or_else(|| {
+            StorageError::Corrupt("WAL entry shorter than its sequence header".into())
+        })?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Newest committed sequence number (0 before the first commit).
+    pub fn committed_seq(&self) -> u64 {
+        self.commit.lock().ledger.appended_seq()
+    }
+
+    /// Export a consistent snapshot of every tree as `(covered_seq,
+    /// bytes)`, in the same format compaction writes. The cut is cloned
+    /// under the commit lock (memory only); encoding runs off-lock. This
+    /// is what the primary serves to a bootstrapping replica.
+    pub fn export_snapshot(&self) -> (u64, Vec<u8>) {
+        let (seq, view) = {
+            let commit = self.commit.lock();
+            (commit.ledger.appended_seq(), self.shards.snapshot())
+        };
+        (seq, Self::encode_snapshot(seq, &view))
+    }
+
+    /// A canonical dump of the user-visible contents: every tree except
+    /// replication metadata (names starting `__repl`), encoded
+    /// deterministically under one consistent cut. Two stores holding the
+    /// same logical data yield byte-identical dumps — the property the
+    /// replication differential tests assert.
+    pub fn content_dump(&self) -> Vec<u8> {
+        let mut view = {
+            let _commit = self.commit.lock();
+            self.shards.snapshot()
+        };
+        // Drop replication metadata and empty shells (a tree whose keys
+        // were all deleted lingers in the shard map; it holds no data, so
+        // it must not make two logically-equal stores compare unequal).
+        view.retain(|name, tree| !name.starts_with("__repl") && !tree.is_empty());
+        Self::encode_snapshot(0, &view)
+    }
+
+    /// Read committed WAL entries after `from_seq` for a replication
+    /// subscriber. Returns [`ReplRead::Entries`] with a contiguous run
+    /// starting at `from_seq + 1` (bounded by `max_entries`/`max_bytes`,
+    /// with `backlog_bytes` counting what remains), or
+    /// [`ReplRead::SnapshotNeeded`] when compaction has already retired
+    /// that suffix and the subscriber must bootstrap from a snapshot.
+    ///
+    /// Only frames the recovered-or-flushed log actually holds are served,
+    /// so a primary that crashed and lost an unsynced suffix can never
+    /// ship batches it no longer has — the replica instead observes the
+    /// regressed `committed_seq` and resyncs.
+    pub fn replication_read(
+        &self,
+        from_seq: u64,
+        max_entries: usize,
+        max_bytes: usize,
+    ) -> StorageResult<ReplRead> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Err(StorageError::Unsupported("replication reads need a WAL-backed store"));
+        };
+        let max_entries = max_entries.max(1);
+        // Hold the compaction lock across the whole read: rotation moves
+        // frames between WAL and WAL.old, and retiring WAL.old would pull
+        // a file out from under us mid-scan.
+        let _compaction = self.compaction.lock();
+        let committed_seq = {
+            let mut commit = self.commit.lock();
+            if let Some(wal) = commit.wal.as_mut() {
+                // lint: allow(guard-io, "buffered flush only, so the file covers every committed frame; same commit-lock cost the Os durability path already pays")
+                wal.flush()?;
+            }
+            commit.ledger.appended_seq()
+        };
+        if from_seq >= committed_seq {
+            return Ok(ReplRead::Entries { entries: Vec::new(), committed_seq, backlog_bytes: 0 });
+        }
+        let mut entries = Vec::new();
+        let mut taken_bytes = 0usize;
+        let mut backlog_bytes = 0u64;
+        let mut full = false;
+        for name in [WAL_OLD_FILE, WAL_FILE] {
+            let Some(raw) = self.vfs.try_read(&dir.join(name))? else { continue };
+            for payload in crate::wal::valid_frames(&raw) {
+                let seq = Self::wal_entry_seq(payload)?;
+                if seq <= from_seq || seq > committed_seq {
+                    // Below: already applied by the subscriber. Above: a
+                    // frame appended after our committed cut was taken.
+                    continue;
+                }
+                if entries.len() >= max_entries || taken_bytes >= max_bytes {
+                    full = true;
+                }
+                if full {
+                    backlog_bytes += payload.len().saturating_sub(8) as u64;
+                    continue;
+                }
+                let batch = payload.get(8..).unwrap_or_default().to_vec();
+                taken_bytes += batch.len();
+                entries.push(ReplEntry { seq, batch });
+            }
+        }
+        match entries.first() {
+            Some(first) if first.seq == from_seq + 1 => {
+                Ok(ReplRead::Entries { entries, committed_seq, backlog_bytes })
+            }
+            // Either the suffix after `from_seq` was compacted away
+            // entirely, or its head was — both mean the log can no longer
+            // serve a gapless continuation.
+            _ => Ok(ReplRead::SnapshotNeeded { committed_seq }),
+        }
     }
 }
 

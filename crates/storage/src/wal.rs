@@ -254,6 +254,27 @@ struct FrameScan {
     valid_len: usize,
 }
 
+/// Iterate the valid frame payloads of a raw log image, in append order,
+/// stopping at the first torn/corrupt frame — the same acceptance rule as
+/// replay, shared with the store's replication reader (which walks log
+/// images it read through the [`Vfs`] seam without opening a `Wal`).
+pub(crate) fn valid_frames(raw: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut offset = 0usize;
+    std::iter::from_fn(move || {
+        let (len, crc) = frame_header(raw, offset)?;
+        if len > MAX_ENTRY_LEN {
+            return None;
+        }
+        let body_start = offset + 8;
+        let body = body_start.checked_add(len as usize).and_then(|end| raw.get(body_start..end))?;
+        if crc32(body) != crc {
+            return None;
+        }
+        offset = body_start + body.len();
+        Some(body)
+    })
+}
+
 /// Walk the frames of `raw`, stopping at the first torn/corrupt one.
 fn scan_frames(raw: &[u8]) -> FrameScan {
     let mut entries = 0u64;

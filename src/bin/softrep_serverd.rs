@@ -8,8 +8,16 @@
 //! softrep-serverd [--data DIR] [--proto ADDR] [--web ADDR]
 //!                [--pepper SECRET] [--puzzle-difficulty N]
 //!                [--analyzer-token TOKEN] [--durability MODE]
-//!                [--frontend threads|epoll]
+//!                [--frontend threads|epoll] [--replica-of ADDR]
 //! ```
+//!
+//! `--replica-of ADDR` runs this node as a read replica of the primary at
+//! `ADDR` (its protocol address): the store is kept current by tailing
+//! the primary's WAL (bootstrapping from a snapshot when needed), read
+//! queries and the web interface are served locally, and every write
+//! request is answered with a `not-primary` redirect carrying `ADDR`.
+//! Replicas skip the aggregation schedule — rating records are computed
+//! on the primary and replicated like any other data.
 //!
 //! `--frontend` selects the protocol serving architecture: `epoll`
 //! (default on Linux) runs the event-driven reactor — one event loop,
@@ -32,6 +40,7 @@ use std::sync::Arc;
 use softwareputation::core::clock::SystemClock;
 use softwareputation::core::db::ReputationDb;
 use softwareputation::crypto::salted::SecretPepper;
+use softwareputation::server::repl::ReplicaTail;
 use softwareputation::server::tcp::{Frontend, FrontendServer, TcpServerConfig};
 use softwareputation::server::web::WebServer;
 use softwareputation::server::{ReputationServer, ServerConfig};
@@ -46,6 +55,7 @@ struct Args {
     analyzer_token: Option<String>,
     durability: DurabilityMode,
     frontend: Frontend,
+    replica_of: Option<String>,
 }
 
 /// Parse `always`, `batched:BYTES`, or `os` into a [`DurabilityMode`].
@@ -72,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         analyzer_token: None,
         durability: DurabilityMode::default(),
         frontend: Frontend::default(),
+        replica_of: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,11 +100,13 @@ fn parse_args() -> Result<Args, String> {
             "--analyzer-token" => args.analyzer_token = Some(value("--analyzer-token")?),
             "--durability" => args.durability = parse_durability(&value("--durability")?)?,
             "--frontend" => args.frontend = value("--frontend")?.parse()?,
+            "--replica-of" => args.replica_of = Some(value("--replica-of")?),
             "--help" | "-h" => {
                 println!(
                     "softrep-serverd --data DIR --proto ADDR --web ADDR \
                      [--pepper SECRET] [--puzzle-difficulty N] [--analyzer-token TOKEN] \
-                     [--durability always|batched:BYTES|os] [--frontend threads|epoll]"
+                     [--durability always|batched:BYTES|os] [--frontend threads|epoll] \
+                     [--replica-of ADDR]"
                 );
                 std::process::exit(0);
             }
@@ -147,7 +160,11 @@ fn main() {
         seed,
     ));
 
-    let tcp_config = TcpServerConfig { frontend: args.frontend, ..TcpServerConfig::default() };
+    let tcp_config = TcpServerConfig {
+        frontend: args.frontend,
+        replica_of: args.replica_of.clone(),
+        ..TcpServerConfig::default()
+    };
     let tcp = match FrontendServer::spawn_with(Arc::clone(&server), args.proto.as_str(), tcp_config)
     {
         Ok(tcp) => tcp,
@@ -164,11 +181,27 @@ fn main() {
         }
     };
 
+    // A replica pulls the primary's log for as long as the process lives;
+    // the handle is only dropped (joining the tail) at process exit.
+    let _tail = match &args.replica_of {
+        Some(primary) => match ReplicaTail::spawn(Arc::clone(&server), primary.clone()) {
+            Ok(tail) => Some(tail),
+            Err(e) => {
+                eprintln!("error: cannot start replication tail: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+
     println!("softwareputation server");
     println!("  data      {}", args.data);
     println!("  protocol  {}", tcp.local_addr());
     println!("  web       http://{}", web.local_addr());
     println!("  frontend  {:?}", args.frontend);
+    if let Some(primary) = &args.replica_of {
+        println!("  replica-of {primary}");
+    }
     println!("  puzzles   difficulty {}", args.puzzle_difficulty);
     println!("  durability {:?}", args.durability);
     println!("  pseudonym credentials: 1024-bit blind-signature key");
@@ -182,11 +215,16 @@ fn main() {
     // compaction + fsync. Ctrl-C terminates the process; the WAL makes
     // that safe at any instant.
     let mut iterations = 0u64;
+    let is_replica = args.replica_of.is_some();
     loop {
         std::thread::sleep(std::time::Duration::from_secs(60));
-        let recomputed = server.tick();
-        if recomputed > 0 {
-            println!("aggregation batch: {recomputed} ratings recomputed");
+        // Replicas receive rating records through the log like any other
+        // data; running aggregation locally would race the primary's.
+        if !is_replica {
+            let recomputed = server.tick();
+            if recomputed > 0 {
+                println!("aggregation batch: {recomputed} ratings recomputed");
+            }
         }
         let _ = store.sync();
         iterations += 1;

@@ -110,11 +110,16 @@ fn torn_wal_tail_loses_only_the_last_writes() {
 }
 
 /// Append `batches` to the log file at `path` as fully-synced WAL frames —
-/// the same bytes the store would have written before a crash.
-fn fabricate_wal(path: &std::path::Path, batches: &[WriteBatch]) {
+/// the same bytes the store would have written before a crash. Frames are
+/// self-describing since the replication work: each payload leads with its
+/// commit sequence number (little-endian u64), consecutive from
+/// `start_seq`, and recovery rejects any gap in the chain.
+fn fabricate_wal(path: &std::path::Path, start_seq: u64, batches: &[WriteBatch]) {
     let mut wal = Wal::open(path).unwrap();
-    for batch in batches {
-        wal.append(&batch.encode_to_bytes()).unwrap();
+    for (i, batch) in batches.iter().enumerate() {
+        let mut payload = (start_seq + i as u64).to_le_bytes().to_vec();
+        payload.extend_from_slice(&batch.encode_to_bytes());
+        wal.append(&payload).unwrap();
     }
     wal.sync().unwrap();
 }
@@ -138,7 +143,7 @@ fn crash_between_wal_rotation_and_snapshot_rename_loses_nothing() {
         store.sync().unwrap();
     }
     std::fs::rename(dir.path().join("WAL"), dir.path().join("WAL.old")).unwrap();
-    fabricate_wal(&dir.path().join("WAL"), &[put_batch("t", b"k-new", b"v-new")]);
+    fabricate_wal(&dir.path().join("WAL"), 2, &[put_batch("t", b"k-new", b"v-new")]);
 
     let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.get("t", b"k-old").as_deref(), Some(&b"v-old"[..]), "rotated-out write");
@@ -169,6 +174,7 @@ fn crash_between_snapshot_rename_and_wal_old_removal_is_idempotent() {
     // Resurrect WAL.old holding batches the snapshot already absorbed.
     fabricate_wal(
         &dir.path().join("WAL.old"),
+        1,
         &[put_batch("t", b"k1", b"v1"), put_batch("t", b"k2", b"v2")],
     );
 
@@ -198,7 +204,7 @@ fn torn_wal_old_drops_the_newer_wal_for_prefix_consistency() {
     let old = dir.path().join("WAL.old");
     let bytes = std::fs::read(&old).unwrap();
     std::fs::write(&old, &bytes[..bytes.len() - 5]).unwrap();
-    fabricate_wal(&dir.path().join("WAL"), &[put_batch("t", b"k3", b"v3")]);
+    fabricate_wal(&dir.path().join("WAL"), 3, &[put_batch("t", b"k3", b"v3")]);
 
     let store = Store::open(dir.path()).unwrap();
     assert_eq!(store.get("t", b"k1").as_deref(), Some(&b"v1"[..]), "pre-tear prefix survives");

@@ -368,3 +368,234 @@ fn single_fault_crash_schedules_recover_every_committed_batch() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Replication property: gapless applied prefix (DESIGN.md §15)
+// ---------------------------------------------------------------------
+
+/// Random primary workloads tailed under random kill/reconnect schedules:
+/// pages cut mid-apply (a killed replica), stale resubscribes (a lost
+/// response redelivered), replica and primary reopens, and compactions
+/// forcing snapshot bootstraps. After every step the replica's applied
+/// watermark `w` must identify a **gapless prefix**: its user-visible
+/// contents equal the fold of the primary's committed batches `1..=w`,
+/// `w` never exceeds the primary's committed sequence, and never
+/// regresses. At quiesce the replica drains to full byte equality.
+#[test]
+fn replica_watermark_is_always_a_gapless_prefix_under_random_schedules() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use softwareputation::storage::replication::{
+        applied_watermark, apply_replicated, install_snapshot,
+    };
+    use softwareputation::storage::{
+        DurabilityMode, ReplRead, SimVfs, Store, StoreOptions, WriteBatch,
+    };
+
+    /// One committed primary batch, mirrored test-side so the expected
+    /// replica state at any watermark can be refolded exactly.
+    type Op = (String, Vec<u8>, Option<Vec<u8>>);
+
+    fn open(vfs: &SimVfs, path: &str) -> Store {
+        Store::open_with_vfs(
+            path,
+            StoreOptions { durability: DurabilityMode::Os, shards: 2 },
+            Arc::new(vfs.clone()),
+        )
+        .expect("sim open")
+    }
+
+    /// The replica's user-visible contents as a flat map.
+    fn contents(store: &Store) -> BTreeMap<(String, Vec<u8>), Vec<u8>> {
+        let mut map = BTreeMap::new();
+        for name in store.tree_names() {
+            if name.starts_with("__repl") {
+                continue;
+            }
+            for (key, value) in store.scan_all(&name) {
+                map.insert((name.clone(), key), value);
+            }
+        }
+        map
+    }
+
+    /// The expected contents after applying committed batches `1..=w`.
+    fn fold(log: &[Vec<Op>], w: u64) -> BTreeMap<(String, Vec<u8>), Vec<u8>> {
+        let mut map = BTreeMap::new();
+        for ops in log.iter().take(w as usize) {
+            for (tree, key, value) in ops {
+                match value {
+                    Some(v) => {
+                        map.insert((tree.clone(), key.clone()), v.clone());
+                    }
+                    None => {
+                        map.remove(&(tree.clone(), key.clone()));
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    let cases = case_count(40);
+    let base = base_seed(0x9e91_ca7e);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = SplitMix64::new(seed);
+        let ctx = |step: usize, detail: &str| {
+            format!(
+                "case {case} step {step} (replay with SOFTREP_PROP_SEED={seed} \
+                 SOFTREP_PROP_CASES=1): {detail}"
+            )
+        };
+
+        let primary_vfs = SimVfs::new();
+        let replica_vfs = SimVfs::new();
+        let mut primary = open(&primary_vfs, "/sim/repl-prop-p");
+        let mut replica = open(&replica_vfs, "/sim/repl-prop-r");
+
+        // The committed log, mirrored op-for-op: log[i] is batch seq i+1.
+        let mut log: Vec<Vec<Op>> = Vec::new();
+        let mut writes = 0usize;
+
+        let steps = (rng.below(60) + 40) as usize;
+        for step in 0..steps {
+            let w_before = applied_watermark(&replica);
+            match rng.below(100) {
+                // Mixed write on the primary (put / delete / multi-op).
+                0..=44 => {
+                    let tree = ["alpha", "beta", "gamma"][rng.below(3) as usize].to_string();
+                    let key = format!("k{}", rng.below(40)).into_bytes();
+                    let mut ops: Vec<Op> = Vec::new();
+                    if rng.chance(20) && writes > 0 {
+                        primary.delete(&tree, key.clone()).expect("delete");
+                        ops.push((tree, key, None));
+                    } else if rng.chance(15) {
+                        let mut batch = WriteBatch::new();
+                        for j in 0..(rng.below(4) + 2) {
+                            let k = format!("k{}-{j}", rng.below(40)).into_bytes();
+                            let v = vec![b'm'; (rng.below(60) + 1) as usize];
+                            batch.put(&tree, k.clone(), v.clone());
+                            ops.push((tree.clone(), k, Some(v)));
+                        }
+                        primary.apply(&batch).expect("apply");
+                    } else {
+                        let v = vec![b'v'; (rng.below(120) + 1) as usize];
+                        primary.put(&tree, key.clone(), v.clone()).expect("put");
+                        ops.push((tree, key, Some(v)));
+                    }
+                    log.push(ops);
+                    writes += 1;
+                }
+                // Poll a page with random caps; apply a random prefix of
+                // it (a kill mid-page leaves the rest undelivered).
+                45..=69 => {
+                    let w = applied_watermark(&replica);
+                    let max_entries = (rng.below(6) + 1) as usize;
+                    let max_bytes = [32usize, 256, 4096][rng.below(3) as usize];
+                    match primary.replication_read(w, max_entries, max_bytes).expect("read") {
+                        ReplRead::Entries { entries, .. } => {
+                            let cut = if rng.chance(25) {
+                                rng.below(entries.len().max(1) as u64) as usize
+                            } else {
+                                entries.len()
+                            };
+                            for e in entries.iter().take(cut) {
+                                apply_replicated(&replica, e)
+                                    .unwrap_or_else(|e| panic!("{}", ctx(step, &e.to_string())));
+                            }
+                        }
+                        ReplRead::SnapshotNeeded { .. } => {
+                            let (_, bytes) = primary.export_snapshot();
+                            install_snapshot(&replica, &bytes)
+                                .unwrap_or_else(|e| panic!("{}", ctx(step, &e.to_string())));
+                        }
+                    }
+                }
+                // Stale resubscribe: a lost response makes the replica
+                // re-request from an old watermark; redelivered entries
+                // at or below the real watermark must be skipped.
+                70..=77 => {
+                    let w = applied_watermark(&replica).saturating_sub(rng.below(5));
+                    if let ReplRead::Entries { entries, .. } =
+                        primary.replication_read(w, 8, 4096).expect("stale read")
+                    {
+                        for e in &entries {
+                            apply_replicated(&replica, e)
+                                .unwrap_or_else(|e| panic!("{}", ctx(step, &e.to_string())));
+                        }
+                    }
+                }
+                // Replica crash + recovery.
+                78..=85 => {
+                    drop(replica);
+                    replica = open(&replica_vfs, "/sim/repl-prop-r");
+                }
+                // Primary crash + recovery (sequence numbering must
+                // resume exactly).
+                86..=92 => {
+                    drop(primary);
+                    primary = open(&primary_vfs, "/sim/repl-prop-p");
+                    assert_eq!(
+                        primary.committed_seq(),
+                        log.len() as u64,
+                        "{}",
+                        ctx(step, "primary ledger diverged from the committed log on reopen")
+                    );
+                }
+                // Primary compaction: retires the log suffix, so lagging
+                // subscribers must be told to bootstrap.
+                _ => {
+                    primary.compact().expect("compact");
+                }
+            }
+
+            // The invariant, after every step.
+            let w = applied_watermark(&replica);
+            assert!(
+                w <= primary.committed_seq(),
+                "{}",
+                ctx(step, &format!("watermark {w} beyond committed {}", primary.committed_seq()))
+            );
+            assert!(
+                w >= w_before || w_before == 0,
+                "{}",
+                ctx(step, &format!("watermark regressed {w_before} -> {w}"))
+            );
+            assert_eq!(
+                contents(&replica),
+                fold(&log, w),
+                "{}",
+                ctx(step, &format!("contents are not the gapless prefix 1..={w}"))
+            );
+        }
+
+        // Quiesce: drain to full equality.
+        let mut guard = 0;
+        loop {
+            let w = applied_watermark(&replica);
+            if w == primary.committed_seq() {
+                break;
+            }
+            guard += 1;
+            assert!(guard < 10_000, "case {case} seed {seed}: drain did not converge");
+            match primary.replication_read(w, 64, 1 << 20).expect("drain read") {
+                ReplRead::Entries { entries, .. } => {
+                    for e in &entries {
+                        apply_replicated(&replica, e).expect("drain apply");
+                    }
+                }
+                ReplRead::SnapshotNeeded { .. } => {
+                    let (_, bytes) = primary.export_snapshot();
+                    install_snapshot(&replica, &bytes).expect("drain install");
+                }
+            }
+        }
+        assert_eq!(
+            primary.content_dump(),
+            replica.content_dump(),
+            "case {case} seed {seed}: stores must be byte-identical at quiesce"
+        );
+    }
+}
